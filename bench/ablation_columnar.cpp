@@ -1,0 +1,47 @@
+// Ablation: application-aware columnar shuffling of PBIO streams before
+// compression. Fig. 6 shows the MD fields compress at wildly different
+// ratios; transposing records so each field's bytes are contiguous lets the
+// dictionary methods exploit exactly that — an instance of the
+// application-specific handler layer the paper's middleware hosts.
+
+#include "bench_common.hpp"
+#include "pbio/columnar.hpp"
+
+int main() {
+  using namespace acex;
+
+  // One snapshot = one format header + fixed-size records, the layout the
+  // transpose operates on (multi-snapshot streams shuffle per snapshot).
+  workloads::MolecularConfig config;
+  config.atom_count = 65536;
+  workloads::MolecularGenerator gen(config);
+  const Bytes stream = gen.pbio_snapshot();
+  const Bytes shuffled = pbio::columnar_shuffle(stream);
+
+  bench::header("Ablation: columnar shuffle of PBIO molecular snapshots");
+  std::printf("stream: %zu bytes (%zu-byte overhead when shuffled)\n\n",
+              stream.size(), shuffled.size() - stream.size());
+  std::printf("%-16s  %12s  %12s  %10s\n", "method", "interleaved",
+              "columnar", "gain");
+  bench::rule();
+
+  for (const MethodId m : paper_methods()) {
+    const CodecPtr codec = make_codec(m);
+    const double a = static_cast<double>(codec->compress(stream).size());
+    const double b = static_cast<double>(codec->compress(shuffled).size());
+    std::printf("%-16s  %11.2f%%  %11.2f%%  %9.1f%%\n",
+                std::string(method_name(m)).c_str(),
+                100.0 * a / static_cast<double>(stream.size()),
+                100.0 * b / static_cast<double>(stream.size()),
+                100.0 * (a - b) / a);
+  }
+
+  std::printf(
+      "\nReading: same bytes, same lossless codecs, friendlier order. The "
+      "dictionary\nmethods gain (contiguous same-field runs), and ADAPTIVE "
+      "arithmetic gains too —\nits model tracks each column's local "
+      "statistics. STATIC Huffman is exactly\npermutation-blind (identical "
+      "histogram, 0.0 %%), confirming the effect is\nstructural, not "
+      "statistical.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: network measurement techniques. The middleware accepts any
+// bandwidth source (§1 cites [10-13]); this bench compares the two built-in
+// ones against ground truth while the MBone trace modulates a 100 Mb link:
+//
+//   passive  — BandwidthEstimator fed by the ongoing 128 KiB block
+//              transfers (what AdaptiveSender uses; free but lags, and can
+//              only see the link while payload flows);
+//   probing  — packet_pair_probe sessions (tiny cost, works even when the
+//              application is idle, noisier per sample).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "netsim/bandwidth.hpp"
+#include "netsim/load_trace.hpp"
+#include "netsim/probe.hpp"
+
+int main() {
+  using namespace acex;
+
+  netsim::LinkParams params = netsim::fast_ethernet_link();
+  params.share_per_connection = 0.014;
+  params.jitter_frac = 0.05;
+  const netsim::LoadTrace trace = netsim::mbone_trace().scaled(4.0);
+
+  netsim::SimLink payload_link(params, 41);
+  netsim::SimLink probe_link(params, 42);  // independent jitter stream
+  probe_link.set_background(&trace);
+  payload_link.set_background(&trace);
+
+  netsim::BandwidthEstimator passive;
+
+  bench::header("Ablation: bandwidth estimators vs ground truth");
+  std::printf("%8s  %10s  %10s  %10s\n", "time(s)", "true MB/s",
+              "passive", "pkt-pair");
+  bench::rule();
+
+  RunningStats passive_err, probe_err;
+  Seconds t = 0;
+  while (t < trace.duration()) {
+    // Payload traffic: one 128 KiB block, feeding the passive estimator.
+    const auto transfer = payload_link.transmit(128 * 1024, t);
+    passive.record(128 * 1024, transfer.delivered - transfer.started);
+
+    // Probing: one packet-pair session on the (shared-state) link.
+    const auto probe = netsim::packet_pair_probe(probe_link, t);
+
+    const double truth = payload_link.effective_bandwidth(t);
+    const double p_est = passive.estimate_or(0);
+    const double q_est = probe.bandwidth_Bps;
+    passive_err.add(std::abs(p_est - truth) / truth);
+    probe_err.add(std::abs(q_est - truth) / truth);
+
+    if (static_cast<int>(t) % 10 == 0) {
+      std::printf("%8.0f  %10.2f  %10.2f  %10.2f\n", t, truth / 1e6,
+                  p_est / 1e6, q_est / 1e6);
+    }
+    t = std::max(transfer.delivered, probe.finished) + 1.0;
+  }
+
+  std::printf(
+      "\nmean relative error: passive %.1f %%  packet-pair %.1f %%\n",
+      100 * passive_err.mean(), 100 * probe_err.mean());
+  std::printf(
+      "Reading: both track the load swings; the passive estimator smooths "
+      "(EWMA lag\naround steps), packet pairs respond instantly but carry "
+      "per-sample jitter —\nwhich is why the middleware treats measurement "
+      "as a pluggable layer.\n");
+  return 0;
+}

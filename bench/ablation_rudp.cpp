@@ -1,0 +1,47 @@
+// Ablation: the RUDP-style bulk transport ([14]) at packet granularity —
+// goodput and efficiency across loss rates and window sizes on the
+// emulated international link. Context for the paper's architecture: the
+// middleware delegates large transfers to transports like this, and the
+// compression selector only ever sees their end-to-end accept rate.
+
+#include "bench_common.hpp"
+#include "netsim/rudp.hpp"
+
+int main() {
+  using namespace acex;
+  using netsim::rudp::RudpParams;
+  using netsim::rudp::simulate_transfer;
+
+  bench::header("Ablation: RUDP window x loss (international link, 1 MB)");
+  std::printf("%8s  %8s  %14s  %12s  %10s\n", "window", "loss", "goodput KB/s",
+              "retransmits", "efficiency");
+  bench::rule();
+
+  for (const unsigned window : {1u, 8u, 32u, 128u}) {
+    for (const double loss : {0.0, 0.02, 0.1}) {
+      netsim::LinkParams link = netsim::international_link();
+      link.jitter_frac = 0.05;  // keep the grid readable
+      link.loss_rate = 0;       // loss is modeled per packet here
+      netsim::SimLink forward(link, 7);
+      netsim::SimLink reverse(link, 8);
+      Rng rng(9);
+      RudpParams params;
+      params.window = window;
+      params.data_loss = loss;
+      params.ack_loss = loss / 2;
+      const auto r =
+          simulate_transfer(1'000'000, forward, reverse, 0, rng, params);
+      std::printf("%8u  %7.0f%%  %14.1f  %12llu  %9.1f%%\n", window,
+                  loss * 100, r.goodput_Bps / 1e3,
+                  static_cast<unsigned long long>(r.retransmissions),
+                  r.efficiency * 100);
+    }
+  }
+
+  std::printf(
+      "\nReading: window 1 is stop-and-wait (latency-bound); larger windows "
+      "fill the\npipe until loss recovery dominates — the classic ARQ "
+      "surface the middleware's\ntransport layer ([14]) navigates "
+      "underneath the compression decisions.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction benches: dataset builders,
+// table printing, and the CPU-profile calibration every experiment uses to
+// emulate the paper's 2003-era hosts (see DESIGN.md §2).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adaptive/experiment.hpp"
+#include "compress/metrics.hpp"
+#include "compress/registry.hpp"
+#include "util/bytes.hpp"
+#include "workloads/molecular.hpp"
+#include "workloads/transactions.hpp"
+
+namespace acex::bench {
+
+/// The commercial (OIS transaction) dataset used by Figs. 2, 3, 4, 8-10.
+inline Bytes commercial_data(std::size_t size = 4 * 1024 * 1024,
+                             std::uint64_t seed = 2004) {
+  workloads::TransactionGenerator gen(seed);
+  return gen.text_block(size);
+}
+
+/// The molecular-dynamics dataset (PBIO snapshots) of Figs. 6, 11, 12.
+inline Bytes molecular_data(std::size_t atoms = 16384, std::size_t steps = 4,
+                            std::uint64_t seed = 2004) {
+  workloads::MolecularConfig config;
+  config.atom_count = atoms;
+  config.seed = seed;
+  workloads::MolecularGenerator gen(config);
+  return gen.stream(steps);
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("%s\n", std::string(74, '-').c_str());
+}
+
+/// Measure one paper method on `data` with round-trip verification.
+inline CompressionMeasurement measure(MethodId method, ByteView data) {
+  MonotonicClock clock;
+  const CodecPtr codec = make_codec(method);
+  return measure_codec(*codec, data, clock);
+}
+
+/// Per-block series printer shared by the Fig. 8-12 benches.
+inline void print_block_series(const adaptive::StreamReport& stream) {
+  std::printf("%8s  %6s  %-16s  %12s  %12s\n", "time(s)", "block", "method",
+              "comp_us", "wire_bytes");
+  rule();
+  for (const auto& b : stream.blocks) {
+    std::printf("%8.2f  %6zu  %-16s  %12.0f  %12zu\n", b.submitted, b.index,
+                std::string(method_name(b.method)).c_str(),
+                b.compress_seconds * 1e6, b.wire_size);
+  }
+}
+
+inline void print_stream_summary(const char* name,
+                                 const adaptive::StreamReport& s) {
+  std::printf(
+      "%-16s total=%8.3f s  wire=%5.1f %%  compress=%6.3f s (%4.1f %% of "
+      "total)\n",
+      name, s.total_seconds, s.wire_ratio_percent(), s.compress_seconds,
+      100.0 * s.compression_share());
+}
+
+}  // namespace acex::bench

@@ -1,0 +1,58 @@
+// Figure 2: compression ratios ("percents of compression", lower = better)
+// of the four methods on the commercial transaction data. Paper values:
+// Burrows-Wheeler ~30 %, Lempel-Ziv ~35 %, Arithmetic ~45 %, Huffman ~48 %.
+
+#include "bench_common.hpp"
+#include "compress/zlib_codec.hpp"
+
+int main() {
+  using namespace acex;
+  const Bytes data = bench::commercial_data();
+
+  bench::header("Figure 2: compression ratio on commercial (OIS) data");
+  std::printf("dataset: %zu bytes of operational transaction text\n\n",
+              data.size());
+  std::printf("%-16s  %14s  %10s\n", "method", "compressed", "percent");
+  bench::rule();
+
+  double prev = 0;
+  bool ordered = true;
+  for (const MethodId m : paper_methods()) {
+    const auto r = bench::measure(m, data);
+    std::printf("%-16s  %14zu  %9.2f%%\n",
+                std::string(method_name(m)).c_str(), r.compressed_size,
+                r.ratio_percent());
+    ordered = ordered && r.ratio_percent() >= prev - 0.5;
+    prev = r.ratio_percent();
+  }
+  std::printf(
+      "\nShape check (paper: BW < LZ < Arithmetic < Huffman): %s\n",
+      ordered ? "ordering reproduced" : "ORDERING DIFFERS");
+
+  // The paper's abstract calls the commercial data "XML"; the same event
+  // stream rendered as markup compresses harder still (tags dominate).
+  {
+    workloads::TransactionGenerator xml_gen(2004);
+    const Bytes xml = xml_gen.xml_block(data.size());
+    std::printf("\nXML rendering of the same events:\n");
+    for (const MethodId m : paper_methods()) {
+      const auto r = bench::measure(m, xml);
+      std::printf("%-16s  %14zu  %9.2f%%\n",
+                  std::string(method_name(m)).c_str(), r.compressed_size,
+                  r.ratio_percent());
+    }
+  }
+
+  {
+    const auto w = bench::measure(MethodId::kLzw, data);
+    std::printf("(comparator: LZ78/LZW reaches %.2f %% — why the paper took "
+                "the LZ77 branch)\n",
+                w.ratio_percent());
+  }
+  if (zlib_available()) {
+    const auto z = bench::measure(MethodId::kZlib, data);
+    std::printf("(comparator: zlib deflate reaches %.2f %%)\n",
+                z.ratio_percent());
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 4: "reducing speed" — MBytes removed from the stream per second
+// of compression work — per method, on two CPUs (Sun-Fire-280R vs the
+// ~2.2x slower Ultra-Sparc). Paper values on the Sun-Fire: LZ highest at
+// ~3.5 MB/s, Huffman ~1.8, BW ~0.7, Arithmetic ~0.35.
+//
+// We measure on the build host and project through the two CpuModel
+// profiles, normalizing the Sun-Fire profile so its LZ reducing speed
+// matches the paper's 3.5 MB/s — ratios between methods are this host's.
+
+#include "bench_common.hpp"
+#include "netsim/cpu_model.hpp"
+
+int main() {
+  using namespace acex;
+  const Bytes data = bench::commercial_data();
+
+  // Host measurements: best of three runs per method — reducing speed is a
+  // capability figure, and one-shot timings wobble with cache state.
+  std::map<MethodId, double> host_speed;
+  for (const MethodId m : paper_methods()) {
+    double best = 0;
+    for (int run = 0; run < 3; ++run) {
+      best = std::max(best, bench::measure(m, data).reducing_speed());
+    }
+    host_speed[m] = best;
+  }
+
+  const double normalize =
+      adaptive::kPaperLzReducingBps /
+      std::max(host_speed[MethodId::kLempelZiv], 1.0);
+
+  bench::header("Figure 4: reducing speed (MB removed per second)");
+  std::printf("%-16s  %14s  %14s  %14s\n", "method", "host MB/s",
+              "Sun-Fire MB/s", "Ultra-Sparc MB/s");
+  bench::rule();
+  for (const MethodId m : paper_methods()) {
+    const double host = host_speed[m] / 1e6;
+    const double sunfire = host * normalize *
+                           netsim::sun_fire_280r().speed_factor;
+    const double ultra = host * normalize * netsim::ultra_sparc().speed_factor;
+    std::printf("%-16s  %14.3f  %14.3f  %14.3f\n",
+                std::string(method_name(m)).c_str(), host, sunfire, ultra);
+  }
+
+  // The property the selection algorithm rests on: LZ reduces at least as
+  // fast as the stronger dictionary method (that is what beta > 1 encodes)
+  // and arithmetic trails far behind. Our documented deviation (see
+  // EXPERIMENTS.md): a 2026 table-driven Huffman tops the chart, where the
+  // paper's 2003 implementation placed second — harmless, because the
+  // selector thresholds only on LZ.
+  const double lz = host_speed[MethodId::kLempelZiv];
+  const double bw = host_speed[MethodId::kBurrowsWheeler];
+  const double ar = host_speed[MethodId::kArithmetic];
+  std::printf(
+      "\nShape check (paper): LZ reduces faster than BW (within measurement "
+      "slack) and\nfar faster than arithmetic; both CPUs preserve the "
+      "ordering: %s\n",
+      (lz > bw * 0.9 && ar < lz / 2) ? "reproduced" : "DIFFERS");
+  std::printf("(documented deviation: modern Huffman tops this chart; the "
+              "paper's placed second)\n");
+  return 0;
+}

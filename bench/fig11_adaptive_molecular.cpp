@@ -1,0 +1,60 @@
+// Figures 11, 12: the same §4.2 scenario but streaming molecular-dynamics
+// data (PBIO snapshots). Paper: "most of the data was compressed by
+// Huffman" — the coordinate-dominated blocks fail the compressibility cut
+// — with occasional LZ/BW on portions with string repetitions, and
+// compressed block sizes barely below 128 KiB (Fig. 12).
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "netsim/load_trace.hpp"
+
+int main() {
+  using namespace acex;
+
+  const Bytes data = bench::molecular_data(16384, 38);  // ~20 MB stream
+
+  adaptive::ExperimentConfig config;
+  config.link = netsim::fast_ethernet_link();
+  config.link.jitter_frac = 0.02;
+  config.link.share_per_connection = 0.014;
+  config.background = netsim::mbone_trace().scaled(4.0);
+  config.pace = 1.0;
+  config.adaptive.async_sampling = false;
+  config.adaptive.initial_bandwidth_Bps = config.link.bandwidth_Bps;
+  // Calibrate against the commercial data (the paper's Fig. 4 calibration
+  // corpus), not the MD data itself.
+  const Bytes calib = bench::commercial_data(512 * 1024);
+  config.adaptive.cpu_scale =
+      adaptive::cpu_scale_for_lz_speed(calib, adaptive::kPaperLzReducingBps);
+
+  const auto result = run_adaptive(data, config);
+
+  bench::header(
+      "Figures 11-12: adaptive run, molecular data, loaded 100 Mb link");
+  std::printf("dataset: %zu bytes of PBIO atom snapshots; %zu blocks\n\n",
+              data.size(), result.stream.blocks.size());
+  bench::print_block_series(result.stream);
+
+  std::map<std::string, std::size_t> counts;
+  for (const auto& b : result.stream.blocks) {
+    counts[std::string(method_name(b.method))]++;
+  }
+  std::printf("\nmethod usage:");
+  for (const auto& [name, n] : counts) {
+    std::printf("  %s=%zu", name.c_str(), n);
+  }
+  std::printf("\nround-trip verified: %s\n",
+              result.verified ? "yes" : "NO (BUG)");
+  bench::print_stream_summary("adaptive", result.stream);
+
+  const std::size_t huffman = counts["huffman"];
+  const std::size_t strong = counts["lempel-ziv"] + counts["burrows-wheeler"];
+  std::printf(
+      "\nShape check (paper Fig. 11): Huffman dominates the compressed "
+      "blocks (%zu huffman\nvs %zu LZ/BW): %s; compressed sizes stay near "
+      "the 128 KiB block size (Fig. 12).\n",
+      huffman, strong,
+      huffman > strong ? "reproduced" : "DIFFERS");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+// Small synthetic-data helpers for benches that need a regime the workload
+// generators don't provide directly.
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace acex::testshim {
+
+/// Low-entropy but repetition-free bytes: a heavily skewed distribution
+/// with no exploitable string structure — order-0 coder territory.
+inline Bytes low_entropy(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(size);
+  for (auto& b : out) {
+    const double u = rng.uniform();
+    if (u < 0.55) {
+      b = 'e';
+    } else if (u < 0.8) {
+      b = static_cast<std::uint8_t>('a' + rng.below(4));
+    } else {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+  }
+  return out;
+}
+
+/// Incompressible bytes.
+inline Bytes random_bytes(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.bytes(size);
+}
+
+}  // namespace acex::testshim

@@ -1,0 +1,89 @@
+#include "adaptive/decision.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace acex::adaptive {
+
+void DecisionParams::validate() const {
+  if (!(alpha > 0) || !(beta > 0) || beta < alpha) {
+    throw ConfigError("decision: need 0 < alpha <= beta");
+  }
+  if (!(ratio_cut_percent > 0) || ratio_cut_percent > 100) {
+    throw ConfigError("decision: ratio_cut_percent must be in (0, 100]");
+  }
+  if (block_size == 0 || sample_size == 0 || sample_size > block_size) {
+    throw ConfigError("decision: need 0 < sample_size <= block_size");
+  }
+}
+
+MethodId decide(const SelectionInputs& inputs, const DecisionParams& params) {
+  params.validate();
+  if (inputs.send_seconds > params.alpha * inputs.lz_reduce_seconds) {
+    if (inputs.sampled_ratio_percent < params.ratio_cut_percent) {
+      if (inputs.send_seconds > params.beta * inputs.lz_reduce_seconds) {
+        return MethodId::kBurrowsWheeler;
+      }
+      return MethodId::kLempelZiv;
+    }
+    return MethodId::kHuffman;
+  }
+  return MethodId::kNone;
+}
+
+std::string_view rating_name(Rating r) noexcept {
+  switch (r) {
+    case Rating::kPoor:
+      return "Poor";
+    case Rating::kSatisfactory:
+      return "Satisfactory";
+    case Rating::kGood:
+      return "Good";
+    case Rating::kExcellent:
+      return "Excellent";
+  }
+  return "?";
+}
+
+const std::vector<MethodProfile>& figure1_table() {
+  using enum Rating;
+  static const std::vector<MethodProfile> kTable = {
+      // method, string reps, low entropy, efficiency, t_comp, t_decomp, global
+      {MethodId::kBurrowsWheeler, kExcellent, kExcellent, kExcellent, kPoor,
+       kSatisfactory, kPoor},
+      {MethodId::kLempelZiv, kExcellent, kPoor, kGood, kSatisfactory,
+       kExcellent, kGood},
+      {MethodId::kArithmetic, kPoor, kExcellent, kPoor, kPoor, kPoor, kPoor},
+      {MethodId::kHuffman, kPoor, kExcellent, kPoor, kExcellent, kExcellent,
+       kExcellent},
+  };
+  return kTable;
+}
+
+Rating bucket_rating(double value, double best, double worst,
+                     bool higher_is_better) {
+  if (!higher_is_better) {
+    // Map to a "bigger is better" scale by negating ranks via swap.
+    std::swap(best, worst);
+  }
+  if (best == worst) return Rating::kGood;
+  // Position of `value` between worst (0) and best (1) on a log scale when
+  // the spread warrants it, linear otherwise.
+  double t;
+  if (value > 0 && best > 0 && worst > 0 &&
+      (best / worst > 8 || worst / best > 8)) {
+    t = (std::log(value) - std::log(worst)) /
+        (std::log(best) - std::log(worst));
+  } else {
+    t = (value - worst) / (best - worst);
+  }
+  t = std::clamp(t, 0.0, 1.0);
+  if (t >= 0.85) return Rating::kExcellent;
+  if (t >= 0.55) return Rating::kGood;
+  if (t >= 0.25) return Rating::kSatisfactory;
+  return Rating::kPoor;
+}
+
+}  // namespace acex::adaptive

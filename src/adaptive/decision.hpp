@@ -1,0 +1,105 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "util/clock.hpp"
+
+namespace acex::adaptive {
+
+/// Tunable constants of the §2.5 selection algorithm, defaulting to the
+/// paper's published values. "These numbers can be tuned easily by sampling
+/// even a small piece of data" — the Calibrator re-derives them.
+struct DecisionParams {
+  /// Compression threshold: compress at all only when sending a block takes
+  /// longer than `alpha` x the time Lempel-Ziv needs to reduce it. The
+  /// break-even derivation (see decide()) gives alpha = 1; the paper's 0.83
+  /// credits the overlap of compression with transmission.
+  double alpha = 0.83;
+
+  /// Escalation threshold: move from Lempel-Ziv to Burrows-Wheeler when the
+  /// network is slower still — send time > `beta` x the LZ reduce time.
+  double beta = 3.48;
+
+  /// Compressibility cut (percent). When the 4 KiB sample compresses to a
+  /// ratio at or above this, the data lacks string repetitions and the
+  /// cheap order-0 method (Huffman) is used instead of LZ/BW.
+  double ratio_cut_percent = 48.78;
+
+  /// Data is streamed in blocks of this size ("Take a block of 128KB").
+  std::size_t block_size = 128 * 1024;
+
+  /// Per-block sampling prefix ("compress the first 4KB of the next
+  /// block by Lempel-Ziv").
+  std::size_t sample_size = 4 * 1024;
+
+  /// Throws ConfigError if any value is non-positive / inconsistent.
+  void validate() const;
+};
+
+/// The measured state the selector consumes for one block.
+struct SelectionInputs {
+  /// Estimated end-to-end time to ship this block *uncompressed* — block
+  /// size over the measured accept rate ("the speed with which compressed
+  /// blocks are accepted by receivers").
+  Seconds send_seconds = 0;
+
+  /// Time Lempel-Ziv would need to shrink this block, i.e. block size over
+  /// the monitored LZ *reducing speed* (bytes removed per second, Fig. 4).
+  /// Zero means "reducing speed is infinity" — the paper's stated
+  /// assumption for the first block. It passes both thresholds, so the
+  /// stream starts on the strongest applicable method until real
+  /// measurements arrive.
+  Seconds lz_reduce_seconds = 0;
+
+  /// Compression ratio (percent of original) the LZ sampler achieved on
+  /// this block's 4 KiB prefix.
+  double sampled_ratio_percent = 100.0;
+};
+
+/// The §2.5 algorithm, verbatim in structure:
+///
+///   if send_time > alpha * lz_reduce_time:      # compression pays at all
+///     if sampled_ratio < ratio_cut:             # repetitive data
+///       if send_time > beta * lz_reduce_time:   # very slow link / fast CPU
+///         Burrows-Wheeler
+///       else: Lempel-Ziv
+///     else: Huffman
+///   else: no compression
+///
+/// Why comparing send time with reduce time is the right break-even:
+/// compression pays when saved wire time exceeds CPU time spent, i.e.
+/// (B - C)/bw > t_compress; dividing by the bytes removed turns this into
+/// bw < reducing_speed, i.e. send_seconds > lz_reduce_seconds.
+MethodId decide(const SelectionInputs& inputs, const DecisionParams& params);
+
+// ---------------------------------------------------------------------
+// Figure 1: the paper's qualitative method-comparison table, as data.
+
+enum class Rating { kPoor = 0, kSatisfactory = 1, kGood = 2, kExcellent = 3 };
+
+std::string_view rating_name(Rating r) noexcept;
+
+/// One row of Fig. 1 per method.
+struct MethodProfile {
+  MethodId method;
+  Rating string_repetitions;  ///< "Compress files with string repetitions"
+  Rating low_entropy;         ///< "Compress files with low entropy"
+  Rating efficiency;          ///< "Compression Efficiency"
+  Rating compress_time;       ///< "Time of Compression"
+  Rating decompress_time;     ///< "Time of Decompression"
+  Rating global_time;         ///< "Global Time"
+};
+
+/// The published table (§2.5, Fig. 1).
+const std::vector<MethodProfile>& figure1_table();
+
+/// Bucket a measured quantity into a Rating given the best and worst values
+/// observed across methods (log-scale thresholds; higher_is_better flips
+/// the sense). Used by the Fig. 1 bench to re-derive the table from
+/// measurements.
+Rating bucket_rating(double value, double best, double worst,
+                     bool higher_is_better);
+
+}  // namespace acex::adaptive

@@ -1,0 +1,72 @@
+#include "adaptive/monitor.hpp"
+
+#include <algorithm>
+
+namespace acex::adaptive {
+
+ReducingSpeedMonitor::ReducingSpeedMonitor(double alpha) : alpha_(alpha) {
+  Ewma validate(alpha);  // throws ConfigError on a bad alpha
+}
+
+ReducingSpeedMonitor::Series& ReducingSpeedMonitor::series(MethodId method) {
+  const auto it = perMethod_.find(method);
+  if (it != perMethod_.end()) return it->second;
+  return perMethod_.emplace(method, Series(alpha_)).first->second;
+}
+
+void ReducingSpeedMonitor::record(MethodId method, std::size_t original,
+                                  std::size_t compressed,
+                                  Seconds elapsed) {
+  if (elapsed <= 0) return;
+  Series& s = series(method);
+  const double removed =
+      compressed < original ? static_cast<double>(original - compressed) : 0.0;
+  s.reducing.add(removed / elapsed);
+  s.throughput.add(static_cast<double>(original) / elapsed);
+  ++s.samples;
+}
+
+double ReducingSpeedMonitor::reducing_speed_or(MethodId method,
+                                               double fallback) const noexcept {
+  const auto it = perMethod_.find(method);
+  return it == perMethod_.end() ? fallback
+                                : it->second.reducing.value_or(fallback);
+}
+
+Seconds ReducingSpeedMonitor::reduce_seconds(
+    MethodId method, std::size_t block_size) const noexcept {
+  const double speed = reducing_speed_or(method, 0.0);
+  if (speed <= 0) return 0.0;  // "infinity" reducing speed before samples
+  return static_cast<double>(block_size) / speed;
+}
+
+double ReducingSpeedMonitor::throughput_or(MethodId method,
+                                           double fallback) const noexcept {
+  const auto it = perMethod_.find(method);
+  return it == perMethod_.end() ? fallback
+                                : it->second.throughput.value_or(fallback);
+}
+
+double ReducingSpeedMonitor::ratio_or(MethodId method,
+                                      double fallback) const noexcept {
+  const auto it = perMethod_.find(method);
+  if (it == perMethod_.end() || !it->second.throughput.has_value()) {
+    return fallback;
+  }
+  const double throughput = it->second.throughput.value_or(0.0);
+  if (throughput <= 0) return fallback;
+  const double ratio = 1.0 - it->second.reducing.value_or(0.0) / throughput;
+  return std::clamp(ratio, 0.0, 1.0);
+}
+
+bool ReducingSpeedMonitor::has_sample(MethodId method) const noexcept {
+  const auto it = perMethod_.find(method);
+  return it != perMethod_.end() && it->second.samples > 0;
+}
+
+std::size_t ReducingSpeedMonitor::sample_count(MethodId method) const noexcept {
+  const auto it = perMethod_.find(method);
+  return it == perMethod_.end() ? 0 : it->second.samples;
+}
+
+}  // namespace acex::adaptive

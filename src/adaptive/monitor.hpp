@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+
+#include "compress/codec.hpp"
+#include "util/clock.hpp"
+#include "util/stats.hpp"
+
+namespace acex::adaptive {
+
+/// Tracks each method's *reducing speed* — "the number of bytes per second
+/// by which a CPU can reduce data" (Fig. 4) — from live measurements:
+/// "This speed is measured continually, as subsequent blocks of data are
+/// compressed" (§2.5). CPU load changes (other processes stealing cycles)
+/// show up automatically because the measurements are wall-time.
+class ReducingSpeedMonitor {
+ public:
+  /// `alpha` is the EWMA weight of the newest measurement.
+  explicit ReducingSpeedMonitor(double alpha = 0.4);
+
+  /// Record one compression: `original` bytes became `compressed` in
+  /// `elapsed` seconds with `method`. Expanding or instant runs contribute
+  /// a zero reducing-speed sample (compression achieved nothing).
+  void record(MethodId method, std::size_t original, std::size_t compressed,
+              Seconds elapsed);
+
+  /// Smoothed reducing speed (bytes removed / second); `fallback` until the
+  /// first sample of that method.
+  double reducing_speed_or(MethodId method, double fallback) const noexcept;
+
+  /// Seconds the method would need to reduce a block of `block_size` bytes;
+  /// 0 when no measurement exists yet — the paper's "assume the reducing
+  /// size speed of first block is infinity".
+  Seconds reduce_seconds(MethodId method, std::size_t block_size) const noexcept;
+
+  /// Smoothed compression throughput (input bytes / second).
+  double throughput_or(MethodId method, double fallback) const noexcept;
+
+  /// Smoothed achieved compression ratio (compressed/original, in 0..1],
+  /// derived from the reducing-speed and throughput series:
+  /// ratio = 1 - reducing_speed / throughput. `fallback` until sampled.
+  double ratio_or(MethodId method, double fallback) const noexcept;
+
+  bool has_sample(MethodId method) const noexcept;
+  std::size_t sample_count(MethodId method) const noexcept;
+
+  void reset() noexcept { perMethod_.clear(); }
+
+ private:
+  struct Series {
+    Ewma reducing;
+    Ewma throughput;
+    std::size_t samples = 0;
+    explicit Series(double alpha) : reducing(alpha), throughput(alpha) {}
+  };
+
+  Series& series(MethodId method);
+
+  double alpha_;
+  std::map<MethodId, Series> perMethod_;
+};
+
+}  // namespace acex::adaptive

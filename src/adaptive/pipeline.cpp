@@ -1,0 +1,340 @@
+#include "adaptive/pipeline.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "util/error.hpp"
+
+namespace acex::adaptive {
+
+AdaptiveSender::AdaptiveSender(transport::Transport& transport,
+                               AdaptiveConfig config)
+    : transport_(&transport),
+      config_(std::move(config)),
+      sampler_(config_.decision.sample_size) {
+  config_.decision.validate();
+  if (config_.initial_bandwidth_Bps <= 0 || config_.cpu_scale <= 0) {
+    throw ConfigError("adaptive: bandwidth and cpu_scale must be positive");
+  }
+  if (config_.target_rate_Bps < 0) {
+    throw ConfigError("adaptive: target_rate_Bps must be >= 0");
+  }
+}
+
+BlockReport AdaptiveSender::transmit_block(ByteView block, MethodId method,
+                                           double sampled_ratio,
+                                           double bw_estimate) {
+  BlockReport report;
+  report.index = blocks_sent_++;
+  report.method = method;
+  report.original_size = block.size();
+  report.sampled_ratio_percent = sampled_ratio;
+  report.bandwidth_estimate_Bps = bw_estimate;
+
+  // Compress under real (monotonic) time — that is the CPU capability the
+  // algorithm adapts to — then charge the scaled cost to the experiment
+  // timeline via the hook.
+  MonotonicClock cpu_clock;
+  const Stopwatch cpu(cpu_clock);
+  const CodecPtr codec = registry_.create(method);
+  const Bytes framed = frame_compress(*codec, block);
+  report.compress_seconds = cpu.elapsed() / config_.cpu_scale;
+  if (config_.on_cpu_time) config_.on_cpu_time(report.compress_seconds);
+
+  monitor_.record(method, block.size(), framed.size(),
+                  std::max(report.compress_seconds, 1e-9));
+  if (method == MethodId::kLempelZiv && sample_speed_.has_value()) {
+    // Anchor the drift correction: this is what the sampler reported while
+    // the block-granularity measurement above was current.
+    sample_speed_ref_ = sample_speed_.value_or(0.0);
+  }
+
+  const Clock& wire_clock = transport_->clock();
+  report.submitted = wire_clock.now();
+  transport_->send(framed);
+  report.delivered = wire_clock.now();
+  report.send_seconds = report.delivered - report.submitted;
+  report.wire_size = framed.size();
+
+  bandwidth_.record(framed.size(), report.send_seconds);
+  return report;
+}
+
+MethodId AdaptiveSender::apply_target_rate(
+    MethodId base, double bandwidth_Bps,
+    double sampled_ratio_percent) const noexcept {
+  // Escalation ladder, weakest to strongest. The break-even choice is the
+  // floor — a target never justifies picking something weaker than what
+  // the §2.5 algorithm already considered worthwhile.
+  static constexpr MethodId kLadder[] = {
+      MethodId::kNone, MethodId::kHuffman, MethodId::kLempelZiv,
+      MethodId::kBurrowsWheeler};
+
+  // Expected compressed/original ratio per rung: monitored achievements
+  // where available, with the sampler's LZ view and conservative defaults
+  // as fallbacks.
+  const double lz_ratio = sampled_ratio_percent / 100.0;
+  const auto expected_ratio = [&](MethodId m) {
+    switch (m) {
+      case MethodId::kNone:
+        return 1.0;
+      case MethodId::kHuffman:
+        return monitor_.ratio_or(MethodId::kHuffman, 0.65);
+      case MethodId::kLempelZiv:
+        return monitor_.ratio_or(MethodId::kLempelZiv, lz_ratio);
+      case MethodId::kBurrowsWheeler:
+        // BW tracks LZ's repetition structure with a modest edge (Fig. 2).
+        return monitor_.ratio_or(MethodId::kBurrowsWheeler, lz_ratio * 0.85);
+      default:
+        return 1.0;
+    }
+  };
+
+  std::size_t rung = 0;
+  while (rung < std::size(kLadder) && kLadder[rung] != base) ++rung;
+  if (rung == std::size(kLadder)) return base;  // not on the ladder
+
+  // Effective payload rate = link rate / wire ratio. Climb until it meets
+  // the target or the ladder tops out.
+  while (rung + 1 < std::size(kLadder) &&
+         bandwidth_Bps / expected_ratio(kLadder[rung]) <
+             config_.target_rate_Bps) {
+    ++rung;
+  }
+  return kLadder[rung];
+}
+
+double AdaptiveSender::lz_reducing_speed_estimate(
+    std::size_t block_size) const noexcept {
+  (void)block_size;
+  if (monitor_.has_sample(MethodId::kLempelZiv)) {
+    double speed = monitor_.reducing_speed_or(MethodId::kLempelZiv, 0.0);
+    if (sample_speed_ref_ > 0 && sample_speed_.has_value()) {
+      // CPU-load drift since the last LZ block: if sampling got slower,
+      // blocks would too, proportionally.
+      speed *= sample_speed_.value_or(sample_speed_ref_) / sample_speed_ref_;
+    }
+    return speed;
+  }
+  if (sample_speed_.has_value()) {
+    // No block-granularity measurement yet: extrapolate from the sampler,
+    // converted to the emulated-host scale. This overestimates (small
+    // compressions are cache-friendly), which matches the paper's
+    // aggressive "assume the reducing size speed of first block is
+    // infinity" starting rule.
+    return sample_speed_.value_or(0.0) * config_.cpu_scale;
+  }
+  return 0.0;  // "infinity" semantics in decide()
+}
+
+BlockReport AdaptiveSender::send_block(ByteView block, ByteView next_block) {
+  if (block.size() > config_.decision.block_size) {
+    throw ConfigError("adaptive: block exceeds configured block_size");
+  }
+
+  // The sampler result for THIS block: the paper computes it during the
+  // previous block's send; we launch it there (async) and collect it here.
+  SampleResult sample;
+  if (auto pending = sampler_.wait()) {
+    sample = *pending;
+  } else {
+    sample = sampler_.sample(block);  // first block: no overlap available
+  }
+  // Track the sampler's raw reducing speed. It is NOT comparable to block
+  // speeds in absolute terms (4 KiB compressions run much faster per byte
+  // than 128 KiB ones), so it feeds the drift correction in
+  // lz_reducing_speed_estimate() rather than the block-speed monitor.
+  if (sample.sample_bytes > 0 && sample.reducing_speed > 0) {
+    sample_speed_.add(sample.reducing_speed);
+  }
+
+  SelectionInputs inputs;
+  const double bw =
+      bandwidth_.estimate_or(config_.initial_bandwidth_Bps);
+  inputs.send_seconds = static_cast<double>(block.size()) / bw;
+  const double lz_speed = lz_reducing_speed_estimate(block.size());
+  inputs.lz_reduce_seconds =
+      lz_speed > 0 ? static_cast<double>(block.size()) / lz_speed : 0.0;
+  inputs.sampled_ratio_percent = sample.ratio_percent;
+
+  MethodId method = decide(inputs, config_.decision);
+  if (config_.target_rate_Bps > 0) {
+    method = apply_target_rate(method, bw, sample.ratio_percent);
+  }
+
+  // "Fork a sampling process to compress the first 4KB of the next block"
+  // — overlapped with this block's compression and send, collected by the
+  // next send_block's wait().
+  if (config_.async_sampling && !next_block.empty()) {
+    sampler_.launch(next_block);
+  }
+
+  return transmit_block(block, method, sample.ratio_percent, bw);
+}
+
+StreamReport AdaptiveSender::send_all(ByteView data) {
+  StreamReport stream;
+  const std::size_t block_size = config_.decision.block_size;
+  for (std::size_t off = 0; off < data.size(); off += block_size) {
+    const std::size_t len = std::min(block_size, data.size() - off);
+    const std::size_t next_off = off + len;
+    const ByteView next =
+        next_off < data.size()
+            ? data.subspan(next_off,
+                           std::min(block_size, data.size() - next_off))
+            : ByteView{};
+    stream.blocks.push_back(send_block(data.subspan(off, len), next));
+  }
+
+  for (const auto& b : stream.blocks) {
+    stream.original_bytes += b.original_size;
+    stream.wire_bytes += b.wire_size;
+    stream.compress_seconds += b.compress_seconds;
+  }
+  if (!stream.blocks.empty()) {
+    stream.total_seconds =
+        stream.blocks.back().delivered - stream.blocks.front().submitted +
+        stream.blocks.front().compress_seconds;
+  }
+  return stream;
+}
+
+BlockReport AdaptiveSender::send_block_fixed(ByteView block, MethodId method) {
+  if (block.size() > config_.decision.block_size) {
+    throw ConfigError("adaptive: block exceeds configured block_size");
+  }
+  const double bw = bandwidth_.estimate_or(config_.initial_bandwidth_Bps);
+  return transmit_block(block, method, 100.0, bw);
+}
+
+StreamReport AdaptiveSender::send_all_pipelined(ByteView data) {
+  struct Prepared {
+    BlockReport report;
+    Bytes framed;
+  };
+
+  // Decide on the calling thread (estimator state is not thread-safe),
+  // compress on a worker so it overlaps the previous block's send. The
+  // worker touches only its own codec instance and the immutable input.
+  const auto launch = [this, data](std::size_t off) {
+    const std::size_t len =
+        std::min(config_.decision.block_size, data.size() - off);
+    const ByteView block = data.subspan(off, len);
+
+    const SampleResult sample = sampler_.sample(block);
+    if (sample.sample_bytes > 0 && sample.reducing_speed > 0) {
+      sample_speed_.add(sample.reducing_speed);
+    }
+    SelectionInputs inputs;
+    const double bw = bandwidth_.estimate_or(config_.initial_bandwidth_Bps);
+    inputs.send_seconds = static_cast<double>(block.size()) / bw;
+    const double lz_speed = lz_reducing_speed_estimate(block.size());
+    inputs.lz_reduce_seconds =
+        lz_speed > 0 ? static_cast<double>(block.size()) / lz_speed : 0.0;
+    inputs.sampled_ratio_percent = sample.ratio_percent;
+    MethodId method = decide(inputs, config_.decision);
+    if (config_.target_rate_Bps > 0) {
+      method = apply_target_rate(method, bw, sample.ratio_percent);
+    }
+
+    const std::size_t index = blocks_sent_++;
+    const double ratio = sample.ratio_percent;
+    const double cpu_scale = config_.cpu_scale;
+    return std::async(std::launch::async, [this, block, method, index,
+                                           ratio, bw, cpu_scale] {
+      Prepared p;
+      p.report.index = index;
+      p.report.method = method;
+      p.report.original_size = block.size();
+      p.report.sampled_ratio_percent = ratio;
+      p.report.bandwidth_estimate_Bps = bw;
+      MonotonicClock cpu_clock;
+      const Stopwatch cpu(cpu_clock);
+      const CodecPtr codec = registry_.create(method);
+      p.framed = frame_compress(*codec, block);
+      p.report.compress_seconds = cpu.elapsed() / cpu_scale;
+      p.report.wire_size = p.framed.size();
+      return p;
+    });
+  };
+
+  StreamReport stream;
+  if (data.empty()) return stream;
+
+  std::future<Prepared> inflight = launch(0);
+  for (std::size_t off = 0; off < data.size();) {
+    Prepared p = inflight.get();
+    const std::size_t next_off = off + p.report.original_size;
+    if (next_off < data.size()) inflight = launch(next_off);
+
+    if (config_.on_cpu_time) config_.on_cpu_time(p.report.compress_seconds);
+    monitor_.record(p.report.method, p.report.original_size,
+                    p.framed.size(),
+                    std::max(p.report.compress_seconds, 1e-9));
+    if (p.report.method == MethodId::kLempelZiv &&
+        sample_speed_.has_value()) {
+      sample_speed_ref_ = sample_speed_.value_or(0.0);
+    }
+
+    const Clock& wire_clock = transport_->clock();
+    p.report.submitted = wire_clock.now();
+    transport_->send(p.framed);
+    p.report.delivered = wire_clock.now();
+    p.report.send_seconds = p.report.delivered - p.report.submitted;
+    bandwidth_.record(p.framed.size(), p.report.send_seconds);
+
+    stream.blocks.push_back(std::move(p.report));
+    off = next_off;
+  }
+
+  for (const auto& b : stream.blocks) {
+    stream.original_bytes += b.original_size;
+    stream.wire_bytes += b.wire_size;
+    stream.compress_seconds += b.compress_seconds;
+  }
+  if (!stream.blocks.empty()) {
+    stream.total_seconds =
+        stream.blocks.back().delivered - stream.blocks.front().submitted +
+        stream.blocks.front().compress_seconds;
+  }
+  return stream;
+}
+
+StreamReport AdaptiveSender::send_all_fixed(ByteView data, MethodId method) {
+  StreamReport stream;
+  const std::size_t block_size = config_.decision.block_size;
+  for (std::size_t off = 0; off < data.size(); off += block_size) {
+    const std::size_t len = std::min(block_size, data.size() - off);
+    stream.blocks.push_back(
+        send_block_fixed(data.subspan(off, len), method));
+  }
+  for (const auto& b : stream.blocks) {
+    stream.original_bytes += b.original_size;
+    stream.wire_bytes += b.wire_size;
+    stream.compress_seconds += b.compress_seconds;
+  }
+  if (!stream.blocks.empty()) {
+    stream.total_seconds =
+        stream.blocks.back().delivered - stream.blocks.front().submitted +
+        stream.blocks.front().compress_seconds;
+  }
+  return stream;
+}
+
+AdaptiveReceiver::AdaptiveReceiver(transport::Transport& transport)
+    : transport_(&transport) {}
+
+Bytes AdaptiveReceiver::receive_available() {
+  Bytes out;
+  MonotonicClock cpu_clock;
+  while (auto message = transport_->receive()) {
+    const Stopwatch sw(cpu_clock);
+    Bytes data = frame_decompress(*message, registry_);
+    decompress_seconds_ += sw.elapsed();
+    out.insert(out.end(), data.begin(), data.end());
+    ++frames_;
+  }
+  return out;
+}
+
+}  // namespace acex::adaptive

@@ -1,0 +1,178 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "adaptive/decision.hpp"
+#include "adaptive/monitor.hpp"
+#include "adaptive/sampler.hpp"
+#include "compress/frame.hpp"
+#include "compress/registry.hpp"
+#include "netsim/bandwidth.hpp"
+#include "transport/transport.hpp"
+
+namespace acex::adaptive {
+
+/// Configuration of one adaptive stream.
+struct AdaptiveConfig {
+  DecisionParams decision;
+
+  /// Sample concurrently with sending (the paper forks a child process);
+  /// false runs the sampler inline — deterministic, used by tests.
+  bool async_sampling = true;
+
+  /// Before any end-to-end measurement exists, assume this accept rate
+  /// (bytes/s). A pessimistic default biases the first block toward
+  /// compression, like the paper's "reducing speed of first block is
+  /// infinity" assumption.
+  double initial_bandwidth_Bps = 1e6;
+
+  /// Scales measured CPU times, emulating a slower/faster host than the
+  /// build machine (Fig. 4's second CPU; 1.0 = measure as-is).
+  double cpu_scale = 1.0;
+
+  /// The end user's "target rate of data transmission" (paper §1 — the one
+  /// thing users are expected to express), in ORIGINAL payload bytes per
+  /// second; 0 disables. When the estimated effective payload rate of the
+  /// break-even method choice (link rate / compression ratio) falls short
+  /// of this, the selector escalates to stronger methods until the target
+  /// is met — or to the strongest available, best effort.
+  double target_rate_Bps = 0;
+
+  /// Invoked with each block's (scaled) compression time. Virtual-time
+  /// experiments pass a lambda advancing the VirtualClock so CPU work and
+  /// wire time share one timeline; wall-clock runs leave it empty.
+  std::function<void(Seconds)> on_cpu_time;
+};
+
+/// Everything recorded about one transmitted block — the raw material of
+/// Figs. 8–10 (method, compression time, compressed size over time).
+struct BlockReport {
+  std::size_t index = 0;
+  Seconds submitted = 0;       ///< transport-clock time the block entered
+  Seconds delivered = 0;       ///< transport-clock time the receiver accepted
+  MethodId method = MethodId::kNone;
+  std::size_t original_size = 0;
+  std::size_t wire_size = 0;       ///< framed bytes actually sent
+  Seconds compress_seconds = 0;    ///< (scaled) CPU time spent compressing
+  Seconds send_seconds = 0;        ///< end-to-end accept time of the frame
+  double sampled_ratio_percent = 100.0;  ///< sampler's view of this block
+  double bandwidth_estimate_Bps = 0;     ///< estimate used for the decision
+};
+
+/// Aggregate outcome of a whole stream.
+struct StreamReport {
+  std::vector<BlockReport> blocks;
+  std::size_t original_bytes = 0;
+  std::size_t wire_bytes = 0;
+  Seconds total_seconds = 0;        ///< first submit -> last delivery
+  Seconds compress_seconds = 0;     ///< sum of (scaled) compression time
+
+  double compression_share() const noexcept {
+    return total_seconds > 0 ? compress_seconds / total_seconds : 0.0;
+  }
+  double wire_ratio_percent() const noexcept {
+    return original_bytes == 0 ? 100.0
+                               : 100.0 * static_cast<double>(wire_bytes) /
+                                     static_cast<double>(original_bytes);
+  }
+};
+
+/// The sending half of configurable compression (§2.5's while-loop): takes
+/// application data, splits it into blocks, chooses a method per block from
+/// live measurements, compresses, frames, ships, and keeps its estimators
+/// current. Stateful across calls — bandwidth and reducing-speed knowledge
+/// carries over, as in a long-lived middleware stream.
+class AdaptiveSender {
+ public:
+  explicit AdaptiveSender(transport::Transport& transport,
+                          AdaptiveConfig config = {});
+
+  /// Stream `data` as blocks; returns per-block reports.
+  StreamReport send_all(ByteView data);
+
+  /// Stream `data` with compression overlapped against transmission: while
+  /// block i crosses the wire, block i+1 is compressed on a worker task.
+  /// This is the deployment mode the paper's alpha < 1 presumes ("the
+  /// overlap credit"); per-block decisions use the bandwidth estimate as
+  /// of launch, one block staler than send_all's. Only worthwhile on
+  /// wall-clock transports — under a VirtualClock, send() consumes no real
+  /// time and there is nothing to overlap.
+  StreamReport send_all_pipelined(ByteView data);
+
+  /// Send exactly one block (at most block_size bytes). When `next_block`
+  /// is non-empty and async sampling is on, its 4 KiB prefix is sampled
+  /// concurrently with this block's send — the paper's fork/send/wait
+  /// ordering — and consumed by the next call's decision.
+  BlockReport send_block(ByteView block, ByteView next_block = {});
+
+  /// Send one block through a fixed method, bypassing the selector (the
+  /// non-adaptive baselines, and the building block for paced scenarios).
+  BlockReport send_block_fixed(ByteView block, MethodId method);
+
+  /// Force every block through one method — the paper's non-adaptive
+  /// baselines ("rather than in the 29.1388 seconds it took without
+  /// compression").
+  StreamReport send_all_fixed(ByteView data, MethodId method);
+
+  const ReducingSpeedMonitor& monitor() const noexcept { return monitor_; }
+  const netsim::BandwidthEstimator& bandwidth() const noexcept {
+    return bandwidth_;
+  }
+  const AdaptiveConfig& config() const noexcept { return config_; }
+
+ private:
+  BlockReport transmit_block(ByteView block, MethodId method,
+                             double sampled_ratio, double bw_estimate);
+
+  /// Escalate `base` until the user's target payload rate is met (§1).
+  MethodId apply_target_rate(MethodId base, double bandwidth_Bps,
+                             double sampled_ratio_percent) const noexcept;
+
+  /// Current LZ reducing-speed estimate on the emulated-host scale.
+  ///
+  /// Block-granularity measurements (from real block compressions) are the
+  /// ground truth; 4 KiB sampler timings run severalfold faster than block
+  /// compressions (cache effects), so they are never mixed into the same
+  /// average — instead the RATIO of the current sample speed to the sample
+  /// speed observed at the last LZ block tracks CPU-load drift while the
+  /// stream is not compressing.
+  double lz_reducing_speed_estimate(std::size_t block_size) const noexcept;
+
+  transport::Transport* transport_;
+  AdaptiveConfig config_;
+  CodecRegistry registry_ = CodecRegistry::with_builtins();
+  ReducingSpeedMonitor monitor_;
+  netsim::BandwidthEstimator bandwidth_;
+  Sampler sampler_;
+  Ewma sample_speed_{0.4};     // real (unscaled) sampler reducing speeds
+  double sample_speed_ref_ = 0;  // sample speed when last LZ block ran
+  std::size_t blocks_sent_ = 0;
+};
+
+/// The receiving half: drains frames from a transport, decodes each with
+/// whatever method its header names (no coordination needed — frames are
+/// self-describing), verifies CRCs, and reassembles the stream.
+class AdaptiveReceiver {
+ public:
+  explicit AdaptiveReceiver(transport::Transport& transport);
+
+  /// Receive until the transport reports no more messages; returns the
+  /// reassembled original data. Throws DecodeError on a corrupt frame.
+  Bytes receive_available();
+
+  std::size_t frames_received() const noexcept { return frames_; }
+
+  /// Cumulative wall time spent decompressing received frames — the
+  /// receiver-side CPU cost §2.5 folds into its end-to-end view
+  /// ("decompression requires the use of receivers' CPU cycles").
+  Seconds decompress_seconds() const noexcept { return decompress_seconds_; }
+
+ private:
+  transport::Transport* transport_;
+  CodecRegistry registry_ = CodecRegistry::with_builtins();
+  std::size_t frames_ = 0;
+  Seconds decompress_seconds_ = 0;
+};
+
+}  // namespace acex::adaptive

@@ -1,0 +1,67 @@
+#include "adaptive/telemetry.hpp"
+
+namespace acex::adaptive {
+namespace {
+
+constexpr const char* kKind = "acex.t.kind";  // "block" | "summary"
+
+}  // namespace
+
+void TelemetryPublisher::publish(const BlockReport& report) {
+  echo::Event event;
+  auto& a = event.attributes;
+  a.set_string(kKind, "block");
+  a.set_int("acex.t.index", static_cast<std::int64_t>(report.index));
+  a.set_string("acex.t.method", std::string(method_name(report.method)));
+  a.set_int("acex.t.original", static_cast<std::int64_t>(report.original_size));
+  a.set_int("acex.t.wire", static_cast<std::int64_t>(report.wire_size));
+  a.set_double("acex.t.compress_us", report.compress_seconds * 1e6);
+  a.set_double("acex.t.send_us", report.send_seconds * 1e6);
+  a.set_double("acex.t.bandwidth_bps", report.bandwidth_estimate_Bps);
+  a.set_double("acex.t.sampled_ratio", report.sampled_ratio_percent);
+  channel_->submit(std::move(event));
+}
+
+void TelemetryPublisher::publish_summary(const StreamReport& report) {
+  echo::Event event;
+  auto& a = event.attributes;
+  a.set_string(kKind, "summary");
+  a.set_int("acex.t.blocks", static_cast<std::int64_t>(report.blocks.size()));
+  a.set_int("acex.t.original",
+            static_cast<std::int64_t>(report.original_bytes));
+  a.set_int("acex.t.wire", static_cast<std::int64_t>(report.wire_bytes));
+  a.set_double("acex.t.total_s", report.total_seconds);
+  a.set_double("acex.t.compress_s", report.compress_seconds);
+  channel_->submit(std::move(event));
+}
+
+bool TelemetryAggregator::observe(const echo::Event& event) {
+  const auto kind = event.attributes.get_string(kKind);
+  if (!kind) return false;
+  if (*kind == "block") {
+    ++blocks_;
+    original_ += static_cast<std::uint64_t>(
+        event.attributes.get_int("acex.t.original").value_or(0));
+    wire_ += static_cast<std::uint64_t>(
+        event.attributes.get_int("acex.t.wire").value_or(0));
+    compress_seconds_ +=
+        event.attributes.get_double("acex.t.compress_us").value_or(0) / 1e6;
+    if (const auto method = event.attributes.get_string("acex.t.method")) {
+      ++method_counts_[*method];
+    }
+    return true;
+  }
+  if (*kind == "summary") {
+    summary_seen_ = true;
+    return true;
+  }
+  return false;
+}
+
+double TelemetryAggregator::wire_ratio_percent() const noexcept {
+  return original_ == 0 ? 100.0
+                        : 100.0 * static_cast<double>(wire_) /
+                              static_cast<double>(original_);
+}
+
+}  // namespace acex::adaptive

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+
+#include "adaptive/pipeline.hpp"
+#include "echo/channel.hpp"
+
+namespace acex::adaptive {
+
+/// Cross-layer performance transport (§3.1: "using attributes, ECho can
+/// transport performance information ... across end users and address
+/// spaces and across different implementation layers"). Each transmitted
+/// block becomes one payload-less event on a telemetry channel, its
+/// quality attributes carrying the measurement record; summaries close a
+/// stream. Dashboards, loggers, or controllers subscribe like any other
+/// consumer — including across a ChannelSender/Receiver bridge.
+///
+/// Attribute names (all `acex.t.` prefixed):
+///   block events:  index, method, original, wire, compress_us, send_us,
+///                  bandwidth_bps, sampled_ratio
+///   summary event: blocks, original, wire, total_s, compress_s
+class TelemetryPublisher {
+ public:
+  /// `channel` must outlive the publisher.
+  explicit TelemetryPublisher(echo::EventChannel& channel)
+      : channel_(&channel) {}
+
+  /// Publish one block's measurements.
+  void publish(const BlockReport& report);
+
+  /// Publish a stream summary (marks end of stream for consumers).
+  void publish_summary(const StreamReport& report);
+
+ private:
+  echo::EventChannel* channel_;
+};
+
+/// Consumer-side aggregation of telemetry events — what a monitoring
+/// dashboard would maintain.
+class TelemetryAggregator {
+ public:
+  /// Feed every event from the telemetry channel; non-telemetry events are
+  /// ignored. Returns true if the event was a telemetry record.
+  bool observe(const echo::Event& event);
+
+  std::uint64_t blocks() const noexcept { return blocks_; }
+  std::uint64_t original_bytes() const noexcept { return original_; }
+  std::uint64_t wire_bytes() const noexcept { return wire_; }
+  Seconds compress_seconds() const noexcept { return compress_seconds_; }
+  bool summary_seen() const noexcept { return summary_seen_; }
+
+  /// Wire bytes as a percentage of original (100 when nothing seen).
+  double wire_ratio_percent() const noexcept;
+
+  /// Blocks per method name, e.g. {"none": 12, "lempel-ziv": 4}.
+  const std::map<std::string, std::uint64_t>& method_counts() const noexcept {
+    return method_counts_;
+  }
+
+ private:
+  std::uint64_t blocks_ = 0;
+  std::uint64_t original_ = 0;
+  std::uint64_t wire_ = 0;
+  Seconds compress_seconds_ = 0;
+  bool summary_seen_ = false;
+  std::map<std::string, std::uint64_t> method_counts_;
+};
+
+}  // namespace acex::adaptive

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "util/bitstream.hpp"
+
+namespace acex {
+
+namespace arith {
+
+/// Adaptive order-0 byte model shared by the arithmetic encoder and decoder.
+/// Frequencies start uniform and are bumped after every symbol; both sides
+/// perform identical updates, so no model data is transmitted.
+///
+/// Cumulative counts are kept in a Fenwick tree: O(log n) update, O(log n)
+/// symbol lookup during decode.
+class AdaptiveByteModel {
+ public:
+  AdaptiveByteModel();
+
+  /// cum(symbol): total frequency of symbols strictly below `symbol`.
+  std::uint32_t cum_below(unsigned symbol) const noexcept;
+
+  std::uint32_t freq(unsigned symbol) const noexcept;
+  std::uint32_t total() const noexcept { return total_; }
+
+  /// Largest symbol with cum_below(symbol) <= target.
+  unsigned find(std::uint32_t target) const noexcept;
+
+  /// Record one occurrence of `symbol`, halving all counts when the total
+  /// would exceed the coder's precision budget.
+  void update(unsigned symbol) noexcept;
+
+ private:
+  void rebuild(const std::vector<std::uint32_t>& freqs) noexcept;
+
+  std::vector<std::uint32_t> tree_;  // Fenwick over 256 symbols
+  std::uint32_t total_ = 0;
+};
+
+}  // namespace arith
+
+/// §2.2 adaptive arithmetic codec (Witten–Neal–Cleary style, 32-bit code
+/// values, E3 underflow handling). Fraction-of-a-bit codewords give it the
+/// best ratio on low-entropy data among the order-0 coders, at the cost of
+/// per-symbol model updates — exactly the trade-off Figs. 2–4 report.
+///
+/// Wire format: varint original size followed by the arithmetic bitstream.
+class ArithmeticCodec final : public Codec {
+ public:
+  MethodId id() const noexcept override { return MethodId::kArithmetic; }
+  Bytes compress(ByteView input) override;
+  Bytes decompress(ByteView input) override;
+};
+
+}  // namespace acex

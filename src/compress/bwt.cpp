@@ -1,0 +1,109 @@
+#include "compress/bwt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace acex::bwt {
+
+Transformed forward(ByteView block) {
+  const std::size_t n = block.size();
+  Transformed result;
+  if (n == 0) return result;
+  if (n == 1) {
+    result.last_column.assign(block.begin(), block.end());
+    result.primary = 0;
+    return result;
+  }
+
+  // Prefix doubling over cyclic rotations with radix (counting) sorts:
+  // after round k, `rank[i]` orders rotations by their first 2^k
+  // characters. O(n log n) total — this is the codec's hot loop.
+  std::vector<std::uint32_t> idx(n), rank(n), next_rank(n), shifted(n);
+  std::vector<std::uint32_t> counts(std::max<std::size_t>(n, 256) + 1, 0);
+
+  // Round 0: counting sort by first character.
+  for (std::size_t i = 0; i < n; ++i) ++counts[block[i] + 1];
+  for (std::size_t c = 1; c <= 256; ++c) counts[c] += counts[c - 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[counts[block[i]]++] = static_cast<std::uint32_t>(i);
+  }
+  rank[idx[0]] = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    rank[idx[i]] = rank[idx[i - 1]] + (block[idx[i]] != block[idx[i - 1]]);
+  }
+
+  for (std::size_t k = 1; rank[idx[n - 1]] != n - 1 && k < n; k <<= 1) {
+    // Sorting pairs (rank[i], rank[(i+k) mod n]). `idx` is sorted by rank;
+    // shifting every position back by k yields the order sorted by the
+    // SECOND pair element, so one stable counting sort by the first
+    // element finishes the job.
+    for (std::size_t j = 0; j < n; ++j) {
+      shifted[j] = (idx[j] + static_cast<std::uint32_t>(n) -
+                    static_cast<std::uint32_t>(k % n)) %
+                   static_cast<std::uint32_t>(n);
+    }
+    const std::size_t classes = rank[idx[n - 1]] + 1;
+    std::fill(counts.begin(), counts.begin() + classes + 1, 0u);
+    for (std::size_t i = 0; i < n; ++i) ++counts[rank[i] + 1];
+    for (std::size_t c = 1; c <= classes; ++c) counts[c] += counts[c - 1];
+    for (std::size_t j = 0; j < n; ++j) {
+      idx[counts[rank[shifted[j]]]++] = shifted[j];
+    }
+    // Re-rank by (first, second) pair equality.
+    const auto second = [&](std::uint32_t i) {
+      return rank[(i + k) % n];
+    };
+    next_rank[idx[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const bool differs = rank[idx[i]] != rank[idx[i - 1]] ||
+                           second(idx[i]) != second(idx[i - 1]);
+      next_rank[idx[i]] = next_rank[idx[i - 1]] + differs;
+    }
+    rank.swap(next_rank);
+  }
+
+  result.last_column.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t start = idx[i];
+    result.last_column[i] = block[start == 0 ? n - 1 : start - 1];
+    if (start == 0) result.primary = static_cast<std::uint32_t>(i);
+  }
+  return result;
+}
+
+Bytes inverse(ByteView last_column, std::uint32_t primary) {
+  const std::size_t n = last_column.size();
+  if (n == 0) return {};
+  if (primary >= n) throw DecodeError("bwt: primary index out of range");
+
+  // C[c] = number of characters in L strictly smaller than c;
+  // occ[i] = rank of L[i] among equal characters in L[0..i].
+  std::array<std::uint32_t, 256> counts{};
+  for (const auto c : last_column) ++counts[c];
+  std::array<std::uint32_t, 256> before{};
+  std::uint32_t sum = 0;
+  for (unsigned c = 0; c < 256; ++c) {
+    before[c] = sum;
+    sum += counts[c];
+  }
+  std::vector<std::uint32_t> lf(n);
+  std::array<std::uint32_t, 256> seen{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t c = last_column[i];
+    lf[i] = before[c] + seen[c]++;
+  }
+
+  Bytes out(n);
+  std::uint32_t row = primary;
+  for (std::size_t k = n; k-- > 0;) {
+    out[k] = last_column[row];
+    row = lf[row];
+  }
+  return out;
+}
+
+}  // namespace acex::bwt

@@ -1,0 +1,37 @@
+#include "compress/codec.hpp"
+
+#include "util/error.hpp"
+
+namespace acex {
+
+std::string_view method_name(MethodId id) noexcept {
+  switch (id) {
+    case MethodId::kNone:
+      return "none";
+    case MethodId::kHuffman:
+      return "huffman";
+    case MethodId::kArithmetic:
+      return "arithmetic";
+    case MethodId::kLempelZiv:
+      return "lempel-ziv";
+    case MethodId::kBurrowsWheeler:
+      return "burrows-wheeler";
+    case MethodId::kLzw:
+      return "lzw";
+    case MethodId::kZlib:
+      return "zlib";
+  }
+  return "unknown";
+}
+
+MethodId method_from_name(std::string_view name) {
+  for (const MethodId id :
+       {MethodId::kNone, MethodId::kHuffman, MethodId::kArithmetic,
+        MethodId::kLempelZiv, MethodId::kBurrowsWheeler, MethodId::kLzw,
+        MethodId::kZlib}) {
+    if (method_name(id) == name) return id;
+  }
+  throw ConfigError("unknown compression method name: " + std::string(name));
+}
+
+}  // namespace acex

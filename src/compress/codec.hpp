@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace acex {
+
+/// Identifiers for the compression methods the paper evaluates (§2), plus
+/// the "no compression" choice its selection algorithm can make and an
+/// optional zlib comparator used only in benches.
+///
+/// The numeric values are wire-stable: they appear in frame headers and in
+/// the quality attributes that consumers use to request a method change.
+enum class MethodId : std::uint8_t {
+  kNone = 0,            ///< pass-through ("Don't Compress" branch of §2.5)
+  kHuffman = 1,         ///< §2.1 canonical static Huffman
+  kArithmetic = 2,      ///< §2.2 adaptive order-0 arithmetic coding
+  kLempelZiv = 3,       ///< §2.3 LZ77 with Huffman-coded pointers
+  kBurrowsWheeler = 4,  ///< §2.4 chunked BWT -> MTF -> RLE -> joint Huffman
+  kLzw = 5,             ///< LZ78/LZW comparator ([24]'s branch of §2.3)
+  kZlib = 100,          ///< comparator only; not part of the paper's set
+};
+
+/// Short stable lowercase name ("huffman", "lz", ...), for logs and tables.
+std::string_view method_name(MethodId id) noexcept;
+
+/// Parse the result of method_name back; throws ConfigError on unknown names.
+MethodId method_from_name(std::string_view name);
+
+/// A lossless whole-buffer compressor/decompressor.
+///
+/// Codecs are stateless across calls (each compress() is self-contained) but
+/// may keep scratch buffers, so instances are cheap to reuse and NOT
+/// thread-safe; create one per thread.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual MethodId id() const noexcept = 0;
+
+  /// Human-readable method name.
+  std::string_view name() const noexcept { return method_name(id()); }
+
+  /// Compress `input` into a self-contained payload (no outer frame).
+  virtual Bytes compress(ByteView input) = 0;
+
+  /// Invert compress(). Throws DecodeError on malformed input.
+  virtual Bytes decompress(ByteView input) = 0;
+};
+
+using CodecPtr = std::unique_ptr<Codec>;
+
+}  // namespace acex

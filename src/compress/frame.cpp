@@ -1,0 +1,71 @@
+#include "compress/frame.hpp"
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex {
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'A';
+constexpr std::uint8_t kMagic1 = 'X';
+
+}  // namespace
+
+Bytes frame_compress(Codec& codec, ByteView data) {
+  const std::uint32_t crc = crc32(data);
+  const Bytes payload = codec.compress(data);
+
+  Bytes out;
+  out.reserve(payload.size() + 16);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(codec.id()));
+  put_varint(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+Frame frame_parse(ByteView framed) {
+  if (framed.size() < 8) throw DecodeError("frame: too short");
+  if (framed[0] != kMagic0 || framed[1] != kMagic1) {
+    throw DecodeError("frame: bad magic");
+  }
+  if (framed[2] != kFrameVersion) throw DecodeError("frame: bad version");
+
+  Frame frame;
+  frame.method = static_cast<MethodId>(framed[3]);
+  std::size_t pos = 4;
+  const std::uint64_t payload_size = get_varint(framed, &pos);
+  if (pos + payload_size + 4 != framed.size()) {
+    throw DecodeError("frame: size mismatch");
+  }
+  const auto payload = framed.subspan(pos, payload_size);
+  frame.payload.assign(payload.begin(), payload.end());
+  pos += payload_size;
+  frame.crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    frame.crc |= static_cast<std::uint32_t>(framed[pos + i]) << (8 * i);
+  }
+  return frame;
+}
+
+Bytes frame_decompress(ByteView framed, const CodecRegistry& registry) {
+  const Frame frame = frame_parse(framed);
+  const CodecPtr codec = registry.create(frame.method);
+  Bytes data = codec->decompress(frame.payload);
+  if (crc32(data) != frame.crc) {
+    throw DecodeError("frame: CRC mismatch after decompression");
+  }
+  return data;
+}
+
+std::size_t frame_overhead(std::size_t payload_size) noexcept {
+  return 2 + 1 + 1 + varint_size(payload_size) + 4;
+}
+
+}  // namespace acex

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "compress/codec.hpp"
+#include "compress/registry.hpp"
+
+namespace acex {
+
+/// Self-describing wire envelope around a codec payload. A receiver can
+/// decode any frame knowing only the registry — the frame carries the
+/// method id — and detects corruption anywhere along the path via a CRC of
+/// the *original* (decompressed) bytes.
+///
+/// Layout:
+///   magic "AX" | version (1) | method id (1) | varint payload size |
+///   payload | crc32 of original data, little-endian (4)
+struct Frame {
+  MethodId method = MethodId::kNone;
+  Bytes payload;               ///< codec output (compressed bytes)
+  std::uint32_t crc = 0;       ///< CRC-32 of the original data
+};
+
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Compress `data` with `codec` and wrap the result in a frame.
+Bytes frame_compress(Codec& codec, ByteView data);
+
+/// Parse a frame without decompressing. Throws DecodeError on malformed or
+/// truncated envelopes.
+Frame frame_parse(ByteView framed);
+
+/// Parse, look the codec up in `registry`, decompress, and verify the CRC.
+Bytes frame_decompress(ByteView framed, const CodecRegistry& registry);
+
+/// Size in bytes of the envelope around a payload of `payload_size` bytes.
+std::size_t frame_overhead(std::size_t payload_size) noexcept;
+
+}  // namespace acex

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "util/bitstream.hpp"
+#include "util/bytes.hpp"
+
+namespace acex::huff {
+
+/// Upper bound on code length. 15 bits keeps the decoder's full lookup table
+/// at 2^15 entries and the 4-bit packed length header representable.
+inline constexpr unsigned kMaxBits = 15;
+
+/// A canonical Huffman codeword: the low `len` bits of `bits`, MSB first.
+struct Code {
+  std::uint16_t bits = 0;
+  std::uint8_t len = 0;
+};
+
+/// Compute optimal code lengths for `freqs` (one entry per symbol; zero means
+/// the symbol does not occur), length-limited to `max_bits` by iterative
+/// frequency rescaling. Result has the same size as `freqs`; unused symbols
+/// get length 0. An input with a single used symbol gets length 1.
+std::vector<std::uint8_t> build_code_lengths(
+    std::span<const std::uint64_t> freqs, unsigned max_bits = kMaxBits);
+
+/// Assign canonical codes (increasing within each length, shorter lengths
+/// first) to the given lengths. Throws ConfigError if lengths exceed
+/// kMaxBits, DecodeError if they oversubscribe the Kraft budget.
+std::vector<Code> canonical_codes(std::span<const std::uint8_t> lengths);
+
+/// Serialize code lengths as packed 4-bit nibbles (alphabet size is implied
+/// by the caller; both sides must agree on it).
+void write_lengths(BitWriter& out, std::span<const std::uint8_t> lengths);
+
+/// Inverse of write_lengths for an alphabet of `count` symbols.
+std::vector<std::uint8_t> read_lengths(BitReader& in, std::size_t count);
+
+/// Encodes symbols with a fixed canonical code.
+class Encoder {
+ public:
+  explicit Encoder(std::span<const std::uint8_t> lengths);
+
+  void encode(BitWriter& out, unsigned symbol) const;
+
+  /// Codeword for `symbol` (len == 0 means the symbol was not in the code).
+  const Code& code(unsigned symbol) const { return codes_[symbol]; }
+
+  /// Exact number of bits this code spends on `freqs` (header excluded).
+  std::uint64_t cost_bits(std::span<const std::uint64_t> freqs) const;
+
+ private:
+  std::vector<Code> codes_;
+};
+
+/// Table-driven canonical decoder: one full lookup table of 2^max_len
+/// entries, so decode() is a single peek + skip.
+class Decoder {
+ public:
+  /// Throws DecodeError if `lengths` do not form a valid prefix code
+  /// (oversubscribed Kraft sum) — wire data is untrusted.
+  explicit Decoder(std::span<const std::uint8_t> lengths);
+
+  /// Decode one symbol; throws DecodeError on an invalid codeword or
+  /// exhausted input.
+  unsigned decode(BitReader& in) const;
+
+ private:
+  std::vector<std::uint32_t> table_;  // (symbol << 4) | len per prefix
+  unsigned max_len_ = 0;
+};
+
+}  // namespace acex::huff
+
+namespace acex {
+
+/// §2.1 whole-buffer Huffman codec over the byte alphabet.
+///
+/// Wire format: varint original size, then (if nonzero) a packed 256-nibble
+/// code-length header and the MSB-first codeword stream. No EOF symbol is
+/// needed because the original size is explicit.
+class HuffmanCodec final : public Codec {
+ public:
+  MethodId id() const noexcept override { return MethodId::kHuffman; }
+  Bytes compress(ByteView input) override;
+  Bytes decompress(ByteView input) override;
+};
+
+}  // namespace acex

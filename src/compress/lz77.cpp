@@ -1,0 +1,301 @@
+#include "compress/lz77.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+
+#include "compress/huffman.hpp"
+#include "util/bitstream.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex {
+namespace lz {
+namespace {
+
+constexpr unsigned kHashBits = 15;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+constexpr std::int32_t kNil = -1;
+
+std::uint32_t hash3(const std::uint8_t* p) noexcept {
+  const std::uint32_t v = (static_cast<std::uint32_t>(p[0]) << 16) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) | p[2];
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Hash-chain index over the input. head_ maps a 3-byte hash to the most
+/// recent position; prev_ chains positions with equal hashes backwards.
+class Matcher {
+ public:
+  Matcher(ByteView input, const Params& params)
+      : in_(input),
+        window_(std::size_t{1} << std::min(params.window_bits, 16u)),
+        max_chain_(params.max_chain),
+        head_(kHashSize, kNil),
+        prev_(input.size(), kNil) {}
+
+  /// Register position `i` in the chains (requires i + 3 <= input size).
+  void insert(std::size_t i) noexcept {
+    const std::uint32_t h = hash3(in_.data() + i);
+    prev_[i] = head_[h];
+    head_[h] = static_cast<std::int32_t>(i);
+  }
+
+  /// Longest match for position `i` among previously inserted positions
+  /// within the window. Returns length 0 when no match of >= kMinMatch.
+  Token best(std::size_t i) const noexcept {
+    const std::size_t n = in_.size();
+    if (i + kMinMatch > n) return {};
+    const std::size_t max_len = std::min<std::size_t>(kMaxMatch, n - i);
+    const std::size_t lowest = i > window_ ? i - window_ : 0;
+
+    Token bestTok{};
+    std::size_t best_len = kMinMatch - 1;
+    unsigned chain = max_chain_;
+    for (std::int32_t cand = head_[hash3(in_.data() + i)];
+         cand != kNil && static_cast<std::size_t>(cand) >= lowest && chain > 0;
+         cand = prev_[static_cast<std::size_t>(cand)], --chain) {
+      const std::size_t c = static_cast<std::size_t>(cand);
+      if (c >= i) continue;  // self or stale entry for this position
+      const std::uint8_t* a = in_.data() + i;
+      const std::uint8_t* b = in_.data() + c;
+      // Quick reject: match must beat the current best at its last byte.
+      if (b[best_len] != a[best_len]) continue;
+      std::size_t len = 0;
+      while (len < max_len && a[len] == b[len]) ++len;
+      if (len > best_len) {
+        best_len = len;
+        bestTok = Token{static_cast<std::uint32_t>(i - c),
+                        static_cast<std::uint16_t>(len), 0};
+        if (len == max_len) break;
+      }
+    }
+    return bestTok;
+  }
+
+ private:
+  ByteView in_;
+  std::size_t window_;
+  unsigned max_chain_;
+  std::vector<std::int32_t> head_;
+  std::vector<std::int32_t> prev_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(ByteView input, const Params& params) {
+  std::vector<Token> out;
+  const std::size_t n = input.size();
+  if (n == 0) return out;
+  out.reserve(n / 4);
+
+  Matcher m(input, params);
+  std::size_t i = 0;
+  Token prev{};             // candidate match found at position i-1
+  bool pending = false;     // true when position i-1 awaits resolution
+
+  while (i < n) {
+    Token cur{};
+    if (i + kMinMatch <= n) {
+      cur = m.best(i);
+      m.insert(i);
+    }
+    if (pending && prev.len >= kMinMatch &&
+        (!params.lazy || prev.len >= cur.len)) {
+      // The match starting at i-1 wins; it also covers position i.
+      out.push_back(prev);
+      const std::size_t end = i - 1 + prev.len;
+      for (std::size_t j = i + 1; j < end && j + kMinMatch <= n; ++j) {
+        m.insert(j);
+      }
+      i = end;
+      pending = false;
+    } else {
+      if (pending) out.push_back(Token{0, 0, input[i - 1]});
+      prev = cur;
+      pending = true;
+      ++i;
+    }
+  }
+  // Any still-pending position is within kMinMatch of the end, so its match
+  // length is < kMinMatch and it resolves to a literal.
+  if (pending) out.push_back(Token{0, 0, input[n - 1]});
+  return out;
+}
+
+Bytes reconstruct(const std::vector<Token>& tokens) {
+  Bytes out;
+  for (const Token& t : tokens) {
+    if (t.is_literal()) {
+      out.push_back(t.literal);
+      continue;
+    }
+    if (t.dist == 0 || t.dist > out.size()) {
+      throw DecodeError("lz: back-reference before start of data");
+    }
+    // Byte-wise copy: overlapping references (dist < len) replicate runs.
+    std::size_t src = out.size() - t.dist;
+    for (unsigned k = 0; k < t.len; ++k) out.push_back(out[src + k]);
+  }
+  return out;
+}
+
+Bucket length_bucket(unsigned len) noexcept {
+  assert(len >= kMinMatch && len <= kMaxMatch);
+  const unsigned v = len - kMinMatch;  // 0..255
+  if (v < 8) return Bucket{v, 0, 0};
+  const unsigned k = std::bit_width(v) - 1;  // 3..7
+  const unsigned sym = 8 + (k - 3) * 2 + ((v >> (k - 1)) & 1);
+  const unsigned eb = k - 1;
+  return Bucket{sym, eb, v & ((1u << eb) - 1)};
+}
+
+Bucket distance_bucket(std::uint32_t d) noexcept {
+  assert(d >= 1 && d <= 65536);
+  const std::uint32_t v = d - 1;  // 0..65535
+  if (v < 4) return Bucket{v, 0, 0};
+  const unsigned k = std::bit_width(v) - 1;  // 2..15
+  const unsigned sym = 4 + (k - 2) * 2 + ((v >> (k - 1)) & 1);
+  const unsigned eb = k - 1;
+  return Bucket{sym, eb, v & ((1u << eb) - 1)};
+}
+
+unsigned length_base(unsigned symbol, unsigned* extra_bits) {
+  if (symbol >= kLenSymbols) throw DecodeError("lz: bad length symbol");
+  if (symbol < 8) {
+    *extra_bits = 0;
+    return kMinMatch + symbol;
+  }
+  const unsigned t = symbol - 8;
+  const unsigned k = 3 + t / 2;
+  const unsigned half = t & 1;
+  *extra_bits = k - 1;
+  return kMinMatch + (1u << k) + half * (1u << (k - 1));
+}
+
+std::uint32_t distance_base(unsigned symbol, unsigned* extra_bits) {
+  if (symbol >= kDistSymbols) throw DecodeError("lz: bad distance symbol");
+  if (symbol < 4) {
+    *extra_bits = 0;
+    return 1 + symbol;
+  }
+  const unsigned t = symbol - 4;
+  const unsigned k = 2 + t / 2;
+  const unsigned half = t & 1;
+  *extra_bits = k - 1;
+  return 1 + (1u << k) + half * (1u << (k - 1));
+}
+
+}  // namespace lz
+
+namespace {
+
+constexpr std::uint8_t kModeStored = 0;
+constexpr std::uint8_t kModeCompressed = 1;
+
+}  // namespace
+
+Bytes LempelZivCodec::compress(ByteView input) {
+  Bytes out;
+  put_varint(out, input.size());
+  if (input.empty()) return out;
+
+  const auto tokens = lz::tokenize(input, params_);
+
+  // Gather symbol statistics for the two codes.
+  std::vector<std::uint64_t> litlen_freq(lz::kLitLenSymbols, 0);
+  std::vector<std::uint64_t> dist_freq(lz::kDistSymbols, 0);
+  for (const auto& t : tokens) {
+    if (t.is_literal()) {
+      ++litlen_freq[t.literal];
+    } else {
+      ++litlen_freq[256 + lz::length_bucket(t.len).symbol];
+      ++dist_freq[lz::distance_bucket(t.dist).symbol];
+    }
+  }
+  const auto litlen_lengths = huff::build_code_lengths(litlen_freq);
+  const auto dist_lengths = huff::build_code_lengths(dist_freq);
+
+  BitWriter bw;
+  huff::write_lengths(bw, litlen_lengths);
+  huff::write_lengths(bw, dist_lengths);
+  const huff::Encoder lit_enc(litlen_lengths);
+  const huff::Encoder dist_enc(dist_lengths);
+  for (const auto& t : tokens) {
+    if (t.is_literal()) {
+      lit_enc.encode(bw, t.literal);
+    } else {
+      const auto lb = lz::length_bucket(t.len);
+      lit_enc.encode(bw, 256 + lb.symbol);
+      bw.write(lb.extra, lb.extra_bits);
+      const auto db = lz::distance_bucket(t.dist);
+      dist_enc.encode(bw, db.symbol);
+      bw.write(db.extra, db.extra_bits);
+    }
+  }
+
+  Bytes payload = bw.take();
+  if (payload.size() + 1 >= input.size()) {
+    // Compression expands (random data, tiny inputs): store verbatim.
+    out.push_back(kModeStored);
+    out.insert(out.end(), input.begin(), input.end());
+  } else {
+    out.push_back(kModeCompressed);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+Bytes LempelZivCodec::decompress(ByteView input) {
+  std::size_t pos = 0;
+  const std::uint64_t size = get_varint(input, &pos);
+  if (size == 0) return {};
+  // A token needs >= 2 bits and emits <= 258 bytes, bounding expansion at
+  // ~1032 bytes per payload byte; reject corrupt size headers beyond that.
+  if (size > (input.size() + 8) * 1100) {
+    throw DecodeError("lz: declared size exceeds payload capacity");
+  }
+  if (pos >= input.size()) throw DecodeError("lz: missing mode byte");
+  const std::uint8_t mode = input[pos++];
+
+  if (mode == kModeStored) {
+    if (input.size() - pos != size) throw DecodeError("lz: stored size mismatch");
+    const auto body = input.subspan(pos);
+    return Bytes(body.begin(), body.end());
+  }
+  if (mode != kModeCompressed) throw DecodeError("lz: unknown mode byte");
+
+  BitReader br(input.subspan(pos));
+  const huff::Decoder lit_dec(huff::read_lengths(br, lz::kLitLenSymbols));
+  const huff::Decoder dist_dec(huff::read_lengths(br, lz::kDistSymbols));
+
+  Bytes out;
+  out.reserve(size);
+  while (out.size() < size) {
+    const unsigned sym = lit_dec.decode(br);
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    unsigned len_eb = 0;
+    const unsigned len =
+        lz::length_base(sym - 256, &len_eb) +
+        static_cast<unsigned>(br.read(len_eb));
+    unsigned dist_eb = 0;
+    const std::uint32_t dist =
+        lz::distance_base(dist_dec.decode(br), &dist_eb) +
+        static_cast<std::uint32_t>(br.read(dist_eb));
+    if (dist > out.size()) {
+      throw DecodeError("lz: back-reference before start of data");
+    }
+    if (out.size() + len > size) {
+      throw DecodeError("lz: output overruns declared size");
+    }
+    std::size_t src = out.size() - dist;
+    for (unsigned k = 0; k < len; ++k) out.push_back(out[src + k]);
+  }
+  return out;
+}
+
+}  // namespace acex

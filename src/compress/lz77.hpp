@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "util/bytes.hpp"
+
+namespace acex {
+
+namespace lz {
+
+/// Matching parameters. Defaults mirror gzip-class behaviour: 64 KiB window,
+/// lazy (one-step) match deferral, bounded hash-chain walks.
+struct Params {
+  unsigned window_bits = 16;  ///< window size = 2^window_bits, max 16
+  unsigned max_chain = 96;    ///< hash-chain positions examined per match
+  bool lazy = true;           ///< defer a match if the next byte matches longer
+};
+
+inline constexpr unsigned kMinMatch = 3;
+inline constexpr unsigned kMaxMatch = 258;
+
+/// One LZ77 token: either a literal byte (`dist == 0`) or a back-reference
+/// "go back `dist` bytes, copy `len`" — the (100,7)-style pointer of §2.3.
+struct Token {
+  std::uint32_t dist = 0;
+  std::uint16_t len = 0;
+  std::uint8_t literal = 0;
+
+  bool is_literal() const noexcept { return dist == 0; }
+};
+
+/// Factor `input` into literals and back-references using hash chains with
+/// greedy parsing plus optional one-step lazy matching.
+std::vector<Token> tokenize(ByteView input, const Params& params = {});
+
+/// Expand tokens back into bytes (the decompressor's copy loop). Throws
+/// DecodeError if a token points before the start of output.
+Bytes reconstruct(const std::vector<Token>& tokens);
+
+/// Bucketing of match lengths and distances into Huffman symbols with extra
+/// bits — "most pointers point to close destinations ... represented by
+/// Huffman codes, which give shorter representation for small numbers".
+/// Small values get dedicated symbols; larger ones share geometric buckets.
+struct Bucket {
+  unsigned symbol;       ///< Huffman symbol within the bucket alphabet
+  unsigned extra_bits;   ///< raw bits following the symbol
+  std::uint32_t extra;   ///< value of those bits
+};
+
+/// Number of length-bucket symbols (match length 3..258).
+inline constexpr unsigned kLenSymbols = 18;
+/// Number of distance-bucket symbols (distance 1..65536).
+inline constexpr unsigned kDistSymbols = 32;
+/// Literal/length alphabet: 256 literals followed by kLenSymbols buckets.
+inline constexpr unsigned kLitLenSymbols = 256 + kLenSymbols;
+
+Bucket length_bucket(unsigned len) noexcept;      ///< len in [3, 258]
+Bucket distance_bucket(std::uint32_t d) noexcept; ///< d in [1, 65536]
+
+/// Inverse mappings used by the decoder: given a bucket symbol and its extra
+/// bits, recover the value. Throw DecodeError on out-of-range symbols.
+unsigned length_base(unsigned symbol, unsigned* extra_bits);
+std::uint32_t distance_base(unsigned symbol, unsigned* extra_bits);
+
+}  // namespace lz
+
+/// §2.3 Lempel–Ziv codec: LZ77 tokens entropy-coded with two canonical
+/// Huffman codes (one over literals+length buckets, one over distance
+/// buckets), i.e. "a version of Lempel-Ziv that compresses these pointers by
+/// Huffman coding".
+///
+/// Wire format: varint original size, mode byte (0 = stored when compression
+/// would expand, 1 = compressed), then either raw bytes or the two packed
+/// code-length headers followed by the token bitstream.
+class LempelZivCodec final : public Codec {
+ public:
+  explicit LempelZivCodec(lz::Params params = {}) : params_(params) {}
+
+  MethodId id() const noexcept override { return MethodId::kLempelZiv; }
+  Bytes compress(ByteView input) override;
+  Bytes decompress(ByteView input) override;
+
+ private:
+  lz::Params params_;
+};
+
+}  // namespace acex

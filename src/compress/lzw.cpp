@@ -1,0 +1,171 @@
+#include "compress/lzw.hpp"
+
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitstream.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex {
+namespace {
+
+constexpr std::uint32_t kClear = 256;      // dictionary reset marker
+constexpr std::uint32_t kFirstCode = 257;  // first phrase code
+constexpr std::uint32_t kCap = 1u << LzwCodec::kMaxCodeBits;
+constexpr std::uint8_t kModeStored = 0;
+constexpr std::uint8_t kModeCompressed = 1;
+
+/// Width of the next code on the wire, given the next code to be assigned.
+/// Purely a function of `next`, so encoder and decoder cannot drift.
+unsigned code_width(std::uint32_t next) noexcept {
+  const unsigned bits = std::bit_width(next - 1);
+  return bits < LzwCodec::kMinCodeBits ? LzwCodec::kMinCodeBits : bits;
+}
+
+}  // namespace
+
+Bytes LzwCodec::compress(ByteView input) {
+  Bytes out;
+  put_varint(out, input.size());
+  if (input.empty()) return out;
+
+  BitWriter bw;
+  std::unordered_map<std::uint32_t, std::uint32_t> dict;
+  dict.reserve(1 << 15);
+  std::uint32_t next = kFirstCode;
+
+  const auto reset = [&] {
+    dict.clear();
+    next = kFirstCode;
+  };
+
+  std::uint32_t cur = input[0];
+  for (std::size_t i = 1; i < input.size(); ++i) {
+    const std::uint8_t c = input[i];
+    const std::uint32_t key = (cur << 8) | c;
+    const auto it = dict.find(key);
+    if (it != dict.end()) {
+      cur = it->second;
+      continue;
+    }
+    bw.write(cur, code_width(next));
+    dict.emplace(key, next);
+    ++next;
+    if (next == kCap) {
+      // Dictionary full: reset both sides via the clear marker.
+      bw.write(kClear, code_width(next));
+      reset();
+    }
+    cur = c;
+  }
+  bw.write(cur, code_width(next));
+  const Bytes payload = bw.take();
+
+  if (payload.size() + 1 >= input.size()) {
+    out.push_back(kModeStored);
+    out.insert(out.end(), input.begin(), input.end());
+  } else {
+    out.push_back(kModeCompressed);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+Bytes LzwCodec::decompress(ByteView input) {
+  std::size_t pos = 0;
+  const std::uint64_t size = get_varint(input, &pos);
+  if (size == 0) return {};
+  // Each code emits at least one byte and costs at least kMinCodeBits.
+  if (size > (input.size() + 8) * 8 * kCap / kMinCodeBits) {
+    throw DecodeError("lzw: declared size exceeds payload capacity");
+  }
+  if (pos >= input.size()) throw DecodeError("lzw: missing mode byte");
+  const std::uint8_t mode = input[pos++];
+  if (mode == kModeStored) {
+    if (input.size() - pos != size) {
+      throw DecodeError("lzw: stored size mismatch");
+    }
+    const auto body = input.subspan(pos);
+    return Bytes(body.begin(), body.end());
+  }
+  if (mode != kModeCompressed) throw DecodeError("lzw: unknown mode byte");
+
+  BitReader br(input.subspan(pos));
+  std::vector<std::uint32_t> prefix(kCap, 0);
+  std::vector<std::uint8_t> suffix(kCap, 0);
+  std::uint32_t next = kFirstCode;
+  bool fresh = true;              // no pending phrase to complete
+  std::uint32_t prev = 0;
+  std::uint8_t prev_first = 0;    // first byte of prev's expansion
+
+  Bytes out;
+  out.reserve(size);
+  std::vector<std::uint8_t> stack;
+  stack.reserve(256);
+
+  while (out.size() < size) {
+    // The encoder adds an entry immediately after each emission, so at the
+    // moment it emits the code we are about to read, its dictionary is one
+    // entry ahead of ours (except right after a reset). Width is a pure
+    // function of the ENCODER's next code.
+    const std::uint32_t wire_next =
+        fresh ? next : std::min(next + 1, kCap);
+    const std::uint32_t code =
+        static_cast<std::uint32_t>(br.read(code_width(wire_next)));
+    if (code == kClear) {
+      next = kFirstCode;
+      fresh = true;
+      continue;
+    }
+    if (code > next || (code == next && fresh)) {
+      throw DecodeError("lzw: code beyond dictionary");
+    }
+
+    // Expand `code` (or the KwKwK self-reference) onto the stack.
+    std::uint8_t first;
+    if (code == next) {
+      // Phrase defined by this very step: prev + first(prev).
+      stack.push_back(prev_first);
+      std::uint32_t walk = prev;
+      while (walk >= kFirstCode) {
+        stack.push_back(suffix[walk]);
+        walk = prefix[walk];
+      }
+      stack.push_back(static_cast<std::uint8_t>(walk));
+      first = static_cast<std::uint8_t>(walk);
+    } else {
+      std::uint32_t walk = code;
+      while (walk >= kFirstCode) {
+        stack.push_back(suffix[walk]);
+        walk = prefix[walk];
+      }
+      stack.push_back(static_cast<std::uint8_t>(walk));
+      first = static_cast<std::uint8_t>(walk);
+    }
+    if (out.size() + stack.size() > size) {
+      throw DecodeError("lzw: output overruns declared size");
+    }
+    for (std::size_t i = stack.size(); i-- > 0;) out.push_back(stack[i]);
+    stack.clear();
+
+    // Complete the entry the encoder created when it emitted `code`.
+    if (!fresh && next < kCap) {
+      prefix[next] = prev;
+      suffix[next] = first;
+      ++next;
+      if (next == kCap) {
+        // Encoder resets right after filling; expect its clear marker.
+        // (Handled naturally: the next read uses max width and the code
+        // will be kClear.)
+      }
+    }
+    fresh = false;
+    prev = code;
+    prev_first = first;
+  }
+  return out;
+}
+
+}  // namespace acex

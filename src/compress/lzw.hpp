@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "compress/codec.hpp"
+
+namespace acex {
+
+/// LZ78-family codec (§2.3 cites both Lempel-Ziv papers [23,24]; this is
+/// the 1978 branch, in its LZW form — the algorithm behind Unix compress):
+/// parser and coder share a growing dictionary of phrases, each output
+/// code naming the longest known phrase plus implicitly extending the
+/// dictionary by one symbol.
+///
+/// Codes are emitted at the current dictionary's bit width (9 bits growing
+/// to kMaxCodeBits); when the dictionary fills it is reset, which doubles
+/// as adaptation to shifting data. Included as a comparator — the paper's
+/// selection set uses the LZ77 variant, whose Huffman-coded pointers
+/// compress better on its workloads — and as the second point of the
+/// LZ77/LZ78 design space the paper references.
+///
+/// Wire format: varint original size, mode byte (0 stored / 1 compressed),
+/// then the growing-width code stream.
+class LzwCodec final : public Codec {
+ public:
+  static constexpr unsigned kMinCodeBits = 9;
+  static constexpr unsigned kMaxCodeBits = 16;
+  /// Wire-stable id, after the four paper methods.
+  static constexpr MethodId kId = static_cast<MethodId>(5);
+
+  MethodId id() const noexcept override { return kId; }
+  Bytes compress(ByteView input) override;
+  Bytes decompress(ByteView input) override;
+};
+
+}  // namespace acex

@@ -1,0 +1,33 @@
+#include "compress/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace acex {
+
+CompressionMeasurement measure_codec(Codec& codec, ByteView data,
+                                     const Clock& clock,
+                                     bool include_decompress) {
+  CompressionMeasurement m;
+  m.method = codec.id();
+  m.original_size = data.size();
+
+  Stopwatch sw(clock);
+  const Bytes compressed = codec.compress(data);
+  m.compress_time = sw.elapsed();
+  m.compressed_size = compressed.size();
+
+  if (include_decompress) {
+    sw.restart();
+    const Bytes restored = codec.decompress(compressed);
+    m.decompress_time = sw.elapsed();
+    if (restored.size() != data.size() ||
+        !std::equal(restored.begin(), restored.end(), data.begin())) {
+      throw Error("measure_codec: codec failed to round-trip");
+    }
+  }
+  return m;
+}
+
+}  // namespace acex

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "compress/codec.hpp"
+#include "util/clock.hpp"
+
+namespace acex {
+
+/// One measured compression run — the quantities the paper's figures are
+/// built from.
+struct CompressionMeasurement {
+  MethodId method = MethodId::kNone;
+  std::size_t original_size = 0;
+  std::size_t compressed_size = 0;
+  Seconds compress_time = 0;    ///< wall time of compress()
+  Seconds decompress_time = 0;  ///< wall time of decompress() (optional pass)
+
+  /// Compressed size as a percentage of the original — the y-axis of
+  /// Figs. 2 and 6 ("percents of compression"; lower is better).
+  double ratio_percent() const noexcept {
+    return original_size == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(compressed_size) /
+                     static_cast<double>(original_size);
+  }
+
+  /// Bytes removed from the stream per second of compression work — the
+  /// paper's "reducing speed" (Fig. 4), the core quantity its selection
+  /// algorithm compares against link speed. Zero when compression expands.
+  double reducing_speed() const noexcept {
+    if (compress_time <= 0 || compressed_size >= original_size) return 0.0;
+    return static_cast<double>(original_size - compressed_size) /
+           compress_time;
+  }
+
+  /// Compression throughput in bytes consumed per second.
+  double compress_throughput() const noexcept {
+    return compress_time > 0
+               ? static_cast<double>(original_size) / compress_time
+               : 0.0;
+  }
+};
+
+/// Run `codec` over `data` under `clock`, optionally timing the inverse
+/// direction too, and verify the round-trip (throws Error on mismatch —
+/// a measurement of a broken codec is worthless).
+CompressionMeasurement measure_codec(Codec& codec, ByteView data,
+                                     const Clock& clock,
+                                     bool include_decompress = true);
+
+}  // namespace acex

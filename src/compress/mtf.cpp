@@ -1,0 +1,45 @@
+#include "compress/mtf.hpp"
+
+#include <array>
+#include <numeric>
+
+namespace acex::mtf {
+namespace {
+
+std::array<std::uint8_t, 256> initial_list() {
+  std::array<std::uint8_t, 256> list{};
+  std::iota(list.begin(), list.end(), 0);
+  return list;
+}
+
+}  // namespace
+
+Bytes encode(ByteView input) {
+  auto list = initial_list();
+  Bytes out;
+  out.reserve(input.size());
+  for (const std::uint8_t byte : input) {
+    unsigned pos = 0;
+    while (list[pos] != byte) ++pos;
+    out.push_back(static_cast<std::uint8_t>(pos));
+    // Shift the prefix down one slot and move `byte` to the front.
+    for (unsigned i = pos; i > 0; --i) list[i] = list[i - 1];
+    list[0] = byte;
+  }
+  return out;
+}
+
+Bytes decode(ByteView input) {
+  auto list = initial_list();
+  Bytes out;
+  out.reserve(input.size());
+  for (const std::uint8_t pos : input) {
+    const std::uint8_t byte = list[pos];
+    out.push_back(byte);
+    for (unsigned i = pos; i > 0; --i) list[i] = list[i - 1];
+    list[0] = byte;
+  }
+  return out;
+}
+
+}  // namespace acex::mtf

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace acex::mtf {
+
+/// Move-to-front transform (§2.4 step 2): each byte is replaced by its
+/// current position in a 256-entry recency list, which is then rotated to
+/// put that byte at position 0. Localized data (like BWT output) becomes a
+/// stream dominated by small values.
+Bytes encode(ByteView input);
+
+/// Inverse move-to-front.
+Bytes decode(ByteView input);
+
+}  // namespace acex::mtf

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace acex {
+
+/// The "Don't Compress" branch of the §2.5 selection algorithm: a verbatim
+/// pass-through so the adaptive path can treat every choice uniformly.
+class NullCodec final : public Codec {
+ public:
+  MethodId id() const noexcept override { return MethodId::kNone; }
+
+  Bytes compress(ByteView input) override {
+    return Bytes(input.begin(), input.end());
+  }
+
+  Bytes decompress(ByteView input) override {
+    return Bytes(input.begin(), input.end());
+  }
+};
+
+}  // namespace acex

@@ -1,0 +1,118 @@
+#include "compress/quant_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "compress/lz77.hpp"
+#include "compress/registry.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex {
+namespace {
+
+std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t z) noexcept {
+  return static_cast<std::int64_t>((z >> 1) ^ (0 - (z & 1)));
+}
+
+}  // namespace
+
+FloatQuantCodec::FloatQuantCodec(double precision) : precision_(precision) {
+  if (!(precision > 0) || !std::isfinite(precision)) {
+    throw ConfigError("quant: precision must be positive and finite");
+  }
+}
+
+Bytes FloatQuantCodec::compress(ByteView input) {
+  if (input.size() % 4 != 0) {
+    throw ConfigError(
+        "quant: input must be a whole number of float32 values");
+  }
+  const std::size_t count = input.size() / 4;
+
+  // Quantize + delta + zigzag into a varint stream.
+  Bytes deltas;
+  deltas.reserve(count * 2);
+  std::int64_t previous = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    float v;
+    std::memcpy(&v, input.data() + i * 4, 4);
+    double scaled = static_cast<double>(v) / precision_;
+    if (!std::isfinite(scaled)) scaled = 0.0;  // NaN/inf quantize to zero
+    // Clamp so pathological values cannot overflow the integer grid.
+    scaled = std::clamp(scaled, -9.0e15, 9.0e15);
+    const auto q = static_cast<std::int64_t>(std::llround(scaled));
+    put_varint(deltas, zigzag(q - previous));
+    previous = q;
+  }
+
+  LempelZivCodec lz;
+  const Bytes packed = lz.compress(deltas);
+
+  Bytes out;
+  put_varint(out, count);
+  std::uint64_t precision_bits;
+  static_assert(sizeof precision_bits == sizeof precision_);
+  std::memcpy(&precision_bits, &precision_, sizeof precision_bits);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(precision_bits >> (8 * i)));
+  }
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+Bytes FloatQuantCodec::decompress(ByteView input) {
+  std::size_t pos = 0;
+  const std::uint64_t count = get_varint(input, &pos);
+  if (count > (std::uint64_t{1} << 34)) {
+    throw DecodeError("quant: implausible value count");
+  }
+  if (pos + 8 > input.size()) throw DecodeError("quant: truncated header");
+  std::uint64_t precision_bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    precision_bits |= static_cast<std::uint64_t>(input[pos + i]) << (8 * i);
+  }
+  pos += 8;
+  double precision;
+  std::memcpy(&precision, &precision_bits, sizeof precision);
+  if (!(precision > 0) || !std::isfinite(precision)) {
+    throw DecodeError("quant: corrupt precision field");
+  }
+
+  LempelZivCodec lz;
+  const Bytes deltas = lz.decompress(input.subspan(pos));
+
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(count) * 4);
+  std::size_t dpos = 0;
+  std::int64_t q = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    q += unzigzag(get_varint(deltas, &dpos));
+    const auto v = static_cast<float>(static_cast<double>(q) * precision);
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    for (int k = 0; k < 4; ++k) {
+      out.push_back(static_cast<std::uint8_t>(bits >> (8 * k)));
+    }
+  }
+  if (dpos != deltas.size()) {
+    throw DecodeError("quant: trailing delta bytes");
+  }
+  return out;
+}
+
+void register_float_quant(CodecRegistry& registry, double precision) {
+  FloatQuantCodec validate(precision);  // reject bad precision eagerly
+  registry.register_factory(FloatQuantCodec::kId, [precision] {
+    return CodecPtr(new FloatQuantCodec(precision));
+  });
+}
+
+}  // namespace acex

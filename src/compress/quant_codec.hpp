@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "compress/codec.hpp"
+#include "compress/registry.hpp"
+
+namespace acex {
+
+/// First MethodId value reserved for application-registered codecs. Built-in
+/// ids stay below; middleware deployments hand these out per application.
+inline constexpr std::uint8_t kFirstApplicationMethodId = 128;
+
+/// Application-specific LOSSY codec for float32 streams — the extension the
+/// paper's conclusions call for: "permitting end users to integrate their
+/// own, application-specific, lossy compression techniques into data
+/// streaming middleware" (§5), motivated by the molecular coordinates that
+/// defeat every lossless method (Fig. 6).
+///
+/// Scheme: each float is quantized to a grid of `precision` (bounding the
+/// absolute error by precision/2), delta-coded against its predecessor —
+/// trajectories and neighboring atoms are correlated — and the resulting
+/// zigzag varints are compressed with the Lempel-Ziv codec.
+///
+/// The input must be a whole number of float32 values (typical for PBIO
+/// fixed-layout payloads); anything else throws ConfigError, because
+/// silently treating structured floats as bytes would corrupt science.
+///
+/// Registered under MethodId 128 by convention (see register_float_quant),
+/// demonstrating §3.2's "a new compression method can be introduced at any
+/// time during a system's operation".
+class FloatQuantCodec final : public Codec {
+ public:
+  static constexpr MethodId kId =
+      static_cast<MethodId>(kFirstApplicationMethodId);
+
+  /// `precision` is the quantization grid (maximum absolute error is half
+  /// of it). Must be positive and finite.
+  explicit FloatQuantCodec(double precision = 1e-3);
+
+  MethodId id() const noexcept override { return kId; }
+  Bytes compress(ByteView input) override;
+  Bytes decompress(ByteView input) override;
+
+  double precision() const noexcept { return precision_; }
+
+ private:
+  double precision_;
+};
+
+/// Convenience: register a FloatQuantCodec factory under its conventional
+/// id in `registry` (both sender and receiver must do this — the §3.2
+/// deployment handshake).
+void register_float_quant(CodecRegistry& registry, double precision = 1e-3);
+
+}  // namespace acex

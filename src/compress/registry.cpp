@@ -1,0 +1,85 @@
+#include "compress/registry.hpp"
+
+#include "compress/arith.hpp"
+#include "compress/bwt_codec.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lz77.hpp"
+#include "compress/lzw.hpp"
+#include "compress/null_codec.hpp"
+#include "compress/zlib_codec.hpp"
+#include "util/error.hpp"
+
+namespace acex {
+
+CodecPtr make_codec(MethodId id) {
+  switch (id) {
+    case MethodId::kNone:
+      return std::make_unique<NullCodec>();
+    case MethodId::kHuffman:
+      return std::make_unique<HuffmanCodec>();
+    case MethodId::kArithmetic:
+      return std::make_unique<ArithmeticCodec>();
+    case MethodId::kLempelZiv:
+      return std::make_unique<LempelZivCodec>();
+    case MethodId::kBurrowsWheeler:
+      return std::make_unique<BurrowsWheelerCodec>();
+    case MethodId::kLzw:
+      return std::make_unique<LzwCodec>();
+    case MethodId::kZlib:
+#ifdef ACEX_HAVE_ZLIB
+      return std::make_unique<ZlibCodec>();
+#else
+      throw ConfigError("zlib codec not compiled in");
+#endif
+  }
+  throw ConfigError("unknown method id");
+}
+
+const std::vector<MethodId>& paper_methods() {
+  static const std::vector<MethodId> kMethods = {
+      MethodId::kBurrowsWheeler, MethodId::kLempelZiv, MethodId::kArithmetic,
+      MethodId::kHuffman};
+  return kMethods;
+}
+
+CodecRegistry CodecRegistry::with_builtins() {
+  CodecRegistry reg;
+  for (const MethodId id :
+       {MethodId::kNone, MethodId::kHuffman, MethodId::kArithmetic,
+        MethodId::kLempelZiv, MethodId::kBurrowsWheeler, MethodId::kLzw}) {
+    reg.register_factory(id, [id] { return make_codec(id); });
+  }
+  if (zlib_available()) {
+    reg.register_factory(MethodId::kZlib,
+                         [] { return make_codec(MethodId::kZlib); });
+  }
+  return reg;
+}
+
+void CodecRegistry::register_factory(MethodId id,
+                                     std::function<CodecPtr()> factory) {
+  if (!factory) throw ConfigError("codec factory must not be empty");
+  factories_[id] = std::move(factory);
+}
+
+CodecPtr CodecRegistry::create(MethodId id) const {
+  const auto it = factories_.find(id);
+  if (it == factories_.end()) {
+    throw ConfigError("no codec registered for id " +
+                      std::to_string(static_cast<int>(id)));
+  }
+  return it->second();
+}
+
+bool CodecRegistry::contains(MethodId id) const noexcept {
+  return factories_.find(id) != factories_.end();
+}
+
+std::vector<MethodId> CodecRegistry::methods() const {
+  std::vector<MethodId> out;
+  out.reserve(factories_.size());
+  for (const auto& [id, factory] : factories_) out.push_back(id);
+  return out;
+}
+
+}  // namespace acex

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace acex {
+
+/// Construct a fresh codec for one of the built-in methods. Throws
+/// ConfigError for MethodId::kZlib when zlib support was not compiled in.
+CodecPtr make_codec(MethodId id);
+
+/// The four methods the paper's selection algorithm chooses among, in the
+/// order Figs. 2–4 report them.
+const std::vector<MethodId>& paper_methods();
+
+/// Runtime codec registry. Mirrors the middleware property §3.2 relies on:
+/// "a new compression method can be introduced at any time during a
+/// system's operation" — receivers look codecs up by wire id, and
+/// applications may register additional factories under ids >= 128.
+class CodecRegistry {
+ public:
+  /// A registry pre-populated with every built-in method.
+  static CodecRegistry with_builtins();
+
+  /// Register (or replace) a factory for `id`.
+  void register_factory(MethodId id, std::function<CodecPtr()> factory);
+
+  /// Instantiate a codec; throws ConfigError for unregistered ids.
+  CodecPtr create(MethodId id) const;
+
+  bool contains(MethodId id) const noexcept;
+
+  /// All registered method ids, ascending.
+  std::vector<MethodId> methods() const;
+
+ private:
+  std::map<MethodId, std::function<CodecPtr()>> factories_;
+};
+
+}  // namespace acex

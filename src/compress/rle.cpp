@@ -1,0 +1,97 @@
+#include "compress/rle.hpp"
+
+#include "util/error.hpp"
+
+namespace acex::rle {
+namespace {
+
+/// Map arbitrary bytes into the sentinel-free alphabet 0..254.
+Bytes escape(ByteView input) {
+  Bytes out;
+  out.reserve(input.size() + input.size() / 64);
+  for (const std::uint8_t b : input) {
+    if (b >= kEscape) {
+      out.push_back(kEscape);
+      out.push_back(static_cast<std::uint8_t>(b - kEscape));  // 0 or 1
+    } else {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+Bytes unescape(ByteView input) {
+  Bytes out;
+  out.reserve(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint8_t b = input[i];
+    if (b == kSentinel) throw DecodeError("rle: sentinel inside payload");
+    if (b == kEscape) {
+      if (++i >= input.size()) throw DecodeError("rle: truncated escape");
+      const std::uint8_t which = input[i];
+      if (which > 1) throw DecodeError("rle: invalid escape payload");
+      out.push_back(static_cast<std::uint8_t>(kEscape + which));
+    } else {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes encode(ByteView input) {
+  const Bytes esc = escape(input);
+  Bytes out;
+  out.reserve(esc.size());
+  std::size_t i = 0;
+  while (i < esc.size()) {
+    const std::uint8_t b = esc[i];
+    std::size_t run = 1;
+    while (i + run < esc.size() && esc[i + run] == b) ++run;
+    i += run;
+    while (run > 0) {
+      if (run >= kRunTrigger) {
+        const std::size_t extra =
+            std::min<std::size_t>(run - kRunTrigger, kMaxExtra);
+        out.insert(out.end(), kRunTrigger, b);
+        out.push_back(static_cast<std::uint8_t>(extra));
+        run -= kRunTrigger + extra;
+      } else {
+        out.insert(out.end(), run, b);
+        run = 0;
+      }
+    }
+  }
+  return out;
+}
+
+Bytes decode(ByteView input) {
+  Bytes escaped;
+  escaped.reserve(input.size());
+  std::size_t consecutive = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const std::uint8_t b = input[i];
+    if (b == kSentinel) throw DecodeError("rle: sentinel inside payload");
+    if (consecutive == kRunTrigger) {
+      // `b` is the extra-repeat count for the run just seen.
+      if (b > kMaxExtra) throw DecodeError("rle: run count out of range");
+      const std::uint8_t run_byte = escaped.back();  // copy: insert may realloc
+      escaped.insert(escaped.end(), b, run_byte);
+      consecutive = 0;
+      continue;
+    }
+    if (!escaped.empty() && escaped.back() == b) {
+      ++consecutive;
+    } else {
+      consecutive = 1;
+    }
+    escaped.push_back(b);
+  }
+  if (consecutive == kRunTrigger) {
+    throw DecodeError("rle: truncated run count");
+  }
+  return unescape(escaped);
+}
+
+}  // namespace acex::rle

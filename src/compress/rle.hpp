@@ -1,0 +1,31 @@
+#pragma once
+
+#include "util/bytes.hpp"
+
+namespace acex::rle {
+
+/// Capped run-length coding (§2.4 step 3, with the paper's adaptation).
+///
+/// The paper reserves byte 255 as an end-of-chunk sentinel by capping run
+/// lengths at 254. That alone is not sufficient for arbitrary inputs — an
+/// MTF index of 255 can legitimately occur — so this implementation first
+/// escapes the values 254/255 through a 254-prefix (254,0 -> 254; 254,1 ->
+/// 255) and only then run-length codes. The guarantee callers rely on:
+/// **encode() output never contains byte 255**, so 255 can frame chunks.
+///
+/// Run coding: four identical consecutive bytes are followed by one count
+/// byte (0..250) of additional repeats, bounding any run's encoded extent
+/// at 254 source bytes per unit, per the paper.
+inline constexpr std::uint8_t kSentinel = 255;
+inline constexpr std::uint8_t kEscape = 254;
+inline constexpr unsigned kRunTrigger = 4;
+inline constexpr unsigned kMaxExtra = 250;
+
+/// Encode; output is sentinel-free (never contains 255).
+Bytes encode(ByteView input);
+
+/// Decode; throws DecodeError on malformed escapes, truncated runs, or a
+/// stray sentinel byte inside the payload.
+Bytes decode(ByteView input);
+
+}  // namespace acex::rle

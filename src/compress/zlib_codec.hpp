@@ -1,0 +1,31 @@
+#pragma once
+
+#include "compress/codec.hpp"
+
+namespace acex {
+
+#ifdef ACEX_HAVE_ZLIB
+
+/// Thin wrapper over zlib's deflate, used ONLY as an external comparator in
+/// benches (it is not one of the paper's methods; see DESIGN.md §1). Lets
+/// EXPERIMENTS.md sanity-check our from-scratch LZ against a production
+/// implementation of the same family.
+class ZlibCodec final : public Codec {
+ public:
+  /// `level` is zlib's 1..9 compression level.
+  explicit ZlibCodec(int level = 6);
+
+  MethodId id() const noexcept override { return MethodId::kZlib; }
+  Bytes compress(ByteView input) override;
+  Bytes decompress(ByteView input) override;
+
+ private:
+  int level_;
+};
+
+#endif  // ACEX_HAVE_ZLIB
+
+/// True when this build can instantiate MethodId::kZlib.
+bool zlib_available() noexcept;
+
+}  // namespace acex

@@ -1,0 +1,170 @@
+#include "echo/attributes.hpp"
+
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex::echo {
+namespace {
+
+constexpr std::size_t kMaxAttrs = 4096;
+constexpr std::size_t kMaxNameLength = 1024;
+constexpr std::size_t kMaxValueLength = 1 << 24;
+
+void put_string(Bytes& out, std::string_view s) {
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string read_wire_string(ByteView in, std::size_t* pos,
+                             std::size_t limit) {
+  const std::uint64_t len = get_varint(in, pos);
+  if (len > limit || *pos + len > in.size()) {
+    throw DecodeError("attributes: truncated or oversized string");
+  }
+  std::string s(reinterpret_cast<const char*>(in.data() + *pos),
+                static_cast<std::size_t>(len));
+  *pos += len;
+  return s;
+}
+
+}  // namespace
+
+void AttributeMap::set(std::string name, AttrValue value) {
+  if (name.empty()) throw ConfigError("attribute name must not be empty");
+  attrs_.insert_or_assign(std::move(name), std::move(value));
+}
+
+bool AttributeMap::has(std::string_view name) const noexcept {
+  return attrs_.find(name) != attrs_.end();
+}
+
+void AttributeMap::erase(std::string_view name) noexcept {
+  const auto it = attrs_.find(name);
+  if (it != attrs_.end()) attrs_.erase(it);
+}
+
+std::optional<std::int64_t> AttributeMap::get_int(
+    std::string_view name) const noexcept {
+  const auto it = attrs_.find(name);
+  if (it == attrs_.end()) return std::nullopt;
+  if (const auto* p = std::get_if<std::int64_t>(&it->second)) return *p;
+  return std::nullopt;
+}
+
+std::optional<double> AttributeMap::get_double(
+    std::string_view name) const noexcept {
+  const auto it = attrs_.find(name);
+  if (it == attrs_.end()) return std::nullopt;
+  if (const auto* p = std::get_if<double>(&it->second)) return *p;
+  return std::nullopt;
+}
+
+std::optional<std::string> AttributeMap::get_string(
+    std::string_view name) const {
+  const auto it = attrs_.find(name);
+  if (it == attrs_.end()) return std::nullopt;
+  if (const auto* p = std::get_if<std::string>(&it->second)) return *p;
+  return std::nullopt;
+}
+
+std::optional<Bytes> AttributeMap::get_bytes(std::string_view name) const {
+  const auto it = attrs_.find(name);
+  if (it == attrs_.end()) return std::nullopt;
+  if (const auto* p = std::get_if<Bytes>(&it->second)) return *p;
+  return std::nullopt;
+}
+
+void AttributeMap::merge(const AttributeMap& other) {
+  for (const auto& [name, value] : other.attrs_) {
+    attrs_.insert_or_assign(name, value);
+  }
+}
+
+void AttributeMap::serialize(Bytes& out) const {
+  put_varint(out, attrs_.size());
+  for (const auto& [name, value] : attrs_) {
+    put_string(out, name);
+    out.push_back(static_cast<std::uint8_t>(value.index()));
+    switch (value.index()) {
+      case 0: {  // int64: zigzag varint
+        const auto v = std::get<std::int64_t>(value);
+        const std::uint64_t zz =
+            (static_cast<std::uint64_t>(v) << 1) ^
+            static_cast<std::uint64_t>(v >> 63);
+        put_varint(out, zz);
+        break;
+      }
+      case 1: {  // double: 8 raw little-endian bytes
+        const double d = std::get<double>(value);
+        std::uint64_t bits;
+        static_assert(sizeof bits == sizeof d);
+        __builtin_memcpy(&bits, &d, sizeof bits);
+        for (int i = 0; i < 8; ++i) {
+          out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+        }
+        break;
+      }
+      case 2:
+        put_string(out, std::get<std::string>(value));
+        break;
+      case 3: {
+        const Bytes& b = std::get<Bytes>(value);
+        put_varint(out, b.size());
+        out.insert(out.end(), b.begin(), b.end());
+        break;
+      }
+    }
+  }
+}
+
+AttributeMap AttributeMap::deserialize(ByteView in, std::size_t* pos) {
+  AttributeMap map;
+  const std::uint64_t count = get_varint(in, pos);
+  if (count > kMaxAttrs) throw DecodeError("attributes: too many entries");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_wire_string(in, pos, kMaxNameLength);
+    if (*pos >= in.size()) throw DecodeError("attributes: truncated type");
+    const std::uint8_t type = in[(*pos)++];
+    switch (type) {
+      case 0: {
+        const std::uint64_t zz = get_varint(in, pos);
+        const auto v = static_cast<std::int64_t>((zz >> 1) ^
+                                                 (0 - (zz & 1)));
+        map.set(std::move(name), v);
+        break;
+      }
+      case 1: {
+        if (*pos + 8 > in.size()) {
+          throw DecodeError("attributes: truncated double");
+        }
+        std::uint64_t bits = 0;
+        for (int k = 0; k < 8; ++k) {
+          bits |= static_cast<std::uint64_t>(in[*pos + k]) << (8 * k);
+        }
+        *pos += 8;
+        double d;
+        __builtin_memcpy(&d, &bits, sizeof d);
+        map.set(std::move(name), d);
+        break;
+      }
+      case 2:
+        map.set(std::move(name), read_wire_string(in, pos, kMaxValueLength));
+        break;
+      case 3: {
+        const std::uint64_t len = get_varint(in, pos);
+        if (len > kMaxValueLength || *pos + len > in.size()) {
+          throw DecodeError("attributes: truncated bytes value");
+        }
+        const auto body = in.subspan(*pos, static_cast<std::size_t>(len));
+        *pos += static_cast<std::size_t>(len);
+        map.set(std::move(name), Bytes(body.begin(), body.end()));
+        break;
+      }
+      default:
+        throw DecodeError("attributes: unknown value type");
+    }
+  }
+  return map;
+}
+
+}  // namespace acex::echo

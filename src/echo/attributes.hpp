@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "util/bytes.hpp"
+
+namespace acex::echo {
+
+/// Value of a quality attribute.
+using AttrValue = std::variant<std::int64_t, double, std::string, Bytes>;
+
+/// ECho's "globally named and interpreted quality attributes" (§3.1):
+/// typed key-value metadata that travels with events and with control
+/// messages across address spaces. The adaptive layer uses them to carry
+/// the compression method id, measured accept rates, and method-change
+/// requests between consumers and producers.
+class AttributeMap {
+ public:
+  void set(std::string name, AttrValue value);
+  void set_int(std::string name, std::int64_t v) { set(std::move(name), v); }
+  void set_double(std::string name, double v) { set(std::move(name), v); }
+  void set_string(std::string name, std::string v) {
+    set(std::move(name), std::move(v));
+  }
+  void set_bytes(std::string name, Bytes v) { set(std::move(name), std::move(v)); }
+
+  bool has(std::string_view name) const noexcept;
+  void erase(std::string_view name) noexcept;
+  std::size_t size() const noexcept { return attrs_.size(); }
+  bool empty() const noexcept { return attrs_.empty(); }
+
+  /// Typed reads; std::nullopt when absent or of a different type.
+  std::optional<std::int64_t> get_int(std::string_view name) const noexcept;
+  std::optional<double> get_double(std::string_view name) const noexcept;
+  std::optional<std::string> get_string(std::string_view name) const;
+  std::optional<Bytes> get_bytes(std::string_view name) const;
+
+  /// Copy every attribute of `other` into this map (overwriting).
+  void merge(const AttributeMap& other);
+
+  /// Wire form used by the remote channel bridge: varint count, then per
+  /// attribute a name string, a type byte, and the value.
+  void serialize(Bytes& out) const;
+  static AttributeMap deserialize(ByteView in, std::size_t* pos);
+
+  bool operator==(const AttributeMap&) const = default;
+
+  const std::map<std::string, AttrValue, std::less<>>& items() const noexcept {
+    return attrs_;
+  }
+
+ private:
+  std::map<std::string, AttrValue, std::less<>> attrs_;
+};
+
+}  // namespace acex::echo

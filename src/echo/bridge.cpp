@@ -1,0 +1,76 @@
+#include "echo/bridge.hpp"
+
+#include "util/error.hpp"
+
+namespace acex::echo {
+namespace {
+
+// Message discriminators on the bridged transport.
+constexpr std::uint8_t kMsgEvent = 0;
+constexpr std::uint8_t kMsgControl = 1;
+
+Bytes wrap(std::uint8_t kind, ByteView body) {
+  Bytes out;
+  out.reserve(body.size() + 1);
+  out.push_back(kind);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+ChannelSender::ChannelSender(EventChannel& channel,
+                             transport::Transport& transport)
+    : channel_(&channel), transport_(&transport) {
+  tap_ = channel_->subscribe([this](const Event& event) {
+    transport_->send(wrap(kMsgEvent, serialize_event(event)));
+    ++forwarded_;
+  });
+}
+
+ChannelSender::~ChannelSender() { channel_->unsubscribe(tap_); }
+
+std::size_t ChannelSender::pump_control() {
+  std::size_t applied = 0;
+  while (auto message = transport_->receive()) {
+    if (message->empty()) throw DecodeError("bridge: empty message");
+    const ByteView body = ByteView(*message).subspan(1);
+    if ((*message)[0] == kMsgControl) {
+      std::size_t pos = 0;
+      const AttributeMap attrs = AttributeMap::deserialize(body, &pos);
+      channel_->signal_control(attrs);
+      ++applied;
+    }
+    // Event messages arriving at the producer side are a protocol error,
+    // but tolerating them keeps loopback tests simple: ignore.
+  }
+  return applied;
+}
+
+ChannelReceiver::ChannelReceiver(EventChannel& channel,
+                                 transport::Transport& transport)
+    : channel_(&channel), transport_(&transport) {}
+
+std::size_t ChannelReceiver::poll(std::size_t max_events) {
+  std::size_t delivered = 0;
+  while (delivered < max_events) {
+    const auto message = transport_->receive();
+    if (!message) break;
+    if (message->empty()) throw DecodeError("bridge: empty message");
+    const ByteView body = ByteView(*message).subspan(1);
+    if ((*message)[0] == kMsgEvent) {
+      channel_->submit(deserialize_event(body));
+      ++received_;
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+void ChannelReceiver::signal_control(const AttributeMap& attrs) {
+  Bytes body;
+  attrs.serialize(body);
+  transport_->send(wrap(kMsgControl, body));
+}
+
+}  // namespace acex::echo

@@ -1,0 +1,66 @@
+#pragma once
+
+#include "echo/channel.hpp"
+#include "transport/transport.hpp"
+
+namespace acex::echo {
+
+/// Bridges one EventChannel across a Transport, extending the channel
+/// abstraction over a (possibly emulated) network: ECho's channels are
+/// "distributed entities, with bookkeeping shared between all processes
+/// where they are referenced" (§3.1).
+///
+/// Producer side. Subscribes to a local channel and forwards every event
+/// over the transport; control messages arriving from the remote side are
+/// replayed onto the local channel's control path, so a remote consumer
+/// can steer a local producer (e.g. request a compression-method change).
+class ChannelSender {
+ public:
+  /// Both `channel` and `transport` must outlive the sender.
+  ChannelSender(EventChannel& channel, transport::Transport& transport);
+  ~ChannelSender();
+
+  ChannelSender(const ChannelSender&) = delete;
+  ChannelSender& operator=(const ChannelSender&) = delete;
+
+  /// Drain pending control messages from the remote side (non-blocking for
+  /// SimTransport; for TcpTransport call from the producer's loop thread).
+  /// Returns the number of control messages applied.
+  std::size_t pump_control();
+
+  std::uint64_t events_forwarded() const noexcept { return forwarded_; }
+
+ private:
+  EventChannel* channel_;
+  transport::Transport* transport_;
+  SubscriberId tap_ = 0;
+  std::uint64_t forwarded_ = 0;
+};
+
+/// Consumer side. Call poll() to pull remote events into the local
+/// channel; use signal_control() to send quality attributes upstream.
+class ChannelReceiver {
+ public:
+  ChannelReceiver(EventChannel& channel, transport::Transport& transport);
+
+  ChannelReceiver(const ChannelReceiver&) = delete;
+  ChannelReceiver& operator=(const ChannelReceiver&) = delete;
+
+  /// Receive at most `max_events` events (default: drain everything
+  /// available), submitting each into the local channel. Returns how many
+  /// events were delivered. Returns early when the transport reports no
+  /// message / closed.
+  std::size_t poll(std::size_t max_events = SIZE_MAX);
+
+  /// Send quality attributes upstream to the producer-side bridge.
+  void signal_control(const AttributeMap& attrs);
+
+  std::uint64_t events_received() const noexcept { return received_; }
+
+ private:
+  EventChannel* channel_;
+  transport::Transport* transport_;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace acex::echo

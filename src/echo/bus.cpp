@@ -1,0 +1,93 @@
+#include "echo/bus.hpp"
+
+#include "util/error.hpp"
+
+namespace acex::echo {
+
+ChannelId EventBus::create_channel(std::string name) {
+  if (has(name)) throw ConfigError("channel name already in use: " + name);
+  const ChannelId id = next_id_++;
+  Node node;
+  node.channel = std::make_unique<EventChannel>(std::move(name));
+  channels_.emplace(id, std::move(node));
+  return id;
+}
+
+EventBus::Node& EventBus::node(ChannelId id) {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    throw ConfigError("unknown channel id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+EventChannel& EventBus::channel(ChannelId id) { return *node(id).channel; }
+
+const EventChannel& EventBus::channel(ChannelId id) const {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) {
+    throw ConfigError("unknown channel id " + std::to_string(id));
+  }
+  return *it->second.channel;
+}
+
+ChannelId EventBus::find(std::string_view name) const {
+  for (const auto& [id, n] : channels_) {
+    if (n.channel->name() == name) return id;
+  }
+  throw ConfigError("no channel named " + std::string(name));
+}
+
+bool EventBus::has(std::string_view name) const noexcept {
+  for (const auto& [id, n] : channels_) {
+    if (n.channel->name() == name) return true;
+  }
+  return false;
+}
+
+ChannelId EventBus::derive_channel(ChannelId source, EventHandler handler,
+                                   std::string name) {
+  if (!handler) throw ConfigError("derive_channel: handler must not be empty");
+  EventChannel& src = channel(source);  // validates source id
+  const ChannelId id = create_channel(std::move(name));
+  EventChannel& derived = *node(id).channel;
+
+  // Data path: source -> handler -> derived.
+  const SubscriberId tap = src.subscribe(
+      [&derived, handler = std::move(handler)](const Event& event) {
+        std::optional<Event> transformed = handler(event);
+        if (transformed) derived.submit(*std::move(transformed));
+      });
+
+  // Control path: consumer signals on the derived channel reach the
+  // original producer.
+  EventChannel* src_ptr = &src;
+  const SubscriberId control_tap = derived.on_control(
+      [src_ptr](const AttributeMap& attrs) { src_ptr->signal_control(attrs); });
+
+  Node& n = node(id);
+  n.source = source;
+  n.tap = tap;
+  n.control_tap = control_tap;
+  n.derived = true;
+  return id;
+}
+
+void EventBus::remove_channel(ChannelId id) {
+  Node& n = node(id);
+  if (n.derived) {
+    const auto src_it = channels_.find(n.source);
+    if (src_it != channels_.end()) {
+      src_it->second.channel->unsubscribe(n.tap);
+    }
+    n.channel->remove_control(n.control_tap);
+  }
+  // Detach any channels derived FROM this one: their taps die with the
+  // channel object, so just clear their back-references.
+  for (auto& [cid, other] : channels_) {
+    if (other.derived && other.source == id) other.derived = false;
+  }
+  channels_.erase(id);
+}
+
+}  // namespace acex::echo

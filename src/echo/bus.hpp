@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "echo/channel.hpp"
+
+namespace acex::echo {
+
+/// Identifies a channel within one EventBus.
+using ChannelId = std::uint64_t;
+
+/// The channel space of one process — ECho's registry through which
+/// producers and consumers are matched by channel, plus the §3.2 derivation
+/// operation: creating a new channel whose events are the source channel's
+/// events passed through a handler (e.g. a compression handler), taken "by
+/// event consumers" without touching the producer.
+class EventBus {
+ public:
+  EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Create a channel; names must be unique within the bus.
+  ChannelId create_channel(std::string name);
+
+  /// Throws ConfigError for unknown ids.
+  EventChannel& channel(ChannelId id);
+  const EventChannel& channel(ChannelId id) const;
+
+  /// Find by name; throws ConfigError when absent.
+  ChannelId find(std::string_view name) const;
+  bool has(std::string_view name) const noexcept;
+
+  std::size_t channel_count() const noexcept { return channels_.size(); }
+
+  /// §3.2: derive a new channel from `source` through `handler`. Every
+  /// event submitted to the source is run through the handler and, unless
+  /// filtered, submitted to the derived channel. Control attributes
+  /// signalled on the derived channel propagate back to the source, so a
+  /// consumer of the derived channel can still reach the original producer.
+  ChannelId derive_channel(ChannelId source, EventHandler handler,
+                           std::string name);
+
+  /// Remove a channel (and detach its derivation tap, if any). Events
+  /// already in flight are unaffected; unknown ids throw ConfigError.
+  void remove_channel(ChannelId id);
+
+ private:
+  struct Node {
+    std::unique_ptr<EventChannel> channel;
+    // Set when this channel was derived: which channel feeds it and the
+    // subscription/control hooks to tear down on removal.
+    ChannelId source = 0;
+    SubscriberId tap = 0;
+    SubscriberId control_tap = 0;
+    bool derived = false;
+  };
+
+  Node& node(ChannelId id);
+
+  std::map<ChannelId, Node> channels_;
+  ChannelId next_id_ = 1;
+};
+
+}  // namespace acex::echo

@@ -1,0 +1,88 @@
+#include "echo/channel.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex::echo {
+
+Bytes serialize_event(const Event& event) {
+  Bytes out;
+  event.attributes.serialize(out);
+  put_varint(out, event.payload.size());
+  out.insert(out.end(), event.payload.begin(), event.payload.end());
+  return out;
+}
+
+Event deserialize_event(ByteView in) {
+  std::size_t pos = 0;
+  Event event;
+  event.attributes = AttributeMap::deserialize(in, &pos);
+  const std::uint64_t size = get_varint(in, &pos);
+  if (pos + size != in.size()) {
+    throw DecodeError("event: payload size mismatch");
+  }
+  const auto body = in.subspan(pos);
+  event.payload.assign(body.begin(), body.end());
+  return event;
+}
+
+EventChannel::EventChannel(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw ConfigError("channel name must not be empty");
+}
+
+SubscriberId EventChannel::subscribe(EventSink sink) {
+  if (!sink) throw ConfigError("subscriber sink must not be empty");
+  const SubscriberId id = next_id_++;
+  sinks_.push_back({id, std::move(sink)});
+  return id;
+}
+
+void EventChannel::unsubscribe(SubscriberId id) noexcept {
+  std::erase_if(sinks_, [id](const auto& e) { return e.id == id; });
+}
+
+std::size_t EventChannel::subscriber_count() const noexcept {
+  return sinks_.size();
+}
+
+void EventChannel::submit(Event event) {
+  ++events_;
+  bytes_ += event.payload.size();
+  // Snapshot ids so a sink that (un)subscribes during dispatch cannot
+  // invalidate the iteration.
+  std::vector<SubscriberId> ids;
+  ids.reserve(sinks_.size());
+  for (const auto& e : sinks_) ids.push_back(e.id);
+  for (const SubscriberId id : ids) {
+    const auto it = std::find_if(sinks_.begin(), sinks_.end(),
+                                 [id](const auto& e) { return e.id == id; });
+    if (it != sinks_.end()) it->callback(event);
+  }
+}
+
+SubscriberId EventChannel::on_control(ControlSink sink) {
+  if (!sink) throw ConfigError("control sink must not be empty");
+  const SubscriberId id = next_id_++;
+  control_sinks_.push_back({id, std::move(sink)});
+  return id;
+}
+
+void EventChannel::remove_control(SubscriberId id) noexcept {
+  std::erase_if(control_sinks_, [id](const auto& e) { return e.id == id; });
+}
+
+void EventChannel::signal_control(const AttributeMap& attrs) {
+  std::vector<SubscriberId> ids;
+  ids.reserve(control_sinks_.size());
+  for (const auto& e : control_sinks_) ids.push_back(e.id);
+  for (const SubscriberId id : ids) {
+    const auto it =
+        std::find_if(control_sinks_.begin(), control_sinks_.end(),
+                     [id](const auto& e) { return e.id == id; });
+    if (it != control_sinks_.end()) it->callback(attrs);
+  }
+}
+
+}  // namespace acex::echo

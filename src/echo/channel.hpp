@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "echo/event.hpp"
+
+namespace acex::echo {
+
+/// Consumer callback: receives each event submitted to the channel.
+using EventSink = std::function<void(const Event&)>;
+
+/// Data-path computation applied to events in flight (§3.1 "handlers").
+/// "Handlers may transform events, reduce their sizes or enhance the
+/// information they contain, and they can even prevent events from being
+/// transported" — returning std::nullopt drops the event.
+using EventHandler = std::function<std::optional<Event>(Event)>;
+
+/// Control-path callback at the producer side: invoked when a consumer
+/// signals attributes upstream (how the adaptive consumer asks the source
+/// to change compression method, §3.2).
+using ControlSink = std::function<void(const AttributeMap&)>;
+
+/// Identifies a subscription within one channel.
+using SubscriberId = std::uint64_t;
+
+/// A publish/subscribe event channel (§3.1). Producers submit() events;
+/// every currently subscribed consumer's sink runs synchronously, in
+/// subscription order. Subscription is anonymous: producers never learn who
+/// consumes (which is why method changes flow through derivation or control
+/// attributes rather than producer-side per-consumer state).
+///
+/// Not thread-safe by design: ECho-style channels belong to one dispatch
+/// context; bridge remote consumers with ChannelSender/ChannelReceiver.
+class EventChannel {
+ public:
+  explicit EventChannel(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  SubscriberId subscribe(EventSink sink);
+  /// Unknown ids are ignored (idempotent unsubscribe).
+  void unsubscribe(SubscriberId id) noexcept;
+  std::size_t subscriber_count() const noexcept;
+
+  /// Deliver an event to all subscribers.
+  void submit(Event event);
+
+  /// Register a producer-side control callback.
+  SubscriberId on_control(ControlSink sink);
+  void remove_control(SubscriberId id) noexcept;
+
+  /// Consumer -> producer signalling via quality attributes.
+  void signal_control(const AttributeMap& attrs);
+
+  // -- statistics the benches and adaptive layer read --
+  std::uint64_t events_submitted() const noexcept { return events_; }
+  std::uint64_t bytes_submitted() const noexcept { return bytes_; }
+
+ private:
+  template <typename T>
+  struct Entry {
+    SubscriberId id;
+    T callback;
+  };
+
+  std::string name_;
+  std::vector<Entry<EventSink>> sinks_;
+  std::vector<Entry<ControlSink>> control_sinks_;
+  SubscriberId next_id_ = 1;
+  std::uint64_t events_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace acex::echo

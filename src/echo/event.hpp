@@ -1,0 +1,27 @@
+#pragma once
+
+#include "echo/attributes.hpp"
+#include "util/bytes.hpp"
+
+namespace acex::echo {
+
+/// One unit of middleware traffic: an opaque payload plus its quality
+/// attributes. Payloads are bytes — applications layer PBIO or any other
+/// encoding on top, and compression handlers rewrite the payload while
+/// annotating the attributes.
+struct Event {
+  Bytes payload;
+  AttributeMap attributes;
+
+  Event() = default;
+  explicit Event(Bytes p) : payload(std::move(p)) {}
+  Event(Bytes p, AttributeMap a)
+      : payload(std::move(p)), attributes(std::move(a)) {}
+};
+
+/// Wire form used by the remote bridge: attributes, then varint payload
+/// size + payload.
+Bytes serialize_event(const Event& event);
+Event deserialize_event(ByteView in);
+
+}  // namespace acex::echo

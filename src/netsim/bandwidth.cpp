@@ -1,0 +1,29 @@
+#include "netsim/bandwidth.hpp"
+
+#include <algorithm>
+
+namespace acex::netsim {
+
+BandwidthEstimator::BandwidthEstimator(double alpha, std::size_t window)
+    : ewma_(alpha), window_(window) {}
+
+void BandwidthEstimator::record(std::size_t bytes, Seconds elapsed) noexcept {
+  if (elapsed <= 0) return;
+  const double rate = static_cast<double>(bytes) / elapsed;
+  ewma_.add(rate);
+  window_.add(rate);
+  ++samples_;
+}
+
+double BandwidthEstimator::estimate_or(double fallback) const noexcept {
+  if (!ewma_.has_value()) return fallback;
+  return std::min(ewma_.value_or(fallback), window_.mean());
+}
+
+void BandwidthEstimator::reset() noexcept {
+  ewma_.reset();
+  window_ = SlidingWindow(8);
+  samples_ = 0;
+}
+
+}  // namespace acex::netsim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "util/clock.hpp"
+#include "util/stats.hpp"
+
+namespace acex::netsim {
+
+/// End-to-end throughput estimator. §2.5: "Also continually measured is
+/// the speed with which compressed blocks are accepted by receivers,
+/// thereby assessing both current network bandwidth and receiver speed."
+///
+/// Every delivered block contributes one sample (bytes / seconds). The
+/// estimate blends an EWMA (fast reaction to load changes) with a short
+/// sliding window (robustness to single-outlier jitter): the *minimum* of
+/// the two, because over-estimating bandwidth makes the selector skip
+/// compression exactly when it is needed most.
+class BandwidthEstimator {
+ public:
+  /// `alpha`: EWMA weight of the newest sample; `window`: sliding-window
+  /// sample count.
+  explicit BandwidthEstimator(double alpha = 0.35, std::size_t window = 8);
+
+  /// Record that `bytes` were accepted by the receiver in `elapsed`
+  /// seconds. Non-positive durations are ignored.
+  void record(std::size_t bytes, Seconds elapsed) noexcept;
+
+  /// Current estimate in bytes/second, or `fallback` before any sample.
+  double estimate_or(double fallback) const noexcept;
+
+  bool has_estimate() const noexcept { return ewma_.has_value(); }
+
+  std::size_t sample_count() const noexcept { return samples_; }
+
+  void reset() noexcept;
+
+ private:
+  Ewma ewma_;
+  SlidingWindow window_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace acex::netsim

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compress/metrics.hpp"
+
+namespace acex::netsim {
+
+/// A relative CPU-speed profile. The paper measured reducing speeds on two
+/// hosts (Fig. 4: a Sun-Fire-280R / UltraSPARC-III and an Ultra-Sparc /
+/// UltraSPARC-II). We cannot run on those machines, so benches measure on
+/// the build host and scale by a fixed per-profile factor — Fig. 4's
+/// content is the *ratio* between methods and between hosts, which scaling
+/// preserves (DESIGN.md §2).
+struct CpuModel {
+  std::string name;
+  double speed_factor = 1.0;  ///< relative to the build host
+
+  /// Rescale a measurement as if it ran on this CPU: times divide by the
+  /// speed factor; sizes are unchanged.
+  CompressionMeasurement apply(CompressionMeasurement m) const noexcept {
+    m.compress_time /= speed_factor;
+    m.decompress_time /= speed_factor;
+    return m;
+  }
+};
+
+/// The faster of the paper's two hosts, taken as the baseline profile.
+inline CpuModel sun_fire_280r() { return {"Sun-Fire-280R", 1.0}; }
+
+/// The slower host. Fig. 4 shows its reducing speeds at roughly 0.45x the
+/// Sun-Fire's across methods.
+inline CpuModel ultra_sparc() { return {"Ultra-Sparc", 0.45}; }
+
+inline std::vector<CpuModel> figure4_cpus() {
+  return {sun_fire_280r(), ultra_sparc()};
+}
+
+}  // namespace acex::netsim

@@ -1,0 +1,97 @@
+#include "netsim/load_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace acex::netsim {
+
+LoadTrace::LoadTrace(std::vector<Point> points) : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (!(points_[i].time > points_[i - 1].time)) {
+      throw ConfigError("LoadTrace: times must be strictly increasing");
+    }
+  }
+  for (const auto& p : points_) {
+    if (p.value < 0) throw ConfigError("LoadTrace: negative load");
+  }
+}
+
+double LoadTrace::value_at(double t) const noexcept {
+  if (points_.empty() || t < points_.front().time) return 0.0;
+  // Last point with time <= t.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double lhs, const Point& rhs) { return lhs < rhs.time; });
+  return std::prev(it)->value;
+}
+
+double LoadTrace::duration() const noexcept {
+  return points_.empty() ? 0.0 : points_.back().time;
+}
+
+double LoadTrace::peak() const noexcept {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+LoadTrace LoadTrace::scaled(double factor) const {
+  std::vector<Point> scaled_points = points_;
+  for (auto& p : scaled_points) p.value *= factor;
+  return LoadTrace(std::move(scaled_points));
+}
+
+LoadTrace LoadTrace::time_scaled(double factor) const {
+  if (!(factor > 0)) throw ConfigError("LoadTrace: time factor must be > 0");
+  std::vector<Point> scaled_points = points_;
+  for (auto& p : scaled_points) p.time *= factor;
+  return LoadTrace(std::move(scaled_points));
+}
+
+LoadTrace LoadTrace::parse(const std::string& text) {
+  std::vector<Point> points;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    Point p{};
+    if (!(fields >> p.time >> p.value)) {
+      throw ConfigError("LoadTrace: malformed line: " + line);
+    }
+    points.push_back(p);
+  }
+  return LoadTrace(std::move(points));
+}
+
+const LoadTrace& mbone_trace() {
+  // Synthesized to match Fig. 7: 0–160 s, near-zero start, a shoulder
+  // around t = 30–55 s, peak of ~17 connections at t = 60–100 s, decay with
+  // small rebounds. Piecewise-constant at ~2 s steps like membership
+  // snapshots.
+  static const LoadTrace kTrace = [] {
+    std::vector<LoadTrace::Point> pts;
+    const auto shape = [](double t) -> double {
+      if (t < 10) return 0.0;
+      if (t < 20) return 1.0 + (t - 10) * 0.2;   // trickle of joins
+      if (t < 40) return 3.0 + (t - 20) * 0.25;  // shoulder
+      if (t < 60) return 8.0 + (t - 40) * 0.35;  // steep ramp
+      if (t < 80) return 15.0 + std::sin((t - 60) * 0.4) * 2.0;  // peak
+      if (t < 100) return 16.0 + std::sin((t - 80) * 0.5) * 1.5;
+      if (t < 120) return 12.0 - (t - 100) * 0.3;  // session ends
+      if (t < 140) return 6.0 - (t - 120) * 0.15;
+      return std::max(0.0, 3.0 - (t - 140) * 0.15);
+    };
+    for (double t = 0; t <= 160.0; t += 2.0) {
+      pts.push_back({t, std::round(std::max(0.0, shape(t)))});
+    }
+    return LoadTrace(std::move(pts));
+  }();
+  return kTrace;
+}
+
+}  // namespace acex::netsim

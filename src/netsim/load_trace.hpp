@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace acex::netsim {
+
+/// A piecewise-constant time series of network load, in "number of
+/// connections" — the unit of the MBone session-membership traces the paper
+/// uses (§4.2, Fig. 7): "load is stated as the number of connections over
+/// time".
+class LoadTrace {
+ public:
+  struct Point {
+    double time;   ///< seconds from trace start
+    double value;  ///< connections active from this time onward
+  };
+
+  LoadTrace() = default;
+
+  /// Points must be in strictly increasing time order; throws ConfigError
+  /// otherwise.
+  explicit LoadTrace(std::vector<Point> points);
+
+  /// Load at time `t`: the value of the latest point at or before `t`;
+  /// 0 before the first point. Values hold beyond the last point.
+  double value_at(double t) const noexcept;
+
+  /// Trace length: time of the last point (0 for an empty trace).
+  double duration() const noexcept;
+
+  double peak() const noexcept;
+
+  const std::vector<Point>& points() const noexcept { return points_; }
+
+  /// A new trace with every value multiplied by `factor` — the paper's
+  /// "raw MBone numbers multiplied by a factor of 4 in order to adjust it
+  /// to the capacities of the 100MBits links".
+  LoadTrace scaled(double factor) const;
+
+  /// A new trace with every TIME multiplied by `factor` (< 1 compresses
+  /// the trace). Lets benches replay the 160 s MBone scenario in a shorter
+  /// virtual window at identical load shape.
+  LoadTrace time_scaled(double factor) const;
+
+  /// Parse a whitespace-separated "time value" per line text body.
+  /// Lines starting with '#' are comments. Throws ConfigError on syntax
+  /// errors or unsorted times.
+  static LoadTrace parse(const std::string& text);
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// The built-in MBone-derived trace reproducing Fig. 7's shape: ~160 s,
+/// quiet start, ramp to a peak of ~17 connections around t = 60–100 s, then
+/// decay. One point per ~2 s. (Substitute for the captured traces of [36];
+/// see DESIGN.md §2.)
+const LoadTrace& mbone_trace();
+
+}  // namespace acex::netsim

@@ -1,0 +1,42 @@
+#include "netsim/probe.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace acex::netsim {
+
+ProbeResult packet_pair_probe(SimLink& link, Seconds now,
+                              std::size_t probe_size, unsigned pairs,
+                              Seconds gap) {
+  if (probe_size == 0 || pairs == 0 || gap < 0) {
+    throw ConfigError("probe: invalid packet-pair parameters");
+  }
+  ProbeResult result;
+  std::vector<double> estimates;
+  estimates.reserve(pairs);
+
+  Seconds t = now;
+  for (unsigned p = 0; p < pairs; ++p) {
+    const TransferResult first = link.transmit(probe_size, t);
+    const TransferResult second = link.transmit(probe_size, first.started);
+    const Seconds spacing = second.delivered - first.delivered;
+    if (spacing > 0) {
+      estimates.push_back(static_cast<double>(probe_size) / spacing);
+    }
+    result.finished = second.delivered;
+    t = second.delivered + gap;
+  }
+
+  result.pairs = static_cast<unsigned>(estimates.size());
+  if (!estimates.empty()) {
+    // Median: robust against a single jitter outlier, the standard
+    // packet-pair filtering step.
+    std::sort(estimates.begin(), estimates.end());
+    result.bandwidth_Bps = estimates[estimates.size() / 2];
+  }
+  return result;
+}
+
+}  // namespace acex::netsim

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "netsim/link.hpp"
+
+namespace acex::netsim {
+
+/// Result of one packet-pair probing session.
+struct ProbeResult {
+  double bandwidth_Bps = 0;  ///< median pair-spacing estimate
+  Seconds finished = 0;      ///< virtual time when the last probe landed
+  unsigned pairs = 0;        ///< pairs actually measured
+};
+
+/// Packet-pair available-bandwidth probing in the style of the measurement
+/// work the paper's middleware plugs in ([12,13]: Jain & Dovrolis): two
+/// back-to-back packets leave the bottleneck spaced by packet_size /
+/// bottleneck_rate, so the receiver-side spacing of each pair estimates the
+/// link's current rate without moving payload-scale data.
+///
+/// The architecture point (§3): network measurement is a pluggable layer —
+/// the adaptive machinery accepts any bandwidth source. This probe is an
+/// alternative to the passive per-block estimator in BandwidthEstimator.
+///
+/// `probe_size` defaults to an MTU-ish 1500 bytes; `pairs` are spaced
+/// `gap` seconds apart so the session samples, not floods.
+ProbeResult packet_pair_probe(SimLink& link, Seconds now,
+                              std::size_t probe_size = 1500,
+                              unsigned pairs = 5, Seconds gap = 0.01);
+
+}  // namespace acex::netsim

@@ -1,0 +1,147 @@
+#include "netsim/rudp.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace acex::netsim::rudp {
+namespace {
+
+enum class EventKind { kDataArrival, kAckArrival, kTimeout };
+
+struct Event {
+  Seconds time;
+  EventKind kind;
+  std::uint64_t seq;    // data/timeout: packet seq; ack: cumulative seq + 1
+  std::uint64_t epoch;  // timeout staleness guard
+
+  bool operator>(const Event& other) const noexcept {
+    return time > other.time;
+  }
+};
+
+}  // namespace
+
+RudpResult simulate_transfer(std::size_t payload_bytes, SimLink& forward,
+                             SimLink& reverse, Seconds start, Rng& rng,
+                             const RudpParams& params) {
+  if (params.packet_bytes == 0 || params.ack_bytes == 0 ||
+      params.window == 0) {
+    throw ConfigError("rudp: packet, ack, and window sizes must be positive");
+  }
+  if (params.data_loss < 0 || params.data_loss >= 1 || params.ack_loss < 0 ||
+      params.ack_loss >= 1) {
+    throw ConfigError("rudp: loss probabilities must be in [0, 1)");
+  }
+
+  RudpResult result;
+  if (payload_bytes == 0) return result;
+
+  const std::uint64_t total =
+      (payload_bytes + params.packet_bytes - 1) / params.packet_bytes;
+  const auto packet_size = [&](std::uint64_t seq) {
+    const std::size_t last = payload_bytes % params.packet_bytes;
+    return (seq + 1 == total && last != 0) ? last : params.packet_bytes;
+  };
+
+  // Fixed RTO from the links' unloaded characteristics: one data
+  // serialization + both latencies + one ACK serialization, times the
+  // configured multiple. (A production RUDP adapts its RTO; a fixed one
+  // keeps the simulation interpretable.)
+  const double base_rtt =
+      static_cast<double>(params.packet_bytes) / forward.params().bandwidth_Bps +
+      forward.params().latency_s +
+      static_cast<double>(params.ack_bytes) / reverse.params().bandwidth_Bps +
+      reverse.params().latency_s;
+  const double multiple =
+      params.rto_rtt_multiple > 0 ? params.rto_rtt_multiple : 4.0;
+  const Seconds rto = std::max(multiple * base_rtt, 1e-6);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::vector<std::uint64_t> epoch(total, 0);
+  std::vector<bool> received(total, false);
+  std::uint64_t base = 0;       // lowest unACKed seq
+  std::uint64_t next_new = 0;   // next never-sent seq
+  std::uint64_t cum = 0;        // receiver: count of in-order packets
+  std::uint64_t forward_bytes = 0;
+  Seconds now = start;
+  Seconds done_at = start;
+
+  const auto send_packet = [&](std::uint64_t seq, bool resend) {
+    const auto r = forward.transmit(packet_size(seq), now);
+    ++result.data_packets;
+    forward_bytes += packet_size(seq);
+    if (resend) ++result.retransmissions;
+    ++epoch[seq];
+    if (!rng.chance(params.data_loss)) {
+      events.push({r.delivered, EventKind::kDataArrival, seq, 0});
+    }
+    events.push({r.started + rto, EventKind::kTimeout, seq, epoch[seq]});
+  };
+
+  const auto fill_window = [&] {
+    while (next_new < total && next_new < base + params.window) {
+      send_packet(next_new++, /*resend=*/false);
+    }
+  };
+
+  fill_window();
+  std::uint64_t steps = 0;
+  while (base < total) {
+    if (events.empty() || ++steps > 20'000'000) {
+      throw Error("rudp: simulation failed to converge");
+    }
+    const Event ev = events.top();
+    events.pop();
+    now = std::max(now, ev.time);
+
+    switch (ev.kind) {
+      case EventKind::kDataArrival: {
+        if (!received[ev.seq]) {
+          received[ev.seq] = true;
+          while (cum < total && received[cum]) ++cum;
+        }
+        // Cumulative ACK (also for duplicates: recovers lost ACKs).
+        ++result.acks_sent;
+        const auto r = reverse.transmit(params.ack_bytes, now);
+        if (!rng.chance(params.ack_loss)) {
+          events.push({r.delivered, EventKind::kAckArrival, cum, 0});
+        }
+        break;
+      }
+      case EventKind::kAckArrival: {
+        if (ev.seq > base) {
+          base = ev.seq;
+          if (base >= total) {
+            done_at = now;
+          } else {
+            fill_window();
+          }
+        }
+        break;
+      }
+      case EventKind::kTimeout: {
+        if (ev.seq >= base && ev.epoch == epoch[ev.seq]) {
+          send_packet(ev.seq, /*resend=*/true);
+        }
+        break;
+      }
+    }
+  }
+
+  result.completion = done_at - start;
+  result.goodput_Bps = result.completion > 0
+                           ? static_cast<double>(payload_bytes) /
+                                 result.completion
+                           : 0.0;
+  result.efficiency =
+      forward_bytes > 0
+          ? static_cast<double>(payload_bytes) /
+                static_cast<double>(forward_bytes)
+          : 0.0;
+  return result;
+}
+
+}  // namespace acex::netsim::rudp

@@ -1,0 +1,118 @@
+#include "pbio/columnar.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex::pbio {
+namespace {
+
+/// Packed on-wire width of a fixed-size field; 0 for variable-size kinds.
+std::size_t field_width(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::kInt32:
+    case FieldType::kUInt32:
+    case FieldType::kFloat32:
+      return 4;
+    case FieldType::kInt64:
+    case FieldType::kUInt64:
+    case FieldType::kFloat64:
+      return 8;
+    case FieldType::kString:
+    case FieldType::kBytes:
+      return 0;
+  }
+  return 0;
+}
+
+struct Layout {
+  std::size_t header_size = 0;   // bytes of the format header
+  std::size_t record_size = 0;   // packed bytes per record
+  std::vector<std::size_t> widths;
+};
+
+Layout parse_layout(ByteView stream) {
+  std::size_t pos = 0;
+  const Decoder decoder = Decoder::open(stream, &pos);
+  Layout layout;
+  layout.header_size = pos;
+  for (const auto& field : decoder.format().fields()) {
+    const std::size_t width = field_width(field.type);
+    if (width == 0) {
+      throw ConfigError("columnar: field '" + field.name +
+                        "' has variable size; stream is not transposable");
+    }
+    layout.widths.push_back(width);
+    layout.record_size += width;
+  }
+  return layout;
+}
+
+}  // namespace
+
+bool is_columnar_eligible(const RecordFormat& format) noexcept {
+  for (const auto& field : format.fields()) {
+    if (field_width(field.type) == 0) return false;
+  }
+  return format.field_count() > 0;
+}
+
+Bytes columnar_shuffle(ByteView stream) {
+  const Layout layout = parse_layout(stream);
+  const std::size_t body = stream.size() - layout.header_size;
+  if (body % layout.record_size != 0) {
+    throw DecodeError("columnar: truncated record in stream");
+  }
+  const std::size_t records = body / layout.record_size;
+
+  Bytes out;
+  out.reserve(stream.size() + 8);
+  out.insert(out.end(), stream.begin(),
+             stream.begin() + static_cast<std::ptrdiff_t>(layout.header_size));
+  put_varint(out, records);
+
+  // One pass per field: gather that field's bytes across all records.
+  const std::uint8_t* base = stream.data() + layout.header_size;
+  std::size_t field_offset = 0;
+  for (const std::size_t width : layout.widths) {
+    for (std::size_t r = 0; r < records; ++r) {
+      const std::uint8_t* src = base + r * layout.record_size + field_offset;
+      out.insert(out.end(), src, src + width);
+    }
+    field_offset += width;
+  }
+  return out;
+}
+
+Bytes columnar_unshuffle(ByteView shuffled) {
+  const Layout layout = parse_layout(shuffled);
+  std::size_t pos = layout.header_size;
+  const std::uint64_t records = get_varint(shuffled, &pos);
+  const std::size_t body = shuffled.size() - pos;
+  if (body % layout.record_size != 0 ||
+      records != body / layout.record_size) {
+    throw DecodeError("columnar: record count inconsistent with body size");
+  }
+
+  Bytes out;
+  out.reserve(shuffled.size());
+  out.insert(out.end(), shuffled.begin(),
+             shuffled.begin() + static_cast<std::ptrdiff_t>(layout.header_size));
+  out.resize(layout.header_size + body);
+
+  std::uint8_t* base = out.data() + layout.header_size;
+  const std::uint8_t* src = shuffled.data() + pos;
+  std::size_t field_offset = 0;
+  for (const std::size_t width : layout.widths) {
+    for (std::uint64_t r = 0; r < records; ++r) {
+      std::uint8_t* dst = base + r * layout.record_size + field_offset;
+      std::copy(src, src + width, dst);
+      src += width;
+    }
+    field_offset += width;
+  }
+  return out;
+}
+
+}  // namespace acex::pbio

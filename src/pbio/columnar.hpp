@@ -1,0 +1,36 @@
+#pragma once
+
+#include "pbio/pbio.hpp"
+
+namespace acex::pbio {
+
+/// Columnar (struct-of-arrays) shuffle for fixed-layout PBIO streams.
+///
+/// Fig. 6's insight is that the FIELDS of a record differ wildly in
+/// compressibility (types ~10 %, velocities ~50 %, coordinates ~90 %), yet
+/// a PBIO stream interleaves them per record, denying the codecs long
+/// same-field runs. Shuffling transposes the packed records so each
+/// field's bytes are contiguous — the standard columnar trick, and an
+/// instance of the "application-specific compression" the paper's
+/// middleware exists to host: a handler can shuffle before compressing and
+/// unshuffle after decompressing with no loss.
+///
+/// Only streams whose record layout is fixed-size (no string/bytes fields)
+/// can be transposed; shuffle() throws ConfigError otherwise.
+///
+/// Wire layout of the shuffled form: the original format header, verbatim,
+/// followed by a varint record count, then one contiguous column per field
+/// in declaration order. unshuffle() restores the byte-identical original
+/// stream.
+
+/// True when the stream's schema is fixed-layout (transposable).
+bool is_columnar_eligible(const RecordFormat& format) noexcept;
+
+/// Transpose records into columns. Throws ConfigError on variable-size
+/// layouts, DecodeError on malformed input.
+Bytes columnar_shuffle(ByteView stream);
+
+/// Inverse of columnar_shuffle; returns the original PBIO stream.
+Bytes columnar_unshuffle(ByteView shuffled);
+
+}  // namespace acex::pbio

@@ -1,0 +1,341 @@
+#include "pbio/pbio.hpp"
+
+#include <bit>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex::pbio {
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'P';
+constexpr std::uint8_t kMagic1 = 'B';
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kMaxFields = 4096;
+constexpr std::size_t kMaxStringLength = 1 << 20;
+
+void put_string(Bytes& out, std::string_view s) {
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string get_string(ByteView in, std::size_t* pos) {
+  const std::uint64_t len = get_varint(in, pos);
+  if (len > kMaxStringLength || *pos + len > in.size()) {
+    throw DecodeError("pbio: truncated or oversized string");
+  }
+  std::string s(reinterpret_cast<const char*>(in.data() + *pos),
+                static_cast<std::size_t>(len));
+  *pos += len;
+  return s;
+}
+
+template <typename T>
+void put_scalar(Bytes& out, T value, bool swap) {
+  std::uint8_t raw[sizeof(T)];
+  std::memcpy(raw, &value, sizeof(T));
+  if (swap) {
+    for (std::size_t i = 0; i < sizeof(T) / 2; ++i) {
+      std::swap(raw[i], raw[sizeof(T) - 1 - i]);
+    }
+  }
+  out.insert(out.end(), raw, raw + sizeof(T));
+}
+
+template <typename T>
+T get_scalar(ByteView in, std::size_t* pos, bool swap) {
+  if (*pos + sizeof(T) > in.size()) {
+    throw DecodeError("pbio: truncated scalar field");
+  }
+  std::uint8_t raw[sizeof(T)];
+  std::memcpy(raw, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  if (swap) {
+    for (std::size_t i = 0; i < sizeof(T) / 2; ++i) {
+      std::swap(raw[i], raw[sizeof(T) - 1 - i]);
+    }
+  }
+  T value;
+  std::memcpy(&value, raw, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::string_view field_type_name(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::kInt32:
+      return "int32";
+    case FieldType::kInt64:
+      return "int64";
+    case FieldType::kUInt32:
+      return "uint32";
+    case FieldType::kUInt64:
+      return "uint64";
+    case FieldType::kFloat32:
+      return "float32";
+    case FieldType::kFloat64:
+      return "float64";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kBytes:
+      return "bytes";
+  }
+  return "unknown";
+}
+
+RecordFormat::RecordFormat(std::string name, std::vector<FieldDesc> fields)
+    : name_(std::move(name)), fields_(std::move(fields)) {
+  if (name_.empty()) throw ConfigError("pbio: format name must not be empty");
+  std::unordered_set<std::string_view> seen;
+  for (const auto& f : fields_) {
+    if (f.name.empty()) {
+      throw ConfigError("pbio: field name must not be empty");
+    }
+    if (!seen.insert(f.name).second) {
+      throw ConfigError("pbio: duplicate field name: " + f.name);
+    }
+  }
+}
+
+std::size_t RecordFormat::field_index(std::string_view name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  throw ConfigError("pbio: no field named " + std::string(name));
+}
+
+FieldType value_type(const Value& v) noexcept {
+  return static_cast<FieldType>(v.index());
+}
+
+Record::Record(const RecordFormat& format)
+    : Record(std::make_shared<const RecordFormat>(format)) {}
+
+Record::Record(std::shared_ptr<const RecordFormat> format)
+    : format_(std::move(format)), values_(format_->field_count()) {
+  const RecordFormat& fmt = *format_;
+  // Default-construct each value to its field's type so a freshly built
+  // record is already encodable (zeros / empty strings).
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    switch (fmt.fields()[i].type) {
+      case FieldType::kInt32:
+        values_[i] = std::int32_t{0};
+        break;
+      case FieldType::kInt64:
+        values_[i] = std::int64_t{0};
+        break;
+      case FieldType::kUInt32:
+        values_[i] = std::uint32_t{0};
+        break;
+      case FieldType::kUInt64:
+        values_[i] = std::uint64_t{0};
+        break;
+      case FieldType::kFloat32:
+        values_[i] = 0.0f;
+        break;
+      case FieldType::kFloat64:
+        values_[i] = 0.0;
+        break;
+      case FieldType::kString:
+        values_[i] = std::string{};
+        break;
+      case FieldType::kBytes:
+        values_[i] = Bytes{};
+        break;
+    }
+  }
+}
+
+void Record::set(std::string_view field, Value value) {
+  set(format_->field_index(field), std::move(value));
+}
+
+void Record::set(std::size_t index, Value value) {
+  if (index >= values_.size()) throw ConfigError("pbio: field index range");
+  const FieldType expected = format_->fields()[index].type;
+  if (value_type(value) != expected) {
+    throw ConfigError("pbio: type mismatch for field '" +
+                      format_->fields()[index].name + "': expected " +
+                      std::string(field_type_name(expected)) + ", got " +
+                      std::string(field_type_name(value_type(value))));
+  }
+  values_[index] = std::move(value);
+}
+
+const Value& Record::get(std::string_view field) const {
+  return get(format_->field_index(field));
+}
+
+const Value& Record::get(std::size_t index) const {
+  if (index >= values_.size()) throw ConfigError("pbio: field index range");
+  return values_[index];
+}
+
+void Record::throw_type_mismatch(std::string_view field) const {
+  throw ConfigError("pbio: typed access mismatch on field '" +
+                    std::string(field) + "'");
+}
+
+ByteOrder host_order() noexcept {
+  return std::endian::native == std::endian::big ? ByteOrder::kBig
+                                                 : ByteOrder::kLittle;
+}
+
+Encoder::Encoder(RecordFormat format, ByteOrder order)
+    : format_(std::move(format)), order_(order) {
+  if (format_.field_count() == 0) {
+    throw ConfigError("pbio: format needs at least one field");
+  }
+}
+
+void Encoder::encode_format(Bytes& out) const {
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(order_));
+  put_string(out, format_.name());
+  put_varint(out, format_.field_count());
+  for (const auto& f : format_.fields()) {
+    out.push_back(static_cast<std::uint8_t>(f.type));
+    put_string(out, f.name);
+  }
+}
+
+void Encoder::encode_record(const Record& record, Bytes& out) const {
+  if (&record.format() != &format_ && !(record.format() == format_)) {
+    throw ConfigError("pbio: record belongs to a different format");
+  }
+  const bool swap = order_ != host_order();
+  for (std::size_t i = 0; i < format_.field_count(); ++i) {
+    const Value& v = record.get(i);
+    switch (format_.fields()[i].type) {
+      case FieldType::kInt32:
+        put_scalar(out, std::get<std::int32_t>(v), swap);
+        break;
+      case FieldType::kInt64:
+        put_scalar(out, std::get<std::int64_t>(v), swap);
+        break;
+      case FieldType::kUInt32:
+        put_scalar(out, std::get<std::uint32_t>(v), swap);
+        break;
+      case FieldType::kUInt64:
+        put_scalar(out, std::get<std::uint64_t>(v), swap);
+        break;
+      case FieldType::kFloat32:
+        put_scalar(out, std::get<float>(v), swap);
+        break;
+      case FieldType::kFloat64:
+        put_scalar(out, std::get<double>(v), swap);
+        break;
+      case FieldType::kString:
+        put_string(out, std::get<std::string>(v));
+        break;
+      case FieldType::kBytes: {
+        const Bytes& b = std::get<Bytes>(v);
+        put_varint(out, b.size());
+        out.insert(out.end(), b.begin(), b.end());
+        break;
+      }
+    }
+  }
+}
+
+Decoder Decoder::open(ByteView stream, std::size_t* pos) {
+  if (*pos + 4 > stream.size()) throw DecodeError("pbio: truncated header");
+  if (stream[*pos] != kMagic0 || stream[*pos + 1] != kMagic1) {
+    throw DecodeError("pbio: bad magic");
+  }
+  if (stream[*pos + 2] != kVersion) throw DecodeError("pbio: bad version");
+  const std::uint8_t order_byte = stream[*pos + 3];
+  if (order_byte > 1) throw DecodeError("pbio: bad byte-order flag");
+  *pos += 4;
+
+  std::string name = get_string(stream, pos);
+  const std::uint64_t field_count = get_varint(stream, pos);
+  if (field_count == 0 || field_count > kMaxFields) {
+    throw DecodeError("pbio: invalid field count");
+  }
+  std::vector<FieldDesc> fields;
+  fields.reserve(static_cast<std::size_t>(field_count));
+  for (std::uint64_t i = 0; i < field_count; ++i) {
+    if (*pos >= stream.size()) throw DecodeError("pbio: truncated schema");
+    const std::uint8_t type_byte = stream[(*pos)++];
+    if (type_byte > static_cast<std::uint8_t>(FieldType::kBytes)) {
+      throw DecodeError("pbio: unknown field type");
+    }
+    FieldDesc desc;
+    desc.type = static_cast<FieldType>(type_byte);
+    desc.name = get_string(stream, pos);
+    fields.push_back(std::move(desc));
+  }
+  try {
+    return Decoder(RecordFormat(std::move(name), std::move(fields)),
+                   static_cast<ByteOrder>(order_byte));
+  } catch (const ConfigError& e) {
+    throw DecodeError(std::string("pbio: invalid schema: ") + e.what());
+  }
+}
+
+Record Decoder::decode_record(ByteView stream, std::size_t* pos) const {
+  const bool swap = order_ != host_order();
+  Record record(format_);
+  for (std::size_t i = 0; i < format_->field_count(); ++i) {
+    switch (format_->fields()[i].type) {
+      case FieldType::kInt32:
+        record.set(i, get_scalar<std::int32_t>(stream, pos, swap));
+        break;
+      case FieldType::kInt64:
+        record.set(i, get_scalar<std::int64_t>(stream, pos, swap));
+        break;
+      case FieldType::kUInt32:
+        record.set(i, get_scalar<std::uint32_t>(stream, pos, swap));
+        break;
+      case FieldType::kUInt64:
+        record.set(i, get_scalar<std::uint64_t>(stream, pos, swap));
+        break;
+      case FieldType::kFloat32:
+        record.set(i, get_scalar<float>(stream, pos, swap));
+        break;
+      case FieldType::kFloat64:
+        record.set(i, get_scalar<double>(stream, pos, swap));
+        break;
+      case FieldType::kString:
+        record.set(i, get_string(stream, pos));
+        break;
+      case FieldType::kBytes: {
+        const std::uint64_t len = get_varint(stream, pos);
+        if (*pos + len > stream.size()) {
+          throw DecodeError("pbio: truncated bytes field");
+        }
+        const auto body = stream.subspan(*pos, static_cast<std::size_t>(len));
+        *pos += static_cast<std::size_t>(len);
+        record.set(i, Bytes(body.begin(), body.end()));
+        break;
+      }
+    }
+  }
+  return record;
+}
+
+Bytes encode_stream(const Encoder& encoder,
+                    const std::vector<Record>& records) {
+  Bytes out;
+  encoder.encode_format(out);
+  for (const auto& r : records) encoder.encode_record(r, out);
+  return out;
+}
+
+std::vector<Record> decode_stream(ByteView stream) {
+  std::size_t pos = 0;
+  const Decoder decoder = Decoder::open(stream, &pos);
+  std::vector<Record> records;
+  while (pos < stream.size()) {
+    records.push_back(decoder.decode_record(stream, &pos));
+  }
+  return records;
+}
+
+}  // namespace acex::pbio

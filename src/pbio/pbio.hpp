@@ -1,0 +1,165 @@
+#pragma once
+
+// PBIO-style self-describing binary record interchange (paper ref [35]:
+// "Fast Heterogeneous Binary Data Interchange"). A stream opens with a
+// format header describing the record layout — field names, types, and the
+// sender's byte order — followed by packed records. Receivers decode any
+// stream without prior knowledge of the layout and byte-swap only when the
+// sender's byte order differs from theirs, which is PBIO's core trick.
+//
+// The molecular-dynamics workload (Fig. 6) is carried in this encoding.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace acex::pbio {
+
+/// Wire-stable field type tags.
+enum class FieldType : std::uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kUInt32 = 2,
+  kUInt64 = 3,
+  kFloat32 = 4,
+  kFloat64 = 5,
+  kString = 6,  ///< varint length + UTF-8 bytes
+  kBytes = 7,   ///< varint length + raw bytes
+};
+
+/// Human-readable name of a field type ("int32", "float64", ...).
+std::string_view field_type_name(FieldType type) noexcept;
+
+/// One field in a record layout.
+struct FieldDesc {
+  std::string name;
+  FieldType type;
+
+  bool operator==(const FieldDesc&) const = default;
+};
+
+/// A named, ordered collection of fields — the schema records conform to.
+class RecordFormat {
+ public:
+  RecordFormat() = default;
+
+  /// Throws ConfigError on empty/duplicate field names or an empty format
+  /// name.
+  RecordFormat(std::string name, std::vector<FieldDesc> fields);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<FieldDesc>& fields() const noexcept { return fields_; }
+  std::size_t field_count() const noexcept { return fields_.size(); }
+
+  /// Index of the field called `name`; throws ConfigError if absent.
+  std::size_t field_index(std::string_view name) const;
+
+  bool operator==(const RecordFormat&) const = default;
+
+ private:
+  std::string name_;
+  std::vector<FieldDesc> fields_;
+};
+
+/// A dynamically typed field value.
+using Value = std::variant<std::int32_t, std::int64_t, std::uint32_t,
+                           std::uint64_t, float, double, std::string, Bytes>;
+
+/// The FieldType a Value currently holds.
+FieldType value_type(const Value& v) noexcept;
+
+/// One record conforming to a RecordFormat. Values are type-checked on set:
+/// storing a double into an int32 field throws ConfigError.
+class Record {
+ public:
+  /// Copies the format into shared storage, so records stay valid after
+  /// the schema object (or a Decoder) that described them is gone.
+  explicit Record(const RecordFormat& format);
+
+  /// Shares `format` without copying (the Decoder's fast path).
+  explicit Record(std::shared_ptr<const RecordFormat> format);
+
+  const RecordFormat& format() const noexcept { return *format_; }
+
+  void set(std::string_view field, Value value);
+  void set(std::size_t index, Value value);
+
+  const Value& get(std::string_view field) const;
+  const Value& get(std::size_t index) const;
+
+  /// Typed read; throws ConfigError if the stored type differs.
+  template <typename T>
+  const T& as(std::string_view field) const {
+    const Value& v = get(field);
+    if (const T* p = std::get_if<T>(&v)) return *p;
+    throw_type_mismatch(field);
+  }
+
+ private:
+  [[noreturn]] void throw_type_mismatch(std::string_view field) const;
+
+  std::shared_ptr<const RecordFormat> format_;
+  std::vector<Value> values_;
+};
+
+/// Byte order stamped into the stream header.
+enum class ByteOrder : std::uint8_t { kLittle = 0, kBig = 1 };
+
+/// The byte order of this machine.
+ByteOrder host_order() noexcept;
+
+/// Serializes a format header followed by records.
+class Encoder {
+ public:
+  /// `order` defaults to the host's native order — PBIO senders never swap;
+  /// the test suite overrides it to exercise the receiver's swap path.
+  explicit Encoder(RecordFormat format, ByteOrder order = host_order());
+
+  const RecordFormat& format() const noexcept { return format_; }
+
+  /// Append the stream header (magic, version, byte order, schema).
+  void encode_format(Bytes& out) const;
+
+  /// Append one record's packed field values. Throws ConfigError if a
+  /// field was never set or holds the wrong type.
+  void encode_record(const Record& record, Bytes& out) const;
+
+ private:
+  RecordFormat format_;
+  ByteOrder order_;
+};
+
+/// Parses a stream produced by any Encoder, swapping byte order if the
+/// sender's differs from the host's.
+class Decoder {
+ public:
+  /// Read the stream header at `*pos`, advancing it. Throws DecodeError on
+  /// malformed headers.
+  static Decoder open(ByteView stream, std::size_t* pos);
+
+  const RecordFormat& format() const noexcept { return *format_; }
+  ByteOrder sender_order() const noexcept { return order_; }
+
+  /// Decode one record at `*pos`, advancing it.
+  Record decode_record(ByteView stream, std::size_t* pos) const;
+
+ private:
+  Decoder(RecordFormat format, ByteOrder order)
+      : format_(std::make_shared<const RecordFormat>(std::move(format))),
+        order_(order) {}
+
+  std::shared_ptr<const RecordFormat> format_;
+  ByteOrder order_;
+};
+
+/// Convenience: header + all records in one buffer.
+Bytes encode_stream(const Encoder& encoder, const std::vector<Record>& records);
+
+/// Convenience: parse a whole buffer back into records.
+std::vector<Record> decode_stream(ByteView stream);
+
+}  // namespace acex::pbio

@@ -1,0 +1,44 @@
+#include "transport/rate_limit.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace acex::transport {
+
+RateLimitedTransport::RateLimitedTransport(Transport& inner,
+                                           double bytes_per_second,
+                                           std::size_t burst_bytes)
+    : inner_(&inner),
+      rate_(bytes_per_second),
+      burst_(static_cast<double>(burst_bytes)),
+      tokens_(static_cast<double>(burst_bytes)),
+      last_refill_(inner.clock().now()) {
+  if (!(bytes_per_second > 0)) {
+    throw ConfigError("rate limit: bytes_per_second must be positive");
+  }
+  if (burst_bytes == 0) {
+    throw ConfigError("rate limit: burst_bytes must be positive");
+  }
+}
+
+void RateLimitedTransport::send(ByteView message) {
+  // Deficit bucket: a send may drive the balance arbitrarily negative (so
+  // messages larger than the burst still progress), but the next send
+  // waits until the deficit refills — the long-run average is exactly
+  // `rate_`, with at most one `burst_` of slack.
+  for (;;) {
+    const Seconds now = inner_->clock().now();
+    tokens_ = std::min(burst_, tokens_ + (now - last_refill_) * rate_);
+    last_refill_ = now;
+    if (tokens_ >= 0) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(std::min(-tokens_ / rate_, 0.05)));
+  }
+  tokens_ -= static_cast<double>(message.size());
+  inner_->send(message);
+}
+
+}  // namespace acex::transport

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "transport/transport.hpp"
+
+namespace acex::transport {
+
+/// Token-bucket rate limiter over any wall-clock Transport — an in-process
+/// analogue of `tc ... netem rate` for real-socket tests and demos, and a
+/// stand-in for the rate-coordinated transports the paper's middleware
+/// plugs in ([14], IQ-RUDP).
+///
+/// send() blocks (sleeps) until the bucket holds enough tokens for the
+/// message, then forwards it; bytes refill at `bytes_per_second` up to
+/// `burst_bytes`. receive() passes through untouched.
+///
+/// Only meaningful over transports timed by a real clock (TcpTransport):
+/// the limiter sleeps the calling thread, which a VirtualClock cannot
+/// observe.
+class RateLimitedTransport final : public Transport {
+ public:
+  /// `inner` must outlive the limiter.
+  RateLimitedTransport(Transport& inner, double bytes_per_second,
+                       std::size_t burst_bytes = 64 * 1024);
+
+  void send(ByteView message) override;
+  std::optional<Bytes> receive() override { return inner_->receive(); }
+  const Clock& clock() const override { return inner_->clock(); }
+
+  double rate_Bps() const noexcept { return rate_; }
+
+ private:
+  Transport* inner_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  Seconds last_refill_;
+};
+
+}  // namespace acex::transport

@@ -1,0 +1,34 @@
+#include "transport/sim_transport.hpp"
+
+#include "util/error.hpp"
+
+namespace acex::transport {
+
+void SimHalf::send(ByteView message) {
+  last_ = link_->transmit(message.size(), clock_->now());
+  clock_->advance_to(last_.delivered);  // blocking semantics: wait for accept
+  bytes_sent_ += message.size();
+  peer_->inbox_.emplace_back(message.begin(), message.end());
+}
+
+std::optional<Bytes> SimHalf::receive() {
+  if (inbox_.empty()) return std::nullopt;
+  Bytes front = std::move(inbox_.front());
+  inbox_.pop_front();
+  return front;
+}
+
+SimDuplex::SimDuplex(netsim::SimLink& forward, netsim::SimLink& reverse,
+                     VirtualClock& clock) {
+  if (&forward == &reverse) {
+    throw ConfigError(
+        "SimDuplex: use distinct links for the two directions");
+  }
+  a_.link_ = &forward;
+  b_.link_ = &reverse;
+  a_.clock_ = b_.clock_ = &clock;
+  a_.peer_ = &b_;
+  b_.peer_ = &a_;
+}
+
+}  // namespace acex::transport

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <deque>
+
+#include "netsim/link.hpp"
+#include "transport/transport.hpp"
+
+namespace acex::transport {
+
+/// One direction of a SimDuplex: sending pushes into the peer's inbox after
+/// emulating the link, advancing the shared VirtualClock to the delivery
+/// instant (blocking-send semantics). receive() drains the local inbox and
+/// never blocks — simulation is single-threaded.
+class SimHalf final : public Transport {
+ public:
+  void send(ByteView message) override;
+  std::optional<Bytes> receive() override;
+  const Clock& clock() const override { return *clock_; }
+
+  /// Total payload bytes this endpoint pushed through its link.
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+  /// Link-level statistics of this endpoint's most recent send.
+  const netsim::TransferResult& last_transfer() const noexcept {
+    return last_;
+  }
+
+  std::size_t pending() const noexcept { return inbox_.size(); }
+
+ private:
+  friend class SimDuplex;
+  SimHalf() = default;
+
+  netsim::SimLink* link_ = nullptr;
+  VirtualClock* clock_ = nullptr;
+  SimHalf* peer_ = nullptr;
+  std::deque<Bytes> inbox_;
+  netsim::TransferResult last_{};
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// A bidirectional emulated connection: endpoint a() sends over `forward`,
+/// endpoint b() sends over `reverse`, both on one VirtualClock. A Fig. 8
+/// experiment simulating 160 s of a loaded 100 Mb link completes in
+/// wall-milliseconds and is fully deterministic.
+///
+/// Links and clock must outlive the duplex. Use distinct links for the two
+/// directions — sharing one SimLink would falsely serialize data against
+/// control traffic.
+class SimDuplex {
+ public:
+  SimDuplex(netsim::SimLink& forward, netsim::SimLink& reverse,
+            VirtualClock& clock);
+
+  SimDuplex(const SimDuplex&) = delete;
+  SimDuplex& operator=(const SimDuplex&) = delete;
+
+  SimHalf& a() noexcept { return a_; }
+  SimHalf& b() noexcept { return b_; }
+
+ private:
+  SimHalf a_, b_;
+};
+
+}  // namespace acex::transport

@@ -1,0 +1,174 @@
+#include "transport/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace acex::transport {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Read exactly `len` bytes. Returns false on clean EOF at a message
+/// boundary (len bytes means mid-message EOF, which throws).
+bool recv_all(int fd, std::uint8_t* data, std::size_t len, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw IoError("recv: peer closed mid-message");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  if (fd < 0) throw ConfigError("TcpTransport: invalid descriptor");
+}
+
+TcpTransport::TcpTransport(TcpTransport&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpTransport& TcpTransport::operator=(TcpTransport&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpTransport::send(ByteView message) {
+  if (fd_ < 0) throw IoError("send on closed transport");
+  if (message.size() > 0xFFFFFFFFull) {
+    throw ConfigError("TcpTransport: message exceeds 4 GiB framing limit");
+  }
+  std::uint8_t header[4];
+  const auto size = static_cast<std::uint32_t>(message.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(size >> (8 * i));
+  }
+  send_all(fd_, header, sizeof header);
+  send_all(fd_, message.data(), message.size());
+}
+
+std::optional<Bytes> TcpTransport::receive() {
+  if (fd_ < 0) return std::nullopt;
+  std::uint8_t header[4];
+  if (!recv_all(fd_, header, sizeof header, /*eof_ok=*/true)) {
+    return std::nullopt;
+  }
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  Bytes body(size);
+  if (size > 0) recv_all(fd_, body.data(), size, /*eof_ok=*/false);
+  return body;
+}
+
+void TcpTransport::shutdown_send() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    throw_errno("bind");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, 8) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    throw_errno("listen");
+  }
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpTransport TcpListener::accept() {
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) throw_errno("accept");
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpTransport(client);
+}
+
+TcpTransport tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpTransport(fd);
+}
+
+std::pair<TcpTransport, TcpTransport> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    throw_errno("socketpair");
+  }
+  return {TcpTransport(fds[0]), TcpTransport(fds[1])};
+}
+
+}  // namespace acex::transport

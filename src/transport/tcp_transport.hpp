@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "transport/transport.hpp"
+
+namespace acex::transport {
+
+/// RAII wrapper over a connected TCP socket carrying length-prefixed
+/// messages (4-byte little-endian size + body). Wall-clock timed.
+///
+/// Used by the examples and integration tests to demonstrate the same
+/// adaptive pipeline over a real kernel network stack; benches use
+/// SimTransport so results are deterministic.
+class TcpTransport final : public Transport {
+ public:
+  /// Adopt an already-connected socket descriptor.
+  explicit TcpTransport(int fd);
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+  TcpTransport(TcpTransport&& other) noexcept;
+  TcpTransport& operator=(TcpTransport&& other) noexcept;
+  ~TcpTransport() override;
+
+  void send(ByteView message) override;
+  std::optional<Bytes> receive() override;
+  const Clock& clock() const override { return clock_; }
+
+  /// Close the sending side so the peer's receive() returns nullopt.
+  void shutdown_send() noexcept;
+
+ private:
+  int fd_ = -1;
+  MonotonicClock clock_;
+};
+
+/// Listening socket bound to 127.0.0.1:`port` (0 = ephemeral).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  ~TcpListener();
+
+  /// The port actually bound (useful with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Block until a client connects.
+  TcpTransport accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:`port`.
+TcpTransport tcp_connect(std::uint16_t port);
+
+/// An in-process connected socket pair (AF_UNIX), handy for tests that
+/// want real kernel I/O without ports.
+std::pair<TcpTransport, TcpTransport> socket_pair();
+
+}  // namespace acex::transport

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <optional>
+
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+
+namespace acex::transport {
+
+/// Message-oriented, reliable, ordered byte transport — the contract the
+/// middleware's channel bridge and the adaptive sender are written against.
+///
+/// `send` blocks until the peer has *accepted* the message, because the
+/// paper's algorithm keys off exactly that end-to-end time ("the speed with
+/// which compressed blocks are accepted by receivers"): a send that returns
+/// immediately would hide the congestion signal the selector needs.
+///
+/// Implementations: SimTransport (emulated link, virtual time, single
+/// process) and TcpTransport (real sockets, wall-clock time).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Deliver one message to the peer; blocks until accepted.
+  /// Throws IoError if the connection is gone.
+  virtual void send(ByteView message) = 0;
+
+  /// Receive the next message, or std::nullopt when the peer closed (or,
+  /// for simulated transports, when no message is pending).
+  virtual std::optional<Bytes> receive() = 0;
+
+  /// The clock this transport's timings are measured on. Callers time
+  /// their sends against this clock, never against wall time directly, so
+  /// the same code runs in simulation and production.
+  virtual const Clock& clock() const = 0;
+};
+
+}  // namespace acex::transport

@@ -1,0 +1,49 @@
+#include "util/bytes.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace acex {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::string hexdump(ByteView b, std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::size_t n = b.size() < max_bytes ? b.size() : max_bytes;
+  std::string out;
+  out.reserve(n * 3 + 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(i % 16 == 0 ? '\n' : ' ');
+    out.push_back(kHex[b[i] >> 4]);
+    out.push_back(kHex[b[i] & 0xf]);
+  }
+  if (b.size() > max_bytes) out += " ...";
+  return out;
+}
+
+std::string format_size(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1024.0 && unit + 1 < kUnits.size()) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace acex

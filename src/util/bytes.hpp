@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acex {
+
+/// Owned byte buffer used throughout the library for payloads.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of bytes; the preferred parameter type at API
+/// boundaries (C++ Core Guidelines I.13).
+using ByteView = std::span<const std::uint8_t>;
+
+/// Convert a string's bytes into an owned buffer (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+/// Convert bytes to a std::string (bytes are copied verbatim).
+std::string to_string(ByteView b);
+
+/// Render at most `max_bytes` of `b` as a human-readable hex dump, used in
+/// error messages and debug logging.
+std::string hexdump(ByteView b, std::size_t max_bytes = 64);
+
+/// Human-readable size such as "128.0 KiB" or "1.2 MiB".
+std::string format_size(std::uint64_t bytes);
+
+}  // namespace acex

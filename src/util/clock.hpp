@@ -1,0 +1,68 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace acex {
+
+/// Simulation/measurement time, in seconds. A plain double keeps virtual-time
+/// arithmetic in the link emulator simple; real clocks convert on read.
+using Seconds = double;
+
+/// Abstract time source. The adaptive machinery and the link emulator are
+/// written against this interface so the same code runs in real time (TCP
+/// transport, examples) and in virtual time (deterministic benches that
+/// simulate 160 s in milliseconds of wall time).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in seconds since an arbitrary epoch (monotonic).
+  virtual Seconds now() const = 0;
+};
+
+/// Wall-clock monotonic time, used wherever the paper measures real CPU work
+/// (compression speed microbenchmarks).
+class MonotonicClock final : public Clock {
+ public:
+  Seconds now() const override {
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(t).count();
+  }
+};
+
+/// Manually advanced clock for deterministic simulation. Never goes
+/// backwards; advancing by a negative amount throws via assertion in debug
+/// and is clamped in release.
+class VirtualClock final : public Clock {
+ public:
+  Seconds now() const override { return now_; }
+
+  /// Move time forward by `dt` seconds (negative dt is ignored).
+  void advance(Seconds dt) {
+    if (dt > 0) now_ += dt;
+  }
+
+  /// Jump to an absolute time, if later than the current one.
+  void advance_to(Seconds t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Seconds now_ = 0;
+};
+
+/// RAII stopwatch over any Clock. `elapsed()` may be read repeatedly.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+
+  Seconds elapsed() const { return clock_->now() - start_; }
+
+  void restart() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  Seconds start_;
+};
+
+}  // namespace acex

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace acex {
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, the same one zlib/gzip use).
+/// Frames append a CRC so receivers detect corruption introduced anywhere in
+/// the compress -> transport -> decompress path.
+class Crc32 {
+ public:
+  /// Fold `data` into the running checksum.
+  void update(ByteView data) noexcept;
+
+  /// Final checksum value for everything updated so far.
+  std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  /// Reset to the empty-input state.
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience over Crc32.
+std::uint32_t crc32(ByteView data) noexcept;
+
+}  // namespace acex

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace acex {
+
+/// Root of the library's exception hierarchy. Every failure acex can raise
+/// derives from this, so callers may catch `acex::Error` to contain the
+/// library without swallowing unrelated exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Compressed, framed, or PBIO-encoded input was malformed, truncated, or
+/// failed an integrity check. Decoders throw this instead of crashing on
+/// corrupt data (see DESIGN.md §6).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// A transport or OS-level I/O operation failed (socket error, closed peer).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io: " + what) {}
+};
+
+/// A component was configured with invalid parameters (zero block size,
+/// negative bandwidth, unknown codec id, ...). Indicates caller misuse.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config: " + what) {}
+};
+
+}  // namespace acex

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/bytes.hpp"
+
+namespace acex {
+
+/// Deterministic xoshiro256** PRNG. All randomness in acex — workload
+/// generators, link jitter, loss — flows from explicitly seeded Rng
+/// instances so that every experiment is reproducible (DESIGN.md §6).
+///
+/// Satisfies std::uniform_random_bit_generator, so it plugs into <random>
+/// distributions as well.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Normally distributed double (Box-Muller), mean 0 stddev 1.
+  double gaussian() noexcept;
+
+  /// Fill a buffer with `n` random bytes.
+  Bytes bytes(std::size_t n) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0;
+  bool has_spare_ = false;
+};
+
+}  // namespace acex

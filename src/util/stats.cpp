@@ -1,0 +1,107 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace acex {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stddev_percent() const noexcept {
+  return mean_ != 0.0 ? 100.0 * stddev() / std::abs(mean_) : 0.0;
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw ConfigError("Ewma alpha must be in (0, 1]");
+  }
+}
+
+void Ewma::add(double x) noexcept {
+  if (!seeded_) {
+    value_ = x;
+    seeded_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw ConfigError("SlidingWindow capacity must be > 0");
+}
+
+void SlidingWindow::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  if (samples_.size() > capacity_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+}
+
+double SlidingWindow::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw ConfigError("Histogram needs hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+double Histogram::edge(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::size_t>(q * static_cast<double>(total_));
+  std::size_t seen = underflow_;
+  if (seen > target) return lo_;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return edge(i) + width / 2;
+  }
+  return hi_;
+}
+
+}  // namespace acex

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace acex {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+/// Used to report the link-speed standard deviations of Fig. 5 and to
+/// summarize benchmark series.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  /// Standard deviation as a percentage of the mean (the form Fig. 5 uses).
+  double stddev_percent() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Exponentially weighted moving average. The reducing-speed monitor and the
+/// bandwidth estimator both smooth their measurements with this, matching the
+/// paper's "measured continually, as subsequent blocks are compressed".
+class Ewma {
+ public:
+  /// `alpha` is the weight of the newest sample, in (0, 1].
+  explicit Ewma(double alpha = 0.3);
+
+  void add(double x) noexcept;
+
+  /// Current smoothed value; `fallback` until the first sample arrives.
+  double value_or(double fallback) const noexcept {
+    return seeded_ ? value_ : fallback;
+  }
+  bool has_value() const noexcept { return seeded_; }
+  void reset() noexcept { seeded_ = false; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool seeded_ = false;
+};
+
+/// Fixed-capacity sliding window of samples with O(1) mean.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  double mean() const noexcept;
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool full() const noexcept { return samples_.size() == capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> samples_;
+  double sum_ = 0;
+};
+
+/// Simple linear-bucket histogram used by benches to characterize block-size
+/// and latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count_at(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const noexcept { return total_; }
+  /// Lower edge of bucket `i`.
+  double edge(std::size_t i) const noexcept;
+  /// Approximate quantile (0 <= q <= 1) from bucket midpoints.
+  double quantile(double q) const noexcept;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace acex

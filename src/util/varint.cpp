@@ -1,0 +1,38 @@
+#include "util/varint.hpp"
+
+#include "util/error.hpp"
+
+namespace acex {
+
+void put_varint(Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(ByteView in, std::size_t* pos) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (*pos >= in.size()) throw DecodeError("varint: truncated input");
+    const std::uint8_t byte = in[(*pos)++];
+    if (shift == 63 && byte > 1) throw DecodeError("varint: overflows 64 bits");
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) throw DecodeError("varint: overlong encoding");
+  }
+}
+
+std::size_t varint_size(std::uint64_t value) noexcept {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace acex

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "util/bytes.hpp"
+
+namespace acex {
+
+/// Append `value` to `out` as an unsigned LEB128 varint (1..10 bytes).
+/// Used by the frame format and PBIO to store sizes compactly.
+void put_varint(Bytes& out, std::uint64_t value);
+
+/// Decode an unsigned LEB128 varint from `in` starting at `*pos`, advancing
+/// `*pos` past it. Throws DecodeError on truncation or >64-bit overflow.
+std::uint64_t get_varint(ByteView in, std::size_t* pos);
+
+/// Number of bytes put_varint would emit for `value`.
+std::size_t varint_size(std::uint64_t value) noexcept;
+
+}  // namespace acex

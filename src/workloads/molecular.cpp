@@ -1,0 +1,159 @@
+#include "workloads/molecular.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace acex::workloads {
+namespace {
+
+void put_f32(Bytes& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void put_i32(Bytes& out, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+MolecularGenerator::MolecularGenerator(MolecularConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.atom_count == 0) {
+    throw ConfigError("molecular: atom_count must be > 0");
+  }
+  if (config_.species_count == 0 || config_.species_count > 64) {
+    throw ConfigError("molecular: species_count must be in [1, 64]");
+  }
+  atoms_.resize(config_.atom_count);
+  for (auto& a : atoms_) {
+    a.x = static_cast<float>(rng_.uniform() * config_.box_size);
+    a.y = static_cast<float>(rng_.uniform() * config_.box_size);
+    a.z = static_cast<float>(rng_.uniform() * config_.box_size);
+    a.vx = quantize(rng_.gaussian() * config_.temperature);
+    a.vy = quantize(rng_.gaussian() * config_.temperature);
+    a.vz = quantize(rng_.gaussian() * config_.temperature);
+    // Species follow a skewed (geometric-ish) distribution: a couple of
+    // types dominate, like solvent atoms in real MD data.
+    std::int32_t type = 0;
+    while (type + 1 < static_cast<std::int32_t>(config_.species_count) &&
+           rng_.chance(0.45)) {
+      ++type;
+    }
+    a.type = type;
+  }
+}
+
+float MolecularGenerator::quantize(double v) const noexcept {
+  const double q = config_.velocity_quantum;
+  return static_cast<float>(std::round(v / q) * q);
+}
+
+void MolecularGenerator::step() {
+  const auto box = static_cast<float>(config_.box_size);
+  for (auto& a : atoms_) {
+    // Thermal kick, then drift; reflect at the box walls.
+    a.vx = quantize(a.vx * 0.9 + rng_.gaussian() * config_.temperature * 0.3);
+    a.vy = quantize(a.vy * 0.9 + rng_.gaussian() * config_.temperature * 0.3);
+    a.vz = quantize(a.vz * 0.9 + rng_.gaussian() * config_.temperature * 0.3);
+    a.x += a.vx;
+    a.y += a.vy;
+    a.z += a.vz;
+    const auto reflect = [box](float& p, float& v) {
+      if (p < 0) {
+        p = -p;
+        v = -v;
+      } else if (p > box) {
+        p = 2 * box - p;
+        v = -v;
+      }
+    };
+    reflect(a.x, a.vx);
+    reflect(a.y, a.vy);
+    reflect(a.z, a.vz);
+  }
+}
+
+Bytes MolecularGenerator::coordinates_bytes() const {
+  Bytes out;
+  out.reserve(atoms_.size() * 12);
+  for (const auto& a : atoms_) {
+    put_f32(out, a.x);
+    put_f32(out, a.y);
+    put_f32(out, a.z);
+  }
+  return out;
+}
+
+Bytes MolecularGenerator::velocities_bytes() const {
+  Bytes out;
+  out.reserve(atoms_.size() * 12);
+  for (const auto& a : atoms_) {
+    put_f32(out, a.vx);
+    put_f32(out, a.vy);
+    put_f32(out, a.vz);
+  }
+  return out;
+}
+
+Bytes MolecularGenerator::types_bytes() const {
+  Bytes out;
+  out.reserve(atoms_.size() * 4);
+  for (const auto& a : atoms_) put_i32(out, a.type);
+  return out;
+}
+
+pbio::RecordFormat MolecularGenerator::snapshot_format() {
+  using pbio::FieldType;
+  return pbio::RecordFormat(
+      "md.atom", {
+                     {"id", FieldType::kUInt32},
+                     {"type", FieldType::kInt32},
+                     {"x", FieldType::kFloat32},
+                     {"y", FieldType::kFloat32},
+                     {"z", FieldType::kFloat32},
+                     {"vx", FieldType::kFloat32},
+                     {"vy", FieldType::kFloat32},
+                     {"vz", FieldType::kFloat32},
+                 });
+}
+
+Bytes MolecularGenerator::pbio_snapshot() const {
+  const pbio::Encoder encoder(snapshot_format());
+  Bytes out;
+  encoder.encode_format(out);
+  pbio::Record record(encoder.format());
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    const Atom& a = atoms_[i];
+    record.set("id", static_cast<std::uint32_t>(i));
+    record.set("type", a.type);
+    record.set("x", a.x);
+    record.set("y", a.y);
+    record.set("z", a.z);
+    record.set("vx", a.vx);
+    record.set("vy", a.vy);
+    record.set("vz", a.vz);
+    encoder.encode_record(record, out);
+  }
+  return out;
+}
+
+Bytes MolecularGenerator::stream(std::size_t steps) {
+  Bytes out;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const Bytes snap = pbio_snapshot();
+    out.insert(out.end(), snap.begin(), snap.end());
+    step();
+  }
+  return out;
+}
+
+}  // namespace acex::workloads

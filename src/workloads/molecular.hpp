@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pbio/pbio.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace acex::workloads {
+
+/// Synthetic stand-in for the molecular-dynamics dataset of [4] (Fig. 6):
+/// atoms with coordinates, velocities, and types whose per-field
+/// compressibility reproduces the paper's split —
+///   coordinates: random-walk float32 positions, essentially incompressible;
+///   velocities:  quantized thermal (Gaussian) values, moderately
+///                compressible;
+///   types:       a skewed handful of species ids, highly compressible.
+struct MolecularConfig {
+  std::size_t atom_count = 4096;
+  std::uint64_t seed = 42;
+  unsigned species_count = 5;     ///< distinct atom types
+  double box_size = 100.0;        ///< simulation box edge (arbitrary units)
+  double temperature = 1.0;       ///< velocity scale
+  double velocity_quantum = 1e-3; ///< velocities round to this grid
+};
+
+/// A minimal MD integrator: atoms random-walk under thermal kicks. Each
+/// step() advances the state; field extractors snapshot the current state
+/// in the packed layouts Fig. 6 compresses.
+class MolecularGenerator {
+ public:
+  explicit MolecularGenerator(MolecularConfig config = {});
+
+  const MolecularConfig& config() const noexcept { return config_; }
+
+  /// Advance every atom one timestep (thermal kick + drift, reflective
+  /// box walls).
+  void step();
+
+  /// Packed float32 (x, y, z) per atom — the "coordinates" series.
+  Bytes coordinates_bytes() const;
+
+  /// Packed quantized float32 (vx, vy, vz) per atom — "velocity".
+  Bytes velocities_bytes() const;
+
+  /// Packed int32 species id per atom — "type". (PBIO carries types as
+  /// integers; a byte-per-atom variant would compress even better.)
+  Bytes types_bytes() const;
+
+  /// The full snapshot as a PBIO stream (format header + one record per
+  /// atom) — how the middleware actually transports this data.
+  Bytes pbio_snapshot() const;
+
+  /// Schema of pbio_snapshot records.
+  static pbio::RecordFormat snapshot_format();
+
+  /// Concatenation of `steps` successive snapshots, stepping in between —
+  /// a streaming workload of `steps` frames.
+  Bytes stream(std::size_t steps);
+
+ private:
+  struct Atom {
+    float x, y, z;
+    float vx, vy, vz;
+    std::int32_t type;
+  };
+
+  float quantize(double v) const noexcept;
+
+  MolecularConfig config_;
+  Rng rng_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace acex::workloads

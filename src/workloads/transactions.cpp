@@ -1,0 +1,112 @@
+#include "workloads/transactions.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace acex::workloads {
+namespace {
+
+constexpr std::array kAirports = {"ATL", "JFK", "ORD", "DFW", "LAX",
+                                  "TLV", "CDG", "LHR", "NRT", "SLC"};
+constexpr std::array kKinds = {"DEPARTURE", "ARRIVAL", "GATE_CHANGE",
+                               "BAGGAGE_SCAN", "DELAY_NOTICE", "CREW_SWAP"};
+constexpr std::array kStatus = {"ON_TIME", "DELAYED", "BOARDING",
+                                "CANCELLED", "DIVERTED", "COMPLETED"};
+constexpr std::array kCarriers = {"DL", "AA", "UA", "LY", "AF"};
+
+}  // namespace
+
+TransactionGenerator::TransactionGenerator(std::uint64_t seed) : rng_(seed) {}
+
+TransactionGenerator::EventData TransactionGenerator::next_event() {
+  EventData e;
+  e.kind = kKinds[rng_.below(kKinds.size())];
+  // A small working set of flights recurs, giving long-range repetition.
+  char flight[8];
+  std::snprintf(flight, sizeof flight, "%s%04u",
+                kCarriers[rng_.below(kCarriers.size())],
+                static_cast<unsigned>(1000 + rng_.below(40)));
+  e.flight = flight;
+  e.origin = kAirports[rng_.below(kAirports.size())];
+  do {
+    e.destination = kAirports[rng_.below(kAirports.size())];
+  } while (e.destination == e.origin);
+  e.status = kStatus[rng_.below(kStatus.size())];
+  clock_minutes_ = (clock_minutes_ + static_cast<unsigned>(rng_.below(3))) %
+                   (24 * 60);
+  e.minute = clock_minutes_;
+  char pnr[8];
+  std::snprintf(pnr, sizeof pnr, "%c%c%04u",
+                static_cast<char>('A' + rng_.below(26)),
+                static_cast<char>('A' + rng_.below(26)),
+                static_cast<unsigned>(rng_.below(10000)));
+  e.pnr = pnr;
+  ++events_;
+  return e;
+}
+
+std::string TransactionGenerator::next_text() {
+  const EventData e = next_event();
+  // Per-line unique counters (sequence, baggage, pax, fuel) keep the data
+  // out of the trivially-compressible regime, while the fixed field
+  // structure preserves the "high rate of string repetitions" the paper
+  // describes — together they land the Fig. 2 ratio band.
+  char line[200];
+  std::snprintf(line, sizeof line,
+                "%02u:%02u:%02u SEQ=%07llu OPS %s FLIGHT=%s ROUTE=%s-%s "
+                "STATUS=%s PNR=%s BAG=%05u PAX=%03u FUEL=%05u\n",
+                e.minute / 60, e.minute % 60,
+                static_cast<unsigned>(rng_.below(60)),
+                static_cast<unsigned long long>(events_), e.kind,
+                e.flight.c_str(), e.origin, e.destination, e.status,
+                e.pnr.c_str(), static_cast<unsigned>(rng_.below(100000)),
+                static_cast<unsigned>(rng_.below(500)),
+                static_cast<unsigned>(10000 + rng_.below(90000)));
+  return line;
+}
+
+std::string TransactionGenerator::next_xml() {
+  const EventData e = next_event();
+  char elem[320];
+  std::snprintf(
+      elem, sizeof elem,
+      "  <operational-event kind=\"%s\" seq=\"%llu\">\n"
+      "    <flight carrier-assigned=\"true\">%s</flight>\n"
+      "    <route origin=\"%s\" destination=\"%s\"/>\n"
+      "    <status>%s</status>\n"
+      "    <timestamp minute-of-day=\"%u\"/>\n"
+      "    <passenger-record locator=\"%s\" bags=\"%u\"/>\n"
+      "  </operational-event>\n",
+      e.kind, static_cast<unsigned long long>(events_), e.flight.c_str(),
+      e.origin, e.destination, e.status, e.minute, e.pnr.c_str(),
+      static_cast<unsigned>(rng_.below(10)));
+  return elem;
+}
+
+Bytes TransactionGenerator::text_block(std::size_t bytes) {
+  Bytes out;
+  out.reserve(bytes + 160);
+  while (out.size() < bytes) {
+    const std::string line = next_text();
+    out.insert(out.end(), line.begin(), line.end());
+  }
+  out.resize(bytes);
+  return out;
+}
+
+Bytes TransactionGenerator::xml_block(std::size_t bytes) {
+  static constexpr char kOpen[] = "<operational-feed>\n";
+  static constexpr char kClose[] = "</operational-feed>\n";
+  Bytes out;
+  out.reserve(bytes + 320);
+  out.insert(out.end(), kOpen, kOpen + sizeof kOpen - 1);
+  while (out.size() + sizeof kClose - 1 < bytes) {
+    const std::string elem = next_xml();
+    out.insert(out.end(), elem.begin(), elem.end());
+  }
+  out.insert(out.end(), kClose, kClose + sizeof kClose - 1);
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace acex::workloads

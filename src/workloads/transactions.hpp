@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace acex::workloads {
+
+/// Synthetic stand-in for the operational-information-system transaction
+/// capture of "a large company" ([2], §4.2). Emits airline-operations
+/// events — flight movements, gate changes, baggage scans, delay notices —
+/// with the property the paper relies on: "a high rate of string
+/// repetitions", putting the data squarely in Lempel-Ziv / Burrows-Wheeler
+/// territory (Fig. 2: best methods reach ~30 % of original size).
+///
+/// Two renderings of the same event stream:
+///   text  — fixed-field operational log lines;
+///   xml   — the markup form the paper's abstract mentions for commercial
+///           data (even more repetitive: tags dominate).
+class TransactionGenerator {
+ public:
+  explicit TransactionGenerator(std::uint64_t seed = 7);
+
+  /// One operational event as a log line (newline-terminated).
+  std::string next_text();
+
+  /// The same kind of event as an XML element (newline-terminated).
+  std::string next_xml();
+
+  /// Concatenated text records totalling at least `bytes` (then truncated
+  /// to exactly `bytes`).
+  Bytes text_block(std::size_t bytes);
+
+  /// Concatenated XML records totalling exactly `bytes`, wrapped in a
+  /// stream element.
+  Bytes xml_block(std::size_t bytes);
+
+  /// Number of events emitted so far.
+  std::uint64_t events() const noexcept { return events_; }
+
+ private:
+  struct EventData {
+    const char* kind;
+    std::string flight;
+    const char* origin;
+    const char* destination;
+    const char* status;
+    unsigned minute;
+    std::string pnr;
+  };
+
+  EventData next_event();
+
+  Rng rng_;
+  std::uint64_t events_ = 0;
+  unsigned clock_minutes_ = 0;
+};
+
+}  // namespace acex::workloads

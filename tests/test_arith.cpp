@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "compress/arith.hpp"
+#include "compress/huffman.hpp"
+#include "testdata.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex {
+namespace {
+
+// ------------------------------------------------------------------ model
+
+TEST(AdaptiveModel, StartsUniform) {
+  arith::AdaptiveByteModel m;
+  EXPECT_EQ(m.total(), 256u);
+  for (unsigned s = 0; s < 256; ++s) {
+    EXPECT_EQ(m.freq(s), 1u);
+    EXPECT_EQ(m.cum_below(s), s);
+  }
+}
+
+TEST(AdaptiveModel, UpdateRaisesFrequency) {
+  arith::AdaptiveByteModel m;
+  const std::uint32_t before = m.freq('a');
+  m.update('a');
+  EXPECT_GT(m.freq('a'), before);
+  EXPECT_EQ(m.freq('b'), 1u);
+}
+
+TEST(AdaptiveModel, CumulativeSumsStayConsistent) {
+  arith::AdaptiveByteModel m;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    m.update(static_cast<unsigned>(rng.below(256)));
+  }
+  std::uint32_t sum = 0;
+  for (unsigned s = 0; s < 256; ++s) {
+    EXPECT_EQ(m.cum_below(s), sum);
+    sum += m.freq(s);
+  }
+  EXPECT_EQ(sum, m.total());
+}
+
+TEST(AdaptiveModel, FindInvertsCumulative) {
+  arith::AdaptiveByteModel m;
+  for (int i = 0; i < 100; ++i) m.update('q');
+  for (std::uint32_t t = 0; t < m.total(); t += 13) {
+    const unsigned s = m.find(t);
+    EXPECT_LE(m.cum_below(s), t);
+    EXPECT_GT(m.cum_below(s) + m.freq(s), t);
+  }
+}
+
+TEST(AdaptiveModel, RescaleKeepsEverySymbolCodable) {
+  arith::AdaptiveByteModel m;
+  for (int i = 0; i < 20000; ++i) m.update('z');  // forces several rescales
+  for (unsigned s = 0; s < 256; ++s) EXPECT_GE(m.freq(s), 1u);
+  EXPECT_LT(m.total(), 1u << 16);
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(ArithmeticCodec, RoundTripsText) {
+  ArithmeticCodec codec;
+  const Bytes data = testdata::repetitive_text(20000, 1);
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(ArithmeticCodec, RoundTripsRandom) {
+  ArithmeticCodec codec;
+  const Bytes data = testdata::random_bytes(8192, 2);
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(ArithmeticCodec, EmptyInput) {
+  ArithmeticCodec codec;
+  EXPECT_TRUE(codec.decompress(codec.compress(Bytes{})).empty());
+}
+
+TEST(ArithmeticCodec, SingleByte) {
+  ArithmeticCodec codec;
+  const Bytes data = {0xFF};
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(ArithmeticCodec, TwoBytesAllValues) {
+  ArithmeticCodec codec;
+  for (unsigned a : {0u, 1u, 127u, 255u}) {
+    for (unsigned b : {0u, 128u, 255u}) {
+      const Bytes data = {static_cast<std::uint8_t>(a),
+                          static_cast<std::uint8_t>(b)};
+      EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+    }
+  }
+}
+
+TEST(ArithmeticCodec, BeatsHuffmanOnSkewedData) {
+  // Fractional-bit codewords pay off when one symbol dominates (§2.2).
+  Rng rng(3);
+  Bytes data(64 * 1024);
+  for (auto& b : data) b = rng.chance(0.97) ? 0 : 1;
+
+  ArithmeticCodec arith;
+  HuffmanCodec huffman;
+  const auto a = arith.compress(data).size();
+  const auto h = huffman.compress(data).size();
+  EXPECT_LT(a, h / 2);
+}
+
+TEST(ArithmeticCodec, CompressesLowEntropyBelow60Percent) {
+  ArithmeticCodec codec;
+  const Bytes data = testdata::low_entropy(64 * 1024, 4);
+  EXPECT_LT(codec.compress(data).size(), data.size() * 6 / 10);
+}
+
+TEST(ArithmeticCodec, ImplausibleSizeHeaderThrows) {
+  Bytes bogus;
+  put_varint(bogus, 1ull << 50);
+  bogus.push_back(0);
+  ArithmeticCodec codec;
+  EXPECT_THROW(codec.decompress(bogus), DecodeError);
+}
+
+TEST(ArithmeticCodec, LongRunsOfSingleSymbol) {
+  ArithmeticCodec codec;
+  const Bytes data(100000, 7);
+  const Bytes packed = codec.compress(data);
+  EXPECT_LT(packed.size(), 2048u);  // ~0.02 bits/symbol once adapted
+  EXPECT_EQ(codec.decompress(packed), data);
+}
+
+}  // namespace
+}  // namespace acex

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "compress/bwt.hpp"
+#include "compress/bwt_codec.hpp"
+#include "compress/lz77.hpp"
+#include "compress/mtf.hpp"
+#include "compress/rle.hpp"
+#include "testdata.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex {
+namespace {
+
+// -------------------------------------------------------------- transform
+
+TEST(BwtTransform, KnownVectorBanana) {
+  // Classic example: cyclic BWT of "banana".
+  const Bytes data = to_bytes("banana");
+  const auto t = bwt::forward(data);
+  EXPECT_EQ(bwt::inverse(t.last_column, t.primary), data);
+  EXPECT_EQ(to_string(t.last_column), "nnbaaa");
+}
+
+TEST(BwtTransform, GroupsEqualContexts) {
+  // BWT of repetitive text concentrates equal characters.
+  const Bytes data = testdata::repetitive_text(4096, 1);
+  const auto t = bwt::forward(data);
+  std::size_t adjacent_equal = 0;
+  for (std::size_t i = 1; i < t.last_column.size(); ++i) {
+    adjacent_equal += t.last_column[i] == t.last_column[i - 1];
+  }
+  std::size_t baseline = 0;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    baseline += data[i] == data[i - 1];
+  }
+  EXPECT_GT(adjacent_equal, baseline * 2);
+}
+
+TEST(BwtTransform, EmptyAndSingle) {
+  EXPECT_TRUE(bwt::forward(Bytes{}).last_column.empty());
+  const Bytes one = {0x7F};
+  const auto t = bwt::forward(one);
+  EXPECT_EQ(bwt::inverse(t.last_column, t.primary), one);
+}
+
+TEST(BwtTransform, RoundTripsAllPatterns) {
+  for (const auto& pattern : testdata::patterns()) {
+    for (const std::size_t size : {2u, 3u, 64u, 1000u, 4097u}) {
+      const Bytes data = pattern.make(size, 21);
+      const auto t = bwt::forward(data);
+      EXPECT_EQ(bwt::inverse(t.last_column, t.primary), data)
+          << pattern.name << " size=" << size;
+    }
+  }
+}
+
+TEST(BwtTransform, PeriodicInputsRoundTrip) {
+  // Identical rotations are the degenerate case of the rotation sort.
+  for (const std::string s :
+       {"aaaa", "abab", "abcabc", "xyxyxyxyxyxy", "aabaab"}) {
+    const Bytes data = to_bytes(s);
+    const auto t = bwt::forward(data);
+    EXPECT_EQ(bwt::inverse(t.last_column, t.primary), data) << s;
+  }
+}
+
+TEST(BwtTransform, InverseRejectsBadPrimary) {
+  const Bytes col = to_bytes("nnbaaa");
+  EXPECT_THROW(bwt::inverse(col, 6), DecodeError);
+}
+
+// -------------------------------------------------------------------- mtf
+
+TEST(Mtf, KnownSequence) {
+  // 'a' (97) first costs 97, immediately repeating costs 0.
+  const Bytes data = to_bytes("aab");
+  const Bytes coded = mtf::encode(data);
+  ASSERT_EQ(coded.size(), 3u);
+  EXPECT_EQ(coded[0], 97);
+  EXPECT_EQ(coded[1], 0);
+  EXPECT_EQ(mtf::decode(coded), data);
+}
+
+TEST(Mtf, RoundTripsAllPatterns) {
+  for (const auto& pattern : testdata::patterns()) {
+    const Bytes data = pattern.make(5000, 2);
+    EXPECT_EQ(mtf::decode(mtf::encode(data)), data) << pattern.name;
+  }
+}
+
+TEST(Mtf, LocalizedDataBecomesSmallValues) {
+  const Bytes data = testdata::long_runs(10000, 3);
+  const Bytes coded = mtf::encode(data);
+  std::size_t small = 0;
+  for (const auto b : coded) small += b < 4;
+  EXPECT_GT(small, coded.size() * 9 / 10);
+}
+
+TEST(Mtf, EmptyInput) { EXPECT_TRUE(mtf::encode(Bytes{}).empty()); }
+
+// -------------------------------------------------------------------- rle
+
+TEST(Rle, OutputNeverContainsSentinel) {
+  for (const auto& pattern : testdata::patterns()) {
+    const Bytes data = pattern.make(8000, 4);
+    const Bytes coded = rle::encode(data);
+    for (const auto b : coded) {
+      ASSERT_NE(b, rle::kSentinel) << pattern.name;
+    }
+    EXPECT_EQ(rle::decode(coded), data) << pattern.name;
+  }
+}
+
+TEST(Rle, CompressesLongRuns) {
+  const Bytes data(10000, 3);
+  const Bytes coded = rle::encode(data);
+  EXPECT_LT(coded.size(), 250u);
+  EXPECT_EQ(rle::decode(coded), data);
+}
+
+TEST(Rle, RunOfSentinelBytesRoundTrips) {
+  const Bytes data(1000, 255);
+  const Bytes coded = rle::encode(data);
+  for (const auto b : coded) ASSERT_NE(b, rle::kSentinel);
+  EXPECT_EQ(rle::decode(coded), data);
+}
+
+TEST(Rle, RunOfEscapeBytesRoundTrips) {
+  const Bytes data(1000, 254);
+  EXPECT_EQ(rle::decode(rle::encode(data)), data);
+}
+
+TEST(Rle, ExactlyFourRepeatsGetCountByte) {
+  const Bytes data = {9, 9, 9, 9};
+  const Bytes coded = rle::encode(data);
+  ASSERT_EQ(coded.size(), 5u);  // 4 bytes + count 0
+  EXPECT_EQ(coded[4], 0);
+  EXPECT_EQ(rle::decode(coded), data);
+}
+
+TEST(Rle, ThreeRepeatsStayRaw) {
+  const Bytes data = {9, 9, 9};
+  EXPECT_EQ(rle::encode(data), data);
+  EXPECT_EQ(rle::decode(data), data);
+}
+
+TEST(Rle, RunCapRespectsPaperLimit) {
+  // A unit covers at most kRunTrigger + kMaxExtra = 254 source bytes.
+  const Bytes data(254, 1);
+  const Bytes coded = rle::encode(data);
+  ASSERT_EQ(coded.size(), 5u);
+  EXPECT_EQ(coded[4], rle::kMaxExtra);
+  EXPECT_EQ(rle::decode(coded), data);
+}
+
+TEST(Rle, DecodeRejectsPayloadSentinel) {
+  const Bytes bad = {1, 2, 255};
+  EXPECT_THROW(rle::decode(bad), DecodeError);
+}
+
+TEST(Rle, DecodeRejectsTruncatedEscape) {
+  const Bytes bad = {254};
+  EXPECT_THROW(rle::decode(bad), DecodeError);
+}
+
+TEST(Rle, DecodeRejectsInvalidEscapePayload) {
+  const Bytes bad = {254, 7};
+  EXPECT_THROW(rle::decode(bad), DecodeError);
+}
+
+TEST(Rle, DecodeRejectsTruncatedRunCount) {
+  const Bytes bad = {5, 5, 5, 5};  // count byte missing
+  EXPECT_THROW(rle::decode(bad), DecodeError);
+}
+
+TEST(Rle, DecodeRejectsOversizedRunCount) {
+  const Bytes bad = {5, 5, 5, 5, 253};  // count > kMaxExtra
+  EXPECT_THROW(rle::decode(bad), DecodeError);
+}
+
+// ------------------------------------------------------------ whole codec
+
+TEST(BurrowsWheelerCodec, RoundTripsAllPatterns) {
+  BurrowsWheelerCodec codec(4096);
+  for (const auto& pattern : testdata::patterns()) {
+    const Bytes data = pattern.make(20000, 5);
+    EXPECT_EQ(codec.decompress(codec.compress(data)), data) << pattern.name;
+  }
+}
+
+TEST(BurrowsWheelerCodec, EmptyInput) {
+  BurrowsWheelerCodec codec;
+  EXPECT_TRUE(codec.decompress(codec.compress(Bytes{})).empty());
+}
+
+TEST(BurrowsWheelerCodec, InputSmallerThanChunk) {
+  BurrowsWheelerCodec codec(4096);
+  const Bytes data = testdata::repetitive_text(100, 6);
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(BurrowsWheelerCodec, InputSpanningManyChunks) {
+  BurrowsWheelerCodec codec(512);
+  const Bytes data = testdata::repetitive_text(10000, 7);
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(BurrowsWheelerCodec, ExactChunkMultiple) {
+  BurrowsWheelerCodec codec(1024);
+  const Bytes data = testdata::low_entropy(4096, 8);
+  EXPECT_EQ(codec.decompress(codec.compress(data)), data);
+}
+
+TEST(BurrowsWheelerCodec, BestRatioOnRepetitiveData) {
+  BurrowsWheelerCodec bw(64 * 1024);
+  LempelZivCodec lzc;
+  const Bytes data = testdata::repetitive_text(256 * 1024, 9);
+  EXPECT_LT(bw.compress(data).size(), lzc.compress(data).size());
+}
+
+TEST(BurrowsWheelerCodec, StoredModeBoundsExpansion) {
+  BurrowsWheelerCodec codec(4096);
+  const Bytes data = testdata::random_bytes(16 * 1024, 10);
+  const Bytes packed = codec.compress(data);
+  EXPECT_LE(packed.size(), data.size() + 16);
+  EXPECT_EQ(codec.decompress(packed), data);
+}
+
+TEST(BurrowsWheelerCodec, RejectsBadChunkSize) {
+  EXPECT_THROW(BurrowsWheelerCodec(16), ConfigError);
+  EXPECT_THROW(BurrowsWheelerCodec(4 << 20), ConfigError);
+}
+
+TEST(BurrowsWheelerCodec, TruncatedInputThrows) {
+  BurrowsWheelerCodec codec(2048);
+  Bytes packed = codec.compress(testdata::repetitive_text(8192, 11));
+  packed.resize(packed.size() / 2);
+  EXPECT_THROW(codec.decompress(packed), DecodeError);
+}
+
+TEST(BurrowsWheelerCodec, RecoverFromBitFindsTailChunks) {
+  // §2.4: a receiver starting mid-stream recovers chunks after the next
+  // sentinel. Use text chunks so recovery is deterministic in practice.
+  BurrowsWheelerCodec codec(1024);
+  const Bytes data = testdata::repetitive_text(8192, 12);
+  const Bytes packed = codec.compress(data);
+
+  const auto chunks = codec.recover_from_bit(packed, 0);
+  // Starting at bit 0 skips only the first chunk.
+  ASSERT_EQ(chunks.size(), 7u);
+  Bytes tail;
+  for (const auto& c : chunks) tail.insert(tail.end(), c.begin(), c.end());
+  const Bytes expected(data.begin() + 1024, data.end());
+  EXPECT_EQ(tail, expected);
+}
+
+TEST(BurrowsWheelerCodec, RecoverFromMidStreamOffset) {
+  BurrowsWheelerCodec codec(1024);
+  const Bytes data = testdata::repetitive_text(16384, 13);
+  const Bytes packed = codec.compress(data);
+
+  // Jump ~40% into the compressed payload; everything recovered must be a
+  // contiguous run of original chunks ending at the final one.
+  const auto chunks =
+      codec.recover_from_bit(packed, packed.size() * 8 * 2 / 5);
+  ASSERT_FALSE(chunks.empty());
+  ASSERT_LE(chunks.size(), 16u);
+  Bytes tail;
+  for (const auto& c : chunks) tail.insert(tail.end(), c.begin(), c.end());
+  ASSERT_LE(tail.size(), data.size());
+  const Bytes expected(data.end() - static_cast<std::ptrdiff_t>(tail.size()),
+                       data.end());
+  EXPECT_EQ(tail, expected);
+}
+
+TEST(BurrowsWheelerCodec, RecoverRequiresCompressedMode) {
+  BurrowsWheelerCodec codec(1024);
+  const Bytes packed = codec.compress(testdata::random_bytes(4096, 14));
+  EXPECT_THROW(codec.recover_from_bit(packed, 0), DecodeError);
+}
+
+}  // namespace
+}  // namespace acex

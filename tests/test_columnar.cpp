@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "compress/registry.hpp"
+#include "pbio/columnar.hpp"
+#include "testdata.hpp"
+#include "util/error.hpp"
+#include "workloads/molecular.hpp"
+
+namespace acex::pbio {
+namespace {
+
+Bytes md_stream(std::size_t atoms) {
+  workloads::MolecularConfig config;
+  config.atom_count = atoms;
+  workloads::MolecularGenerator gen(config);
+  return gen.pbio_snapshot();
+}
+
+TEST(Columnar, RoundTripsByteIdentically) {
+  for (const std::size_t atoms : {1u, 2u, 37u, 1000u}) {
+    const Bytes stream = md_stream(atoms);
+    const Bytes shuffled = columnar_shuffle(stream);
+    EXPECT_EQ(columnar_unshuffle(shuffled), stream) << atoms << " atoms";
+  }
+}
+
+TEST(Columnar, HeaderOnlyStream) {
+  const Encoder enc(workloads::MolecularGenerator::snapshot_format());
+  Bytes header;
+  enc.encode_format(header);
+  const Bytes shuffled = columnar_shuffle(header);
+  EXPECT_EQ(columnar_unshuffle(shuffled), header);
+}
+
+TEST(Columnar, EligibilityCheck) {
+  EXPECT_TRUE(is_columnar_eligible(
+      workloads::MolecularGenerator::snapshot_format()));
+  const RecordFormat with_string(
+      "x", {{"a", FieldType::kInt32}, {"s", FieldType::kString}});
+  EXPECT_FALSE(is_columnar_eligible(with_string));
+  EXPECT_FALSE(is_columnar_eligible(RecordFormat{}));
+}
+
+TEST(Columnar, RejectsVariableSizeFields) {
+  const RecordFormat fmt("v", {{"s", FieldType::kString}});
+  const Encoder enc(fmt);
+  Record r(fmt);
+  r.set("s", std::string("hello"));
+  const Bytes stream = encode_stream(enc, {r});
+  EXPECT_THROW(columnar_shuffle(stream), ConfigError);
+}
+
+TEST(Columnar, RejectsTruncatedRecords) {
+  Bytes stream = md_stream(10);
+  stream.pop_back();
+  EXPECT_THROW(columnar_shuffle(stream), DecodeError);
+}
+
+TEST(Columnar, RejectsInconsistentShuffledCount) {
+  Bytes shuffled = columnar_shuffle(md_stream(10));
+  shuffled.push_back(0);  // stray byte breaks the count/body invariant
+  EXPECT_THROW(columnar_unshuffle(shuffled), DecodeError);
+}
+
+TEST(Columnar, DecodableAfterRoundTrip) {
+  const Bytes stream = md_stream(25);
+  const auto records =
+      decode_stream(columnar_unshuffle(columnar_shuffle(stream)));
+  ASSERT_EQ(records.size(), 25u);
+  EXPECT_EQ(records[24].as<std::uint32_t>("id"), 24u);
+}
+
+TEST(Columnar, ImprovesCompressionOnMolecularData) {
+  // The payoff: same bytes, same lossless codecs, markedly better ratios
+  // because each field's statistics stay contiguous (Fig. 6's split).
+  const Bytes stream = md_stream(16384);
+  const Bytes shuffled = columnar_shuffle(stream);
+  ASSERT_EQ(shuffled.size(), stream.size() + 3);  // header + varint only
+
+  // Context-sensitive codecs gain; order-0 Huffman is permutation-blind
+  // (the byte histogram is unchanged), which is itself worth asserting.
+  for (const MethodId m :
+       {MethodId::kLempelZiv, MethodId::kBurrowsWheeler}) {
+    const CodecPtr codec = make_codec(m);
+    const std::size_t interleaved = codec->compress(stream).size();
+    const std::size_t columnar = codec->compress(shuffled).size();
+    EXPECT_LT(columnar, interleaved - interleaved / 20)
+        << method_name(m) << ": expected >5 % gain";
+  }
+  {
+    const CodecPtr huffman = make_codec(MethodId::kHuffman);
+    const double interleaved =
+        static_cast<double>(huffman->compress(stream).size());
+    const double columnar =
+        static_cast<double>(huffman->compress(shuffled).size());
+    EXPECT_NEAR(columnar / interleaved, 1.0, 0.01);
+  }
+}
+
+TEST(Columnar, MixedWidthFieldsRoundTrip) {
+  const RecordFormat fmt("mixed", {{"a", FieldType::kInt32},
+                                   {"b", FieldType::kFloat64},
+                                   {"c", FieldType::kUInt64},
+                                   {"d", FieldType::kFloat32}});
+  const Encoder enc(fmt);
+  Rng rng(5);
+  std::vector<Record> records;
+  for (int i = 0; i < 100; ++i) {
+    Record r(fmt);
+    r.set("a", static_cast<std::int32_t>(rng.below(1000)));
+    r.set("b", rng.uniform());
+    r.set("c", rng());
+    r.set("d", static_cast<float>(rng.gaussian()));
+    records.push_back(std::move(r));
+  }
+  const Bytes stream = encode_stream(enc, records);
+  EXPECT_EQ(columnar_unshuffle(columnar_shuffle(stream)), stream);
+}
+
+}  // namespace
+}  // namespace acex::pbio

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "compress/frame.hpp"
+#include "compress/null_codec.hpp"
+#include "compress/registry.hpp"
+#include "compress/zlib_codec.hpp"
+#include "testdata.hpp"
+#include "util/error.hpp"
+
+namespace acex {
+namespace {
+
+class FrameTest : public ::testing::Test {
+ protected:
+  CodecRegistry registry_ = CodecRegistry::with_builtins();
+};
+
+TEST_F(FrameTest, RoundTripsEveryBuiltinMethod) {
+  const Bytes data = testdata::repetitive_text(20000, 1);
+  for (const MethodId id : registry_.methods()) {
+    const CodecPtr codec = registry_.create(id);
+    const Bytes framed = frame_compress(*codec, data);
+    EXPECT_EQ(frame_decompress(framed, registry_), data)
+        << method_name(id);
+  }
+}
+
+TEST_F(FrameTest, ParseExposesMethodAndPayload) {
+  NullCodec null;
+  const Bytes data = testdata::random_bytes(100, 2);
+  const Bytes framed = frame_compress(null, data);
+  const Frame frame = frame_parse(framed);
+  EXPECT_EQ(frame.method, MethodId::kNone);
+  EXPECT_EQ(frame.payload, data);
+  EXPECT_EQ(framed.size(), data.size() + frame_overhead(data.size()));
+}
+
+TEST_F(FrameTest, EmptyPayloadRoundTrips) {
+  NullCodec null;
+  const Bytes framed = frame_compress(null, Bytes{});
+  EXPECT_TRUE(frame_decompress(framed, registry_).empty());
+}
+
+TEST_F(FrameTest, DetectsPayloadCorruption) {
+  const CodecPtr codec = registry_.create(MethodId::kHuffman);
+  Bytes framed = frame_compress(*codec, testdata::low_entropy(4096, 3));
+  framed[framed.size() / 2] ^= 0x01;
+  EXPECT_THROW(frame_decompress(framed, registry_), DecodeError);
+}
+
+TEST_F(FrameTest, DetectsCrcCorruption) {
+  NullCodec null;
+  Bytes framed = frame_compress(null, testdata::random_bytes(64, 4));
+  framed.back() ^= 0xFF;  // CRC trailer
+  EXPECT_THROW(frame_decompress(framed, registry_), DecodeError);
+}
+
+TEST_F(FrameTest, RejectsBadMagic) {
+  NullCodec null;
+  Bytes framed = frame_compress(null, testdata::random_bytes(64, 5));
+  framed[0] = 'Z';
+  EXPECT_THROW(frame_parse(framed), DecodeError);
+}
+
+TEST_F(FrameTest, RejectsBadVersion) {
+  NullCodec null;
+  Bytes framed = frame_compress(null, testdata::random_bytes(64, 6));
+  framed[2] = 99;
+  EXPECT_THROW(frame_parse(framed), DecodeError);
+}
+
+TEST_F(FrameTest, RejectsTruncatedFrame) {
+  NullCodec null;
+  Bytes framed = frame_compress(null, testdata::random_bytes(64, 7));
+  framed.resize(framed.size() - 5);
+  EXPECT_THROW(frame_parse(framed), DecodeError);
+}
+
+TEST_F(FrameTest, RejectsTooShortBuffer) {
+  EXPECT_THROW(frame_parse(Bytes{0x41}), DecodeError);
+}
+
+TEST_F(FrameTest, UnknownMethodIdThrowsConfigError) {
+  NullCodec null;
+  Bytes framed = frame_compress(null, testdata::random_bytes(64, 8));
+  framed[3] = 77;  // unregistered method id
+  EXPECT_THROW(frame_decompress(framed, registry_), ConfigError);
+}
+
+TEST(Registry, CreateAllBuiltins) {
+  const CodecRegistry reg = CodecRegistry::with_builtins();
+  for (const MethodId id :
+       {MethodId::kNone, MethodId::kHuffman, MethodId::kArithmetic,
+        MethodId::kLempelZiv, MethodId::kBurrowsWheeler}) {
+    EXPECT_TRUE(reg.contains(id));
+    EXPECT_EQ(reg.create(id)->id(), id);
+  }
+}
+
+TEST(Registry, RuntimeRegistrationOfNewMethod) {
+  // §3.2: "a new compression method can be introduced at any time".
+  CodecRegistry reg = CodecRegistry::with_builtins();
+  const auto custom_id = static_cast<MethodId>(200);
+  EXPECT_FALSE(reg.contains(custom_id));
+  reg.register_factory(custom_id, [] { return CodecPtr(new NullCodec); });
+  EXPECT_TRUE(reg.contains(custom_id));
+  EXPECT_NE(reg.create(custom_id), nullptr);
+}
+
+TEST(Registry, UnregisteredIdThrows) {
+  const CodecRegistry reg = CodecRegistry::with_builtins();
+  EXPECT_THROW(reg.create(static_cast<MethodId>(222)), ConfigError);
+}
+
+TEST(Registry, EmptyFactoryRejected) {
+  CodecRegistry reg;
+  EXPECT_THROW(reg.register_factory(MethodId::kNone, nullptr), ConfigError);
+}
+
+TEST(Registry, PaperMethodsAreTheEvaluationSet) {
+  const auto& methods = paper_methods();
+  ASSERT_EQ(methods.size(), 4u);
+  EXPECT_EQ(methods[0], MethodId::kBurrowsWheeler);
+  EXPECT_EQ(methods[3], MethodId::kHuffman);
+}
+
+TEST(MethodNames, RoundTrip) {
+  for (const MethodId id :
+       {MethodId::kNone, MethodId::kHuffman, MethodId::kArithmetic,
+        MethodId::kLempelZiv, MethodId::kBurrowsWheeler, MethodId::kZlib}) {
+    EXPECT_EQ(method_from_name(method_name(id)), id);
+  }
+  EXPECT_THROW(method_from_name("bogus"), ConfigError);
+}
+
+TEST(Zlib, ComparatorRoundTripsWhenAvailable) {
+  if (!zlib_available()) GTEST_SKIP() << "zlib not compiled in";
+  const CodecPtr codec = make_codec(MethodId::kZlib);
+  const Bytes data = testdata::repetitive_text(50000, 9);
+  EXPECT_EQ(codec->decompress(codec->compress(data)), data);
+}
+
+}  // namespace
+}  // namespace acex

@@ -1,0 +1,197 @@
+// Randomized robustness suite: every parser in acex must survive arbitrary
+// corruption — throw acex::Error or return bounded garbage, never crash,
+// hang, or allocate unboundedly. Seeds are parameterized so ctest runs
+// each seed as its own case; crank kMutationsPerSeed locally for deeper
+// fuzzing.
+
+#include <gtest/gtest.h>
+
+#include "adaptive/pipeline.hpp"
+#include "compress/frame.hpp"
+#include "compress/bwt_codec.hpp"
+#include "compress/quant_codec.hpp"
+#include "compress/registry.hpp"
+#include "echo/channel.hpp"
+#include "pbio/pbio.hpp"
+#include "testdata.hpp"
+#include "util/error.hpp"
+#include "workloads/molecular.hpp"
+
+namespace acex {
+namespace {
+
+constexpr int kMutationsPerSeed = 60;
+
+/// Apply a random mutation: bit flips, byte splices, truncation, growth.
+Bytes mutate(const Bytes& input, Rng& rng) {
+  Bytes out = input;
+  switch (rng.below(5)) {
+    case 0:  // bit flips
+      for (std::uint64_t i = 0, n = 1 + rng.below(8); i < n && !out.empty();
+           ++i) {
+        out[rng.below(out.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    case 1:  // truncate
+      out.resize(rng.below(out.size() + 1));
+      break;
+    case 2:  // splice random bytes
+      if (!out.empty()) {
+        const std::size_t at = rng.below(out.size());
+        const Bytes junk = rng.bytes(1 + rng.below(16));
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   junk.begin(), junk.end());
+      }
+      break;
+    case 3: {  // overwrite a window
+      if (!out.empty()) {
+        const std::size_t at = rng.below(out.size());
+        const std::size_t len = std::min<std::size_t>(
+            1 + rng.below(32), out.size() - at);
+        const Bytes junk = rng.bytes(len);
+        std::copy(junk.begin(), junk.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      break;
+    }
+    case 4:  // duplicate a window (confuses varint/sentinel scanners)
+      if (out.size() > 4) {
+        const std::size_t at = rng.below(out.size() - 4);
+        out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(at),
+                   out.begin() + static_cast<std::ptrdiff_t>(at + 4));
+      }
+      break;
+  }
+  return out;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, CodecsSurviveMutatedStreams) {
+  Rng rng(GetParam());
+  const Bytes data = testdata::repetitive_text(20000, GetParam());
+  for (const MethodId id : paper_methods()) {
+    const CodecPtr codec = make_codec(id);
+    const Bytes packed = codec->compress(data);
+    for (int i = 0; i < kMutationsPerSeed; ++i) {
+      const Bytes bad = mutate(packed, rng);
+      try {
+        const Bytes out = codec->decompress(bad);
+        EXPECT_LE(out.size(), (bad.size() + 64) * 2100);  // decoder bounds
+      } catch (const Error&) {
+      }
+    }
+  }
+}
+
+TEST_P(Fuzz, FramesSurviveMutation) {
+  Rng rng(GetParam() + 1000);
+  const CodecRegistry registry = CodecRegistry::with_builtins();
+  const CodecPtr codec = make_codec(MethodId::kLempelZiv);
+  const Bytes framed =
+      frame_compress(*codec, testdata::low_entropy(8000, GetParam()));
+  int accepted = 0;
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    const Bytes bad = mutate(framed, rng);
+    try {
+      (void)frame_decompress(bad, registry);
+      ++accepted;  // CRC collision or identity mutation: astronomically rare
+    } catch (const Error&) {
+    }
+  }
+  // At most the occasional identity mutation sneaks through.
+  EXPECT_LE(accepted, 2);
+}
+
+TEST_P(Fuzz, PbioSurvivesMutation) {
+  Rng rng(GetParam() + 2000);
+  workloads::MolecularConfig config;
+  config.atom_count = 64;
+  config.seed = GetParam();
+  workloads::MolecularGenerator gen(config);
+  const Bytes stream = gen.pbio_snapshot();
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    const Bytes bad = mutate(stream, rng);
+    try {
+      const auto records = pbio::decode_stream(bad);
+      EXPECT_LE(records.size(), 100000u);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(Fuzz, AttributesSurviveMutation) {
+  Rng rng(GetParam() + 3000);
+  echo::AttributeMap attrs;
+  attrs.set_int("alpha", -5);
+  attrs.set_double("beta", 3.48);
+  attrs.set_string("gamma", "quality attribute value");
+  attrs.set_bytes("delta", rng.bytes(64));
+  Bytes wire;
+  attrs.serialize(wire);
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    const Bytes bad = mutate(wire, rng);
+    try {
+      std::size_t pos = 0;
+      (void)echo::AttributeMap::deserialize(bad, &pos);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(Fuzz, EventsSurviveMutation) {
+  Rng rng(GetParam() + 4000);
+  echo::Event event(rng.bytes(500));
+  event.attributes.set_int("seq", 1);
+  const Bytes wire = serialize_event(event);
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    const Bytes bad = mutate(wire, rng);
+    try {
+      (void)echo::deserialize_event(bad);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(Fuzz, QuantCodecSurvivesMutation) {
+  Rng rng(GetParam() + 5000);
+  workloads::MolecularConfig config;
+  config.atom_count = 256;
+  config.seed = GetParam();
+  workloads::MolecularGenerator gen(config);
+  FloatQuantCodec codec(1e-3);
+  const Bytes packed = codec.compress(gen.coordinates_bytes());
+  for (int i = 0; i < kMutationsPerSeed; ++i) {
+    const Bytes bad = mutate(packed, rng);
+    try {
+      const Bytes out = codec.decompress(bad);
+      EXPECT_LE(out.size(), (std::size_t{1} << 34) * 4);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(Fuzz, BwtRecoveryNeverCrashesOnArbitraryOffsets) {
+  Rng rng(GetParam() + 6000);
+  BurrowsWheelerCodec codec(1024);
+  const Bytes packed =
+      codec.compress(testdata::repetitive_text(16384, GetParam()));
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t offset = rng.below(packed.size() * 8 + 16);
+    try {
+      const auto chunks = codec.recover_from_bit(packed, offset);
+      EXPECT_LE(chunks.size(), 16u);
+    } catch (const Error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace acex

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "compress/huffman.hpp"
+#include "compress/lz77.hpp"
+#include "testdata.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex {
+namespace {
+
+// -------------------------------------------------------------- tokenizer
+
+TEST(LzTokenizer, LiteralOnlyForShortInput) {
+  const Bytes data = to_bytes("ab");
+  const auto tokens = lz::tokenize(data);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].is_literal());
+  EXPECT_TRUE(tokens[1].is_literal());
+  EXPECT_EQ(lz::reconstruct(tokens), data);
+}
+
+TEST(LzTokenizer, FindsSimpleRepeat) {
+  const Bytes data = to_bytes("abcdefabcdef");
+  const auto tokens = lz::tokenize(data);
+  bool found_match = false;
+  for (const auto& t : tokens) {
+    if (!t.is_literal()) {
+      found_match = true;
+      EXPECT_EQ(t.dist, 6u);
+      EXPECT_GE(t.len, lz::kMinMatch);
+    }
+  }
+  EXPECT_TRUE(found_match);
+  EXPECT_EQ(lz::reconstruct(tokens), data);
+}
+
+TEST(LzTokenizer, OverlappingRunMatch) {
+  const Bytes data(1000, 'x');
+  const auto tokens = lz::tokenize(data);
+  EXPECT_LT(tokens.size(), 10u);  // a couple of tokens cover the run
+  EXPECT_EQ(lz::reconstruct(tokens), data);
+}
+
+TEST(LzTokenizer, TokensCoverInputExactly) {
+  for (const auto& pattern : testdata::patterns()) {
+    const Bytes data = pattern.make(10000, 77);
+    const auto tokens = lz::tokenize(data);
+    EXPECT_EQ(lz::reconstruct(tokens), data) << pattern.name;
+  }
+}
+
+TEST(LzTokenizer, RespectsMaxMatchLength) {
+  const Bytes data(4096, 'r');
+  for (const auto& t : lz::tokenize(data)) {
+    if (!t.is_literal()) {
+      EXPECT_LE(t.len, lz::kMaxMatch);
+    }
+  }
+}
+
+TEST(LzTokenizer, GreedyModeStillRoundTrips) {
+  lz::Params params;
+  params.lazy = false;
+  const Bytes data = testdata::repetitive_text(20000, 5);
+  EXPECT_EQ(lz::reconstruct(lz::tokenize(data, params)), data);
+}
+
+TEST(LzTokenizer, SmallWindowLimitsDistance) {
+  lz::Params params;
+  params.window_bits = 8;  // 256-byte window
+  const Bytes data = testdata::repetitive_text(8192, 6);
+  for (const auto& t : lz::tokenize(data, params)) {
+    if (!t.is_literal()) {
+      EXPECT_LE(t.dist, 256u);
+    }
+  }
+}
+
+TEST(LzTokenizer, LazyMatchingNeverLosesToGreedy) {
+  // Lazy matching optimizes encoded size (it may emit MORE tokens while
+  // covering the input with longer matches), so compare compressed bytes.
+  lz::Params greedy;
+  greedy.lazy = false;
+  LempelZivCodec lazy_codec;  // default params: lazy
+  LempelZivCodec greedy_codec(greedy);
+  const Bytes data = testdata::repetitive_text(50000, 7);
+  const std::size_t lazy_size = lazy_codec.compress(data).size();
+  const std::size_t greedy_size = greedy_codec.compress(data).size();
+  EXPECT_LE(lazy_size, greedy_size + greedy_size / 50);
+}
+
+TEST(LzReconstruct, RejectsInvalidBackReference) {
+  std::vector<lz::Token> tokens = {
+      {0, 0, 'a'},
+      {5, 3, 0},  // distance 5 with only 1 byte of history
+  };
+  EXPECT_THROW(lz::reconstruct(tokens), DecodeError);
+}
+
+// ---------------------------------------------------------------- buckets
+
+TEST(LzBuckets, LengthBucketsInvertExactly) {
+  for (unsigned len = lz::kMinMatch; len <= lz::kMaxMatch; ++len) {
+    const auto b = lz::length_bucket(len);
+    ASSERT_LT(b.symbol, lz::kLenSymbols);
+    unsigned eb = 0;
+    const unsigned base = lz::length_base(b.symbol, &eb);
+    EXPECT_EQ(eb, b.extra_bits);
+    EXPECT_EQ(base + b.extra, len);
+  }
+}
+
+TEST(LzBuckets, DistanceBucketsInvertExactly) {
+  for (std::uint32_t d = 1; d <= 65536; d = d < 128 ? d + 1 : d * 2 - 7) {
+    const auto b = lz::distance_bucket(d);
+    ASSERT_LT(b.symbol, lz::kDistSymbols);
+    unsigned eb = 0;
+    const std::uint32_t base = lz::distance_base(b.symbol, &eb);
+    EXPECT_EQ(eb, b.extra_bits);
+    EXPECT_EQ(base + b.extra, d);
+  }
+}
+
+TEST(LzBuckets, SmallValuesGetDedicatedSymbols) {
+  // §2.3: "both of the numbers tend to be small ... shorter representation
+  // for small numbers" — small values must not need extra bits.
+  for (unsigned len = 3; len <= 10; ++len) {
+    EXPECT_EQ(lz::length_bucket(len).extra_bits, 0u);
+  }
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    EXPECT_EQ(lz::distance_bucket(d).extra_bits, 0u);
+  }
+}
+
+TEST(LzBuckets, InvalidSymbolsThrow) {
+  unsigned eb = 0;
+  EXPECT_THROW(lz::length_base(lz::kLenSymbols, &eb), DecodeError);
+  EXPECT_THROW(lz::distance_base(lz::kDistSymbols, &eb), DecodeError);
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(LempelZivCodec, RoundTripsAllPatterns) {
+  LempelZivCodec codec;
+  for (const auto& pattern : testdata::patterns()) {
+    const Bytes data = pattern.make(30000, 11);
+    EXPECT_EQ(codec.decompress(codec.compress(data)), data) << pattern.name;
+  }
+}
+
+TEST(LempelZivCodec, EmptyInput) {
+  LempelZivCodec codec;
+  EXPECT_TRUE(codec.decompress(codec.compress(Bytes{})).empty());
+}
+
+TEST(LempelZivCodec, CompressesRepetitiveTextWell) {
+  LempelZivCodec codec;
+  const Bytes data = testdata::repetitive_text(128 * 1024, 12);
+  EXPECT_LT(codec.compress(data).size(), data.size() / 4);
+}
+
+TEST(LempelZivCodec, StoredModeForRandomData) {
+  LempelZivCodec codec;
+  const Bytes data = testdata::random_bytes(16 * 1024, 13);
+  const Bytes packed = codec.compress(data);
+  // Stored fallback bounds expansion to the tiny header.
+  EXPECT_LE(packed.size(), data.size() + 16);
+  EXPECT_EQ(codec.decompress(packed), data);
+}
+
+TEST(LempelZivCodec, BeatsHuffmanOnRepetitiveData) {
+  LempelZivCodec lzc;
+  HuffmanCodec hc;
+  const Bytes data = testdata::repetitive_text(64 * 1024, 14);
+  EXPECT_LT(lzc.compress(data).size(), hc.compress(data).size());
+}
+
+TEST(LempelZivCodec, TruncatedInputThrows) {
+  LempelZivCodec codec;
+  Bytes packed = codec.compress(testdata::repetitive_text(8192, 15));
+  packed.resize(packed.size() / 3);
+  EXPECT_THROW(codec.decompress(packed), DecodeError);
+}
+
+TEST(LempelZivCodec, CorruptModeByteThrows) {
+  LempelZivCodec codec;
+  Bytes packed = codec.compress(testdata::repetitive_text(1024, 16));
+  std::size_t pos = 0;
+  (void)get_varint(packed, &pos);
+  packed[pos] = 9;  // invalid mode
+  EXPECT_THROW(codec.decompress(packed), DecodeError);
+}
+
+TEST(LempelZivCodec, StoredSizeMismatchThrows) {
+  LempelZivCodec codec;
+  const Bytes data = testdata::random_bytes(512, 17);
+  Bytes packed = codec.compress(data);  // stored mode
+  packed.push_back(0);                  // trailing junk
+  EXPECT_THROW(codec.decompress(packed), DecodeError);
+}
+
+TEST(LempelZivCodec, DecodedSizeIsBounded) {
+  // A corrupted bitstream must not emit more than the declared size.
+  LempelZivCodec codec;
+  const Bytes data = testdata::long_runs(4096, 18);
+  Bytes packed = codec.compress(data);
+  // Flip bits in the payload; decode either throws or yields <= 4096 bytes.
+  for (std::size_t i = packed.size() / 2; i < packed.size(); i += 7) {
+    Bytes corrupt = packed;
+    corrupt[i] ^= 0x55;
+    try {
+      const Bytes out = codec.decompress(corrupt);
+      EXPECT_LE(out.size(), data.size());
+    } catch (const DecodeError&) {
+      // acceptable: corruption detected
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acex

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "netsim/rudp.hpp"
+#include "util/error.hpp"
+
+namespace acex::netsim::rudp {
+namespace {
+
+LinkParams clean_link(double bps, double latency = 0.001) {
+  LinkParams p;
+  p.bandwidth_Bps = bps;
+  p.latency_s = latency;
+  p.jitter_frac = 0;
+  return p;
+}
+
+struct Rig {
+  SimLink forward;
+  SimLink reverse;
+  Rng rng;
+
+  explicit Rig(double bps = 1e6, double latency = 0.001,
+               std::uint64_t seed = 1)
+      : forward(clean_link(bps, latency), seed),
+        reverse(clean_link(bps, latency), seed + 1),
+        rng(seed + 2) {}
+};
+
+TEST(Rudp, LosslessTransferApproachesLinkRate) {
+  Rig rig(1e6);
+  const auto r = simulate_transfer(1'000'000, rig.forward, rig.reverse, 0,
+                                   rig.rng);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.data_packets, (1'000'000 + 1399) / 1400);
+  // Goodput within ~15 % of the wire rate (window fill + final RTT).
+  EXPECT_GT(r.goodput_Bps, 0.85e6);
+  EXPECT_LE(r.goodput_Bps, 1.01e6);
+  EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
+}
+
+TEST(Rudp, EmptyPayloadIsFree) {
+  Rig rig;
+  const auto r = simulate_transfer(0, rig.forward, rig.reverse, 0, rig.rng);
+  EXPECT_EQ(r.data_packets, 0u);
+  EXPECT_DOUBLE_EQ(r.completion, 0.0);
+}
+
+TEST(Rudp, SinglePacketPayload) {
+  Rig rig;
+  const auto r = simulate_transfer(100, rig.forward, rig.reverse, 0, rig.rng);
+  EXPECT_EQ(r.data_packets, 1u);
+  // One packet + one ack: roughly a base RTT.
+  EXPECT_GT(r.completion, 0.002);
+  EXPECT_LT(r.completion, 0.01);
+}
+
+TEST(Rudp, DeliversReliablyUnderHeavyLoss) {
+  Rig rig(1e6, 0.001, 7);
+  RudpParams params;
+  params.data_loss = 0.2;
+  params.ack_loss = 0.1;
+  const auto r = simulate_transfer(500'000, rig.forward, rig.reverse, 0,
+                                   rig.rng, params);
+  EXPECT_GT(r.retransmissions, 0u);
+  EXPECT_LT(r.efficiency, 1.0);
+  // Cumulative-ACK ARQ go-back-N-ishly re-sends behind every hole; at 20 %
+  // data loss, efficiency well below the no-loss ideal but clearly above a
+  // pathological floor is the expected envelope.
+  EXPECT_GT(r.efficiency, 0.25);
+  EXPECT_GT(r.goodput_Bps, 0.1e6);  // still makes real progress
+}
+
+TEST(Rudp, LossDegradesGoodputMonotonically) {
+  double previous = 1e18;
+  for (const double loss : {0.0, 0.05, 0.2, 0.4}) {
+    Rig rig(1e6, 0.001, 11);
+    RudpParams params;
+    params.data_loss = loss;
+    const auto r = simulate_transfer(400'000, rig.forward, rig.reverse, 0,
+                                     rig.rng, params);
+    EXPECT_LT(r.goodput_Bps, previous * 1.02) << "loss=" << loss;
+    previous = r.goodput_Bps;
+  }
+}
+
+TEST(Rudp, WindowOneIsStopAndWait) {
+  // One packet per RTT: goodput ~ packet / RTT, far below the wire rate on
+  // a long-latency path.
+  Rig rig(1e6, 0.02, 3);  // 40 ms RTT
+  RudpParams params;
+  params.window = 1;
+  const auto r = simulate_transfer(200'000, rig.forward, rig.reverse, 0,
+                                   rig.rng, params);
+  const double rtt = 0.04 + 1400.0 / 1e6;
+  EXPECT_NEAR(r.goodput_Bps, 1400.0 / rtt, 1400.0 / rtt * 0.2);
+}
+
+TEST(Rudp, LargerWindowFillsLongFatPipe) {
+  Rig slow_window(1e6, 0.02, 5);
+  RudpParams small;
+  small.window = 2;
+  const auto a = simulate_transfer(400'000, slow_window.forward,
+                                   slow_window.reverse, 0, slow_window.rng,
+                                   small);
+  Rig big_window(1e6, 0.02, 5);
+  RudpParams big;
+  big.window = 64;
+  const auto b = simulate_transfer(400'000, big_window.forward,
+                                   big_window.reverse, 0, big_window.rng,
+                                   big);
+  EXPECT_GT(b.goodput_Bps, a.goodput_Bps * 3);
+}
+
+TEST(Rudp, DeterministicForSeed) {
+  const auto run = [] {
+    Rig rig(1e6, 0.001, 21);
+    RudpParams params;
+    params.data_loss = 0.1;
+    return simulate_transfer(300'000, rig.forward, rig.reverse, 0, rig.rng,
+                             params);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_DOUBLE_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+}
+
+TEST(Rudp, QueueStateCarriesAcrossTransfers) {
+  Rig rig(1e6);
+  const auto first =
+      simulate_transfer(500'000, rig.forward, rig.reverse, 0, rig.rng);
+  // Starting a second transfer at t=0 must queue behind the first's
+  // packets still draining through the link.
+  const auto second =
+      simulate_transfer(500'000, rig.forward, rig.reverse, 0, rig.rng);
+  EXPECT_GT(second.completion, first.completion * 1.5);
+}
+
+TEST(Rudp, RejectsInvalidParameters) {
+  Rig rig;
+  RudpParams params;
+  params.window = 0;
+  EXPECT_THROW(
+      simulate_transfer(1000, rig.forward, rig.reverse, 0, rig.rng, params),
+      ConfigError);
+  params = {};
+  params.data_loss = 1.0;
+  EXPECT_THROW(
+      simulate_transfer(1000, rig.forward, rig.reverse, 0, rig.rng, params),
+      ConfigError);
+  params = {};
+  params.packet_bytes = 0;
+  EXPECT_THROW(
+      simulate_transfer(1000, rig.forward, rig.reverse, 0, rig.rng, params),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace acex::netsim::rudp

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "compress/registry.hpp"
+#include "pbio/pbio.hpp"
+#include "util/error.hpp"
+#include "workloads/molecular.hpp"
+#include "workloads/transactions.hpp"
+
+namespace acex::workloads {
+namespace {
+
+double ratio(MethodId method, ByteView data) {
+  const CodecPtr codec = make_codec(method);
+  return 100.0 * static_cast<double>(codec->compress(data).size()) /
+         static_cast<double>(data.size());
+}
+
+// --------------------------------------------------------------- molecular
+
+TEST(Molecular, FieldSizesMatchAtomCount) {
+  MolecularConfig config;
+  config.atom_count = 100;
+  MolecularGenerator gen(config);
+  EXPECT_EQ(gen.coordinates_bytes().size(), 100u * 12);
+  EXPECT_EQ(gen.velocities_bytes().size(), 100u * 12);
+  EXPECT_EQ(gen.types_bytes().size(), 100u * 4);
+}
+
+TEST(Molecular, DeterministicForSeed) {
+  MolecularConfig config;
+  config.seed = 9;
+  MolecularGenerator a(config), b(config);
+  a.step();
+  b.step();
+  EXPECT_EQ(a.coordinates_bytes(), b.coordinates_bytes());
+  EXPECT_EQ(a.pbio_snapshot(), b.pbio_snapshot());
+}
+
+TEST(Molecular, StepMovesAtoms) {
+  MolecularGenerator gen;
+  const Bytes before = gen.coordinates_bytes();
+  gen.step();
+  EXPECT_NE(gen.coordinates_bytes(), before);
+}
+
+TEST(Molecular, Figure6CompressibilitySplit) {
+  // The paper's key property: coordinates nearly incompressible, types
+  // highly compressible, velocities in between.
+  MolecularConfig config;
+  config.atom_count = 16384;
+  MolecularGenerator gen(config);
+  for (int i = 0; i < 3; ++i) gen.step();
+
+  const Bytes coords = gen.coordinates_bytes();
+  const Bytes vels = gen.velocities_bytes();
+  const Bytes types = gen.types_bytes();
+
+  const double coord_lz = ratio(MethodId::kLempelZiv, coords);
+  const double vel_lz = ratio(MethodId::kLempelZiv, vels);
+  const double type_lz = ratio(MethodId::kLempelZiv, types);
+
+  EXPECT_GT(coord_lz, 80.0);          // ~incompressible
+  EXPECT_LT(type_lz, 30.0);           // tiny alphabet
+  EXPECT_LT(vel_lz, coord_lz - 5.0);  // between the two
+  EXPECT_GT(vel_lz, type_lz);
+}
+
+TEST(Molecular, PbioSnapshotDecodes) {
+  MolecularConfig config;
+  config.atom_count = 50;
+  MolecularGenerator gen(config);
+  const Bytes snapshot = gen.pbio_snapshot();
+  const auto records = pbio::decode_stream(snapshot);
+  ASSERT_EQ(records.size(), 50u);
+  EXPECT_EQ(records[0].format().name(), "md.atom");
+  EXPECT_EQ(records[7].as<std::uint32_t>("id"), 7u);
+  const auto type = records[0].as<std::int32_t>("type");
+  EXPECT_GE(type, 0);
+  EXPECT_LT(type, static_cast<std::int32_t>(config.species_count));
+}
+
+TEST(Molecular, StreamConcatenatesSteps) {
+  MolecularConfig config;
+  config.atom_count = 20;
+  MolecularGenerator gen(config);
+  const Bytes one = gen.pbio_snapshot();
+  MolecularGenerator gen2(config);
+  const Bytes three = gen2.stream(3);
+  EXPECT_EQ(three.size() % one.size(), 0u);
+  EXPECT_EQ(three.size() / one.size(), 3u);
+}
+
+TEST(Molecular, RejectsBadConfig) {
+  MolecularConfig config;
+  config.atom_count = 0;
+  EXPECT_THROW(MolecularGenerator{config}, ConfigError);
+  config = {};
+  config.species_count = 0;
+  EXPECT_THROW(MolecularGenerator{config}, ConfigError);
+}
+
+// ------------------------------------------------------------ transactions
+
+TEST(Transactions, TextLooksLikeOperationalLog) {
+  TransactionGenerator gen(1);
+  const std::string line = gen.next_text();
+  EXPECT_NE(line.find("OPS"), std::string::npos);
+  EXPECT_NE(line.find("FLIGHT="), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(Transactions, XmlIsWellShaped) {
+  TransactionGenerator gen(2);
+  const std::string elem = gen.next_xml();
+  EXPECT_NE(elem.find("<operational-event"), std::string::npos);
+  EXPECT_NE(elem.find("</operational-event>"), std::string::npos);
+}
+
+TEST(Transactions, BlocksHaveExactSize) {
+  TransactionGenerator gen(3);
+  EXPECT_EQ(gen.text_block(10000).size(), 10000u);
+  EXPECT_EQ(gen.xml_block(10000).size(), 10000u);
+}
+
+TEST(Transactions, DeterministicForSeed) {
+  TransactionGenerator a(4), b(4);
+  EXPECT_EQ(a.text_block(5000), b.text_block(5000));
+}
+
+TEST(Transactions, EventCounterAdvances) {
+  TransactionGenerator gen(5);
+  gen.next_text();
+  gen.next_xml();
+  EXPECT_EQ(gen.events(), 2u);
+}
+
+TEST(Transactions, Figure2CompressibilityRegime) {
+  // "This data set has a high rate of strings repetitions": LZ and BW both
+  // land well below 50 %, BW at least as strong as LZ, Huffman behind both
+  // — Fig. 2's ordering.
+  TransactionGenerator gen(6);
+  const Bytes data = gen.text_block(512 * 1024);
+  const double bw = ratio(MethodId::kBurrowsWheeler, data);
+  const double lz = ratio(MethodId::kLempelZiv, data);
+  const double hu = ratio(MethodId::kHuffman, data);
+  EXPECT_LT(bw, 40.0);
+  EXPECT_LT(lz, 45.0);
+  EXPECT_LE(bw, lz + 1.0);
+  EXPECT_GT(hu, lz);
+}
+
+TEST(Transactions, XmlCompressesHarderThanText) {
+  TransactionGenerator gen(7);
+  const Bytes text = gen.text_block(256 * 1024);
+  const Bytes xml = gen.xml_block(256 * 1024);
+  EXPECT_LT(ratio(MethodId::kLempelZiv, xml),
+            ratio(MethodId::kLempelZiv, text));
+}
+
+}  // namespace
+}  // namespace acex::workloads

@@ -1,0 +1,159 @@
+#pragma once
+
+// Shared data generators for acex tests: each produces a deterministic
+// buffer with a distinct statistical character, so parameterized suites can
+// sweep codecs across the regimes the paper distinguishes (low entropy,
+// string repetitions, incompressible, ...).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace acex::testdata {
+
+/// Identifier -> generator map entry.
+struct Pattern {
+  const char* name;
+  Bytes (*make)(std::size_t size, std::uint64_t seed);
+};
+
+inline Bytes zeros(std::size_t size, std::uint64_t) { return Bytes(size, 0); }
+
+inline Bytes single_byte(std::size_t size, std::uint64_t) {
+  return Bytes(size, 0xAB);
+}
+
+inline Bytes random_bytes(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.bytes(size);
+}
+
+/// Low-entropy but unstructured: heavily skewed byte distribution, no
+/// repeats — Huffman/arithmetic territory.
+inline Bytes low_entropy(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(size);
+  for (auto& b : out) {
+    const double u = rng.uniform();
+    if (u < 0.55) {
+      b = 'e';
+    } else if (u < 0.8) {
+      b = static_cast<std::uint8_t>('a' + rng.below(4));
+    } else {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+  }
+  return out;
+}
+
+/// Repetitive text: a handful of phrases repeated with small variations —
+/// LZ/BWT territory, like the paper's transactional data.
+inline Bytes repetitive_text(std::size_t size, std::uint64_t seed) {
+  static const char* kPhrases[] = {
+      "FLIGHT DL1027 DEPARTED ATL ON TIME; ",
+      "GATE CHANGE B7 -> C12 CONFIRMED BY OPS; ",
+      "BAGGAGE TRANSFER COMPLETE FOR PNR X9Q4ZL; ",
+      "WEATHER HOLD LIFTED AT HUB; ",
+  };
+  Rng rng(seed);
+  Bytes out;
+  out.reserve(size + 64);
+  while (out.size() < size) {
+    const char* phrase = kPhrases[rng.below(4)];
+    for (const char* p = phrase; *p; ++p) {
+      out.push_back(static_cast<std::uint8_t>(*p));
+    }
+    if (rng.chance(0.2)) {
+      out.push_back(static_cast<std::uint8_t>('0' + rng.below(10)));
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+/// Exact periodicity stresses BWT's rotation sort degenerate case.
+inline Bytes periodic(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t period = 1 + rng.below(7);
+  Bytes unit = rng.bytes(period);
+  Bytes out;
+  out.reserve(size);
+  while (out.size() < size) {
+    out.insert(out.end(), unit.begin(), unit.end());
+  }
+  out.resize(size);
+  return out;
+}
+
+/// Long runs with occasional breaks: RLE and match-extension paths.
+inline Bytes long_runs(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out;
+  out.reserve(size);
+  while (out.size() < size) {
+    const auto b = static_cast<std::uint8_t>(rng.below(4));
+    const std::size_t run = 1 + rng.below(600);
+    out.insert(out.end(), std::min(run, size - out.size()), b);
+  }
+  return out;
+}
+
+/// Bytes 254/255 everywhere: exercises the RLE escape/sentinel machinery.
+inline Bytes high_bytes(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(size);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(253 + rng.below(3));  // 253, 254, 255
+  }
+  return out;
+}
+
+/// Sawtooth covering the full alphabet: every symbol used, mild structure.
+inline Bytes all_bytes(std::size_t size, std::uint64_t) {
+  Bytes out(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<std::uint8_t>(i & 0xff);
+  }
+  return out;
+}
+
+/// Binary float-like data: pseudo-random mantissas with correlated high
+/// bytes, approximating the molecular coordinates of Fig. 6.
+inline Bytes float_like(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out;
+  out.reserve(size + 4);
+  float x = 0.0f;
+  while (out.size() < size) {
+    x += static_cast<float>(rng.gaussian()) * 0.01f;
+    std::uint32_t bits;
+    static_assert(sizeof bits == sizeof x);
+    __builtin_memcpy(&bits, &x, sizeof bits);
+    for (int k = 0; k < 4; ++k) {
+      out.push_back(static_cast<std::uint8_t>(bits >> (8 * k)));
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+inline const std::vector<Pattern>& patterns() {
+  static const std::vector<Pattern> kPatterns = {
+      {"zeros", zeros},
+      {"single_byte", single_byte},
+      {"random", random_bytes},
+      {"low_entropy", low_entropy},
+      {"repetitive_text", repetitive_text},
+      {"periodic", periodic},
+      {"long_runs", long_runs},
+      {"high_bytes", high_bytes},
+      {"all_bytes", all_bytes},
+      {"float_like", float_like},
+  };
+  return kPatterns;
+}
+
+}  // namespace acex::testdata

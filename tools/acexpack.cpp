@@ -1,0 +1,221 @@
+// acexpack — file compression CLI over the acex codecs and frame format.
+//
+//   acexpack c [-m METHOD] [-b BLOCK_KIB] INPUT OUTPUT   compress
+//   acexpack d INPUT OUTPUT                              decompress
+//   acexpack bench INPUT                                 measure all methods
+//
+// METHOD: none | huffman | arithmetic | lempel-ziv | burrows-wheeler |
+//         auto (default: per-block sampling-based choice, as §2.5 does
+//         without a network: repetitive blocks go to LZ, others to
+//         Huffman) | best (try every method per block, keep the smallest).
+//
+// Container format: "ACXP" magic, version byte, then length-prefixed acex
+// frames (each frame is self-describing and CRC-checked).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "adaptive/sampler.hpp"
+#include "compress/frame.hpp"
+#include "compress/metrics.hpp"
+#include "compress/registry.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace {
+
+using namespace acex;
+
+constexpr char kMagic[4] = {'A', 'C', 'X', 'P'};
+constexpr std::uint8_t kVersion = 1;
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  if (!in) throw IoError("failed reading " + path);
+  return data;
+}
+
+void write_file(const std::string& path, ByteView data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot create " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw IoError("failed writing " + path);
+}
+
+/// §2.5 without a network: pick by the 4 KiB sample's compressibility.
+MethodId choose_auto(const adaptive::Sampler& sampler, ByteView block) {
+  const auto s = sampler.sample(block);
+  if (s.ratio_percent < 48.78) return MethodId::kLempelZiv;
+  if (s.ratio_percent < 95.0) return MethodId::kHuffman;
+  return MethodId::kNone;
+}
+
+int cmd_compress(const std::string& method_arg, std::size_t block_size,
+                 const std::string& input, const std::string& output) {
+  const Bytes data = read_file(input);
+  const CodecRegistry registry = CodecRegistry::with_builtins();
+  const adaptive::Sampler sampler(4096);
+
+  const bool auto_mode = method_arg == "auto";
+  const bool best_mode = method_arg == "best";
+  CodecPtr fixed;
+  if (!auto_mode && !best_mode) fixed = make_codec(method_from_name(method_arg));
+
+  Bytes out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+
+  std::size_t counts[256] = {};
+  for (std::size_t off = 0; off < data.size() || off == 0; off += block_size) {
+    if (off >= data.size() && off != 0) break;
+    const std::size_t len =
+        std::min(block_size, data.size() - std::min(off, data.size()));
+    const ByteView block = ByteView(data).subspan(off, len);
+
+    Bytes framed;
+    if (best_mode) {
+      for (const MethodId m :
+           {MethodId::kNone, MethodId::kHuffman, MethodId::kLempelZiv,
+            MethodId::kBurrowsWheeler}) {
+        CodecPtr codec = make_codec(m);
+        Bytes candidate = frame_compress(*codec, block);
+        if (framed.empty() || candidate.size() < framed.size()) {
+          framed = std::move(candidate);
+        }
+      }
+    } else if (auto_mode) {
+      CodecPtr codec = make_codec(choose_auto(sampler, block));
+      framed = frame_compress(*codec, block);
+    } else {
+      framed = frame_compress(*fixed, block);
+    }
+    ++counts[static_cast<std::uint8_t>(frame_parse(framed).method)];
+    put_varint(out, framed.size());
+    out.insert(out.end(), framed.begin(), framed.end());
+    if (data.empty()) break;
+  }
+
+  write_file(output, out);
+  std::printf("%s: %zu -> %zu bytes (%.1f %%)\n", output.c_str(), data.size(),
+              out.size(),
+              data.empty() ? 100.0
+                           : 100.0 * static_cast<double>(out.size()) /
+                                 static_cast<double>(data.size()));
+  for (int m = 0; m < 256; ++m) {
+    if (counts[m] != 0) {
+      std::printf("  %-16s %zu block(s)\n",
+                  std::string(method_name(static_cast<MethodId>(m))).c_str(),
+                  counts[m]);
+    }
+  }
+  return 0;
+}
+
+int cmd_decompress(const std::string& input, const std::string& output) {
+  const Bytes packed = read_file(input);
+  if (packed.size() < 5 || std::memcmp(packed.data(), kMagic, 4) != 0) {
+    throw DecodeError("not an acexpack container");
+  }
+  if (packed[4] != kVersion) throw DecodeError("unsupported container version");
+
+  const CodecRegistry registry = CodecRegistry::with_builtins();
+  Bytes out;
+  std::size_t pos = 5;
+  std::size_t frames = 0;
+  while (pos < packed.size()) {
+    const std::uint64_t frame_size = get_varint(packed, &pos);
+    if (pos + frame_size > packed.size()) {
+      throw DecodeError("truncated container frame");
+    }
+    const Bytes block =
+        frame_decompress(ByteView(packed).subspan(pos, frame_size), registry);
+    out.insert(out.end(), block.begin(), block.end());
+    pos += frame_size;
+    ++frames;
+  }
+  write_file(output, out);
+  std::printf("%s: %zu frames -> %zu bytes\n", output.c_str(), frames,
+              out.size());
+  return 0;
+}
+
+int cmd_bench(const std::string& input) {
+  const Bytes data = read_file(input);
+  MonotonicClock clock;
+  std::printf("%-16s  %12s  %8s  %12s  %12s\n", "method", "bytes", "ratio",
+              "comp MB/s", "decomp MB/s");
+  for (const MethodId m : paper_methods()) {
+    CodecPtr codec = make_codec(m);
+    const auto r = measure_codec(*codec, data, clock);
+    std::printf("%-16s  %12zu  %7.2f%%  %12.2f  %12.2f\n",
+                std::string(method_name(m)).c_str(), r.compressed_size,
+                r.ratio_percent(),
+                static_cast<double>(data.size()) / r.compress_time / 1e6,
+                static_cast<double>(data.size()) / r.decompress_time / 1e6);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  acexpack c [-m METHOD] [-b BLOCK_KIB] INPUT OUTPUT\n"
+      "  acexpack d INPUT OUTPUT\n"
+      "  acexpack bench INPUT\n"
+      "METHOD: none huffman arithmetic lempel-ziv burrows-wheeler auto "
+      "best\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+
+    if (cmd == "c") {
+      std::string method = "auto";
+      std::size_t block_kib = 128;
+      std::size_t i = 1;
+      while (i + 1 < args.size() && args[i].size() == 2 && args[i][0] == '-') {
+        if (args[i] == "-m") {
+          method = args[i + 1];
+        } else if (args[i] == "-b") {
+          block_kib = static_cast<std::size_t>(std::stoul(args[i + 1]));
+          if (block_kib == 0) throw ConfigError("block size must be > 0");
+        } else {
+          return usage();
+        }
+        i += 2;
+      }
+      if (args.size() - i != 2) return usage();
+      return cmd_compress(method, block_kib * 1024, args[i], args[i + 1]);
+    }
+    if (cmd == "d") {
+      if (args.size() != 3) return usage();
+      return cmd_decompress(args[1], args[2]);
+    }
+    if (cmd == "bench") {
+      if (args.size() != 2) return usage();
+      return cmd_bench(args[1]);
+    }
+    return usage();
+  } catch (const acex::Error& e) {
+    std::fprintf(stderr, "acexpack: %s\n", e.what());
+    return 1;
+  }
+}
