@@ -3,9 +3,19 @@
 #include <algorithm>
 #include <future>
 
+#include "compress/null_codec.hpp"
 #include "util/error.hpp"
 
 namespace acex::adaptive {
+namespace {
+
+// Escalation ladder, weakest to strongest — shared by the target-rate
+// escalator and the circuit breaker's demotion walk.
+constexpr MethodId kLadder[] = {MethodId::kNone, MethodId::kHuffman,
+                                MethodId::kLempelZiv,
+                                MethodId::kBurrowsWheeler};
+
+}  // namespace
 
 AdaptiveSender::AdaptiveSender(transport::Transport& transport,
                                AdaptiveConfig config)
@@ -19,30 +29,100 @@ AdaptiveSender::AdaptiveSender(transport::Transport& transport,
   if (config_.target_rate_Bps < 0) {
     throw ConfigError("adaptive: target_rate_Bps must be >= 0");
   }
+  if (config_.breaker_failure_threshold <= 0 ||
+      config_.breaker_cooldown_blocks == 0) {
+    throw ConfigError("adaptive: breaker threshold and cooldown must be > 0");
+  }
+  ring_ = transport::RetransmitRing(config_.retransmit_capacity,
+                                    config_.retransmit_max_retries);
+}
+
+MethodId AdaptiveSender::apply_circuit_breaker(
+    MethodId method) const noexcept {
+  std::size_t rung = 0;
+  while (rung < std::size(kLadder) && kLadder[rung] != method) ++rung;
+  if (rung == std::size(kLadder)) return method;  // not on the ladder
+
+  // Walk down to the strongest method whose breaker is closed; kNone can
+  // never fail, so the walk always terminates on a usable rung.
+  for (;; --rung) {
+    const MethodId candidate = kLadder[rung];
+    const auto it = health_.find(candidate);
+    if (it == health_.end() || blocks_sent_ >= it->second.quarantined_until) {
+      return candidate;
+    }
+    if (rung == 0) return MethodId::kNone;
+  }
+}
+
+void AdaptiveSender::note_codec_failure(MethodId method) {
+  MethodHealth& health = health_[method];
+  if (++health.consecutive_failures >= config_.breaker_failure_threshold) {
+    health.quarantined_until = blocks_sent_ + config_.breaker_cooldown_blocks;
+    health.consecutive_failures = 0;
+    ++degradation_.quarantines;
+  }
+}
+
+void AdaptiveSender::note_codec_success(MethodId method) noexcept {
+  const auto it = health_.find(method);
+  if (it != health_.end()) it->second.consecutive_failures = 0;
 }
 
 BlockReport AdaptiveSender::transmit_block(ByteView block, MethodId method,
                                            double sampled_ratio,
-                                           double bw_estimate) {
+                                           double bw_estimate,
+                                           bool allow_degrade) {
   BlockReport report;
   report.index = blocks_sent_++;
   report.method = method;
+  report.requested_method = method;
   report.original_size = block.size();
   report.sampled_ratio_percent = sampled_ratio;
   report.bandwidth_estimate_Bps = bw_estimate;
+  const std::uint64_t sequence = report.index;
 
   // Compress under real (monotonic) time — that is the CPU capability the
   // algorithm adapts to — then charge the scaled cost to the experiment
   // timeline via the hook.
   MonotonicClock cpu_clock;
   const Stopwatch cpu(cpu_clock);
-  const CodecPtr codec = registry_.create(method);
-  const Bytes framed = frame_compress(*codec, block);
+  Bytes framed;
+  bool degraded = false;
+  try {
+    const CodecPtr codec = registry_.create(method);
+    framed = frame_compress_seq(*codec, block, sequence);
+    if (allow_degrade && method != MethodId::kNone &&
+        framed.size() > block.size() +
+                            frame_overhead_seq(block.size(), sequence) +
+                            config_.expansion_slack_bytes) {
+      // The codec "succeeded" but made the block bigger than shipping it
+      // raw would — on the wire that is a failure.
+      degraded = true;
+      ++degradation_.expansions;
+    }
+  } catch (const Error&) {
+    if (!allow_degrade) throw;
+    degraded = true;
+    ++degradation_.codec_failures;
+  }
+  if (degraded) {
+    NullCodec null;
+    framed = frame_compress_seq(null, block, sequence);
+    report.method = MethodId::kNone;
+    report.fallback = true;
+    ++degradation_.fallbacks;
+    note_codec_failure(method);
+  } else if (allow_degrade) {
+    note_codec_success(method);
+  }
   report.compress_seconds = cpu.elapsed() / config_.cpu_scale;
   if (config_.on_cpu_time) config_.on_cpu_time(report.compress_seconds);
 
-  monitor_.record(method, block.size(), framed.size(),
-                  std::max(report.compress_seconds, 1e-9));
+  if (!report.fallback) {
+    monitor_.record(method, block.size(), framed.size(),
+                    std::max(report.compress_seconds, 1e-9));
+  }
   if (method == MethodId::kLempelZiv && sample_speed_.has_value()) {
     // Anchor the drift correction: this is what the sampler reported while
     // the block-granularity measurement above was current.
@@ -57,19 +137,30 @@ BlockReport AdaptiveSender::transmit_block(ByteView block, MethodId method,
   report.wire_size = framed.size();
 
   bandwidth_.record(framed.size(), report.send_seconds);
+  ring_.store(sequence, std::move(framed));
   return report;
+}
+
+std::size_t AdaptiveSender::retransmit(
+    const std::vector<std::uint64_t>& sequences) {
+  std::size_t sent = 0;
+  for (const std::uint64_t seq : sequences) {
+    if (const Bytes* wire = ring_.replay(seq)) {
+      transport_->send(*wire);
+      ++sent;
+      ++degradation_.retransmits;
+    }
+  }
+  return sent;
 }
 
 MethodId AdaptiveSender::apply_target_rate(
     MethodId base, double bandwidth_Bps,
     double sampled_ratio_percent) const noexcept {
-  // Escalation ladder, weakest to strongest. The break-even choice is the
-  // floor — a target never justifies picking something weaker than what
-  // the §2.5 algorithm already considered worthwhile.
-  static constexpr MethodId kLadder[] = {
-      MethodId::kNone, MethodId::kHuffman, MethodId::kLempelZiv,
-      MethodId::kBurrowsWheeler};
-
+  // The shared ladder; the break-even choice is the floor — a target never
+  // justifies picking something weaker than what the §2.5 algorithm
+  // already considered worthwhile.
+  //
   // Expected compressed/original ratio per rung: monitored achievements
   // where available, with the sampler's LZ view and conservative defaults
   // as fallbacks.
@@ -161,6 +252,7 @@ BlockReport AdaptiveSender::send_block(ByteView block, ByteView next_block) {
   if (config_.target_rate_Bps > 0) {
     method = apply_target_rate(method, bw, sample.ratio_percent);
   }
+  method = apply_circuit_breaker(method);
 
   // "Fork a sampling process to compress the first 4KB of the next block"
   // — overlapped with this block's compression and send, collected by the
@@ -204,13 +296,16 @@ BlockReport AdaptiveSender::send_block_fixed(ByteView block, MethodId method) {
     throw ConfigError("adaptive: block exceeds configured block_size");
   }
   const double bw = bandwidth_.estimate_or(config_.initial_bandwidth_Bps);
-  return transmit_block(block, method, 100.0, bw);
+  // Fixed sends are the paper's baselines: no degradation, no breaker —
+  // "always-BW" must stay BW even when that is a bad idea.
+  return transmit_block(block, method, 100.0, bw, /*allow_degrade=*/false);
 }
 
 StreamReport AdaptiveSender::send_all_pipelined(ByteView data) {
   struct Prepared {
     BlockReport report;
     Bytes framed;
+    bool threw = false;  // fallback cause: codec throw vs expansion
   };
 
   // Decide on the calling thread (estimator state is not thread-safe),
@@ -236,6 +331,7 @@ StreamReport AdaptiveSender::send_all_pipelined(ByteView data) {
     if (config_.target_rate_Bps > 0) {
       method = apply_target_rate(method, bw, sample.ratio_percent);
     }
+    method = apply_circuit_breaker(method);
 
     const std::size_t index = blocks_sent_++;
     const double ratio = sample.ratio_percent;
@@ -245,13 +341,33 @@ StreamReport AdaptiveSender::send_all_pipelined(ByteView data) {
       Prepared p;
       p.report.index = index;
       p.report.method = method;
+      p.report.requested_method = method;
       p.report.original_size = block.size();
       p.report.sampled_ratio_percent = ratio;
       p.report.bandwidth_estimate_Bps = bw;
       MonotonicClock cpu_clock;
       const Stopwatch cpu(cpu_clock);
-      const CodecPtr codec = registry_.create(method);
-      p.framed = frame_compress(*codec, block);
+      // Degradation runs on the worker (it owns the codec attempt); the
+      // breaker bookkeeping happens on the collecting thread, which is the
+      // only one touching health_.
+      bool degraded = false;
+      try {
+        const CodecPtr codec = registry_.create(method);
+        p.framed = frame_compress_seq(*codec, block, index);
+        degraded = method != MethodId::kNone &&
+                   p.framed.size() >
+                       block.size() + frame_overhead_seq(block.size(), index) +
+                           config_.expansion_slack_bytes;
+      } catch (const Error&) {
+        degraded = true;
+        p.threw = true;
+      }
+      if (degraded) {
+        NullCodec null;
+        p.framed = frame_compress_seq(null, block, index);
+        p.report.method = MethodId::kNone;
+        p.report.fallback = true;
+      }
       p.report.compress_seconds = cpu.elapsed() / cpu_scale;
       p.report.wire_size = p.framed.size();
       return p;
@@ -268,9 +384,20 @@ StreamReport AdaptiveSender::send_all_pipelined(ByteView data) {
     if (next_off < data.size()) inflight = launch(next_off);
 
     if (config_.on_cpu_time) config_.on_cpu_time(p.report.compress_seconds);
-    monitor_.record(p.report.method, p.report.original_size,
-                    p.framed.size(),
-                    std::max(p.report.compress_seconds, 1e-9));
+    if (p.report.fallback) {
+      ++degradation_.fallbacks;
+      if (p.threw) {
+        ++degradation_.codec_failures;
+      } else {
+        ++degradation_.expansions;
+      }
+      note_codec_failure(p.report.requested_method);
+    } else {
+      note_codec_success(p.report.requested_method);
+      monitor_.record(p.report.method, p.report.original_size,
+                      p.framed.size(),
+                      std::max(p.report.compress_seconds, 1e-9));
+    }
     if (p.report.method == MethodId::kLempelZiv &&
         sample_speed_.has_value()) {
       sample_speed_ref_ = sample_speed_.value_or(0.0);
@@ -282,6 +409,7 @@ StreamReport AdaptiveSender::send_all_pipelined(ByteView data) {
     p.report.delivered = wire_clock.now();
     p.report.send_seconds = p.report.delivered - p.report.submitted;
     bandwidth_.record(p.framed.size(), p.report.send_seconds);
+    ring_.store(p.report.index, std::move(p.framed));
 
     stream.blocks.push_back(std::move(p.report));
     off = next_off;
@@ -321,20 +449,138 @@ StreamReport AdaptiveSender::send_all_fixed(ByteView data, MethodId method) {
   return stream;
 }
 
-AdaptiveReceiver::AdaptiveReceiver(transport::Transport& transport)
-    : transport_(&transport) {}
+AdaptiveReceiver::AdaptiveReceiver(transport::Transport& transport,
+                                   ReceiverConfig config)
+    : transport_(&transport), config_(config) {
+  if (config_.nack_retry_cap <= 0) {
+    throw ConfigError("receiver: nack_retry_cap must be positive");
+  }
+}
 
-Bytes AdaptiveReceiver::receive_available() {
-  Bytes out;
+bool AdaptiveReceiver::already_delivered(std::uint64_t seq) const noexcept {
+  return seq < next_contiguous_ || delivered_ahead_.count(seq) > 0;
+}
+
+void AdaptiveReceiver::mark_delivered(std::uint64_t seq) {
+  if (seq == next_contiguous_) {
+    ++next_contiguous_;
+    // Fold in any out-of-order deliveries the gap was holding back.
+    auto it = delivered_ahead_.begin();
+    while (it != delivered_ahead_.end() && *it == next_contiguous_) {
+      ++next_contiguous_;
+      it = delivered_ahead_.erase(it);
+    }
+  } else if (seq > next_contiguous_) {
+    delivered_ahead_.insert(seq);
+  }
+}
+
+std::vector<std::uint64_t> AdaptiveReceiver::current_gaps() const {
+  std::vector<std::uint64_t> gaps;
+  if (!any_seen_) return gaps;
+  for (std::uint64_t seq = next_contiguous_; seq <= max_seen_; ++seq) {
+    if (delivered_ahead_.count(seq) == 0) gaps.push_back(seq);
+  }
+  return gaps;
+}
+
+ReceiveReport AdaptiveReceiver::receive_report() {
+  ReceiveReport report;
   MonotonicClock cpu_clock;
   while (auto message = transport_->receive()) {
-    const Stopwatch sw(cpu_clock);
-    Bytes data = frame_decompress(*message, registry_);
-    decompress_seconds_ += sw.elapsed();
-    out.insert(out.end(), data.begin(), data.end());
-    ++frames_;
+    FrameOutcome outcome;
+    outcome.wire_size = message->size();
+    try {
+      const Frame frame = frame_parse(*message);
+      outcome.method = frame.method;
+      outcome.sequence = frame.sequence;
+      outcome.has_sequence = frame.has_sequence;
+      if (frame.has_sequence) {
+        max_seen_ = any_seen_ ? std::max(max_seen_, frame.sequence)
+                              : frame.sequence;
+        any_seen_ = true;
+      }
+      if (frame.has_sequence && already_delivered(frame.sequence)) {
+        outcome.status = FrameOutcome::Status::kDuplicate;
+      } else {
+        const Stopwatch sw(cpu_clock);
+        outcome.data = frame_decode(frame, registry_);
+        decompress_seconds_ += sw.elapsed();
+        if (frame.has_sequence) mark_delivered(frame.sequence);
+        outcome.status = FrameOutcome::Status::kOk;
+      }
+    } catch (const Error& error) {
+      // kThrow preserves the seed contract: first corrupt frame aborts the
+      // drain, leaving everything behind it on the transport.
+      if (config_.policy == RecoveryPolicy::kThrow) throw;
+      outcome.status = FrameOutcome::Status::kCorrupt;
+      outcome.error = error.what();
+    }
+    report.frames.push_back(std::move(outcome));
+  }
+
+  // Reassemble intact payloads. Frames carrying sequence numbers (v2) are
+  // ordered by sequence so a reordered wire still yields the original byte
+  // stream; legacy v1 frames have only arrival order to offer.
+  std::vector<const FrameOutcome*> intact;
+  bool all_sequenced = true;
+  for (const FrameOutcome& outcome : report.frames) {
+    switch (outcome.status) {
+      case FrameOutcome::Status::kOk:
+        intact.push_back(&outcome);
+        all_sequenced = all_sequenced && outcome.has_sequence;
+        break;
+      case FrameOutcome::Status::kCorrupt:
+        ++report.frames_corrupt;
+        break;
+      case FrameOutcome::Status::kDuplicate:
+        ++report.frames_duplicate;
+        break;
+    }
+  }
+  if (all_sequenced) {
+    std::sort(intact.begin(), intact.end(),
+              [](const FrameOutcome* a, const FrameOutcome* b) {
+                return a->sequence < b->sequence;
+              });
+  }
+  for (const FrameOutcome* outcome : intact) {
+    report.data.insert(report.data.end(), outcome->data.begin(),
+                       outcome->data.end());
+    report.bytes_recovered += outcome->data.size();
+  }
+  report.frames_ok = intact.size();
+  report.gaps = current_gaps();
+
+  frames_ += report.frames_ok;
+  frames_corrupt_ += report.frames_corrupt;
+  frames_duplicate_ += report.frames_duplicate;
+  bytes_recovered_ += report.bytes_recovered;
+  return report;
+}
+
+Bytes AdaptiveReceiver::receive_available() {
+  return receive_report().data;
+}
+
+std::vector<std::uint64_t> AdaptiveReceiver::take_nacks() {
+  std::vector<std::uint64_t> out;
+  if (config_.policy != RecoveryPolicy::kNack) return out;
+  for (const std::uint64_t seq : current_gaps()) {
+    int& attempts = nack_attempts_[seq];
+    if (attempts >= config_.nack_retry_cap) continue;  // lost for good
+    ++attempts;
+    out.push_back(seq);
   }
   return out;
+}
+
+std::size_t AdaptiveReceiver::nacks_abandoned() const noexcept {
+  std::size_t lost = 0;
+  for (const auto& [seq, attempts] : nack_attempts_) {
+    if (attempts >= config_.nack_retry_cap && !already_delivered(seq)) ++lost;
+  }
+  return lost;
 }
 
 }  // namespace acex::adaptive

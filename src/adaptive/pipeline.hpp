@@ -1,6 +1,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "adaptive/decision.hpp"
@@ -9,6 +12,7 @@
 #include "compress/frame.hpp"
 #include "compress/registry.hpp"
 #include "netsim/bandwidth.hpp"
+#include "transport/retransmit.hpp"
 #include "transport/transport.hpp"
 
 namespace acex::adaptive {
@@ -43,6 +47,38 @@ struct AdaptiveConfig {
   /// experiments pass a lambda advancing the VirtualClock so CPU work and
   /// wire time share one timeline; wall-clock runs leave it empty.
   std::function<void(Seconds)> on_cpu_time;
+
+  /// A block counts as "expanded" (degrading it to the null codec) only
+  /// when the framed output exceeds the framed-null size by more than this
+  /// many bytes. The slack keeps stored-mode codec output on incompressible
+  /// data — a handful of bytes of per-chunk overhead — from masquerading as
+  /// a failure; it matches the <= 64-byte tolerance the target-rate
+  /// experiments assume.
+  std::size_t expansion_slack_bytes = 64;
+
+  /// Circuit breaker: after this many consecutive failures (codec throw or
+  /// expanded output) of one method on the adaptive path, the method is
+  /// quarantined.
+  int breaker_failure_threshold = 3;
+
+  /// How many subsequent blocks a quarantined method sits out before it may
+  /// be tried again.
+  std::size_t breaker_cooldown_blocks = 16;
+
+  /// How many recent frames the sender keeps for NACK retransmission, and
+  /// how often each may be replayed.
+  std::size_t retransmit_capacity = 64;
+  int retransmit_max_retries = 3;
+};
+
+/// Sender-side degradation counters (circuit breaker + NACK service),
+/// surfaced per block through adaptive/telemetry as well.
+struct DegradationStats {
+  std::uint64_t codec_failures = 0;  ///< codec threw on the adaptive path
+  std::uint64_t expansions = 0;      ///< output larger than the framed null
+  std::uint64_t fallbacks = 0;       ///< blocks degraded to the null codec
+  std::uint64_t quarantines = 0;     ///< circuit-breaker trips
+  std::uint64_t retransmits = 0;     ///< frames replayed on NACK
 };
 
 /// Everything recorded about one transmitted block — the raw material of
@@ -51,7 +87,9 @@ struct BlockReport {
   std::size_t index = 0;
   Seconds submitted = 0;       ///< transport-clock time the block entered
   Seconds delivered = 0;       ///< transport-clock time the receiver accepted
-  MethodId method = MethodId::kNone;
+  MethodId method = MethodId::kNone;  ///< method actually on the wire
+  MethodId requested_method = MethodId::kNone;  ///< selector's choice
+  bool fallback = false;       ///< degraded to the null codec mid-block
   std::size_t original_size = 0;
   std::size_t wire_size = 0;       ///< framed bytes actually sent
   Seconds compress_seconds = 0;    ///< (scaled) CPU time spent compressing
@@ -115,15 +153,37 @@ class AdaptiveSender {
   /// compression").
   StreamReport send_all_fixed(ByteView data, MethodId method);
 
+  /// Replay previously sent frames by sequence number from the bounded
+  /// retransmit ring (the sender half of the NACK protocol). Returns how
+  /// many were actually re-sent; sequences already evicted or out of retry
+  /// budget are skipped.
+  std::size_t retransmit(const std::vector<std::uint64_t>& sequences);
+
   const ReducingSpeedMonitor& monitor() const noexcept { return monitor_; }
   const netsim::BandwidthEstimator& bandwidth() const noexcept {
     return bandwidth_;
   }
   const AdaptiveConfig& config() const noexcept { return config_; }
+  const DegradationStats& degradation() const noexcept { return degradation_; }
+  const transport::RetransmitRing& retransmit_ring() const noexcept {
+    return ring_;
+  }
+
+  /// The sender's codec registry. Mutable so applications (and the fault
+  /// tests) can swap in custom codecs — the degradation path guarantees a
+  /// misbehaving one cannot take the stream down.
+  CodecRegistry& registry() noexcept { return registry_; }
 
  private:
   BlockReport transmit_block(ByteView block, MethodId method,
-                             double sampled_ratio, double bw_estimate);
+                             double sampled_ratio, double bw_estimate,
+                             bool allow_degrade = true);
+
+  /// Demote a quarantined method down the ladder (circuit breaker open).
+  MethodId apply_circuit_breaker(MethodId method) const noexcept;
+
+  void note_codec_failure(MethodId method);
+  void note_codec_success(MethodId method) noexcept;
 
   /// Escalate `base` until the user's target payload rate is met (§1).
   MethodId apply_target_rate(MethodId base, double bandwidth_Bps,
@@ -148,20 +208,102 @@ class AdaptiveSender {
   Ewma sample_speed_{0.4};     // real (unscaled) sampler reducing speeds
   double sample_speed_ref_ = 0;  // sample speed when last LZ block ran
   std::size_t blocks_sent_ = 0;
+
+  struct MethodHealth {
+    int consecutive_failures = 0;
+    std::size_t quarantined_until = 0;  // block index the cooldown ends at
+  };
+  std::map<MethodId, MethodHealth> health_;
+  DegradationStats degradation_;
+  transport::RetransmitRing ring_{64, 3};
+};
+
+/// What the receiver does when a frame off the wire is damaged.
+enum class RecoveryPolicy {
+  /// Throw DecodeError on the first corrupt frame, discarding everything
+  /// queued behind it — the seed behaviour, and the default.
+  kThrow,
+  /// Quarantine the bad frame, keep draining, and report per-frame
+  /// outcomes: the stream survives with a gap.
+  kSkip,
+  /// Like kSkip, and additionally track missing/corrupt sequence numbers
+  /// for upstream NACK signalling (take_nacks() + AdaptiveSender::
+  /// retransmit()).
+  kNack,
+};
+
+struct ReceiverConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kThrow;
+  /// kNack: how many times one missing sequence may be requested before
+  /// the receiver gives it up as lost.
+  int nack_retry_cap = 3;
+};
+
+/// One received frame's fate, as judged by the recovery machinery.
+struct FrameOutcome {
+  enum class Status {
+    kOk,         ///< parsed, decoded, CRC verified — payload recovered
+    kCorrupt,    ///< failed somewhere between parse and CRC; quarantined
+    kDuplicate,  ///< sequence number already delivered; dropped
+  };
+  Status status = Status::kOk;
+  MethodId method = MethodId::kNone;
+  std::uint64_t sequence = 0;
+  bool has_sequence = false;   ///< v2 frame whose header survived parsing
+  std::size_t wire_size = 0;   ///< bytes as received off the transport
+  Bytes data;                  ///< decoded payload (kOk only)
+  std::string error;           ///< decode failure message (kCorrupt only)
+};
+
+/// Everything one receive_report() drain learned, for callers that need
+/// more than the happy-path byte stream.
+struct ReceiveReport {
+  /// Intact payloads of this drain, reassembled in sequence order (v2) or
+  /// arrival order (v1 frames carry no sequence).
+  Bytes data;
+  std::vector<FrameOutcome> frames;
+  /// Sequence numbers believed missing after this drain: dropped upstream,
+  /// corrupted beyond use, or still in flight.
+  std::vector<std::uint64_t> gaps;
+  std::size_t frames_ok = 0;
+  std::size_t frames_corrupt = 0;
+  std::size_t frames_duplicate = 0;
+  std::size_t bytes_recovered = 0;  ///< sum of intact payload bytes
 };
 
 /// The receiving half: drains frames from a transport, decodes each with
 /// whatever method its header names (no coordination needed — frames are
-/// self-describing), verifies CRCs, and reassembles the stream.
+/// self-describing), verifies CRCs, and reassembles the stream. The
+/// recovery policy decides what a damaged frame costs: the whole drain
+/// (kThrow), one block (kSkip), or nothing once the NACK round-trip has
+/// replayed it (kNack).
 class AdaptiveReceiver {
  public:
-  explicit AdaptiveReceiver(transport::Transport& transport);
+  explicit AdaptiveReceiver(transport::Transport& transport,
+                            ReceiverConfig config = {});
 
   /// Receive until the transport reports no more messages; returns the
-  /// reassembled original data. Throws DecodeError on a corrupt frame.
+  /// reassembled original data. Under kThrow this throws DecodeError on a
+  /// corrupt frame; under kSkip/kNack it returns whatever was intact.
   Bytes receive_available();
 
+  /// Like receive_available(), with per-frame outcomes, the current gap
+  /// list, and recovery counters.
+  ReceiveReport receive_report();
+
+  /// kNack: sequences to request from the sender, respecting the retry
+  /// cap; each call counts one attempt against every sequence returned.
+  /// Empty when nothing is missing or everything missing is past the cap.
+  std::vector<std::uint64_t> take_nacks();
+
+  /// Missing sequences the NACK retry cap has exhausted — lost for good.
+  std::size_t nacks_abandoned() const noexcept;
+
   std::size_t frames_received() const noexcept { return frames_; }
+  std::size_t frames_corrupt() const noexcept { return frames_corrupt_; }
+  std::size_t frames_duplicate() const noexcept { return frames_duplicate_; }
+  std::uint64_t bytes_recovered() const noexcept { return bytes_recovered_; }
+  const ReceiverConfig& config() const noexcept { return config_; }
 
   /// Cumulative wall time spent decompressing received frames — the
   /// receiver-side CPU cost §2.5 folds into its end-to-end view
@@ -169,10 +311,26 @@ class AdaptiveReceiver {
   Seconds decompress_seconds() const noexcept { return decompress_seconds_; }
 
  private:
+  bool already_delivered(std::uint64_t seq) const noexcept;
+  void mark_delivered(std::uint64_t seq);
+  std::vector<std::uint64_t> current_gaps() const;
+
   transport::Transport* transport_;
+  ReceiverConfig config_;
   CodecRegistry registry_ = CodecRegistry::with_builtins();
   std::size_t frames_ = 0;
+  std::size_t frames_corrupt_ = 0;
+  std::size_t frames_duplicate_ = 0;
+  std::uint64_t bytes_recovered_ = 0;
   Seconds decompress_seconds_ = 0;
+
+  // Sequence tracking (v2 frames): everything below next_contiguous_ is
+  // delivered; delivered_ahead_ holds out-of-order deliveries above it.
+  std::uint64_t next_contiguous_ = 0;
+  std::set<std::uint64_t> delivered_ahead_;
+  std::uint64_t max_seen_ = 0;   ///< highest sequence observed on the wire
+  bool any_seen_ = false;
+  std::map<std::uint64_t, int> nack_attempts_;
 };
 
 }  // namespace acex::adaptive

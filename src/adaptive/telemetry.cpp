@@ -19,6 +19,12 @@ void TelemetryPublisher::publish(const BlockReport& report) {
   a.set_double("acex.t.send_us", report.send_seconds * 1e6);
   a.set_double("acex.t.bandwidth_bps", report.bandwidth_estimate_Bps);
   a.set_double("acex.t.sampled_ratio", report.sampled_ratio_percent);
+  a.set_int("acex.t.fallback", report.fallback ? 1 : 0);
+  if (report.fallback) {
+    // Which method the selector wanted before degradation stepped in.
+    a.set_string("acex.t.requested",
+                 std::string(method_name(report.requested_method)));
+  }
   channel_->submit(std::move(event));
 }
 
@@ -48,6 +54,9 @@ bool TelemetryAggregator::observe(const echo::Event& event) {
         event.attributes.get_double("acex.t.compress_us").value_or(0) / 1e6;
     if (const auto method = event.attributes.get_string("acex.t.method")) {
       ++method_counts_[*method];
+    }
+    if (event.attributes.get_int("acex.t.fallback").value_or(0) != 0) {
+      ++fallbacks_;
     }
     return true;
   }

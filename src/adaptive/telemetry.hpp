@@ -17,7 +17,9 @@ namespace acex::adaptive {
 ///
 /// Attribute names (all `acex.t.` prefixed):
 ///   block events:  index, method, original, wire, compress_us, send_us,
-///                  bandwidth_bps, sampled_ratio
+///                  bandwidth_bps, sampled_ratio, fallback
+///                  (+ requested, the selector's pre-degradation choice,
+///                  on fallback blocks)
 ///   summary event: blocks, original, wire, total_s, compress_s
 class TelemetryPublisher {
  public:
@@ -46,6 +48,9 @@ class TelemetryAggregator {
   std::uint64_t blocks() const noexcept { return blocks_; }
   std::uint64_t original_bytes() const noexcept { return original_; }
   std::uint64_t wire_bytes() const noexcept { return wire_; }
+  /// Blocks the sender degraded to the null codec (circuit breaker /
+  /// expansion fallback) — the dashboard's view of sender health.
+  std::uint64_t fallbacks() const noexcept { return fallbacks_; }
   Seconds compress_seconds() const noexcept { return compress_seconds_; }
   bool summary_seen() const noexcept { return summary_seen_; }
 
@@ -61,6 +66,7 @@ class TelemetryAggregator {
   std::uint64_t blocks_ = 0;
   std::uint64_t original_ = 0;
   std::uint64_t wire_ = 0;
+  std::uint64_t fallbacks_ = 0;
   Seconds compress_seconds_ = 0;
   bool summary_seen_ = false;
   std::map<std::string, std::uint64_t> method_counts_;

@@ -10,6 +10,26 @@ namespace {
 constexpr std::uint8_t kMagic0 = 'A';
 constexpr std::uint8_t kMagic1 = 'X';
 
+// Minimum well-formed sizes: v1 is magic(2)+version(1)+method(1)+
+// varint size(>=1)+crc(4) = 9; v2 adds varint sequence(>=1) and the
+// header checksum byte = 11.
+constexpr std::size_t kMinFrameV1 = 9;
+constexpr std::size_t kMinFrameV2 = 11;
+
+// XOR checksum of the v2 header bytes [0, end). Seeded with a non-zero
+// constant so an all-zero header does not trivially checksum to zero.
+std::uint8_t header_checksum(ByteView framed, std::size_t end) noexcept {
+  std::uint8_t sum = 0x5A;
+  for (std::size_t i = 0; i < end; ++i) sum ^= framed[i];
+  return sum;
+}
+
+void append_crc(Bytes& out, std::uint32_t crc) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+}
+
 }  // namespace
 
 Bytes frame_compress(Codec& codec, ByteView data) {
@@ -24,24 +44,64 @@ Bytes frame_compress(Codec& codec, ByteView data) {
   out.push_back(static_cast<std::uint8_t>(codec.id()));
   put_varint(out, payload.size());
   out.insert(out.end(), payload.begin(), payload.end());
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
-  }
+  append_crc(out, crc);
+  return out;
+}
+
+Bytes frame_compress_seq(Codec& codec, ByteView data, std::uint64_t sequence) {
+  const std::uint32_t crc = crc32(data);
+  const Bytes payload = codec.compress(data);
+
+  Bytes out;
+  out.reserve(payload.size() + 24);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kFrameVersionSeq);
+  out.push_back(static_cast<std::uint8_t>(codec.id()));
+  put_varint(out, sequence);
+  put_varint(out, payload.size());
+  out.push_back(header_checksum(out, out.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  append_crc(out, crc);
   return out;
 }
 
 Frame frame_parse(ByteView framed) {
-  if (framed.size() < 8) throw DecodeError("frame: too short");
+  if (framed.size() < kMinFrameV1) throw DecodeError("frame: too short");
   if (framed[0] != kMagic0 || framed[1] != kMagic1) {
     throw DecodeError("frame: bad magic");
   }
-  if (framed[2] != kFrameVersion) throw DecodeError("frame: bad version");
 
   Frame frame;
+  frame.version = framed[2];
   frame.method = static_cast<MethodId>(framed[3]);
   std::size_t pos = 4;
+
+  if (frame.version == kFrameVersionSeq) {
+    if (framed.size() < kMinFrameV2) throw DecodeError("frame: too short");
+    frame.sequence = get_varint(framed, &pos);
+    frame.has_sequence = true;
+  } else if (frame.version != kFrameVersion) {
+    throw DecodeError("frame: bad version");
+  }
+
   const std::uint64_t payload_size = get_varint(framed, &pos);
-  if (pos + payload_size + 4 != framed.size()) {
+
+  if (frame.version == kFrameVersionSeq) {
+    // Validate the header before trusting any of it: a flipped bit in the
+    // sequence or size varints must not send us off into the payload.
+    if (pos >= framed.size()) throw DecodeError("frame: too short");
+    if (framed[pos] != header_checksum(framed, pos)) {
+      throw DecodeError("frame: header checksum mismatch");
+    }
+    ++pos;
+  }
+
+  // Overflow-safe size check: get_varint guarantees pos <= framed.size(),
+  // so `remaining` cannot wrap — unlike `pos + payload_size + 4`, which an
+  // adversarial varint can overflow past SIZE_MAX.
+  const std::size_t remaining = framed.size() - pos;
+  if (remaining < 4 || remaining - 4 != payload_size) {
     throw DecodeError("frame: size mismatch");
   }
   const auto payload = framed.subspan(pos, payload_size);
@@ -54,8 +114,14 @@ Frame frame_parse(ByteView framed) {
   return frame;
 }
 
-Bytes frame_decompress(ByteView framed, const CodecRegistry& registry) {
-  const Frame frame = frame_parse(framed);
+Bytes frame_decode(const Frame& frame, const CodecRegistry& registry) {
+  // An unknown method id off the wire is corrupt data (or a peer speaking a
+  // newer dialect), not caller misuse: report it as a decode failure so
+  // recovery policies treat the frame like any other damaged one.
+  if (!registry.contains(frame.method)) {
+    throw DecodeError("frame: unknown method id " +
+                      std::to_string(static_cast<int>(frame.method)));
+  }
   const CodecPtr codec = registry.create(frame.method);
   Bytes data = codec->decompress(frame.payload);
   if (crc32(data) != frame.crc) {
@@ -64,8 +130,17 @@ Bytes frame_decompress(ByteView framed, const CodecRegistry& registry) {
   return data;
 }
 
+Bytes frame_decompress(ByteView framed, const CodecRegistry& registry) {
+  return frame_decode(frame_parse(framed), registry);
+}
+
 std::size_t frame_overhead(std::size_t payload_size) noexcept {
   return 2 + 1 + 1 + varint_size(payload_size) + 4;
+}
+
+std::size_t frame_overhead_seq(std::size_t payload_size,
+                               std::uint64_t sequence) noexcept {
+  return 2 + 1 + 1 + varint_size(sequence) + varint_size(payload_size) + 1 + 4;
 }
 
 }  // namespace acex

@@ -12,28 +12,59 @@ namespace acex {
 /// method id — and detects corruption anywhere along the path via a CRC of
 /// the *original* (decompressed) bytes.
 ///
-/// Layout:
-///   magic "AX" | version (1) | method id (1) | varint payload size |
-///   payload | crc32 of original data, little-endian (4)
+/// Two layouts exist on the wire:
+///
+///   v1:  magic "AX" | version=1 (1) | method id (1) |
+///        varint payload size | payload | crc32 of original data, LE (4)
+///
+///   v2:  magic "AX" | version=2 (1) | method id (1) | varint sequence |
+///        varint payload size | header checksum (1) | payload |
+///        crc32 of original data, LE (4)
+///
+/// v2 adds a per-stream sequence number — making drops, duplicates and
+/// reorders detectable by the receiver — and a 1-byte XOR checksum over
+/// every header byte before it, so a corrupted header is rejected before
+/// any decoder runs (and before a damaged varint size can misdirect
+/// parsing). frame_parse() accepts both versions; v1 frames produced by
+/// older senders decode unchanged.
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameVersionSeq = 2;
+
 struct Frame {
+  std::uint8_t version = kFrameVersion;
   MethodId method = MethodId::kNone;
   Bytes payload;               ///< codec output (compressed bytes)
   std::uint32_t crc = 0;       ///< CRC-32 of the original data
+  std::uint64_t sequence = 0;  ///< v2 stream sequence number
+  bool has_sequence = false;   ///< true iff the frame was v2
 };
 
-inline constexpr std::uint8_t kFrameVersion = 1;
-
-/// Compress `data` with `codec` and wrap the result in a frame.
+/// Compress `data` with `codec` and wrap the result in a v1 frame.
 Bytes frame_compress(Codec& codec, ByteView data);
 
-/// Parse a frame without decompressing. Throws DecodeError on malformed or
-/// truncated envelopes.
+/// Compress `data` with `codec` and wrap the result in a v2 frame carrying
+/// `sequence`.
+Bytes frame_compress_seq(Codec& codec, ByteView data, std::uint64_t sequence);
+
+/// Parse a frame (either version) without decompressing. Throws DecodeError
+/// on malformed or truncated envelopes, including header-checksum failures.
 Frame frame_parse(ByteView framed);
 
 /// Parse, look the codec up in `registry`, decompress, and verify the CRC.
+/// A method id the registry does not know is corrupt wire data, not caller
+/// misuse, so it surfaces as DecodeError.
 Bytes frame_decompress(ByteView framed, const CodecRegistry& registry);
 
-/// Size in bytes of the envelope around a payload of `payload_size` bytes.
+/// Decompress an already-parsed frame (skips re-parsing; used by receivers
+/// that need the header before deciding how to recover).
+Bytes frame_decode(const Frame& frame, const CodecRegistry& registry);
+
+/// Size in bytes of the v1 envelope around a payload of `payload_size`.
 std::size_t frame_overhead(std::size_t payload_size) noexcept;
+
+/// Size in bytes of the v2 envelope around a payload of `payload_size`
+/// with sequence number `sequence`.
+std::size_t frame_overhead_seq(std::size_t payload_size,
+                               std::uint64_t sequence) noexcept;
 
 }  // namespace acex

@@ -1,13 +1,19 @@
 #include "echo/bridge.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "util/varint.hpp"
 
 namespace acex::echo {
 namespace {
 
-// Message discriminators on the bridged transport.
+// Message discriminators on the bridged transport. kMsgEvent is the legacy
+// unsequenced envelope; senders now emit kMsgEventSeq, but receivers keep
+// accepting both so pre-sequence peers interoperate.
 constexpr std::uint8_t kMsgEvent = 0;
 constexpr std::uint8_t kMsgControl = 1;
+constexpr std::uint8_t kMsgEventSeq = 2;
 
 Bytes wrap(std::uint8_t kind, ByteView body) {
   Bytes out;
@@ -17,13 +23,41 @@ Bytes wrap(std::uint8_t kind, ByteView body) {
   return out;
 }
 
+Bytes wrap_seq(std::uint64_t seq, ByteView body) {
+  Bytes out;
+  out.reserve(body.size() + 10);
+  out.push_back(kMsgEventSeq);
+  put_varint(out, seq);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Bytes encode_seqs(const std::vector<std::uint64_t>& seqs) {
+  Bytes out;
+  for (const std::uint64_t seq : seqs) put_varint(out, seq);
+  return out;
+}
+
+std::vector<std::uint64_t> decode_seqs(ByteView in) {
+  std::vector<std::uint64_t> seqs;
+  std::size_t pos = 0;
+  while (pos < in.size()) seqs.push_back(get_varint(in, &pos));
+  return seqs;
+}
+
 }  // namespace
 
 ChannelSender::ChannelSender(EventChannel& channel,
-                             transport::Transport& transport)
-    : channel_(&channel), transport_(&transport) {
+                             transport::Transport& transport,
+                             std::size_t ring_capacity, int max_retries)
+    : channel_(&channel),
+      transport_(&transport),
+      ring_(ring_capacity, max_retries) {
   tap_ = channel_->subscribe([this](const Event& event) {
-    transport_->send(wrap(kMsgEvent, serialize_event(event)));
+    const std::uint64_t seq = next_sequence_++;
+    Bytes wire = wrap_seq(seq, serialize_event(event));
+    transport_->send(wire);
+    ring_.store(seq, std::move(wire));
     ++forwarded_;
   });
 }
@@ -38,6 +72,20 @@ std::size_t ChannelSender::pump_control() {
     if ((*message)[0] == kMsgControl) {
       std::size_t pos = 0;
       const AttributeMap attrs = AttributeMap::deserialize(body, &pos);
+      if (const auto nacks = attrs.get_bytes(kNackAttr)) {
+        // Bridge-internal retransmit request: replay what the ring still
+        // holds and keep it away from application control sinks.
+        std::size_t replayed = 0;
+        for (const std::uint64_t seq : decode_seqs(*nacks)) {
+          if (const Bytes* wire = ring_.replay(seq)) {
+            transport_->send(*wire);
+            ++retransmits_;
+            ++replayed;
+          }
+        }
+        if (replayed > 0) ++applied;
+        continue;
+      }
       channel_->signal_control(attrs);
       ++applied;
     }
@@ -48,21 +96,79 @@ std::size_t ChannelSender::pump_control() {
 }
 
 ChannelReceiver::ChannelReceiver(EventChannel& channel,
-                                 transport::Transport& transport)
-    : channel_(&channel), transport_(&transport) {}
+                                 transport::Transport& transport,
+                                 int nack_retry_cap)
+    : channel_(&channel),
+      transport_(&transport),
+      nack_retry_cap_(nack_retry_cap) {
+  if (nack_retry_cap <= 0) {
+    throw ConfigError("bridge: nack_retry_cap must be positive");
+  }
+}
+
+bool ChannelReceiver::already_delivered(std::uint64_t seq) const noexcept {
+  return seq < next_contiguous_ || delivered_ahead_.count(seq) > 0;
+}
+
+void ChannelReceiver::mark_delivered(std::uint64_t seq) {
+  if (seq == next_contiguous_) {
+    ++next_contiguous_;
+    auto it = delivered_ahead_.begin();
+    while (it != delivered_ahead_.end() && *it == next_contiguous_) {
+      ++next_contiguous_;
+      it = delivered_ahead_.erase(it);
+    }
+  } else if (seq > next_contiguous_) {
+    delivered_ahead_.insert(seq);
+  }
+}
 
 std::size_t ChannelReceiver::poll(std::size_t max_events) {
   std::size_t delivered = 0;
   while (delivered < max_events) {
     const auto message = transport_->receive();
     if (!message) break;
-    if (message->empty()) throw DecodeError("bridge: empty message");
-    const ByteView body = ByteView(*message).subspan(1);
-    if ((*message)[0] == kMsgEvent) {
-      channel_->submit(deserialize_event(body));
-      ++received_;
-      ++delivered;
+    if (message->empty()) {
+      ++corrupt_;
+      continue;
     }
+    const std::uint8_t kind = (*message)[0];
+    if (kind == kMsgEvent) {
+      // Legacy unsequenced event: no recovery metadata, best effort only.
+      try {
+        channel_->submit(deserialize_event(ByteView(*message).subspan(1)));
+        ++received_;
+        ++delivered;
+      } catch (const Error&) {
+        ++corrupt_;
+      }
+    } else if (kind == kMsgEventSeq) {
+      std::size_t pos = 1;
+      std::uint64_t seq = 0;
+      bool have_seq = false;
+      try {
+        seq = get_varint(*message, &pos);
+        have_seq = true;
+        max_seen_ = any_seen_ ? std::max(max_seen_, seq) : seq;
+        any_seen_ = true;
+        if (already_delivered(seq)) {
+          ++duplicates_;
+          continue;
+        }
+        channel_->submit(deserialize_event(ByteView(*message).subspan(pos)));
+        mark_delivered(seq);
+        ++received_;
+        ++delivered;
+      } catch (const Error&) {
+        // A corrupt body whose sequence survived is preciser than a gap:
+        // it will be NACKed directly. A corrupt header shows up as a gap
+        // once later sequences arrive.
+        ++corrupt_;
+        (void)have_seq;  // seq (if parsed) stays missing -> NACK candidate
+      }
+    }
+    // Control messages arriving at the consumer side are ignored, like
+    // event messages at the producer side.
   }
   return delivered;
 }
@@ -71,6 +177,31 @@ void ChannelReceiver::signal_control(const AttributeMap& attrs) {
   Bytes body;
   attrs.serialize(body);
   transport_->send(wrap(kMsgControl, body));
+}
+
+std::vector<std::uint64_t> ChannelReceiver::missing() const {
+  std::vector<std::uint64_t> gaps;
+  if (!any_seen_) return gaps;
+  for (std::uint64_t seq = next_contiguous_; seq <= max_seen_; ++seq) {
+    if (delivered_ahead_.count(seq) == 0) gaps.push_back(seq);
+  }
+  return gaps;
+}
+
+std::size_t ChannelReceiver::signal_nacks() {
+  std::vector<std::uint64_t> request;
+  for (const std::uint64_t seq : missing()) {
+    int& attempts = nack_attempts_[seq];
+    if (attempts >= nack_retry_cap_) continue;  // lost for good
+    ++attempts;
+    request.push_back(seq);
+  }
+  if (request.empty()) return 0;
+  AttributeMap attrs;
+  attrs.set_bytes(kNackAttr, encode_seqs(request));
+  signal_control(attrs);
+  nacks_signalled_ += request.size();
+  return request.size();
 }
 
 }  // namespace acex::echo

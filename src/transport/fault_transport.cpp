@@ -1,0 +1,76 @@
+#include "transport/fault_transport.hpp"
+
+#include <algorithm>
+
+namespace acex::transport {
+
+FaultInjectingTransport::FaultInjectingTransport(Transport& inner,
+                                                 FaultConfig config)
+    : inner_(&inner), config_(config), rng_(config.seed) {}
+
+void FaultInjectingTransport::deliver(ByteView message) {
+  inner_->send(message);
+  if (held_) {
+    // A reordered predecessor rides out right behind its successor —
+    // adjacent swap, the common case on multipath networks.
+    const Bytes late = std::move(*held_);
+    held_.reset();
+    inner_->send(late);
+  }
+}
+
+void FaultInjectingTransport::send(ByteView message) {
+  ++counters_.messages;
+
+  if (rng_.chance(config_.drop_prob)) {
+    ++counters_.drops;
+    return;
+  }
+  if (!held_ && rng_.chance(config_.reorder_prob)) {
+    ++counters_.reorders;
+    held_.emplace(message.begin(), message.end());
+    return;
+  }
+  if (rng_.chance(config_.duplicate_prob)) {
+    ++counters_.duplicates;
+    deliver(message);
+    inner_->send(message);
+    return;
+  }
+  if (rng_.chance(config_.bit_flip_prob) && !message.empty()) {
+    ++counters_.bit_flips;
+    Bytes damaged(message.begin(), message.end());
+    const int flips =
+        1 + static_cast<int>(rng_.below(
+                static_cast<std::uint64_t>(std::max(config_.max_bit_flips, 1))));
+    for (int i = 0; i < flips; ++i) {
+      damaged[rng_.below(damaged.size())] ^=
+          static_cast<std::uint8_t>(1u << rng_.below(8));
+    }
+    deliver(damaged);
+    return;
+  }
+  if (rng_.chance(config_.truncate_prob) && !message.empty()) {
+    ++counters_.truncations;
+    Bytes damaged(message.begin(), message.end());
+    damaged.resize(rng_.below(damaged.size()));
+    deliver(damaged);
+    return;
+  }
+
+  ++counters_.clean;
+  deliver(message);
+}
+
+std::optional<Bytes> FaultInjectingTransport::receive() {
+  return inner_->receive();
+}
+
+void FaultInjectingTransport::flush() {
+  if (!held_) return;
+  const Bytes late = std::move(*held_);
+  held_.reset();
+  inner_->send(late);
+}
+
+}  // namespace acex::transport

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <optional>
+
+#include "transport/transport.hpp"
+#include "util/rng.hpp"
+
+namespace acex::transport {
+
+/// Per-message fault probabilities of a FaultInjectingTransport. All
+/// probabilities are independent Bernoulli draws from one deterministic
+/// Rng; at most one fault is applied per message, tried in the order
+/// drop > reorder > duplicate > bit flip > truncate.
+struct FaultConfig {
+  double drop_prob = 0;        ///< message vanishes entirely
+  double reorder_prob = 0;     ///< message swaps with the next one sent
+  double duplicate_prob = 0;   ///< message delivered twice
+  double bit_flip_prob = 0;    ///< 1..max_bit_flips random bits flipped
+  double truncate_prob = 0;    ///< tail cut at a random offset
+  int max_bit_flips = 4;       ///< upper bound of flips per damaged message
+  std::uint64_t seed = 42;     ///< Rng seed — identical runs, identical faults
+};
+
+/// How many messages each fault class has claimed, plus the clean count.
+/// `messages == drops + reorders + duplicates + bit_flips + truncations +
+/// clean` always holds (a reordered message is still delivered, late).
+struct FaultCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t clean = 0;
+};
+
+/// Transport decorator that damages the send path on purpose — the hostile
+/// network every robustness test needs and DESIGN.md §6 promises decoders
+/// survive. Wrap whichever endpoint should experience the bad link:
+///
+///   FaultInjectingTransport lossy(duplex.a(), {.drop_prob = 0.01});
+///   AdaptiveSender sender(lossy);          // frames now really get lost
+///
+/// Faults are applied per *message* on send(); receive() and clock() pass
+/// straight through to the inner transport. Determinism: the same seed and
+/// the same message sequence produce the same faults, so every test failure
+/// replays exactly.
+class FaultInjectingTransport final : public Transport {
+ public:
+  explicit FaultInjectingTransport(Transport& inner, FaultConfig config = {});
+
+  void send(ByteView message) override;
+  std::optional<Bytes> receive() override;
+  const Clock& clock() const override { return inner_->clock(); }
+
+  /// Deliver a message still held back by a pending reorder (call when the
+  /// stream ends, mirroring a real network flushing its queues).
+  void flush();
+
+  /// Replace the fault knobs mid-stream (e.g. heal the link before a
+  /// retransmit round). Counters and Rng state are preserved.
+  void set_config(const FaultConfig& config) noexcept { config_ = config; }
+
+  const FaultConfig& config() const noexcept { return config_; }
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  void deliver(ByteView message);
+
+  Transport* inner_;
+  FaultConfig config_;
+  FaultCounters counters_;
+  Rng rng_;
+  std::optional<Bytes> held_;  ///< message delayed by a reorder fault
+};
+
+}  // namespace acex::transport

@@ -1,0 +1,37 @@
+#include "transport/retransmit.hpp"
+
+#include "util/error.hpp"
+
+namespace acex::transport {
+
+RetransmitRing::RetransmitRing(std::size_t capacity, int max_retries)
+    : capacity_(capacity), max_retries_(max_retries) {
+  if (capacity == 0 || max_retries <= 0) {
+    throw ConfigError("retransmit ring: capacity and retries must be positive");
+  }
+}
+
+void RetransmitRing::store(std::uint64_t seq, Bytes wire) {
+  if (slots_.size() == capacity_) {
+    slots_.pop_front();
+    ++evictions_;
+  }
+  slots_.push_back(Slot{seq, std::move(wire), 0});
+}
+
+const Bytes* RetransmitRing::replay(std::uint64_t seq) {
+  for (auto& slot : slots_) {
+    if (slot.seq != seq) continue;
+    if (slot.retries >= max_retries_) {
+      ++refusals_;
+      return nullptr;
+    }
+    ++slot.retries;
+    ++replays_;
+    return &slot.wire;
+  }
+  ++refusals_;
+  return nullptr;
+}
+
+}  // namespace acex::transport

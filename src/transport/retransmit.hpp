@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/bytes.hpp"
+
+namespace acex::transport {
+
+/// Bounded history of recently sent wire messages, keyed by sequence
+/// number, from which a sender answers NACKs. The ring holds the last
+/// `capacity` messages (older ones are evicted — a NACK for them fails,
+/// like any ARQ scheme whose window has moved on) and caps how many times
+/// one sequence may be replayed, so a hopeless receiver cannot pin the
+/// sender in a retransmit loop.
+///
+/// Shared by AdaptiveSender (frame replay) and echo::ChannelSender (event
+/// replay); both store fully encoded wire bytes so a replay is a plain
+/// re-send with no re-encoding.
+class RetransmitRing {
+ public:
+  explicit RetransmitRing(std::size_t capacity = 64, int max_retries = 3);
+
+  /// Remember `wire` as the bytes sent for `seq`, evicting the oldest
+  /// entry when full. Sequences are expected to arrive in increasing
+  /// order (they are the sender's own counter).
+  void store(std::uint64_t seq, Bytes wire);
+
+  /// The wire bytes for `seq` if still held and its retry budget is not
+  /// exhausted; counts one retry. Returns nullptr when the entry was
+  /// evicted or already replayed max_retries times.
+  const Bytes* replay(std::uint64_t seq);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  int max_retries() const noexcept { return max_retries_; }
+  std::size_t size() const noexcept { return slots_.size(); }
+
+  std::uint64_t replays() const noexcept { return replays_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  /// NACKs that could not be honoured (evicted or out of retries).
+  std::uint64_t refusals() const noexcept { return refusals_; }
+
+ private:
+  struct Slot {
+    std::uint64_t seq;
+    Bytes wire;
+    int retries = 0;
+  };
+
+  std::size_t capacity_;
+  int max_retries_;
+  std::deque<Slot> slots_;
+  std::uint64_t replays_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t refusals_ = 0;
+};
+
+}  // namespace acex::transport

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "compress/frame.hpp"
 #include "compress/null_codec.hpp"
 #include "compress/registry.hpp"
 #include "compress/zlib_codec.hpp"
 #include "testdata.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/varint.hpp"
 
 namespace acex {
 namespace {
@@ -80,11 +84,118 @@ TEST_F(FrameTest, RejectsTooShortBuffer) {
   EXPECT_THROW(frame_parse(Bytes{0x41}), DecodeError);
 }
 
-TEST_F(FrameTest, UnknownMethodIdThrowsConfigError) {
+TEST_F(FrameTest, UnknownMethodIdIsCorruptWireData) {
+  // An id the registry does not know arrived off the wire: that is damage
+  // (or a newer dialect), not caller misuse — DecodeError, not ConfigError,
+  // so recovery policies can quarantine the frame like any other bad one.
   NullCodec null;
   Bytes framed = frame_compress(null, testdata::random_bytes(64, 8));
   framed[3] = 77;  // unregistered method id
-  EXPECT_THROW(frame_decompress(framed, registry_), ConfigError);
+  EXPECT_THROW(frame_decompress(framed, registry_), DecodeError);
+}
+
+TEST_F(FrameTest, SeqFrameRoundTripsEveryBuiltinMethod) {
+  const Bytes data = testdata::repetitive_text(20000, 10);
+  std::uint64_t seq = 1;
+  for (const MethodId id : registry_.methods()) {
+    const CodecPtr codec = registry_.create(id);
+    const Bytes framed = frame_compress_seq(*codec, data, seq);
+    const Frame frame = frame_parse(framed);
+    EXPECT_EQ(frame.version, kFrameVersionSeq) << method_name(id);
+    EXPECT_TRUE(frame.has_sequence);
+    EXPECT_EQ(frame.sequence, seq);
+    EXPECT_EQ(frame_decompress(framed, registry_), data) << method_name(id);
+    seq = seq * 1000 + 7;  // exercise multi-byte sequence varints
+  }
+}
+
+TEST_F(FrameTest, SeqFrameOverheadMatches) {
+  NullCodec null;
+  const Bytes data = testdata::random_bytes(300, 11);
+  const std::uint64_t seq = 300;  // two-byte varint
+  const Bytes framed = frame_compress_seq(null, data, seq);
+  EXPECT_EQ(framed.size(), data.size() + frame_overhead_seq(data.size(), seq));
+}
+
+TEST_F(FrameTest, EmptySeqFrameRoundTrips) {
+  NullCodec null;
+  const Bytes framed = frame_compress_seq(null, Bytes{}, 0);
+  const Frame frame = frame_parse(framed);
+  EXPECT_TRUE(frame.has_sequence);
+  EXPECT_EQ(frame.sequence, 0u);
+  EXPECT_TRUE(frame_decompress(framed, registry_).empty());
+}
+
+TEST_F(FrameTest, HeaderChecksumCatchesSequenceCorruption) {
+  NullCodec null;
+  Bytes framed = frame_compress_seq(null, testdata::random_bytes(64, 12),
+                                    0x3FFF);  // two-byte sequence varint
+  framed[4] ^= 0x10;  // inside the sequence varint
+  EXPECT_THROW(frame_parse(framed), DecodeError);
+}
+
+TEST_F(FrameTest, HeaderChecksumCatchesSizeCorruption) {
+  // A damaged size varint must fail the header checksum before it can
+  // misdirect the payload bounds.
+  NullCodec null;
+  Bytes framed = frame_compress_seq(null, testdata::random_bytes(64, 13), 1);
+  framed[5] ^= 0x01;  // size varint: magic(2) + version + method + seq(1)
+  EXPECT_THROW(frame_parse(framed), DecodeError);
+}
+
+TEST_F(FrameTest, SeqFrameTruncationsRejected) {
+  NullCodec null;
+  const Bytes framed =
+      frame_compress_seq(null, testdata::random_bytes(64, 14), 5);
+  for (const std::size_t keep :
+       {framed.size() - 1, framed.size() - 5, std::size_t{10}, std::size_t{4},
+        std::size_t{0}}) {
+    const Bytes cut(framed.begin(),
+                    framed.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(frame_parse(cut), DecodeError) << "kept " << keep;
+  }
+}
+
+TEST_F(FrameTest, MinimumV1FrameIsNineBytes) {
+  NullCodec null;
+  const Bytes framed = frame_compress(null, Bytes{});
+  ASSERT_EQ(framed.size(), 9u);  // the smallest well-formed v1 frame
+  EXPECT_NO_THROW(frame_parse(framed));
+  const Bytes eight(framed.begin(), framed.begin() + 8);
+  EXPECT_THROW(frame_parse(eight), DecodeError);
+}
+
+TEST_F(FrameTest, HugePayloadSizeVarintCannotWrapBounds) {
+  // Adversarial size varint near UINT64_MAX: a naive `pos + size + 4`
+  // bound check wraps around; the parser must reject, not read OOB.
+  Bytes framed = {'A', 'X', 1, 0};
+  put_varint(framed, std::numeric_limits<std::uint64_t>::max() - 2);
+  framed.insert(framed.end(), 8, 0xAB);
+  EXPECT_THROW(frame_parse(framed), DecodeError);
+}
+
+TEST_F(FrameTest, OverlongVarintRejected) {
+  Bytes framed = {'A', 'X', 1, 0};
+  framed.insert(framed.end(), 10, 0xFF);  // never-terminating varint
+  EXPECT_THROW(frame_parse(framed), DecodeError);
+}
+
+TEST_F(FrameTest, LegacyV1LayoutStillDecodes) {
+  // Hand-crafted seed-era layout: "AX" | 1 | method | varint size |
+  // payload | crc32(original) LE. Byte-for-byte what pre-sequence senders
+  // emit — it must keep decoding forever.
+  const Bytes payload = {'h', 'e', 'l', 'l', 'o'};
+  Bytes framed = {'A', 'X', 1, 0};
+  put_varint(framed, payload.size());
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    framed.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  const Frame frame = frame_parse(framed);
+  EXPECT_EQ(frame.version, kFrameVersion);
+  EXPECT_FALSE(frame.has_sequence);
+  EXPECT_EQ(frame_decompress(framed, registry_), payload);
 }
 
 TEST(Registry, CreateAllBuiltins) {

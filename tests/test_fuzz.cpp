@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "adaptive/pipeline.hpp"
 #include "compress/frame.hpp"
 #include "compress/bwt_codec.hpp"
@@ -14,6 +16,8 @@
 #include "echo/channel.hpp"
 #include "pbio/pbio.hpp"
 #include "testdata.hpp"
+#include "transport/fault_transport.hpp"
+#include "transport/sim_transport.hpp"
 #include "util/error.hpp"
 #include "workloads/molecular.hpp"
 
@@ -102,6 +106,67 @@ TEST_P(Fuzz, FramesSurviveMutation) {
   }
   // At most the occasional identity mutation sneaks through.
   EXPECT_LE(accepted, 2);
+}
+
+TEST_P(Fuzz, FaultedStreamRecoversEveryIntactFrame) {
+  // Mutated frames ride a faulty link into a kSkip receiver: the drain must
+  // never throw, every frame that reached the wire undamaged must decode to
+  // its original block, and transport/receiver counters must reconcile.
+  Rng rng(GetParam() + 7000);
+  netsim::LinkParams params;
+  params.bandwidth_Bps = 1e6;
+  params.jitter_frac = 0;
+  params.latency_s = 0;
+  VirtualClock clock;
+  netsim::SimLink forward(params, 1), reverse(params, 2);
+  transport::SimDuplex duplex(forward, reverse, clock);
+  transport::FaultConfig faults;
+  faults.drop_prob = 0.1;
+  faults.reorder_prob = 0.1;
+  faults.duplicate_prob = 0.1;
+  faults.seed = GetParam();
+  transport::FaultInjectingTransport lossy(duplex.a(), faults);
+
+  const CodecPtr codec = make_codec(MethodId::kLempelZiv);
+  constexpr std::uint64_t kFrames = 40;
+  std::vector<Bytes> blocks;
+  std::set<std::uint64_t> mutated;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    blocks.push_back(testdata::low_entropy(2000 + i * 7, GetParam() + i));
+    Bytes framed = frame_compress_seq(*codec, blocks.back(), i);
+    if (rng.chance(0.3)) {
+      framed = mutate(framed, rng);
+      mutated.insert(i);
+    }
+    lossy.send(framed);
+  }
+  lossy.flush();
+
+  adaptive::AdaptiveReceiver rx(duplex.b(),
+                                {adaptive::RecoveryPolicy::kSkip, 3});
+  const adaptive::ReceiveReport report = rx.receive_report();  // never throws
+
+  const transport::FaultCounters& c = lossy.counters();
+  EXPECT_EQ(c.messages, kFrames);
+  EXPECT_EQ(c.messages, c.drops + c.reorders + c.duplicates + c.bit_flips +
+                            c.truncations + c.clean);
+  EXPECT_EQ(report.frames_ok + report.frames_corrupt + report.frames_duplicate,
+            report.frames.size());
+
+  std::set<std::uint64_t> ok_seqs;
+  std::size_t ok_bytes = 0;
+  for (const adaptive::FrameOutcome& f : report.frames) {
+    if (f.status != adaptive::FrameOutcome::Status::kOk) continue;
+    ASSERT_TRUE(f.has_sequence);
+    ASSERT_LT(f.sequence, kFrames);
+    EXPECT_EQ(f.data, blocks[f.sequence]) << "seq " << f.sequence;
+    ok_seqs.insert(f.sequence);
+    ok_bytes += f.data.size();
+  }
+  EXPECT_EQ(report.bytes_recovered, ok_bytes);
+  // Only frames we mutated ourselves or the link dropped may be missing
+  // (an identity mutation can sneak through, hence >=, not ==).
+  EXPECT_GE(ok_seqs.size(), kFrames - mutated.size() - c.drops);
 }
 
 TEST_P(Fuzz, PbioSurvivesMutation) {
