@@ -455,6 +455,9 @@ AdaptiveReceiver::AdaptiveReceiver(transport::Transport& transport,
   if (config_.nack_retry_cap <= 0) {
     throw ConfigError("receiver: nack_retry_cap must be positive");
   }
+  if (config_.gap_window == 0) {
+    throw ConfigError("receiver: gap_window must be positive");
+  }
 }
 
 bool AdaptiveReceiver::already_delivered(std::uint64_t seq) const noexcept {
@@ -478,7 +481,13 @@ void AdaptiveReceiver::mark_delivered(std::uint64_t seq) {
 std::vector<std::uint64_t> AdaptiveReceiver::current_gaps() const {
   std::vector<std::uint64_t> gaps;
   if (!any_seen_) return gaps;
-  for (std::uint64_t seq = next_contiguous_; seq <= max_seen_; ++seq) {
+  // The window clamp in receive_report() keeps max_seen_ within gap_window
+  // of next_contiguous_; bounding the scan here as well makes the loop
+  // finite even for max_seen_ == UINT64_MAX, where `seq <= max_seen_`
+  // alone could never terminate.
+  for (std::uint64_t seq = next_contiguous_;
+       seq <= max_seen_ && seq - next_contiguous_ < config_.gap_window;
+       ++seq) {
     if (delivered_ahead_.count(seq) == 0) gaps.push_back(seq);
   }
   return gaps;
@@ -493,6 +502,14 @@ ReceiveReport AdaptiveReceiver::receive_report() {
     try {
       const Frame frame = frame_parse(*message);
       outcome.method = frame.method;
+      if (frame.has_sequence && frame.sequence > next_contiguous_ &&
+          frame.sequence - next_contiguous_ >= config_.gap_window) {
+        // The 1-byte header checksum is weak: a corrupt sequence varint can
+        // slip through, and folding it into max_seen_ would open an
+        // effectively unbounded gap range. Real traffic never runs this far
+        // ahead of delivery (the sender's retransmit ring is far smaller).
+        throw DecodeError("frame: sequence implausibly far ahead");
+      }
       outcome.sequence = frame.sequence;
       outcome.has_sequence = frame.has_sequence;
       if (frame.has_sequence) {
@@ -519,9 +536,12 @@ ReceiveReport AdaptiveReceiver::receive_report() {
     report.frames.push_back(std::move(outcome));
   }
 
-  // Reassemble intact payloads. Frames carrying sequence numbers (v2) are
-  // ordered by sequence so a reordered wire still yields the original byte
-  // stream; legacy v1 frames have only arrival order to offer.
+  // Reassemble the intact payloads of THIS drain. Frames carrying sequence
+  // numbers (v2) are ordered by sequence so a reordered wire still yields
+  // the original byte stream; legacy v1 frames have only arrival order to
+  // offer. Blocks recovered by later NACK rounds land in later drains —
+  // cross-drain reassembly is the caller's job, keyed by
+  // FrameOutcome::sequence.
   std::vector<const FrameOutcome*> intact;
   bool all_sequenced = true;
   for (const FrameOutcome& outcome : report.frames) {
@@ -566,6 +586,10 @@ Bytes AdaptiveReceiver::receive_available() {
 std::vector<std::uint64_t> AdaptiveReceiver::take_nacks() {
   std::vector<std::uint64_t> out;
   if (config_.policy != RecoveryPolicy::kNack) return out;
+  // Attempt records below the delivery cursor are settled (the sequence
+  // arrived after all); dropping them keeps the map bounded by the window.
+  nack_attempts_.erase(nack_attempts_.begin(),
+                       nack_attempts_.lower_bound(next_contiguous_));
   for (const std::uint64_t seq : current_gaps()) {
     int& attempts = nack_attempts_[seq];
     if (attempts >= config_.nack_retry_cap) continue;  // lost for good

@@ -237,6 +237,13 @@ struct ReceiverConfig {
   /// kNack: how many times one missing sequence may be requested before
   /// the receiver gives it up as lost.
   int nack_retry_cap = 3;
+  /// A v2 frame whose sequence lies further than this ahead of the next
+  /// undelivered sequence is rejected as corrupt. The 1-byte header
+  /// checksum lets ~1/256 of random corruptions through, and one forged
+  /// sequence near UINT64_MAX would otherwise make gap tracking scan an
+  /// astronomical range. Keep it >= the sender's retransmit_capacity —
+  /// sequences past the window could never be replayed anyway.
+  std::uint64_t gap_window = 1024;
 };
 
 /// One received frame's fate, as judged by the recovery machinery.
@@ -259,7 +266,11 @@ struct FrameOutcome {
 /// more than the happy-path byte stream.
 struct ReceiveReport {
   /// Intact payloads of this drain, reassembled in sequence order (v2) or
-  /// arrival order (v1 frames carry no sequence).
+  /// arrival order (v1 frames carry no sequence). The ordering holds
+  /// WITHIN one drain only: under kNack, retransmitted blocks surface in
+  /// later drains, so concatenating `data` across drains interleaves
+  /// out-of-order bytes — cross-drain reassembly must key blocks by
+  /// FrameOutcome::sequence instead.
   Bytes data;
   std::vector<FrameOutcome> frames;
   /// Sequence numbers believed missing after this drain: dropped upstream,

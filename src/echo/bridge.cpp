@@ -67,14 +67,21 @@ ChannelSender::~ChannelSender() { channel_->unsubscribe(tap_); }
 std::size_t ChannelSender::pump_control() {
   std::size_t applied = 0;
   while (auto message = transport_->receive()) {
-    if (message->empty()) throw DecodeError("bridge: empty message");
-    const ByteView body = ByteView(*message).subspan(1);
-    if ((*message)[0] == kMsgControl) {
+    try {
+      if (message->empty()) throw DecodeError("bridge: empty message");
+      if ((*message)[0] != kMsgControl) {
+        // Event messages arriving at the producer side are a protocol
+        // error, but tolerating them keeps loopback tests simple: ignore.
+        continue;
+      }
       std::size_t pos = 0;
-      const AttributeMap attrs = AttributeMap::deserialize(body, &pos);
+      AttributeMap attrs =
+          AttributeMap::deserialize(ByteView(*message).subspan(1), &pos);
       if (const auto nacks = attrs.get_bytes(kNackAttr)) {
         // Bridge-internal retransmit request: replay what the ring still
-        // holds and keep it away from application control sinks.
+        // holds and keep the attribute away from application control
+        // sinks. Application attributes riding in the same message are
+        // still forwarded.
         std::size_t replayed = 0;
         for (const std::uint64_t seq : decode_seqs(*nacks)) {
           if (const Bytes* wire = ring_.replay(seq)) {
@@ -83,26 +90,39 @@ std::size_t ChannelSender::pump_control() {
             ++replayed;
           }
         }
-        if (replayed > 0) ++applied;
+        attrs.erase(kNackAttr);
+        if (!attrs.empty()) {
+          channel_->signal_control(attrs);
+          ++applied;
+        } else if (replayed > 0) {
+          ++applied;
+        }
         continue;
       }
       channel_->signal_control(attrs);
       ++applied;
+    } catch (const Error&) {
+      // Same contract as the consumer side's poll(): corrupt control
+      // messages are counted and skipped, never allowed to kill the pump.
+      ++control_corrupt_;
     }
-    // Event messages arriving at the producer side are a protocol error,
-    // but tolerating them keeps loopback tests simple: ignore.
   }
   return applied;
 }
 
 ChannelReceiver::ChannelReceiver(EventChannel& channel,
                                  transport::Transport& transport,
-                                 int nack_retry_cap)
+                                 int nack_retry_cap,
+                                 std::uint64_t gap_window)
     : channel_(&channel),
       transport_(&transport),
-      nack_retry_cap_(nack_retry_cap) {
+      nack_retry_cap_(nack_retry_cap),
+      gap_window_(gap_window) {
   if (nack_retry_cap <= 0) {
     throw ConfigError("bridge: nack_retry_cap must be positive");
+  }
+  if (gap_window == 0) {
+    throw ConfigError("bridge: gap_window must be positive");
   }
 }
 
@@ -144,27 +164,33 @@ std::size_t ChannelReceiver::poll(std::size_t max_events) {
       }
     } else if (kind == kMsgEventSeq) {
       std::size_t pos = 1;
-      std::uint64_t seq = 0;
-      bool have_seq = false;
       try {
-        seq = get_varint(*message, &pos);
-        have_seq = true;
-        max_seen_ = any_seen_ ? std::max(max_seen_, seq) : seq;
-        any_seen_ = true;
+        const std::uint64_t seq = get_varint(*message, &pos);
+        if (seq > next_contiguous_ && seq - next_contiguous_ >= gap_window_) {
+          // A sequence this far ahead of the delivery cursor cannot be
+          // real traffic (the sender's retransmit ring is far smaller) —
+          // it is what a flipped continuation bit in the varint looks
+          // like. Reject before it can poison gap tracking.
+          throw DecodeError("bridge: implausible sequence");
+        }
         if (already_delivered(seq)) {
           ++duplicates_;
           continue;
         }
-        channel_->submit(deserialize_event(ByteView(*message).subspan(pos)));
+        Event event = deserialize_event(ByteView(*message).subspan(pos));
+        // Commit sequence tracking only after the body deserialized: the
+        // varint carries no integrity check of its own, so a seq whose
+        // message is detectably corrupt must not move max_seen_. The
+        // damage (if the event was real) shows up as a gap once later
+        // sequences arrive, and is NACKed then.
+        max_seen_ = any_seen_ ? std::max(max_seen_, seq) : seq;
+        any_seen_ = true;
+        channel_->submit(std::move(event));
         mark_delivered(seq);
         ++received_;
         ++delivered;
       } catch (const Error&) {
-        // A corrupt body whose sequence survived is preciser than a gap:
-        // it will be NACKed directly. A corrupt header shows up as a gap
-        // once later sequences arrive.
         ++corrupt_;
-        (void)have_seq;  // seq (if parsed) stays missing -> NACK candidate
       }
     }
     // Control messages arriving at the consumer side are ignored, like
@@ -182,13 +208,21 @@ void ChannelReceiver::signal_control(const AttributeMap& attrs) {
 std::vector<std::uint64_t> ChannelReceiver::missing() const {
   std::vector<std::uint64_t> gaps;
   if (!any_seen_) return gaps;
-  for (std::uint64_t seq = next_contiguous_; seq <= max_seen_; ++seq) {
+  // poll() clamps tracked sequences to within gap_window_ of the delivery
+  // cursor; bounding the scan here as well keeps the loop finite even for
+  // max_seen_ == UINT64_MAX, where `seq <= max_seen_` could never end.
+  for (std::uint64_t seq = next_contiguous_;
+       seq <= max_seen_ && seq - next_contiguous_ < gap_window_; ++seq) {
     if (delivered_ahead_.count(seq) == 0) gaps.push_back(seq);
   }
   return gaps;
 }
 
 std::size_t ChannelReceiver::signal_nacks() {
+  // Attempt records below the delivery cursor are settled (the sequence
+  // arrived after all); dropping them keeps the map bounded by the window.
+  nack_attempts_.erase(nack_attempts_.begin(),
+                       nack_attempts_.lower_bound(next_contiguous_));
   std::vector<std::uint64_t> request;
   for (const std::uint64_t seq : missing()) {
     int& attempts = nack_attempts_[seq];

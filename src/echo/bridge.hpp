@@ -42,10 +42,13 @@ class ChannelSender {
 
   /// Drain pending control messages from the remote side (non-blocking for
   /// SimTransport; for TcpTransport call from the producer's loop thread).
-  /// NACK requests are serviced from the retransmit ring; every other
-  /// control message is applied to the local channel. Returns the number
-  /// of control messages applied (NACK-only messages count when at least
-  /// one event was replayed).
+  /// NACK requests are serviced from the retransmit ring; any application
+  /// attributes — whether in their own message or riding alongside a NACK
+  /// payload — are applied to the local channel. Returns the number of
+  /// control messages applied (NACK-only messages count when at least one
+  /// event was replayed). Corrupt control messages are counted and
+  /// skipped, never thrown — the bridge is the recovery boundary on this
+  /// path too.
   std::size_t pump_control();
 
   std::uint64_t events_forwarded() const noexcept { return forwarded_; }
@@ -54,6 +57,10 @@ class ChannelSender {
   std::uint64_t nacks_refused() const noexcept {
     return ring_.refusals();
   }
+  /// Control messages dropped because they failed to parse.
+  std::uint64_t control_corrupt_dropped() const noexcept {
+    return control_corrupt_;
+  }
 
  private:
   EventChannel* channel_;
@@ -61,6 +68,7 @@ class ChannelSender {
   SubscriberId tap_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t control_corrupt_ = 0;
   std::uint64_t next_sequence_ = 0;
   transport::RetransmitRing ring_;
 };
@@ -69,13 +77,18 @@ class ChannelSender {
 /// channel; use signal_control() to send quality attributes upstream.
 ///
 /// The receiver tracks bridge sequence numbers: duplicates are dropped,
-/// and gaps (dropped upstream) or undecodable events are recorded as
-/// missing. signal_nacks() requests them again over the control path;
-/// sequences past the retry cap are abandoned.
+/// and gaps — dropped upstream, or corrupted so the sequence cannot be
+/// trusted — are recorded as missing once later sequences arrive.
+/// signal_nacks() requests them again over the control path; sequences
+/// past the retry cap are abandoned.
 class ChannelReceiver {
  public:
+  /// `gap_window` bounds how far ahead of the delivery cursor a wire
+  /// sequence may claim to be before it is rejected as corrupt (the
+  /// varint has no integrity check of its own); keep it >= the sender's
+  /// ring_capacity — anything further ahead could never be replayed.
   ChannelReceiver(EventChannel& channel, transport::Transport& transport,
-                  int nack_retry_cap = 3);
+                  int nack_retry_cap = 3, std::uint64_t gap_window = 1024);
 
   ChannelReceiver(const ChannelReceiver&) = delete;
   ChannelReceiver& operator=(const ChannelReceiver&) = delete;
@@ -114,6 +127,7 @@ class ChannelReceiver {
   std::uint64_t corrupt_ = 0;
   std::uint64_t nacks_signalled_ = 0;
   int nack_retry_cap_;
+  std::uint64_t gap_window_;
 
   std::uint64_t next_contiguous_ = 0;
   std::set<std::uint64_t> delivered_ahead_;

@@ -23,6 +23,7 @@
 #include "transport/retransmit.hpp"
 #include "transport/sim_transport.hpp"
 #include "util/error.hpp"
+#include "util/varint.hpp"
 
 namespace acex {
 namespace {
@@ -246,6 +247,38 @@ TEST_F(FaultTest, SkipPolicyDropsDuplicatesAndSortsReorders) {
   Bytes expected = b0;
   expected.insert(expected.end(), b1.begin(), b1.end());
   EXPECT_EQ(report.data, expected);  // sequence order, not arrival order
+}
+
+TEST_F(FaultTest, ReceiverClampsSequencesOutsideTheGapWindow) {
+  wire();
+  NullCodec null;
+  duplex_->a().send(frame_compress_seq(null, Bytes{1}, 0));
+  // A corrupt sequence varint that happens to pass the 1-byte header
+  // checksum: before the gap-window clamp, folding UINT64_MAX into
+  // max_seen_ made the gap scan loop forever (and any huge value made it
+  // allocate an astronomical gap list).
+  duplex_->a().send(frame_compress_seq(null, Bytes{2}, UINT64_MAX));
+  duplex_->a().send(frame_compress_seq(null, Bytes{3}, (1ull << 60)));
+  duplex_->a().send(frame_compress_seq(null, Bytes{4}, 1));
+  adaptive::AdaptiveReceiver rx(duplex_->b(),
+                                {adaptive::RecoveryPolicy::kNack, 3});
+  const adaptive::ReceiveReport report = rx.receive_report();
+  EXPECT_EQ(report.frames_ok, 2u);       // sequences 0 and 1
+  EXPECT_EQ(report.frames_corrupt, 2u);  // both forged headers quarantined
+  EXPECT_TRUE(report.gaps.empty());
+  EXPECT_TRUE(rx.take_nacks().empty());
+  for (const adaptive::FrameOutcome& f : report.frames) {
+    if (f.status == adaptive::FrameOutcome::Status::kCorrupt) {
+      EXPECT_FALSE(f.has_sequence);  // a rejected sequence is not reported
+    }
+  }
+}
+
+TEST_F(FaultTest, ReceiverRejectsZeroGapWindow) {
+  wire();
+  EXPECT_THROW(adaptive::AdaptiveReceiver(
+                   duplex_->b(), {adaptive::RecoveryPolicy::kSkip, 3, 0}),
+               ConfigError);
 }
 
 TEST_F(FaultTest, NackPolicyRespectsRetryCap) {
@@ -544,6 +577,109 @@ TEST_F(FaultTest, BridgeAbandonsEventsPastTheRetryCap) {
   receiver.poll();
   EXPECT_EQ(receiver.signal_nacks(), 0u);  // cap reached: lost for good
   EXPECT_GE(sender.nacks_refused(), 1u);
+}
+
+TEST_F(FaultTest, BridgeIgnoresCorruptSequenceHeaders) {
+  wire();
+  echo::EventChannel producer("remote"), consumer("local");
+  echo::ChannelSender sender(producer, duplex_->a());
+  echo::ChannelReceiver receiver(consumer, duplex_->b());
+
+  producer.submit(echo::Event(Bytes{1}));  // seq 0
+
+  // A flipped continuation bit in the sequence varint yields a huge value.
+  // Variant 1: the body after the (mis-)parsed varint fails to deserialize.
+  Bytes forged_bad_body;
+  forged_bad_body.push_back(2);  // kMsgEventSeq
+  put_varint(forged_bad_body, (1ull << 59));
+  forged_bad_body.push_back(0xFF);
+  duplex_->a().send(forged_bad_body);
+  // Variant 2: the body deserializes fine, but the sequence is implausibly
+  // far ahead of the delivery cursor — rejected by the gap-window clamp.
+  Bytes forged_good_body;
+  forged_good_body.push_back(2);
+  put_varint(forged_good_body, UINT64_MAX);
+  const Bytes body = echo::serialize_event(echo::Event(Bytes{9}));
+  forged_good_body.insert(forged_good_body.end(), body.begin(), body.end());
+  duplex_->a().send(forged_good_body);
+
+  producer.submit(echo::Event(Bytes{2}));  // seq 1
+
+  receiver.poll();
+  EXPECT_EQ(receiver.events_received(), 2u);
+  EXPECT_EQ(receiver.corrupt_dropped(), 2u);
+  // Neither forged sequence may poison gap tracking: missing() stays empty
+  // instead of enumerating billions of phantom sequences (or hanging).
+  EXPECT_TRUE(receiver.missing().empty());
+  EXPECT_EQ(receiver.signal_nacks(), 0u);
+}
+
+TEST_F(FaultTest, BridgeReceiverRejectsZeroGapWindow) {
+  wire();
+  echo::EventChannel consumer("local");
+  EXPECT_THROW(echo::ChannelReceiver(consumer, duplex_->b(), 3, 0),
+               ConfigError);
+}
+
+TEST_F(FaultTest, BridgeControlPumpSurvivesCorruptMessages) {
+  wire();
+  echo::EventChannel producer("remote"), consumer("local");
+  echo::ChannelSender sender(producer, duplex_->a());
+  echo::ChannelReceiver receiver(consumer, duplex_->b());
+
+  std::vector<echo::AttributeMap> controls;
+  producer.on_control(
+      [&](const echo::AttributeMap& a) { controls.push_back(a); });
+
+  duplex_->b().send(Bytes{});               // empty message
+  duplex_->b().send(Bytes{1, 0xFF, 0xFF});  // kMsgControl + truncated varint
+  echo::AttributeMap attrs;
+  attrs.set_string("app.key", "value");
+  receiver.signal_control(attrs);
+
+  // Corruption on the control path must not kill the producer's pump loop:
+  // the damaged messages are counted, the intact one still applies.
+  std::size_t applied = 0;
+  EXPECT_NO_THROW(applied = sender.pump_control());
+  EXPECT_EQ(applied, 1u);
+  EXPECT_EQ(sender.control_corrupt_dropped(), 2u);
+  ASSERT_EQ(controls.size(), 1u);
+  EXPECT_EQ(controls[0].get_string("app.key"), "value");
+}
+
+TEST_F(FaultTest, BridgeForwardsAppAttributesRidingWithANack) {
+  wire();
+  echo::EventChannel producer("remote"), consumer("local");
+  echo::ChannelSender sender(producer, duplex_->a());
+  echo::ChannelReceiver receiver(consumer, duplex_->b());
+
+  std::vector<echo::AttributeMap> controls;
+  producer.on_control(
+      [&](const echo::AttributeMap& a) { controls.push_back(a); });
+
+  producer.submit(echo::Event(Bytes{1}));  // seq 0, retained in the ring
+  (void)duplex_->b().receive();            // ...but lost in transit
+  producer.submit(echo::Event(Bytes{2}));  // seq 1
+  receiver.poll();
+  EXPECT_EQ(receiver.missing(), (std::vector<std::uint64_t>{0}));
+
+  // One control message carrying both the NACK payload and an application
+  // attribute: the NACK is serviced AND the attribute reaches the
+  // producer's control sinks (minus the bridge-internal key).
+  Bytes seqs;
+  put_varint(seqs, 0);
+  echo::AttributeMap attrs;
+  attrs.set_bytes(echo::kNackAttr, seqs);
+  attrs.set_string("app.key", "v");
+  receiver.signal_control(attrs);
+
+  EXPECT_EQ(sender.pump_control(), 1u);
+  receiver.poll();
+  EXPECT_TRUE(receiver.missing().empty());  // seq 0 replayed and delivered
+  EXPECT_EQ(sender.events_retransmitted(), 1u);
+  ASSERT_EQ(controls.size(), 1u);
+  EXPECT_FALSE(controls[0].has(echo::kNackAttr));
+  EXPECT_EQ(controls[0].get_string("app.key"), "v");
 }
 
 }  // namespace
