@@ -11,11 +11,29 @@
 #include "adaptive/experiment.hpp"
 #include "compress/metrics.hpp"
 #include "compress/registry.hpp"
+#include "transport/transport.hpp"
 #include "util/bytes.hpp"
 #include "workloads/molecular.hpp"
 #include "workloads/transactions.hpp"
 
 namespace acex::bench {
+
+/// Accepts frames instantly and keeps them for verification. Lets the
+/// wall-clock benches measure pure encode + pipeline overhead with no link
+/// emulation in the way.
+class CaptureTransport : public transport::Transport {
+ public:
+  void send(ByteView message) override {
+    frames_.emplace_back(message.begin(), message.end());
+  }
+  std::optional<Bytes> receive() override { return std::nullopt; }
+  const Clock& clock() const override { return clock_; }
+  const std::vector<Bytes>& frames() const { return frames_; }
+
+ private:
+  MonotonicClock clock_;
+  std::vector<Bytes> frames_;
+};
 
 /// The commercial (OIS transaction) dataset used by Figs. 2, 3, 4, 8-10.
 inline Bytes commercial_data(std::size_t size = 4 * 1024 * 1024,

@@ -17,6 +17,48 @@ constexpr MethodId kLadder[] = {MethodId::kNone, MethodId::kHuffman,
 
 }  // namespace
 
+EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
+                          MethodId method, std::uint64_t sequence,
+                          std::size_t expansion_slack_bytes,
+                          bool allow_degrade) {
+  EncodeResult result;
+  result.method = method;
+  // Compress under real (monotonic) time — that is the CPU capability the
+  // algorithm adapts to; the caller charges the scaled cost to whatever
+  // timeline its experiment runs on.
+  MonotonicClock cpu_clock;
+  const Stopwatch cpu(cpu_clock);
+  bool degraded = false;
+  try {
+    const CodecPtr codec = registry.create(method);
+    result.framed = frame_compress_seq(*codec, block, sequence);
+    if (allow_degrade && method != MethodId::kNone &&
+        result.framed.size() > block.size() +
+                                   frame_overhead_seq(block.size(), sequence) +
+                                   expansion_slack_bytes) {
+      // The codec "succeeded" but made the block bigger than shipping it
+      // raw would — on the wire that is a failure.
+      degraded = true;
+    }
+  } catch (const Error&) {
+    if (!allow_degrade) {
+      result.failure = std::current_exception();
+      result.encode_seconds = cpu.elapsed();
+      return result;
+    }
+    degraded = true;
+    result.threw = true;
+  }
+  if (degraded) {
+    NullCodec null;
+    result.framed = frame_compress_seq(null, block, sequence);
+    result.method = MethodId::kNone;
+    result.fallback = true;
+  }
+  result.encode_seconds = cpu.elapsed();
+  return result;
+}
+
 AdaptiveSender::AdaptiveSender(transport::Transport& transport,
                                AdaptiveConfig config)
     : transport_(&transport),
@@ -69,61 +111,40 @@ void AdaptiveSender::note_codec_success(MethodId method) noexcept {
   if (it != health_.end()) it->second.consecutive_failures = 0;
 }
 
-BlockReport AdaptiveSender::transmit_block(ByteView block, MethodId method,
-                                           double sampled_ratio,
-                                           double bw_estimate,
-                                           bool allow_degrade) {
-  BlockReport report;
-  report.index = blocks_sent_++;
-  report.method = method;
-  report.requested_method = method;
-  report.original_size = block.size();
-  report.sampled_ratio_percent = sampled_ratio;
-  report.bandwidth_estimate_Bps = bw_estimate;
-  const std::uint64_t sequence = report.index;
+BlockReport AdaptiveSender::finish_block(const BlockPlan& plan,
+                                         std::size_t original_size,
+                                         EncodeResult encoded) {
+  if (encoded.failure) std::rethrow_exception(encoded.failure);
 
-  // Compress under real (monotonic) time — that is the CPU capability the
-  // algorithm adapts to — then charge the scaled cost to the experiment
-  // timeline via the hook.
-  MonotonicClock cpu_clock;
-  const Stopwatch cpu(cpu_clock);
-  Bytes framed;
-  bool degraded = false;
-  try {
-    const CodecPtr codec = registry_.create(method);
-    framed = frame_compress_seq(*codec, block, sequence);
-    if (allow_degrade && method != MethodId::kNone &&
-        framed.size() > block.size() +
-                            frame_overhead_seq(block.size(), sequence) +
-                            config_.expansion_slack_bytes) {
-      // The codec "succeeded" but made the block bigger than shipping it
-      // raw would — on the wire that is a failure.
-      degraded = true;
-      ++degradation_.expansions;
-    }
-  } catch (const Error&) {
-    if (!allow_degrade) throw;
-    degraded = true;
-    ++degradation_.codec_failures;
-  }
-  if (degraded) {
-    NullCodec null;
-    framed = frame_compress_seq(null, block, sequence);
-    report.method = MethodId::kNone;
-    report.fallback = true;
-    ++degradation_.fallbacks;
-    note_codec_failure(method);
-  } else if (allow_degrade) {
-    note_codec_success(method);
-  }
-  report.compress_seconds = cpu.elapsed() / config_.cpu_scale;
+  BlockReport report;
+  report.index = plan.sequence;
+  report.method = encoded.method;
+  report.requested_method = plan.method;
+  report.fallback = encoded.fallback;
+  report.original_size = original_size;
+  report.sampled_ratio_percent = plan.sampled_ratio_percent;
+  report.bandwidth_estimate_Bps = plan.bandwidth_estimate_Bps;
+  report.compress_seconds = encoded.encode_seconds / config_.cpu_scale;
   if (config_.on_cpu_time) config_.on_cpu_time(report.compress_seconds);
 
+  if (plan.allow_degrade) {
+    if (encoded.fallback) {
+      if (encoded.threw) {
+        ++degradation_.codec_failures;
+      } else {
+        ++degradation_.expansions;
+      }
+      ++degradation_.fallbacks;
+      note_codec_failure(plan.method);
+    } else {
+      note_codec_success(plan.method);
+    }
+  }
   if (!report.fallback) {
-    monitor_.record(method, block.size(), framed.size(),
+    monitor_.record(encoded.method, original_size, encoded.framed.size(),
                     std::max(report.compress_seconds, 1e-9));
   }
-  if (method == MethodId::kLempelZiv && sample_speed_.has_value()) {
+  if (encoded.method == MethodId::kLempelZiv && sample_speed_.has_value()) {
     // Anchor the drift correction: this is what the sampler reported while
     // the block-granularity measurement above was current.
     sample_speed_ref_ = sample_speed_.value_or(0.0);
@@ -131,14 +152,23 @@ BlockReport AdaptiveSender::transmit_block(ByteView block, MethodId method,
 
   const Clock& wire_clock = transport_->clock();
   report.submitted = wire_clock.now();
-  transport_->send(framed);
+  transport_->send(encoded.framed);
   report.delivered = wire_clock.now();
   report.send_seconds = report.delivered - report.submitted;
-  report.wire_size = framed.size();
+  report.wire_size = encoded.framed.size();
 
-  bandwidth_.record(framed.size(), report.send_seconds);
-  ring_.store(sequence, std::move(framed));
+  bandwidth_.record(encoded.framed.size(), report.send_seconds);
+  ring_.store(plan.sequence, std::move(encoded.framed));
   return report;
+}
+
+BlockReport AdaptiveSender::transmit_planned(const BlockPlan& plan,
+                                             ByteView block) {
+  return finish_block(plan, block.size(),
+                      encode_block(registry_, block, plan.method,
+                                   plan.sequence,
+                                   config_.expansion_slack_bytes,
+                                   plan.allow_degrade));
 }
 
 std::size_t AdaptiveSender::retransmit(
@@ -218,7 +248,7 @@ double AdaptiveSender::lz_reducing_speed_estimate(
   return 0.0;  // "infinity" semantics in decide()
 }
 
-BlockReport AdaptiveSender::send_block(ByteView block, ByteView next_block) {
+BlockPlan AdaptiveSender::plan_block(ByteView block, ByteView next_block) {
   if (block.size() > config_.decision.block_size) {
     throw ConfigError("adaptive: block exceeds configured block_size");
   }
@@ -256,12 +286,50 @@ BlockReport AdaptiveSender::send_block(ByteView block, ByteView next_block) {
 
   // "Fork a sampling process to compress the first 4KB of the next block"
   // — overlapped with this block's compression and send, collected by the
-  // next send_block's wait().
+  // next plan_block's wait().
   if (config_.async_sampling && !next_block.empty()) {
     sampler_.launch(next_block);
   }
 
-  return transmit_block(block, method, sample.ratio_percent, bw);
+  BlockPlan plan;
+  plan.sequence = blocks_sent_++;
+  plan.method = method;
+  plan.sampled_ratio_percent = sample.ratio_percent;
+  plan.bandwidth_estimate_Bps = bw;
+  return plan;
+}
+
+BlockPlan AdaptiveSender::plan_block_fixed(ByteView block, MethodId method) {
+  if (block.size() > config_.decision.block_size) {
+    throw ConfigError("adaptive: block exceeds configured block_size");
+  }
+  BlockPlan plan;
+  plan.sequence = blocks_sent_++;
+  plan.method = method;
+  plan.bandwidth_estimate_Bps =
+      bandwidth_.estimate_or(config_.initial_bandwidth_Bps);
+  // Fixed sends are the paper's baselines: no degradation, no breaker —
+  // "always-BW" must stay BW even when that is a bad idea.
+  plan.allow_degrade = false;
+  return plan;
+}
+
+BlockReport AdaptiveSender::send_block(ByteView block, ByteView next_block) {
+  const BlockPlan plan = plan_block(block, next_block);
+  return transmit_planned(plan, block);
+}
+
+void AdaptiveSender::finalize_stream(StreamReport& stream) {
+  for (const auto& b : stream.blocks) {
+    stream.original_bytes += b.original_size;
+    stream.wire_bytes += b.wire_size;
+    stream.compress_seconds += b.compress_seconds;
+  }
+  if (!stream.blocks.empty()) {
+    stream.total_seconds =
+        stream.blocks.back().delivered - stream.blocks.front().submitted +
+        stream.blocks.front().compress_seconds;
+  }
 }
 
 StreamReport AdaptiveSender::send_all(ByteView data) {
@@ -277,99 +345,41 @@ StreamReport AdaptiveSender::send_all(ByteView data) {
             : ByteView{};
     stream.blocks.push_back(send_block(data.subspan(off, len), next));
   }
-
-  for (const auto& b : stream.blocks) {
-    stream.original_bytes += b.original_size;
-    stream.wire_bytes += b.wire_size;
-    stream.compress_seconds += b.compress_seconds;
-  }
-  if (!stream.blocks.empty()) {
-    stream.total_seconds =
-        stream.blocks.back().delivered - stream.blocks.front().submitted +
-        stream.blocks.front().compress_seconds;
-  }
+  finalize_stream(stream);
   return stream;
 }
 
 BlockReport AdaptiveSender::send_block_fixed(ByteView block, MethodId method) {
-  if (block.size() > config_.decision.block_size) {
-    throw ConfigError("adaptive: block exceeds configured block_size");
-  }
-  const double bw = bandwidth_.estimate_or(config_.initial_bandwidth_Bps);
-  // Fixed sends are the paper's baselines: no degradation, no breaker —
-  // "always-BW" must stay BW even when that is a bad idea.
-  return transmit_block(block, method, 100.0, bw, /*allow_degrade=*/false);
+  return transmit_planned(plan_block_fixed(block, method), block);
 }
 
 StreamReport AdaptiveSender::send_all_pipelined(ByteView data) {
   struct Prepared {
-    BlockReport report;
-    Bytes framed;
-    bool threw = false;  // fallback cause: codec throw vs expansion
+    BlockPlan plan;
+    std::size_t original_size = 0;
+    EncodeResult encoded;
   };
 
   // Decide on the calling thread (estimator state is not thread-safe),
   // compress on a worker so it overlaps the previous block's send. The
-  // worker touches only its own codec instance and the immutable input.
+  // worker runs only the thread-safe encode_block() over immutable input.
+  // For deeper overlap (many workers, bounded reorder window) use
+  // engine::ParallelSender, which drives these same hooks.
   const auto launch = [this, data](std::size_t off) {
     const std::size_t len =
         std::min(config_.decision.block_size, data.size() - off);
     const ByteView block = data.subspan(off, len);
-
-    const SampleResult sample = sampler_.sample(block);
-    if (sample.sample_bytes > 0 && sample.reducing_speed > 0) {
-      sample_speed_.add(sample.reducing_speed);
-    }
-    SelectionInputs inputs;
-    const double bw = bandwidth_.estimate_or(config_.initial_bandwidth_Bps);
-    inputs.send_seconds = static_cast<double>(block.size()) / bw;
-    const double lz_speed = lz_reducing_speed_estimate(block.size());
-    inputs.lz_reduce_seconds =
-        lz_speed > 0 ? static_cast<double>(block.size()) / lz_speed : 0.0;
-    inputs.sampled_ratio_percent = sample.ratio_percent;
-    MethodId method = decide(inputs, config_.decision);
-    if (config_.target_rate_Bps > 0) {
-      method = apply_target_rate(method, bw, sample.ratio_percent);
-    }
-    method = apply_circuit_breaker(method);
-
-    const std::size_t index = blocks_sent_++;
-    const double ratio = sample.ratio_percent;
-    const double cpu_scale = config_.cpu_scale;
-    return std::async(std::launch::async, [this, block, method, index,
-                                           ratio, bw, cpu_scale] {
+    // No pending async sample exists on this path, so plan_block samples
+    // inline; next_block stays empty because the encode itself is what
+    // overlaps the send here.
+    const BlockPlan plan = plan_block(block);
+    const std::size_t slack = config_.expansion_slack_bytes;
+    return std::async(std::launch::async, [this, block, plan, slack] {
       Prepared p;
-      p.report.index = index;
-      p.report.method = method;
-      p.report.requested_method = method;
-      p.report.original_size = block.size();
-      p.report.sampled_ratio_percent = ratio;
-      p.report.bandwidth_estimate_Bps = bw;
-      MonotonicClock cpu_clock;
-      const Stopwatch cpu(cpu_clock);
-      // Degradation runs on the worker (it owns the codec attempt); the
-      // breaker bookkeeping happens on the collecting thread, which is the
-      // only one touching health_.
-      bool degraded = false;
-      try {
-        const CodecPtr codec = registry_.create(method);
-        p.framed = frame_compress_seq(*codec, block, index);
-        degraded = method != MethodId::kNone &&
-                   p.framed.size() >
-                       block.size() + frame_overhead_seq(block.size(), index) +
-                           config_.expansion_slack_bytes;
-      } catch (const Error&) {
-        degraded = true;
-        p.threw = true;
-      }
-      if (degraded) {
-        NullCodec null;
-        p.framed = frame_compress_seq(null, block, index);
-        p.report.method = MethodId::kNone;
-        p.report.fallback = true;
-      }
-      p.report.compress_seconds = cpu.elapsed() / cpu_scale;
-      p.report.wire_size = p.framed.size();
+      p.plan = plan;
+      p.original_size = block.size();
+      p.encoded = encode_block(registry_, block, plan.method, plan.sequence,
+                               slack, plan.allow_degrade);
       return p;
     });
   };
@@ -380,51 +390,13 @@ StreamReport AdaptiveSender::send_all_pipelined(ByteView data) {
   std::future<Prepared> inflight = launch(0);
   for (std::size_t off = 0; off < data.size();) {
     Prepared p = inflight.get();
-    const std::size_t next_off = off + p.report.original_size;
+    const std::size_t next_off = off + p.original_size;
     if (next_off < data.size()) inflight = launch(next_off);
-
-    if (config_.on_cpu_time) config_.on_cpu_time(p.report.compress_seconds);
-    if (p.report.fallback) {
-      ++degradation_.fallbacks;
-      if (p.threw) {
-        ++degradation_.codec_failures;
-      } else {
-        ++degradation_.expansions;
-      }
-      note_codec_failure(p.report.requested_method);
-    } else {
-      note_codec_success(p.report.requested_method);
-      monitor_.record(p.report.method, p.report.original_size,
-                      p.framed.size(),
-                      std::max(p.report.compress_seconds, 1e-9));
-    }
-    if (p.report.method == MethodId::kLempelZiv &&
-        sample_speed_.has_value()) {
-      sample_speed_ref_ = sample_speed_.value_or(0.0);
-    }
-
-    const Clock& wire_clock = transport_->clock();
-    p.report.submitted = wire_clock.now();
-    transport_->send(p.framed);
-    p.report.delivered = wire_clock.now();
-    p.report.send_seconds = p.report.delivered - p.report.submitted;
-    bandwidth_.record(p.framed.size(), p.report.send_seconds);
-    ring_.store(p.report.index, std::move(p.framed));
-
-    stream.blocks.push_back(std::move(p.report));
+    stream.blocks.push_back(
+        finish_block(p.plan, p.original_size, std::move(p.encoded)));
     off = next_off;
   }
-
-  for (const auto& b : stream.blocks) {
-    stream.original_bytes += b.original_size;
-    stream.wire_bytes += b.wire_size;
-    stream.compress_seconds += b.compress_seconds;
-  }
-  if (!stream.blocks.empty()) {
-    stream.total_seconds =
-        stream.blocks.back().delivered - stream.blocks.front().submitted +
-        stream.blocks.front().compress_seconds;
-  }
+  finalize_stream(stream);
   return stream;
 }
 
@@ -436,16 +408,7 @@ StreamReport AdaptiveSender::send_all_fixed(ByteView data, MethodId method) {
     stream.blocks.push_back(
         send_block_fixed(data.subspan(off, len), method));
   }
-  for (const auto& b : stream.blocks) {
-    stream.original_bytes += b.original_size;
-    stream.wire_bytes += b.wire_size;
-    stream.compress_seconds += b.compress_seconds;
-  }
-  if (!stream.blocks.empty()) {
-    stream.total_seconds =
-        stream.blocks.back().delivered - stream.blocks.front().submitted +
-        stream.blocks.front().compress_seconds;
-  }
+  finalize_stream(stream);
   return stream;
 }
 

@@ -69,7 +69,59 @@ struct AdaptiveConfig {
   /// how often each may be replayed.
   std::size_t retransmit_capacity = 64;
   int retransmit_max_retries = 3;
+
+  /// Worker threads of the parallel engine (engine::ParallelSender): 1 is
+  /// the serial path, 0 asks for one worker per hardware thread, anything
+  /// else is taken literally. AdaptiveSender itself ignores this — only
+  /// the engine reads it.
+  std::size_t worker_threads = 1;
 };
+
+/// One block's serial selector outcome: everything the (possibly
+/// concurrent) encode step needs, frozen before the next block is planned.
+/// Produced by AdaptiveSender::plan_block(), consumed by encode_block()
+/// on any thread and finish_block() back on the driver thread.
+struct BlockPlan {
+  std::uint64_t sequence = 0;        ///< frame sequence (assigned serially)
+  MethodId method = MethodId::kNone; ///< selector's choice for this block
+  double sampled_ratio_percent = 100.0;
+  double bandwidth_estimate_Bps = 0;
+  /// False on the fixed-method baselines: no null-codec fallback, no
+  /// breaker bookkeeping — "always-BW" must stay BW.
+  bool allow_degrade = true;
+};
+
+/// What one encode_block() call produced. `framed` is ready for the wire;
+/// degradation to the null codec is recorded, never thrown. `failure` is
+/// non-null only when degradation was disallowed and the codec raised —
+/// the caller rethrows it on the thread that owns error handling.
+struct EncodeResult {
+  Bytes framed;
+  MethodId method = MethodId::kNone;  ///< method actually framed
+  bool fallback = false;              ///< degraded to the null codec
+  bool threw = false;                 ///< fallback cause: throw vs expansion
+  Seconds encode_seconds = 0;         ///< raw (unscaled) wall-clock CPU time
+  std::exception_ptr failure;         ///< set iff !allow_degrade and it threw
+};
+
+/// Compress `block` with `method` and wrap it in a v2 frame carrying
+/// `sequence` — the per-block encode step, extracted so the parallel
+/// engine can run it off-thread.
+///
+/// Thread safety: touches no shared mutable state. It reads `registry`
+/// (safe concurrently once frozen — see CodecRegistry), creates a fresh
+/// codec per call (codec instances are not shareable), and writes only
+/// its result. Concurrent calls on different blocks are race-free.
+///
+/// With `allow_degrade`, a codec throw or an expanded output (framed size
+/// beyond the framed-null size plus `expansion_slack_bytes`) falls back to
+/// the null codec and is reported via `fallback`/`threw`. Without it, a
+/// codec throw is captured into `failure` instead (never thrown here, so
+/// worker threads stay exception-free).
+EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
+                          MethodId method, std::uint64_t sequence,
+                          std::size_t expansion_slack_bytes,
+                          bool allow_degrade = true);
 
 /// Sender-side degradation counters (circuit breaker + NACK service),
 /// surfaced per block through adaptive/telemetry as well.
@@ -159,6 +211,34 @@ class AdaptiveSender {
   /// budget are skipped.
   std::size_t retransmit(const std::vector<std::uint64_t>& sequences);
 
+  // --- engine hooks ----------------------------------------------------
+  // The parallel engine splits a block send into three steps so the encode
+  // can run off-thread while selection and transmission stay serial:
+  //   1. plan_block()   — sample, decide, assign the sequence (driver
+  //                       thread only; mutates estimator state);
+  //   2. encode_block() — free function, any thread, no shared state;
+  //   3. finish_block() — bookkeeping + wire transmission (driver thread
+  //                       only, called in strictly increasing sequence
+  //                       order so frames leave in order).
+  // send_block() is exactly plan → encode → finish inline.
+
+  /// Serial selector step: sample (collecting any pending async sample),
+  /// choose the method (§2.5 decision + target rate + circuit breaker),
+  /// launch sampling of `next_block`, and claim the next sequence number.
+  BlockPlan plan_block(ByteView block, ByteView next_block = {});
+
+  /// Like plan_block() for a fixed-method baseline send: no sampling, no
+  /// selector, degradation disabled.
+  BlockPlan plan_block_fixed(ByteView block, MethodId method);
+
+  /// Complete one encoded block: degradation/breaker bookkeeping, monitor
+  /// and bandwidth updates, transmission on the transport, retransmit-ring
+  /// storage. Must be called from one thread in sequence order. Rethrows
+  /// `encoded.failure` when set (fixed-method sends surface codec errors
+  /// here, on the driver thread).
+  BlockReport finish_block(const BlockPlan& plan, std::size_t original_size,
+                           EncodeResult encoded);
+
   const ReducingSpeedMonitor& monitor() const noexcept { return monitor_; }
   const netsim::BandwidthEstimator& bandwidth() const noexcept {
     return bandwidth_;
@@ -175,9 +255,11 @@ class AdaptiveSender {
   CodecRegistry& registry() noexcept { return registry_; }
 
  private:
-  BlockReport transmit_block(ByteView block, MethodId method,
-                             double sampled_ratio, double bw_estimate,
-                             bool allow_degrade = true);
+  /// plan → encode → finish on the calling thread.
+  BlockReport transmit_planned(const BlockPlan& plan, ByteView block);
+
+  /// Sum a finished block list into the stream-level totals.
+  static void finalize_stream(StreamReport& stream);
 
   /// Demote a quarantined method down the ladder (circuit breaker open).
   MethodId apply_circuit_breaker(MethodId method) const noexcept;

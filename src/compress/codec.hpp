@@ -35,6 +35,16 @@ MethodId method_from_name(std::string_view name);
 /// Codecs are stateless across calls (each compress() is self-contained) but
 /// may keep scratch buffers, so instances are cheap to reuse and NOT
 /// thread-safe; create one per thread.
+///
+/// Concurrency contract (audited for the parallel engine, DESIGN.md §8):
+/// no built-in codec touches global or static mutable state from
+/// compress()/decompress() — every built-in's members are configuration
+/// fixed at construction (chunk size, LZ params, quantization precision).
+/// Two *different* instances may therefore run concurrently without any
+/// synchronization, and construction is cheap enough that workers simply
+/// create one per block via CodecRegistry::create(). Custom codecs
+/// registered by applications must uphold the same rule to be usable on
+/// the parallel path.
 class Codec {
  public:
   virtual ~Codec() = default;

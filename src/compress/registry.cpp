@@ -59,6 +59,11 @@ CodecRegistry CodecRegistry::with_builtins() {
 void CodecRegistry::register_factory(MethodId id,
                                      std::function<CodecPtr()> factory) {
   if (!factory) throw ConfigError("codec factory must not be empty");
+  if (frozen_) {
+    throw ConfigError(
+        "codec registry is frozen (concurrent readers may exist); register "
+        "codecs before the first parallel send");
+  }
   factories_[id] = std::move(factory);
 }
 

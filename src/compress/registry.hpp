@@ -20,15 +20,28 @@ const std::vector<MethodId>& paper_methods();
 /// "a new compression method can be introduced at any time during a
 /// system's operation" — receivers look codecs up by wire id, and
 /// applications may register additional factories under ids >= 128.
+///
+/// Thread safety: the registry is a read-mostly structure. create(),
+/// contains() and methods() are const reads and safe to call from any
+/// number of threads concurrently, PROVIDED no register_factory() runs at
+/// the same time. The parallel engine enforces that statically: it calls
+/// freeze() before fanning encode work out to workers, after which
+/// register_factory() throws ConfigError instead of racing the readers.
+/// Factories themselves must be thread-safe to invoke concurrently (the
+/// built-ins just heap-allocate a fresh codec, which is).
 class CodecRegistry {
  public:
-  /// A registry pre-populated with every built-in method.
+  /// A registry pre-populated with every built-in method (not frozen —
+  /// applications may still add their own codecs).
   static CodecRegistry with_builtins();
 
-  /// Register (or replace) a factory for `id`.
+  /// Register (or replace) a factory for `id`. Throws ConfigError once the
+  /// registry is frozen.
   void register_factory(MethodId id, std::function<CodecPtr()> factory);
 
   /// Instantiate a codec; throws ConfigError for unregistered ids.
+  /// Safe for concurrent callers once frozen (or, more generally, whenever
+  /// no register_factory() is in flight).
   CodecPtr create(MethodId id) const;
 
   bool contains(MethodId id) const noexcept;
@@ -36,8 +49,16 @@ class CodecRegistry {
   /// All registered method ids, ascending.
   std::vector<MethodId> methods() const;
 
+  /// Make the registry immutable: every later register_factory() throws,
+  /// which is what makes handing `const CodecRegistry&` to concurrent
+  /// workers sound. Irreversible; idempotent.
+  void freeze() noexcept { frozen_ = true; }
+
+  bool frozen() const noexcept { return frozen_; }
+
  private:
   std::map<MethodId, std::function<CodecPtr()>> factories_;
+  bool frozen_ = false;
 };
 
 }  // namespace acex

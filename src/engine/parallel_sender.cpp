@@ -1,0 +1,119 @@
+#include "engine/parallel_sender.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/block_pipeline.hpp"
+
+namespace acex::engine {
+namespace {
+
+/// One block's journey through the pipeline: the serial plan rides along
+/// with the worker's encode result so the collector can finish the block
+/// without any side-channel state.
+struct ReadyBlock {
+  adaptive::BlockPlan plan;
+  std::size_t original_size = 0;
+  adaptive::EncodeResult encoded;
+};
+
+}  // namespace
+
+ParallelSender::ParallelSender(transport::Transport& transport,
+                               adaptive::AdaptiveConfig config)
+    : sender_(transport, std::move(config)),
+      workers_(resolve_worker_threads(sender_.config().worker_threads)),
+      // Window of 2x the workers: enough slack that a straggler block does
+      // not idle the pool, small enough that buffering stays a handful of
+      // blocks. The pool queue matches the window — the driver never
+      // outruns either.
+      window_(std::max<std::size_t>(2 * workers_, 4)) {
+  if (workers_ > 1) pool_.emplace(workers_, window_);
+}
+
+adaptive::StreamReport ParallelSender::send_all(ByteView data) {
+  return run(data, std::nullopt);
+}
+
+adaptive::StreamReport ParallelSender::send_all_fixed(ByteView data,
+                                                      MethodId method) {
+  return run(data, method);
+}
+
+adaptive::StreamReport ParallelSender::run(ByteView data,
+                                           std::optional<MethodId> fixed) {
+  if (workers_ <= 1) {
+    // Serial semantics bit-for-bit: this IS the baseline.
+    return fixed ? sender_.send_all_fixed(data, *fixed)
+                 : sender_.send_all(data);
+  }
+
+  // Workers share the registry read-only from here on; freezing makes a
+  // concurrent register_factory() a loud error instead of a data race.
+  sender_.registry().freeze();
+  const CodecRegistry& registry = sender_.registry();
+  const std::size_t slack = sender_.config().expansion_slack_bytes;
+  const std::size_t block_size = sender_.config().decision.block_size;
+
+  adaptive::StreamReport stream;
+  ParallelBlockPipeline<ReadyBlock> pipeline(*pool_, window_);
+
+  const auto finish = [&](ReadyBlock ready) {
+    stream.blocks.push_back(sender_.finish_block(
+        ready.plan, ready.original_size, std::move(ready.encoded)));
+  };
+
+  for (std::size_t off = 0; off < data.size(); off += block_size) {
+    const std::size_t len = std::min(block_size, data.size() - off);
+    const ByteView block = data.subspan(off, len);
+    const std::size_t next_off = off + len;
+    const ByteView next =
+        !fixed && next_off < data.size()
+            ? data.subspan(next_off,
+                           std::min(block_size, data.size() - next_off))
+            : ByteView{};
+
+    // Serial: sample + decide (adaptive) or just claim a sequence (fixed).
+    const adaptive::BlockPlan plan =
+        fixed ? sender_.plan_block_fixed(block, *fixed)
+              : sender_.plan_block(block, next);
+
+    // Keep in-flight strictly below the window before submitting: the
+    // blocking pop doubles as backpressure on planning, and it guarantees
+    // workers never block pushing into the reorder window (every live
+    // sequence stays inside it), so the single driver thread cannot
+    // deadlock against its own pipeline.
+    while (pipeline.in_flight() >= pipeline.window_capacity()) {
+      finish(pipeline.collect());
+    }
+    pipeline.submit([&registry, plan, block, slack] {
+      ReadyBlock ready;
+      ready.plan = plan;
+      ready.original_size = block.size();
+      ready.encoded =
+          adaptive::encode_block(registry, block, plan.method, plan.sequence,
+                                 slack, plan.allow_degrade);
+      return ready;
+    });
+
+    // Opportunistic drain: ship whatever completed in order while the
+    // workers chew on the rest.
+    ReadyBlock ready;
+    while (pipeline.try_collect(ready)) finish(std::move(ready));
+  }
+  while (pipeline.in_flight() > 0) finish(pipeline.collect());
+
+  for (const auto& b : stream.blocks) {
+    stream.original_bytes += b.original_size;
+    stream.wire_bytes += b.wire_size;
+    stream.compress_seconds += b.compress_seconds;
+  }
+  if (!stream.blocks.empty()) {
+    stream.total_seconds =
+        stream.blocks.back().delivered - stream.blocks.front().submitted +
+        stream.blocks.front().compress_seconds;
+  }
+  return stream;
+}
+
+}  // namespace acex::engine

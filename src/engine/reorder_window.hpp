@@ -1,0 +1,123 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace acex::engine {
+
+/// Bounded resequencing buffer: producers push values tagged with a dense
+/// sequence number (0, 1, 2, ... — every sequence pushed exactly once),
+/// the consumer pops them back in strictly increasing sequence order.
+///
+/// The window is the memory bound of the parallel pipeline: a push whose
+/// sequence lies `capacity` or more ahead of the next undelivered sequence
+/// blocks until the consumer catches up, so at most `capacity` completed
+/// blocks are ever buffered no matter how far worker completion order
+/// diverges from submission order (backpressure — DESIGN.md §8).
+///
+/// close() releases blocked producers and turns further pushes into no-ops;
+/// the pipeline uses it to unwind safely when the consumer abandons a run
+/// mid-stream (e.g. an exception propagating out of the driver loop).
+template <typename T>
+class ReorderWindow {
+ public:
+  explicit ReorderWindow(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) {
+      throw ConfigError("reorder window: capacity must be positive");
+    }
+  }
+
+  ReorderWindow(const ReorderWindow&) = delete;
+  ReorderWindow& operator=(const ReorderWindow&) = delete;
+
+  /// Producer side. Blocks while `sequence` is at least `capacity` ahead of
+  /// the next sequence the consumer will pop. After close(), the value is
+  /// discarded instead (the producer never blocks on a dead consumer).
+  void push(std::uint64_t sequence, T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (sequence < base_) {
+      throw ConfigError("reorder window: sequence pushed twice");
+    }
+    slot_free_.wait(lock, [&] {
+      return closed_ || sequence - base_ < capacity_;
+    });
+    if (closed_) return;
+    const bool is_head = sequence == base_;
+    if (!buffer_.emplace(sequence, std::move(value)).second) {
+      throw ConfigError("reorder window: sequence pushed twice");
+    }
+    lock.unlock();
+    if (is_head) head_ready_.notify_one();
+  }
+
+  /// Consumer side: the value for the next sequence, blocking until a
+  /// producer delivers it. Sequences advance by one per pop.
+  T pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    head_ready_.wait(lock, [&] { return head_ready_locked(); });
+    return pop_locked();
+  }
+
+  /// Non-blocking pop: true and fills `out` when the next-in-order value
+  /// is already buffered.
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!head_ready_locked()) return false;
+    out = pop_locked();
+    return true;
+  }
+
+  /// Release blocked producers and drop their values; pushes after this
+  /// are silently discarded. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      buffer_.clear();
+    }
+    slot_free_.notify_all();
+  }
+
+  /// The sequence the next pop() will return.
+  std::uint64_t next_sequence() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return base_;
+  }
+
+  /// Completed values currently buffered (in-order head included).
+  std::size_t buffered() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buffer_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  bool head_ready_locked() const {
+    return !buffer_.empty() && buffer_.begin()->first == base_;
+  }
+
+  T pop_locked() {
+    T value = std::move(buffer_.begin()->second);
+    buffer_.erase(buffer_.begin());
+    ++base_;
+    slot_free_.notify_all();
+    return value;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::condition_variable head_ready_;
+  std::map<std::uint64_t, T> buffer_;
+  std::uint64_t base_ = 0;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace acex::engine

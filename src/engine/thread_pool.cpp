@@ -1,0 +1,83 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace acex::engine {
+
+std::size_t resolve_worker_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  const std::size_t count = resolve_worker_threads(threads);
+  if (capacity_ == 0) capacity_ = 2 * count;
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    not_full_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (!task) throw ConfigError("thread pool: task must not be empty");
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return stopping_ || queue_.size() < capacity_; });
+    if (stopping_) {
+      throw ConfigError("thread pool: submit after shutdown began");
+    }
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  if (!task) throw ConfigError("thread pool: task must not be empty");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::outstanding() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + running_;
+}
+
+}  // namespace acex::engine

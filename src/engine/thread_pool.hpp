@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acex::engine {
+
+/// Fixed-size worker pool over a bounded FIFO task queue — the execution
+/// substrate of the parallel compression engine (DESIGN.md §8).
+///
+/// Two properties matter to the block pipeline built on top:
+///
+///   * **Bounded memory.** The queue holds at most `queue_capacity` tasks;
+///     submit() blocks the producer once it is full, so a fast producer
+///     cannot buffer an unbounded backlog (backpressure, not OOM).
+///   * **FIFO dispatch.** Workers dequeue in submission order. When tasks
+///     are submitted in sequence order, the task for the *lowest*
+///     unfinished sequence is always among the ones running — the
+///     guarantee the reorder window's progress argument rests on.
+///
+/// Tasks must not throw: an exception escaping a task would terminate the
+/// worker thread (std::terminate). Wrap fallible work and carry the error
+/// in the task's result instead (see adaptive::EncodeResult::failure).
+class ThreadPool {
+ public:
+  /// `threads` == 0 asks for one worker per hardware thread (at least 1).
+  /// `queue_capacity` == 0 defaults to twice the worker count.
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 0);
+
+  /// Joins after finishing every task already accepted; tasks submitted
+  /// before destruction are never dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue `task`; blocks while the queue is at capacity.
+  void submit(std::function<void()> task);
+
+  /// Enqueue `task` only if a queue slot is free right now.
+  bool try_submit(std::function<void()> task);
+
+  std::size_t size() const noexcept { return workers_.size(); }
+  std::size_t queue_capacity() const noexcept { return capacity_; }
+
+  /// Tasks accepted but not yet finished (queued + running).
+  std::size_t outstanding() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t capacity_;
+  std::size_t running_ = 0;  ///< tasks currently executing
+  bool stopping_ = false;
+};
+
+/// Resolve a user-facing worker-thread knob: 0 means "one per hardware
+/// thread" (at least 1), anything else is taken literally.
+std::size_t resolve_worker_threads(std::size_t requested) noexcept;
+
+}  // namespace acex::engine

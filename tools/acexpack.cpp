@@ -1,19 +1,24 @@
 // acexpack — file compression CLI over the acex codecs and frame format.
 //
-//   acexpack c [-m METHOD] [-b BLOCK_KIB] INPUT OUTPUT   compress
-//   acexpack d INPUT OUTPUT                              decompress
-//   acexpack bench INPUT                                 measure all methods
+//   acexpack c [-m METHOD] [-b BLOCK_KIB] [-j JOBS] INPUT OUTPUT   compress
+//   acexpack d INPUT OUTPUT                                        decompress
+//   acexpack bench INPUT                                           measure all
 //
 // METHOD: none | huffman | arithmetic | lempel-ziv | burrows-wheeler |
-//         auto (default: per-block sampling-based choice, as §2.5 does
+//         lzw | auto (default: per-block sampling-based choice, as §2.5 does
 //         without a network: repetitive blocks go to LZ, others to
 //         Huffman) | best (try every method per block, keep the smallest).
+//
+// -j JOBS compresses blocks on a worker pool (0 = one worker per hardware
+// thread).  Method selection stays on the driver thread; the container is
+// byte-identical to a serial run because frames are emitted in block order.
 //
 // Container format: "ACXP" magic, version byte, then length-prefixed acex
 // frames (each frame is self-describing and CRC-checked).
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -22,6 +27,8 @@
 #include "compress/frame.hpp"
 #include "compress/metrics.hpp"
 #include "compress/registry.hpp"
+#include "engine/block_pipeline.hpp"
+#include "engine/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/varint.hpp"
 
@@ -61,49 +68,88 @@ MethodId choose_auto(const adaptive::Sampler& sampler, ByteView block) {
   return MethodId::kNone;
 }
 
+/// One block framed with METHOD, or with whichever method packs smallest
+/// when `best` is set.  Runs on worker threads: touches no shared state.
+Bytes pack_block(ByteView block, MethodId method, bool best) {
+  if (!best) return frame_compress(*make_codec(method), block);
+  Bytes framed;
+  for (const MethodId m :
+       {MethodId::kNone, MethodId::kHuffman, MethodId::kLempelZiv,
+        MethodId::kBurrowsWheeler}) {
+    Bytes candidate = frame_compress(*make_codec(m), block);
+    if (framed.empty() || candidate.size() < framed.size()) {
+      framed = std::move(candidate);
+    }
+  }
+  return framed;
+}
+
+/// Worker jobs must not throw; carry codec failures back to the driver.
+struct PackResult {
+  Bytes framed;
+  std::exception_ptr failure;
+};
+
 int cmd_compress(const std::string& method_arg, std::size_t block_size,
-                 const std::string& input, const std::string& output) {
+                 std::size_t jobs, const std::string& input,
+                 const std::string& output) {
   const Bytes data = read_file(input);
-  const CodecRegistry registry = CodecRegistry::with_builtins();
   const adaptive::Sampler sampler(4096);
 
   const bool auto_mode = method_arg == "auto";
   const bool best_mode = method_arg == "best";
-  CodecPtr fixed;
-  if (!auto_mode && !best_mode) fixed = make_codec(method_from_name(method_arg));
+  MethodId fixed_method = MethodId::kNone;
+  if (!auto_mode && !best_mode) fixed_method = method_from_name(method_arg);
+
+  // Carve the input into block views (one empty block for an empty file).
+  std::vector<ByteView> blocks;
+  for (std::size_t off = 0; off < data.size() || off == 0; off += block_size) {
+    blocks.push_back(ByteView(data).subspan(
+        off, std::min(block_size, data.size() - std::min(off, data.size()))));
+    if (data.empty()) break;
+  }
 
   Bytes out;
   out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(kVersion);
 
   std::size_t counts[256] = {};
-  for (std::size_t off = 0; off < data.size() || off == 0; off += block_size) {
-    if (off >= data.size() && off != 0) break;
-    const std::size_t len =
-        std::min(block_size, data.size() - std::min(off, data.size()));
-    const ByteView block = ByteView(data).subspan(off, len);
-
-    Bytes framed;
-    if (best_mode) {
-      for (const MethodId m :
-           {MethodId::kNone, MethodId::kHuffman, MethodId::kLempelZiv,
-            MethodId::kBurrowsWheeler}) {
-        CodecPtr codec = make_codec(m);
-        Bytes candidate = frame_compress(*codec, block);
-        if (framed.empty() || candidate.size() < framed.size()) {
-          framed = std::move(candidate);
-        }
+  const auto emit = [&](PackResult result) {
+    if (result.failure) std::rethrow_exception(result.failure);
+    ++counts[static_cast<std::uint8_t>(frame_parse(result.framed).method)];
+    put_varint(out, result.framed.size());
+    out.insert(out.end(), result.framed.begin(), result.framed.end());
+  };
+  const auto job_for = [&](ByteView block) {
+    // Selection happens here, on the driver; workers only encode.
+    const MethodId method =
+        auto_mode ? choose_auto(sampler, block) : fixed_method;
+    return [block, method, best_mode] {
+      PackResult result;
+      try {
+        result.framed = pack_block(block, method, best_mode);
+      } catch (...) {
+        result.failure = std::current_exception();
       }
-    } else if (auto_mode) {
-      CodecPtr codec = make_codec(choose_auto(sampler, block));
-      framed = frame_compress(*codec, block);
-    } else {
-      framed = frame_compress(*fixed, block);
+      return result;
+    };
+  };
+
+  const std::size_t workers = engine::resolve_worker_threads(jobs);
+  if (workers <= 1) {
+    for (const ByteView block : blocks) emit(job_for(block)());
+  } else {
+    engine::ThreadPool pool(workers);
+    engine::ParallelBlockPipeline<PackResult> pipeline(pool, 2 * workers);
+    for (const ByteView block : blocks) {
+      while (pipeline.in_flight() >= pipeline.window_capacity()) {
+        emit(pipeline.collect());
+      }
+      pipeline.submit(job_for(block));
+      PackResult ready;
+      while (pipeline.try_collect(ready)) emit(std::move(ready));
     }
-    ++counts[static_cast<std::uint8_t>(frame_parse(framed).method)];
-    put_varint(out, framed.size());
-    out.insert(out.end(), framed.begin(), framed.end());
-    if (data.empty()) break;
+    while (pipeline.in_flight() > 0) emit(pipeline.collect());
   }
 
   write_file(output, out);
@@ -167,16 +213,44 @@ int cmd_bench(const std::string& input) {
   return 0;
 }
 
+constexpr const char* kValidMethods =
+    "none huffman arithmetic lempel-ziv burrows-wheeler lzw auto best";
+
 int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  acexpack c [-m METHOD] [-b BLOCK_KIB] INPUT OUTPUT\n"
+      "  acexpack c [-m METHOD] [-b BLOCK_KIB] [-j JOBS] INPUT OUTPUT\n"
       "  acexpack d INPUT OUTPUT\n"
       "  acexpack bench INPUT\n"
-      "METHOD: none huffman arithmetic lempel-ziv burrows-wheeler auto "
-      "best\n");
+      "METHOD: %s\n"
+      "JOBS: worker threads for block compression (0 = all hardware "
+      "threads)\n",
+      kValidMethods);
   return 2;
+}
+
+/// std::stoul without the raw std::invalid_argument / out_of_range escape.
+std::size_t parse_count(const std::string& text, const char* what) {
+  try {
+    std::size_t end = 0;
+    const unsigned long value = std::stoul(text, &end);
+    if (end != text.size()) throw ConfigError("");
+    return static_cast<std::size_t>(value);
+  } catch (const std::exception&) {
+    throw ConfigError(std::string(what) + " must be a non-negative integer, " +
+                      "got '" + text + "'");
+  }
+}
+
+bool method_arg_valid(const std::string& name) {
+  if (name == "auto" || name == "best") return true;
+  try {
+    method_from_name(name);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
 }
 
 }  // namespace
@@ -190,20 +264,29 @@ int main(int argc, char** argv) {
     if (cmd == "c") {
       std::string method = "auto";
       std::size_t block_kib = 128;
+      std::size_t jobs = 1;
       std::size_t i = 1;
-      while (i + 1 < args.size() && args[i].size() == 2 && args[i][0] == '-') {
+      while (i < args.size() && args[i].size() >= 2 && args[i][0] == '-') {
+        if (i + 1 >= args.size()) return usage();
         if (args[i] == "-m") {
           method = args[i + 1];
         } else if (args[i] == "-b") {
-          block_kib = static_cast<std::size_t>(std::stoul(args[i + 1]));
+          block_kib = parse_count(args[i + 1], "block size");
           if (block_kib == 0) throw ConfigError("block size must be > 0");
+        } else if (args[i] == "-j" || args[i] == "--jobs") {
+          jobs = parse_count(args[i + 1], "jobs");
         } else {
           return usage();
         }
         i += 2;
       }
       if (args.size() - i != 2) return usage();
-      return cmd_compress(method, block_kib * 1024, args[i], args[i + 1]);
+      if (!method_arg_valid(method)) {
+        std::fprintf(stderr, "acexpack: unknown method '%s' (valid: %s)\n",
+                     method.c_str(), kValidMethods);
+        return 2;
+      }
+      return cmd_compress(method, block_kib * 1024, jobs, args[i], args[i + 1]);
     }
     if (cmd == "d") {
       if (args.size() != 3) return usage();
@@ -216,6 +299,9 @@ int main(int argc, char** argv) {
     return usage();
   } catch (const acex::Error& e) {
     std::fprintf(stderr, "acexpack: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acexpack: internal error: %s\n", e.what());
     return 1;
   }
 }
