@@ -5,12 +5,16 @@
 // emulate the paper's 2003-era hosts (see DESIGN.md §2).
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "adaptive/experiment.hpp"
 #include "compress/metrics.hpp"
 #include "compress/registry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "transport/transport.hpp"
 #include "util/bytes.hpp"
 #include "workloads/molecular.hpp"
@@ -86,6 +90,33 @@ inline void print_stream_summary(const char* name,
       "total)\n",
       name, s.total_seconds, s.wire_ratio_percent(), s.compress_seconds,
       100.0 * s.compression_share());
+}
+
+/// Record one headline result as a labelled single-sample histogram — the
+/// JSON-lines exporter prints `sum` with %.17g, so the value survives a
+/// parse round-trip exactly (read it back as sum/count).
+inline void record_result(std::string_view name, std::string_view label_key,
+                          std::string_view label_value, double value) {
+  obs::MetricsRegistry::global()
+      .histogram(name, label_key, label_value)
+      .record(value);
+}
+
+/// Dump the full metrics registry (bench results recorded above plus every
+/// instrument the exercised layers fed) as JSON lines. The path comes from
+/// $ACEX_BENCH_JSON, defaulting to BENCH_results.json in the working
+/// directory; CI uploads the file as a workflow artifact.
+inline void write_results_json(const char* bench_name) {
+  const char* env = std::getenv("ACEX_BENCH_JSON");
+  const std::string path = env != nullptr ? env : "BENCH_results.json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\"type\":\"bench\",\"name\":\"" << bench_name << "\"}\n";
+  out << obs::to_json_lines(obs::MetricsRegistry::global().snapshot());
+  std::printf("\nresults written to %s\n", path.c_str());
 }
 
 }  // namespace acex::bench

@@ -85,10 +85,17 @@ int main(int argc, char** argv) {
     std::printf("%8zu  %10.3f  %10.1f  %7.2fx  %s\n", workers, elapsed,
                 static_cast<double>(blocks) / elapsed, baseline / elapsed,
                 verify(transport, data) ? "ok" : "FAILED");
+    const std::string label = std::to_string(workers);
+    bench::record_result("bench.scaling.elapsed_s", "workers", label, elapsed);
+    bench::record_result("bench.scaling.blocks_per_s", "workers", label,
+                         static_cast<double>(blocks) / elapsed);
+    bench::record_result("bench.scaling.speedup", "workers", label,
+                         baseline / elapsed);
   }
 
   std::printf(
       "\nSame stream, same frames: only wall-clock encode time changes "
       "with worker count.\n");
+  bench::write_results_json("parallel_scaling");
   return 0;
 }

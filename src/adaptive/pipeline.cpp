@@ -1,9 +1,12 @@
 #include "adaptive/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 #include <future>
 
 #include "compress/null_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace acex::adaptive {
@@ -14,6 +17,84 @@ namespace {
 constexpr MethodId kLadder[] = {MethodId::kNone, MethodId::kHuffman,
                                 MethodId::kLempelZiv,
                                 MethodId::kBurrowsWheeler};
+
+// ---- observability (DESIGN.md §9) ------------------------------------
+// Instrument handles are resolved once and cached; every record after
+// that is lock-free. Series are process-wide: concurrent senders feed the
+// same aggregates, which is what a per-process dashboard wants.
+
+/// Per-method latency histogram, keyed by the small contiguous MethodId
+/// range so the hot path indexes an array instead of hashing a name.
+class MethodHistograms {
+ public:
+  explicit MethodHistograms(std::string_view name) {
+    for (std::size_t i = 0; i < cache_.size(); ++i) {
+      cache_[i] = &obs::MetricsRegistry::global().histogram(
+          name, "method", method_name(static_cast<MethodId>(i)));
+    }
+    fallback_name_ = std::string(name);
+  }
+
+  obs::Histogram& for_method(MethodId m) {
+    const auto idx = static_cast<std::size_t>(m);
+    if (idx < cache_.size()) return *cache_[idx];
+    // Off-range ids (kZlib, custom codecs): pay the registry lookup.
+    return obs::MetricsRegistry::global().histogram(fallback_name_, "method",
+                                                    method_name(m));
+  }
+
+ private:
+  std::array<obs::Histogram*, 6> cache_{};  // kNone..kLzw
+  std::string fallback_name_;
+};
+
+struct SenderMetrics {
+  obs::Counter& blocks;          ///< blocks transmitted
+  obs::Counter& bytes_original;  ///< payload bytes in
+  obs::Counter& bytes_wire;      ///< framed bytes out
+  obs::Counter& fallbacks;       ///< blocks degraded to the null codec
+  obs::Counter& retransmits;     ///< frames replayed on NACK
+  obs::Histogram& send_us;       ///< transport-clock accept time per frame
+  MethodHistograms encode_us;    ///< raw encode CPU per requested method
+};
+
+SenderMetrics& sender_metrics() {
+  auto& r = obs::MetricsRegistry::global();
+  static SenderMetrics m{r.counter("acex.adaptive.blocks"),
+                         r.counter("acex.adaptive.bytes_original"),
+                         r.counter("acex.adaptive.bytes_wire"),
+                         r.counter("acex.adaptive.fallbacks"),
+                         r.counter("acex.adaptive.retransmits"),
+                         r.histogram("acex.adaptive.send_us"),
+                         MethodHistograms("acex.adaptive.encode_us")};
+  return m;
+}
+
+struct ReceiverMetrics {
+  obs::Counter& frames;           ///< frames drained off the transport
+  obs::Counter& frames_ok;
+  obs::Counter& frames_corrupt;
+  obs::Counter& frames_duplicate;
+  obs::Counter& bytes_recovered;
+  obs::Counter& resyncs;          ///< corrupt frames skipped, stream resumed
+  obs::Counter& seq_rejected;     ///< sequences outside the gap window
+  obs::Counter& nacks_issued;
+  MethodHistograms decode_us;     ///< decode CPU per wire method
+};
+
+ReceiverMetrics& receiver_metrics() {
+  auto& r = obs::MetricsRegistry::global();
+  static ReceiverMetrics m{r.counter("acex.adaptive.rx.frames"),
+                           r.counter("acex.adaptive.rx.frames_ok"),
+                           r.counter("acex.adaptive.rx.frames_corrupt"),
+                           r.counter("acex.adaptive.rx.frames_duplicate"),
+                           r.counter("acex.adaptive.rx.bytes_recovered"),
+                           r.counter("acex.adaptive.rx.resyncs"),
+                           r.counter("acex.adaptive.rx.seq_rejected"),
+                           r.counter("acex.adaptive.rx.nacks_issued"),
+                           MethodHistograms("acex.adaptive.rx.decode_us")};
+  return m;
+}
 
 }  // namespace
 
@@ -27,6 +108,8 @@ EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
   // algorithm adapts to; the caller charges the scaled cost to whatever
   // timeline its experiment runs on.
   MonotonicClock cpu_clock;
+  const obs::ScopedSpan span(obs::BlockTracer::global(), sequence,
+                             obs::Stage::kEncode, obs::current_worker());
   const Stopwatch cpu(cpu_clock);
   bool degraded = false;
   try {
@@ -56,6 +139,10 @@ EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
     result.fallback = true;
   }
   result.encode_seconds = cpu.elapsed();
+  // Latency is attributed to the *requested* method — a fallback's cost is
+  // the failed codec's cost, not the null codec's.
+  sender_metrics().encode_us.for_method(method).record(result.encode_seconds *
+                                                       1e6);
   return result;
 }
 
@@ -115,6 +202,8 @@ BlockReport AdaptiveSender::finish_block(const BlockPlan& plan,
                                          std::size_t original_size,
                                          EncodeResult encoded) {
   if (encoded.failure) std::rethrow_exception(encoded.failure);
+  const obs::ScopedSpan span(obs::BlockTracer::global(), plan.sequence,
+                             obs::Stage::kFinish);
 
   BlockReport report;
   report.index = plan.sequence;
@@ -152,10 +241,23 @@ BlockReport AdaptiveSender::finish_block(const BlockPlan& plan,
 
   const Clock& wire_clock = transport_->clock();
   report.submitted = wire_clock.now();
-  transport_->send(encoded.framed);
+  {
+    const obs::ScopedSpan tx(obs::BlockTracer::global(), plan.sequence,
+                             obs::Stage::kTransmit);
+    transport_->send(encoded.framed);
+  }
   report.delivered = wire_clock.now();
   report.send_seconds = report.delivered - report.submitted;
   report.wire_size = encoded.framed.size();
+
+  SenderMetrics& metrics = sender_metrics();
+  metrics.blocks.add(1);
+  metrics.bytes_original.add(original_size);
+  metrics.bytes_wire.add(report.wire_size);
+  if (report.fallback) metrics.fallbacks.add(1);
+  // Transport-clock time: under a VirtualClock this is modeled seconds,
+  // which is exactly what the experiment wants on the dashboard.
+  metrics.send_us.record(report.send_seconds * 1e6);
 
   bandwidth_.record(encoded.framed.size(), report.send_seconds);
   ring_.store(plan.sequence, std::move(encoded.framed));
@@ -176,9 +278,12 @@ std::size_t AdaptiveSender::retransmit(
   std::size_t sent = 0;
   for (const std::uint64_t seq : sequences) {
     if (const Bytes* wire = ring_.replay(seq)) {
+      const obs::ScopedSpan tx(obs::BlockTracer::global(), seq,
+                               obs::Stage::kTransmit);
       transport_->send(*wire);
       ++sent;
       ++degradation_.retransmits;
+      sender_metrics().retransmits.add(1);
     }
   }
   return sent;
@@ -252,6 +357,9 @@ BlockPlan AdaptiveSender::plan_block(ByteView block, ByteView next_block) {
   if (block.size() > config_.decision.block_size) {
     throw ConfigError("adaptive: block exceeds configured block_size");
   }
+  // The sequence is assigned at the end of planning; bind it late.
+  obs::ScopedSpan span(obs::BlockTracer::global(), blocks_sent_,
+                       obs::Stage::kPlan);
 
   // The sampler result for THIS block: the paper computes it during the
   // previous block's send; we launch it there (async) and collect it here.
@@ -296,6 +404,7 @@ BlockPlan AdaptiveSender::plan_block(ByteView block, ByteView next_block) {
   plan.method = method;
   plan.sampled_ratio_percent = sample.ratio_percent;
   plan.bandwidth_estimate_Bps = bw;
+  span.set_block(plan.sequence);
   return plan;
 }
 
@@ -303,6 +412,8 @@ BlockPlan AdaptiveSender::plan_block_fixed(ByteView block, MethodId method) {
   if (block.size() > config_.decision.block_size) {
     throw ConfigError("adaptive: block exceeds configured block_size");
   }
+  const obs::ScopedSpan span(obs::BlockTracer::global(), blocks_sent_,
+                             obs::Stage::kPlan);
   BlockPlan plan;
   plan.sequence = blocks_sent_++;
   plan.method = method;
@@ -459,9 +570,12 @@ std::vector<std::uint64_t> AdaptiveReceiver::current_gaps() const {
 ReceiveReport AdaptiveReceiver::receive_report() {
   ReceiveReport report;
   MonotonicClock cpu_clock;
+  ReceiverMetrics& metrics = receiver_metrics();
+  obs::BlockTracer& tracer = obs::BlockTracer::global();
   while (auto message = transport_->receive()) {
     FrameOutcome outcome;
     outcome.wire_size = message->size();
+    metrics.frames.add(1);
     try {
       const Frame frame = frame_parse(*message);
       outcome.method = frame.method;
@@ -471,6 +585,7 @@ ReceiveReport AdaptiveReceiver::receive_report() {
         // slip through, and folding it into max_seen_ would open an
         // effectively unbounded gap range. Real traffic never runs this far
         // ahead of delivery (the sender's retransmit ring is far smaller).
+        metrics.seq_rejected.add(1);
         throw DecodeError("frame: sequence implausibly far ahead");
       }
       outcome.sequence = frame.sequence;
@@ -483,9 +598,14 @@ ReceiveReport AdaptiveReceiver::receive_report() {
       if (frame.has_sequence && already_delivered(frame.sequence)) {
         outcome.status = FrameOutcome::Status::kDuplicate;
       } else {
+        const obs::ScopedSpan span(
+            tracer, frame.has_sequence ? frame.sequence : 0,
+            obs::Stage::kDecode);
         const Stopwatch sw(cpu_clock);
         outcome.data = frame_decode(frame, registry_);
-        decompress_seconds_ += sw.elapsed();
+        const double elapsed = sw.elapsed();
+        decompress_seconds_ += elapsed;
+        metrics.decode_us.for_method(frame.method).record(elapsed * 1e6);
         if (frame.has_sequence) mark_delivered(frame.sequence);
         outcome.status = FrameOutcome::Status::kOk;
       }
@@ -495,6 +615,9 @@ ReceiveReport AdaptiveReceiver::receive_report() {
       if (config_.policy == RecoveryPolicy::kThrow) throw;
       outcome.status = FrameOutcome::Status::kCorrupt;
       outcome.error = error.what();
+      // The stream resynchronizes past the damaged frame: quarantine it and
+      // keep draining. Each such skip is one resync event.
+      metrics.resyncs.add(1);
     }
     report.frames.push_back(std::move(outcome));
   }
@@ -528,6 +651,8 @@ ReceiveReport AdaptiveReceiver::receive_report() {
               });
   }
   for (const FrameOutcome* outcome : intact) {
+    const obs::ScopedSpan span(tracer, outcome->sequence,
+                               obs::Stage::kDeliver);
     report.data.insert(report.data.end(), outcome->data.begin(),
                        outcome->data.end());
     report.bytes_recovered += outcome->data.size();
@@ -539,6 +664,10 @@ ReceiveReport AdaptiveReceiver::receive_report() {
   frames_corrupt_ += report.frames_corrupt;
   frames_duplicate_ += report.frames_duplicate;
   bytes_recovered_ += report.bytes_recovered;
+  metrics.frames_ok.add(report.frames_ok);
+  metrics.frames_corrupt.add(report.frames_corrupt);
+  metrics.frames_duplicate.add(report.frames_duplicate);
+  metrics.bytes_recovered.add(report.bytes_recovered);
   return report;
 }
 
@@ -559,6 +688,7 @@ std::vector<std::uint64_t> AdaptiveReceiver::take_nacks() {
     ++attempts;
     out.push_back(seq);
   }
+  receiver_metrics().nacks_issued.add(out.size());
   return out;
 }
 

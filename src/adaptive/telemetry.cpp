@@ -1,9 +1,19 @@
 #include "adaptive/telemetry.hpp"
 
+#include <cmath>
+
 namespace acex::adaptive {
 namespace {
 
-constexpr const char* kKind = "acex.t.kind";  // "block" | "summary"
+constexpr const char* kKind = "acex.t.kind";  // "block" | "summary" | "metric"
+
+/// Mirror of the consumer-side rejection tally, so a dashboard scraping
+/// the obs registry sees producer misbehaviour too.
+obs::Counter& malformed_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("acex.telemetry.malformed");
+  return c;
+}
 
 }  // namespace
 
@@ -41,20 +51,53 @@ void TelemetryPublisher::publish_summary(const StreamReport& report) {
   channel_->submit(std::move(event));
 }
 
+void TelemetryPublisher::publish_metrics(const obs::MetricsSnapshot& snapshot) {
+  for (const obs::MetricPoint& point : snapshot.points) {
+    echo::Event event;
+    auto& a = event.attributes;
+    a.set_string(kKind, "metric");
+    a.set_string("acex.t.name", point.full_name());
+    switch (point.kind) {
+      case obs::MetricPoint::Kind::kCounter:
+        a.set_int("acex.t.value", static_cast<std::int64_t>(point.counter));
+        break;
+      case obs::MetricPoint::Kind::kGauge:
+        a.set_int("acex.t.value", point.gauge);
+        break;
+      case obs::MetricPoint::Kind::kHistogram:
+        a.set_int("acex.t.count", static_cast<std::int64_t>(point.hist.count));
+        a.set_double("acex.t.sum", point.hist.sum);
+        a.set_double("acex.t.p50", point.hist.p50());
+        a.set_double("acex.t.p99", point.hist.p99());
+        break;
+    }
+    channel_->submit(std::move(event));
+  }
+}
+
 bool TelemetryAggregator::observe(const echo::Event& event) {
   const auto kind = event.attributes.get_string(kKind);
-  if (!kind) return false;
+  if (!kind) return false;  // not telemetry traffic at all
   if (*kind == "block") {
-    ++blocks_;
-    original_ += static_cast<std::uint64_t>(
-        event.attributes.get_int("acex.t.original").value_or(0));
-    wire_ += static_cast<std::uint64_t>(
-        event.attributes.get_int("acex.t.wire").value_or(0));
-    compress_seconds_ +=
-        event.attributes.get_double("acex.t.compress_us").value_or(0) / 1e6;
-    if (const auto method = event.attributes.get_string("acex.t.method")) {
-      ++method_counts_[*method];
+    // Validate before folding anything in: a half-applied record would
+    // corrupt every ratio derived from these aggregates.
+    const auto original = event.attributes.get_int("acex.t.original");
+    const auto wire = event.attributes.get_int("acex.t.wire");
+    const auto compress_us = event.attributes.get_double("acex.t.compress_us");
+    const auto method = event.attributes.get_string("acex.t.method");
+    const bool valid = original && *original >= 0 && wire && *wire >= 0 &&
+                       compress_us && std::isfinite(*compress_us) &&
+                       *compress_us >= 0 && method && !method->empty();
+    if (!valid) {
+      ++malformed_;
+      malformed_counter().add(1);
+      return true;  // it *was* telemetry, just unusable
     }
+    ++blocks_;
+    original_ += static_cast<std::uint64_t>(*original);
+    wire_ += static_cast<std::uint64_t>(*wire);
+    compress_seconds_ += *compress_us / 1e6;
+    ++method_counts_[*method];
     if (event.attributes.get_int("acex.t.fallback").value_or(0) != 0) {
       ++fallbacks_;
     }
@@ -64,7 +107,15 @@ bool TelemetryAggregator::observe(const echo::Event& event) {
     summary_seen_ = true;
     return true;
   }
-  return false;
+  if (*kind == "metric") {
+    ++metrics_seen_;
+    return true;
+  }
+  // Carries our kind attribute but an unknown value — a producer bug or
+  // version skew; count it rather than silently ignoring.
+  ++malformed_;
+  malformed_counter().add(1);
+  return true;
 }
 
 double TelemetryAggregator::wire_ratio_percent() const noexcept {

@@ -4,6 +4,7 @@
 
 #include "adaptive/pipeline.hpp"
 #include "echo/channel.hpp"
+#include "obs/metrics.hpp"
 
 namespace acex::adaptive {
 
@@ -33,6 +34,12 @@ class TelemetryPublisher {
   /// Publish a stream summary (marks end of stream for consumers).
   void publish_summary(const StreamReport& report);
 
+  /// Publish a registry snapshot as telemetry: one `kind=metric` event per
+  /// point (name + value; histograms ship count/sum/p50/p99). The publisher
+  /// is thereby a *consumer* of the same measurements the obs layer
+  /// records — the ECho channel is just another exporter (DESIGN.md §9).
+  void publish_metrics(const obs::MetricsSnapshot& snapshot);
+
  private:
   echo::EventChannel* channel_;
 };
@@ -43,6 +50,12 @@ class TelemetryAggregator {
  public:
   /// Feed every event from the telemetry channel; non-telemetry events are
   /// ignored. Returns true if the event was a telemetry record.
+  ///
+  /// Robustness contract: a telemetry-kinded event with missing or
+  /// malformed attributes (wrong type, negative sizes, non-finite times,
+  /// unknown kind) is counted in malformed() and skipped — it never
+  /// corrupts the aggregates and never throws. The channel crosses address
+  /// spaces, so the producer cannot be trusted to be well-formed.
   bool observe(const echo::Event& event);
 
   std::uint64_t blocks() const noexcept { return blocks_; }
@@ -53,6 +66,10 @@ class TelemetryAggregator {
   std::uint64_t fallbacks() const noexcept { return fallbacks_; }
   Seconds compress_seconds() const noexcept { return compress_seconds_; }
   bool summary_seen() const noexcept { return summary_seen_; }
+  /// Telemetry-kinded events rejected for missing/malformed attributes.
+  std::uint64_t malformed() const noexcept { return malformed_; }
+  /// `kind=metric` events seen (publish_metrics traffic, not aggregated).
+  std::uint64_t metrics_seen() const noexcept { return metrics_seen_; }
 
   /// Wire bytes as a percentage of original (100 when nothing seen).
   double wire_ratio_percent() const noexcept;
@@ -67,6 +84,8 @@ class TelemetryAggregator {
   std::uint64_t original_ = 0;
   std::uint64_t wire_ = 0;
   std::uint64_t fallbacks_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t metrics_seen_ = 0;
   Seconds compress_seconds_ = 0;
   bool summary_seen_ = false;
   std::map<std::string, std::uint64_t> method_counts_;

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace acex::engine {
@@ -27,7 +28,10 @@ namespace acex::engine {
 template <typename T>
 class ReorderWindow {
  public:
-  explicit ReorderWindow(std::size_t capacity) : capacity_(capacity) {
+  explicit ReorderWindow(std::size_t capacity)
+      : capacity_(capacity),
+        occupancy_(
+            obs::MetricsRegistry::global().gauge("acex.engine.reorder_occupancy")) {
     if (capacity_ == 0) {
       throw ConfigError("reorder window: capacity must be positive");
     }
@@ -35,6 +39,11 @@ class ReorderWindow {
 
   ReorderWindow(const ReorderWindow&) = delete;
   ReorderWindow& operator=(const ReorderWindow&) = delete;
+
+  ~ReorderWindow() {
+    // Values still buffered at destruction leave the occupancy gauge.
+    occupancy_.sub(static_cast<std::int64_t>(buffer_.size()));
+  }
 
   /// Producer side. Blocks while `sequence` is at least `capacity` ahead of
   /// the next sequence the consumer will pop. After close(), the value is
@@ -52,6 +61,7 @@ class ReorderWindow {
     if (!buffer_.emplace(sequence, std::move(value)).second) {
       throw ConfigError("reorder window: sequence pushed twice");
     }
+    occupancy_.add(1);
     lock.unlock();
     if (is_head) head_ready_.notify_one();
   }
@@ -79,6 +89,7 @@ class ReorderWindow {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
+      occupancy_.sub(static_cast<std::int64_t>(buffer_.size()));
       buffer_.clear();
     }
     slot_free_.notify_all();
@@ -107,6 +118,7 @@ class ReorderWindow {
     T value = std::move(buffer_.begin()->second);
     buffer_.erase(buffer_.begin());
     ++base_;
+    occupancy_.sub(1);
     slot_free_.notify_all();
     return value;
   }
@@ -117,6 +129,9 @@ class ReorderWindow {
   std::map<std::uint64_t, T> buffer_;
   std::uint64_t base_ = 0;
   std::size_t capacity_;
+  /// Process-wide occupancy gauge (sum across live windows), adjusted by
+  /// delta under this window's lock.
+  obs::Gauge& occupancy_;
   bool closed_ = false;
 };
 

@@ -52,7 +52,7 @@ class ThreadPool {
   std::size_t outstanding() const;
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;

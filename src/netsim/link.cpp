@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace acex::netsim {
 namespace {
 
 constexpr double kMB = 1e6;  // Fig. 5 reports decimal megabytes/second
+
+struct LinkMetrics {
+  obs::Counter& transfers;
+  obs::Counter& bytes;
+  obs::Counter& retransmissions;
+  obs::Gauge& modeled_bandwidth_Bps;  ///< last sampled effective speed
+  obs::Histogram& queue_wait_us;      ///< modeled wait behind earlier transfers
+};
+
+LinkMetrics& link_metrics() {
+  auto& r = obs::MetricsRegistry::global();
+  static LinkMetrics m{r.counter("acex.netsim.link.transfers"),
+                       r.counter("acex.netsim.link.bytes"),
+                       r.counter("acex.netsim.link.retransmissions"),
+                       r.gauge("acex.netsim.link.modeled_bandwidth_Bps"),
+                       r.histogram("acex.netsim.link.queue_wait_us")};
+  return m;
+}
 
 }  // namespace
 
@@ -109,6 +128,15 @@ TransferResult SimLink::transmit(std::size_t bytes, Seconds now) {
 
   result.delivered = result.started + serialize + params_.latency_s;
   busy_until_ = result.started + serialize;  // latency overlaps pipelining
+
+  LinkMetrics& metrics = link_metrics();
+  metrics.transfers.add(1);
+  metrics.bytes.add(bytes);
+  metrics.retransmissions.add(
+      static_cast<std::uint64_t>(result.retransmissions));
+  metrics.modeled_bandwidth_Bps.set(
+      static_cast<std::int64_t>(result.effective_Bps));
+  metrics.queue_wait_us.record((result.started - now) * 1e6);
   return result;
 }
 

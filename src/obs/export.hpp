@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace acex::obs {
+
+/// Serialize a snapshot as JSON lines: one self-contained JSON object per
+/// instrument, ordered by full name. Machine-diffable — two snapshots of
+/// the same registry diff line-by-line, which is what the BENCH_*.json
+/// trajectory consumes. Doubles are printed with %.17g so values survive a
+/// parse round-trip bit-exactly.
+std::string to_json_lines(const MetricsSnapshot& snapshot);
+
+/// Serialize spans as JSON lines (one span per line), oldest first.
+std::string to_json_lines(const std::vector<SpanEvent>& spans);
+
+/// Parse to_json_lines(MetricsSnapshot) output back into a snapshot.
+/// Strict about the fields this library emits, tolerant of extra keys.
+/// Throws DecodeError on malformed input. Together with to_json_lines this
+/// round-trips: parse(export(s)) compares equal to s, point for point.
+MetricsSnapshot parse_json_lines(std::string_view text);
+
+/// Render a snapshot in the Prometheus text exposition format. Dotted
+/// names are sanitized to underscores; histograms become cumulative
+/// `_bucket{le="..."}` series (empty buckets elided) plus `_sum` and
+/// `_count`. The same snapshot always renders the same text, so the
+/// JSON-lines and Prometheus exporters can be cross-checked against each
+/// other.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// `name` with every character outside [a-zA-Z0-9_:] replaced by '_' — the
+/// Prometheus metric-name alphabet.
+std::string prometheus_name(std::string_view name);
+
+/// Human-oriented rendering of a snapshot: counters and gauges aligned,
+/// histograms as count/mean/p50/p90/p99/max rows. What `acexstat` and
+/// `acexpack --stats` print.
+std::string to_text(const MetricsSnapshot& snapshot);
+
+}  // namespace acex::obs

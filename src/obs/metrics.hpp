@@ -1,0 +1,235 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acex::obs {
+
+/// Process-wide kill switch for every instrument. Checked with one relaxed
+/// load on each hot-path operation, so disabling observability reduces an
+/// increment to a branch — the overhead-budget test in test_obs.cpp holds
+/// both states to a cycle budget (DESIGN.md §9).
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+inline bool enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+/// Lock-free add for doubles (std::atomic<double>::fetch_add is C++20 but
+/// spotty across toolchains; the CAS loop is portable and equivalent).
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x < cur && !target.compare_exchange_weak(cur, x,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& target, double x) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (x > cur && !target.compare_exchange_weak(cur, x,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic event count. add() is one relaxed atomic RMW — safe from any
+/// thread, never locks. Callers cache the reference returned by
+/// MetricsRegistry::counter() so the registry lookup is paid once, not per
+/// increment (handle caching).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, window occupancy, modeled bandwidth).
+/// Signed so transient imbalances in add/sub pairs cannot wrap.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n = 1) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n = 1) noexcept {
+    if (!enabled()) return;
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Everything a histogram knows at one instant, extracted under no lock
+/// (each field is a relaxed atomic read; a snapshot taken during concurrent
+/// recording is a consistent-enough view for monitoring, not an exact cut).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< 0 when empty
+  double max = 0;
+  std::vector<std::uint64_t> buckets;
+
+  /// Approximate quantile (0 <= q <= 1) from log-scale bucket midpoints.
+  double quantile(double q) const noexcept;
+  double p50() const noexcept { return quantile(0.50); }
+  double p90() const noexcept { return quantile(0.90); }
+  double p99() const noexcept { return quantile(0.99); }
+  double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-bucket log-scale histogram for non-negative values (latencies in
+/// microseconds, sizes in bytes). record() is wait-free: a log2, then
+/// relaxed atomic RMWs — no locks, safe from any thread.
+///
+/// Buckets are half-octaves: bucket 0 holds [0, 1), bucket i holds
+/// [2^((i-1)/2), 2^(i/2)), and the last bucket catches everything from
+/// 2^31 up (~36 minutes when recording microseconds). Half-octave
+/// resolution bounds the quantile error at a factor of sqrt(2) — plenty to
+/// tell a 50 us encode from a 5 ms one, which is the job.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(double v) noexcept;
+
+  /// Lower edge of bucket `i` (0 for the first bucket).
+  static double bucket_lower(std::size_t i) noexcept;
+  /// Index of the bucket `v` lands in.
+  static std::size_t bucket_index(double v) noexcept;
+
+  HistogramSnapshot snapshot() const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0};
+};
+
+/// One exported sample: an instrument's identity plus its value at
+/// snapshot time. `label_key`/`label_value` carry the optional single
+/// dimension (e.g. method="lempel-ziv") the registry supports.
+struct MetricPoint {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::string label_key;
+  std::string label_value;
+  std::uint64_t counter = 0;  ///< kCounter
+  std::int64_t gauge = 0;     ///< kGauge
+  HistogramSnapshot hist;     ///< kHistogram
+
+  /// "name" or "name{key=\"value\"}" — the registry's unique key.
+  std::string full_name() const;
+};
+
+/// A self-consistent view of every instrument, ordered by full name so two
+/// snapshots of the same registry diff cleanly (the JSON-lines exporter
+/// relies on this for the bench trajectory).
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+
+  /// Lookup by full name; nullptr when absent.
+  const MetricPoint* find(std::string_view full_name) const noexcept;
+};
+
+/// Process-wide instrument directory. Lookup by name takes a mutex;
+/// instruments live for the registry's lifetime at stable addresses, so
+/// every caller does the lookup once (static local or member) and then
+/// increments lock-free forever after. reset_values() zeroes instruments
+/// in place — cached references stay valid — which is how the CLI tools
+/// and tests scope measurements to one run.
+class MetricsRegistry {
+ public:
+  /// The singleton every built-in layer records into. Separate registries
+  /// can be constructed for isolation (tests, embedded use).
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The same (name, label) always returns the same
+  /// instrument; a name already registered as a different kind throws
+  /// ConfigError. Names use dotted lowercase ("acex.engine.queue_depth");
+  /// the Prometheus exporter sanitizes on the way out.
+  Counter& counter(std::string_view name, std::string_view label_key = {},
+                   std::string_view label_value = {});
+  Gauge& gauge(std::string_view name, std::string_view label_key = {},
+               std::string_view label_value = {});
+  Histogram& histogram(std::string_view name, std::string_view label_key = {},
+                       std::string_view label_value = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every instrument's value, keeping the instruments (and every
+  /// cached reference to them) alive.
+  void reset_values();
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricPoint::Kind kind;
+    std::string name, label_key, label_value;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry_for(MetricPoint::Kind kind, std::string_view name,
+                   std::string_view label_key, std::string_view label_value);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< key = MetricPoint::full_name()
+};
+
+}  // namespace acex::obs

@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include "util/error.hpp"
+
+namespace acex::obs {
+
+std::string_view stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kPlan:
+      return "plan";
+    case Stage::kEncode:
+      return "encode";
+    case Stage::kFinish:
+      return "finish";
+    case Stage::kTransmit:
+      return "transmit";
+    case Stage::kDecode:
+      return "decode";
+    case Stage::kDeliver:
+      return "deliver";
+  }
+  return "unknown";
+}
+
+namespace {
+thread_local std::int32_t t_current_worker = -1;
+}  // namespace
+
+std::int32_t current_worker() noexcept { return t_current_worker; }
+void set_current_worker(std::int32_t index) noexcept {
+  t_current_worker = index;
+}
+
+BlockTracer::BlockTracer(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()), capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw ConfigError("obs: tracer capacity must be positive");
+  }
+  ring_.reserve(capacity_);
+}
+
+double BlockTracer::now_us() const noexcept {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+void BlockTracer::record(std::uint64_t block, Stage stage, double start_us,
+                         double end_us, std::int32_t worker) {
+  SpanEvent span;
+  span.block = block;
+  span.stage = stage;
+  span.worker = worker;
+  span.start_us = start_us;
+  span.end_us = end_us;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+    return;
+  }
+  ring_[head_] = span;  // wrap: overwrite the oldest span
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<SpanEvent> BlockTracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanEvent> out;
+  out.reserve(ring_.size());
+  // Oldest first: [head_, end) then [0, head_).
+  for (std::size_t i = head_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::uint64_t BlockTracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t BlockTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void BlockTracer::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = on;
+}
+
+bool BlockTracer::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+void BlockTracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+BlockTracer& BlockTracer::global() {
+  static BlockTracer* tracer = new BlockTracer(4096);  // never destroyed
+  return *tracer;
+}
+
+}  // namespace acex::obs

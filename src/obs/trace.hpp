@@ -1,0 +1,123 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace acex::obs {
+
+/// The stations a block passes through end to end. Sender side: plan
+/// (serial selector), encode (worker thread), finish (driver bookkeeping),
+/// transmit (the transport send). Receiver side: decode, deliver.
+enum class Stage : std::uint8_t {
+  kPlan = 0,
+  kEncode,
+  kFinish,
+  kTransmit,
+  kDecode,
+  kDeliver,
+};
+
+std::string_view stage_name(Stage stage) noexcept;
+
+/// Worker identity for span attribution. Thread pools call
+/// set_current_worker(index) from each worker thread; code that records
+/// spans reads current_worker() without needing to know which pool (if
+/// any) it runs on. -1 means "not a pool worker" (driver, receiver, main).
+std::int32_t current_worker() noexcept;
+void set_current_worker(std::int32_t index) noexcept;
+
+/// One closed span: a block spent [start_us, end_us] in `stage`. Times are
+/// steady-clock microseconds relative to the tracer's epoch, so spans from
+/// different threads share one timeline. `worker` is the pool worker index
+/// that ran the stage, or -1 off-pool (driver/receiver threads).
+struct SpanEvent {
+  std::uint64_t block = 0;  ///< frame sequence number
+  Stage stage = Stage::kPlan;
+  std::int32_t worker = -1;
+  double start_us = 0;
+  double end_us = 0;
+
+  double duration_us() const noexcept { return end_us - start_us; }
+};
+
+/// Bounded ring of block-lifecycle spans. record() takes a short critical
+/// section (one mutex, a slot write) — spans fire per block-stage, orders
+/// of magnitude rarer than counter increments, so simplicity wins over a
+/// lock-free ring here; the TSan stress run is the referee. When the ring
+/// is full the oldest span is overwritten and `dropped()` counts it, so a
+/// long run degrades to "most recent history" instead of growing.
+class BlockTracer {
+ public:
+  explicit BlockTracer(std::size_t capacity = 4096);
+
+  /// Microseconds since this tracer's epoch on the steady clock — the
+  /// timestamp base every span uses.
+  double now_us() const noexcept;
+
+  /// Record a closed span. No-op while disabled.
+  void record(std::uint64_t block, Stage stage, double start_us, double end_us,
+              std::int32_t worker = -1);
+
+  /// Spans currently held, oldest first.
+  std::vector<SpanEvent> snapshot() const;
+
+  std::uint64_t recorded() const;  ///< spans accepted since construction
+  std::uint64_t dropped() const;   ///< spans overwritten by ring wrap
+
+  void set_enabled(bool on);
+  bool enabled() const;
+
+  /// Forget every span (counters included); capacity is kept.
+  void clear();
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// The tracer the built-in layers record into.
+  static BlockTracer& global();
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<SpanEvent> ring_;
+  std::size_t head_ = 0;        ///< next slot to write once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool enabled_ = true;
+};
+
+/// RAII span: times its own scope on the tracer's clock and records on
+/// destruction. The block sequence may be bound late (set_block) for
+/// stages that only learn it mid-flight (plan assigns the sequence at its
+/// end).
+class ScopedSpan {
+ public:
+  ScopedSpan(BlockTracer& tracer, std::uint64_t block, Stage stage,
+             std::int32_t worker = -1)
+      : tracer_(&tracer),
+        block_(block),
+        stage_(stage),
+        worker_(worker),
+        start_us_(tracer.now_us()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    tracer_->record(block_, stage_, start_us_, tracer_->now_us(), worker_);
+  }
+
+  void set_block(std::uint64_t block) noexcept { block_ = block; }
+
+ private:
+  BlockTracer* tracer_;
+  std::uint64_t block_;
+  Stage stage_;
+  std::int32_t worker_;
+  double start_us_;
+};
+
+}  // namespace acex::obs

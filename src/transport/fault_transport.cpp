@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace acex::transport {
+namespace {
+
+/// Mirrors FaultCounters one-for-one onto the metrics registry so a
+/// snapshot can be cross-checked against the injector's own tallies
+/// (acexstat does exactly that). Process-wide across injector instances.
+struct FaultMetrics {
+  obs::Counter& messages;
+  obs::Counter& drops;
+  obs::Counter& reorders;
+  obs::Counter& duplicates;
+  obs::Counter& bit_flips;
+  obs::Counter& truncations;
+  obs::Counter& clean;
+};
+
+FaultMetrics& fault_metrics() {
+  auto& r = obs::MetricsRegistry::global();
+  static FaultMetrics m{r.counter("acex.transport.fault.messages"),
+                        r.counter("acex.transport.fault.drops"),
+                        r.counter("acex.transport.fault.reorders"),
+                        r.counter("acex.transport.fault.duplicates"),
+                        r.counter("acex.transport.fault.bit_flips"),
+                        r.counter("acex.transport.fault.truncations"),
+                        r.counter("acex.transport.fault.clean")};
+  return m;
+}
+
+}  // namespace
 
 FaultInjectingTransport::FaultInjectingTransport(Transport& inner,
                                                  FaultConfig config)
@@ -20,25 +50,31 @@ void FaultInjectingTransport::deliver(ByteView message) {
 }
 
 void FaultInjectingTransport::send(ByteView message) {
+  FaultMetrics& metrics = fault_metrics();
   ++counters_.messages;
+  metrics.messages.add(1);
 
   if (rng_.chance(config_.drop_prob)) {
     ++counters_.drops;
+    metrics.drops.add(1);
     return;
   }
   if (!held_ && rng_.chance(config_.reorder_prob)) {
     ++counters_.reorders;
+    metrics.reorders.add(1);
     held_.emplace(message.begin(), message.end());
     return;
   }
   if (rng_.chance(config_.duplicate_prob)) {
     ++counters_.duplicates;
+    metrics.duplicates.add(1);
     deliver(message);
     inner_->send(message);
     return;
   }
   if (rng_.chance(config_.bit_flip_prob) && !message.empty()) {
     ++counters_.bit_flips;
+    metrics.bit_flips.add(1);
     Bytes damaged(message.begin(), message.end());
     const int flips =
         1 + static_cast<int>(rng_.below(
@@ -52,6 +88,7 @@ void FaultInjectingTransport::send(ByteView message) {
   }
   if (rng_.chance(config_.truncate_prob) && !message.empty()) {
     ++counters_.truncations;
+    metrics.truncations.add(1);
     Bytes damaged(message.begin(), message.end());
     damaged.resize(rng_.below(damaged.size()));
     deliver(damaged);
@@ -59,6 +96,7 @@ void FaultInjectingTransport::send(ByteView message) {
   }
 
   ++counters_.clean;
+  metrics.clean.add(1);
   deliver(message);
 }
 

@@ -4,9 +4,27 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace acex::transport {
+namespace {
+
+struct LimiterMetrics {
+  obs::Counter& bytes;        ///< payload bytes admitted
+  obs::Counter& throttles;    ///< sends that had to wait for refill
+  obs::Counter& throttle_us;  ///< cumulative modeled wait charged to senders
+};
+
+LimiterMetrics& limiter_metrics() {
+  auto& r = obs::MetricsRegistry::global();
+  static LimiterMetrics m{r.counter("acex.transport.limit.bytes"),
+                          r.counter("acex.transport.limit.throttles"),
+                          r.counter("acex.transport.limit.throttle_us")};
+  return m;
+}
+
+}  // namespace
 
 RateLimitedTransport::RateLimitedTransport(Transport& inner,
                                            double bytes_per_second,
@@ -29,15 +47,25 @@ void RateLimitedTransport::send(ByteView message) {
   // messages larger than the burst still progress), but the next send
   // waits until the deficit refills — the long-run average is exactly
   // `rate_`, with at most one `burst_` of slack.
+  const Seconds wait_start = inner_->clock().now();
+  bool throttled = false;
   for (;;) {
     const Seconds now = inner_->clock().now();
     tokens_ = std::min(burst_, tokens_ + (now - last_refill_) * rate_);
     last_refill_ = now;
     if (tokens_ >= 0) break;
+    throttled = true;
     std::this_thread::sleep_for(
         std::chrono::duration<double>(std::min(-tokens_ / rate_, 0.05)));
   }
   tokens_ -= static_cast<double>(message.size());
+  LimiterMetrics& metrics = limiter_metrics();
+  metrics.bytes.add(message.size());
+  if (throttled) {
+    metrics.throttles.add(1);
+    metrics.throttle_us.add(static_cast<std::uint64_t>(
+        (inner_->clock().now() - wait_start) * 1e6));
+  }
   inner_->send(message);
 }
 

@@ -1,8 +1,28 @@
 #include "transport/retransmit.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace acex::transport {
+namespace {
+
+struct RingMetrics {
+  obs::Counter& stores;
+  obs::Counter& replays;
+  obs::Counter& evictions;
+  obs::Counter& refusals;
+};
+
+RingMetrics& ring_metrics() {
+  auto& r = obs::MetricsRegistry::global();
+  static RingMetrics m{r.counter("acex.transport.ring.stores"),
+                       r.counter("acex.transport.ring.replays"),
+                       r.counter("acex.transport.ring.evictions"),
+                       r.counter("acex.transport.ring.refusals")};
+  return m;
+}
+
+}  // namespace
 
 RetransmitRing::RetransmitRing(std::size_t capacity, int max_retries)
     : capacity_(capacity), max_retries_(max_retries) {
@@ -15,8 +35,10 @@ void RetransmitRing::store(std::uint64_t seq, Bytes wire) {
   if (slots_.size() == capacity_) {
     slots_.pop_front();
     ++evictions_;
+    ring_metrics().evictions.add(1);
   }
   slots_.push_back(Slot{seq, std::move(wire), 0});
+  ring_metrics().stores.add(1);
 }
 
 const Bytes* RetransmitRing::replay(std::uint64_t seq) {
@@ -24,13 +46,16 @@ const Bytes* RetransmitRing::replay(std::uint64_t seq) {
     if (slot.seq != seq) continue;
     if (slot.retries >= max_retries_) {
       ++refusals_;
+      ring_metrics().refusals.add(1);
       return nullptr;
     }
     ++slot.retries;
     ++replays_;
+    ring_metrics().replays.add(1);
     return &slot.wire;
   }
   ++refusals_;
+  ring_metrics().refusals.add(1);
   return nullptr;
 }
 

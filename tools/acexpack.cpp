@@ -1,8 +1,11 @@
 // acexpack — file compression CLI over the acex codecs and frame format.
 //
-//   acexpack c [-m METHOD] [-b BLOCK_KIB] [-j JOBS] INPUT OUTPUT   compress
+//   acexpack c [-m METHOD] [-b BLOCK_KIB] [-j JOBS] [--stats] INPUT OUTPUT
 //   acexpack d INPUT OUTPUT                                        decompress
 //   acexpack bench INPUT                                           measure all
+//
+// --stats prints the process metrics registry (per-method block timings,
+// worker-pool gauges) after the run — the same snapshot acexstat renders.
 //
 // METHOD: none | huffman | arithmetic | lempel-ziv | burrows-wheeler |
 //         lzw | auto (default: per-block sampling-based choice, as §2.5 does
@@ -29,6 +32,8 @@
 #include "compress/registry.hpp"
 #include "engine/block_pipeline.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/varint.hpp"
 
@@ -68,9 +73,7 @@ MethodId choose_auto(const adaptive::Sampler& sampler, ByteView block) {
   return MethodId::kNone;
 }
 
-/// One block framed with METHOD, or with whichever method packs smallest
-/// when `best` is set.  Runs on worker threads: touches no shared state.
-Bytes pack_block(ByteView block, MethodId method, bool best) {
+Bytes pack_block_inner(ByteView block, MethodId method, bool best) {
   if (!best) return frame_compress(*make_codec(method), block);
   Bytes framed;
   for (const MethodId m :
@@ -84,6 +87,20 @@ Bytes pack_block(ByteView block, MethodId method, bool best) {
   return framed;
 }
 
+/// One block framed with METHOD, or with whichever method packs smallest
+/// when `best` is set.  Runs on worker threads: the obs instruments it
+/// feeds are lock-free and process-wide (--stats renders them).
+Bytes pack_block(ByteView block, MethodId method, bool best) {
+  MonotonicClock clock;
+  const Stopwatch sw(clock);
+  Bytes framed = pack_block_inner(block, method, best);
+  obs::MetricsRegistry::global()
+      .histogram("acex.pack.block_us", "method",
+                 best ? "best" : method_name(method))
+      .record(sw.elapsed() * 1e6);
+  return framed;
+}
+
 /// Worker jobs must not throw; carry codec failures back to the driver.
 struct PackResult {
   Bytes framed;
@@ -91,7 +108,7 @@ struct PackResult {
 };
 
 int cmd_compress(const std::string& method_arg, std::size_t block_size,
-                 std::size_t jobs, const std::string& input,
+                 std::size_t jobs, bool stats, const std::string& input,
                  const std::string& output) {
   const Bytes data = read_file(input);
   const adaptive::Sampler sampler(4096);
@@ -165,6 +182,11 @@ int cmd_compress(const std::string& method_arg, std::size_t block_size,
                   counts[m]);
     }
   }
+  if (stats) {
+    std::printf("\n");
+    std::fputs(obs::to_text(obs::MetricsRegistry::global().snapshot()).c_str(),
+               stdout);
+  }
   return 0;
 }
 
@@ -220,12 +242,14 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  acexpack c [-m METHOD] [-b BLOCK_KIB] [-j JOBS] INPUT OUTPUT\n"
+      "  acexpack c [-m METHOD] [-b BLOCK_KIB] [-j JOBS] [--stats] INPUT "
+      "OUTPUT\n"
       "  acexpack d INPUT OUTPUT\n"
       "  acexpack bench INPUT\n"
       "METHOD: %s\n"
       "JOBS: worker threads for block compression (0 = all hardware "
-      "threads)\n",
+      "threads)\n"
+      "--stats: print the metrics-registry snapshot after compressing\n",
       kValidMethods);
   return 2;
 }
@@ -265,8 +289,14 @@ int main(int argc, char** argv) {
       std::string method = "auto";
       std::size_t block_kib = 128;
       std::size_t jobs = 1;
+      bool stats = false;
       std::size_t i = 1;
       while (i < args.size() && args[i].size() >= 2 && args[i][0] == '-') {
+        if (args[i] == "--stats") {
+          stats = true;
+          i += 1;
+          continue;
+        }
         if (i + 1 >= args.size()) return usage();
         if (args[i] == "-m") {
           method = args[i + 1];
@@ -286,7 +316,8 @@ int main(int argc, char** argv) {
                      method.c_str(), kValidMethods);
         return 2;
       }
-      return cmd_compress(method, block_kib * 1024, jobs, args[i], args[i + 1]);
+      return cmd_compress(method, block_kib * 1024, jobs, stats, args[i],
+                          args[i + 1]);
     }
     if (cmd == "d") {
       if (args.size() != 3) return usage();

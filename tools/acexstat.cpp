@@ -1,0 +1,305 @@
+// acexstat — observability smoke tool: drives a parallel adaptive stream
+// over a fault-injecting simulated link, then prints the metrics registry
+// and block-lifecycle trace that run produced (DESIGN.md §9).
+//
+//   acexstat [-w WORKERS] [-n BLOCKS] [-b BLOCK_KIB] [-s SEED]
+//            [--json PATH] [--prom PATH] [--spans]
+//
+// The run itself doubles as a consistency check: the obs counters mirrored
+// by FaultInjectingTransport must match the injector's own tallies exactly,
+// the NACK/retransmit counters must match the sender/receiver bookkeeping,
+// and every histogram must satisfy p50 <= p99. Any violation exits 1 —
+// CI runs this binary as a test.
+//
+// --json / --prom write the same snapshot through the JSON-lines or
+// Prometheus exporter ("-" for stdout); --spans dumps the raw span ring.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adaptive/pipeline.hpp"
+#include "engine/parallel_sender.hpp"
+#include "netsim/link.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "transport/fault_transport.hpp"
+#include "transport/sim_transport.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace acex;
+
+struct Options {
+  std::size_t workers = 8;
+  std::size_t blocks = 64;
+  std::size_t block_kib = 4;
+  std::uint64_t seed = 17;
+  std::string json_path;  // empty = off, "-" = stdout
+  std::string prom_path;
+  bool dump_spans = false;
+};
+
+netsim::LinkParams flat_link(double bps) {
+  netsim::LinkParams p;
+  p.bandwidth_Bps = bps;
+  p.jitter_frac = 0;
+  p.latency_s = 0;
+  return p;
+}
+
+/// Deterministic test payload: repetitive text with a pseudo-random block
+/// mixed in every fourth block, so the selector exercises several methods.
+Bytes make_payload(std::size_t blocks, std::size_t block_size,
+                   std::uint64_t seed) {
+  Bytes data;
+  data.reserve(blocks * block_size);
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+  const char* words[] = {"exchange ", "configurable ", "compression ",
+                         "adaptive "};
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (b % 4 == 3) {
+      for (std::size_t i = 0; i < block_size; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        data.push_back(static_cast<std::uint8_t>(x));
+      }
+    } else {
+      while (data.size() < (b + 1) * block_size) {
+        const char* w = words[(b + data.size() / 16) % 4];
+        for (const char* c = w; *c && data.size() < (b + 1) * block_size; ++c) {
+          data.push_back(static_cast<std::uint8_t>(*c));
+        }
+      }
+    }
+  }
+  return data;
+}
+
+void write_output(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot create " + path);
+  out << text;
+  if (!out) throw IoError("failed writing " + path);
+}
+
+/// One cross-check line; returns false (and complains) on mismatch.
+bool check_eq(const char* what, std::uint64_t obs_value,
+              std::uint64_t expected, int& failures) {
+  if (obs_value == expected) return true;
+  std::fprintf(stderr, "acexstat: MISMATCH %s: obs=%llu expected=%llu\n", what,
+               static_cast<unsigned long long>(obs_value),
+               static_cast<unsigned long long>(expected));
+  ++failures;
+  return false;
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snapshot,
+                            const std::string& name) {
+  const obs::MetricPoint* p = snapshot.find(name);
+  return p ? p->counter : 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: acexstat [-w WORKERS] [-n BLOCKS] [-b BLOCK_KIB] "
+               "[-s SEED] [--json PATH] [--prom PATH] [--spans]\n");
+  return 2;
+}
+
+int run(const Options& opt) {
+  // Scope every series to this run (the instruments themselves are
+  // process-wide and permanent; only the values reset).
+  obs::MetricsRegistry::global().reset_values();
+  obs::BlockTracer::global().clear();
+
+  VirtualClock clock;
+  netsim::SimLink forward(flat_link(5e6), opt.seed);
+  netsim::SimLink reverse(flat_link(1e9), opt.seed + 1);
+  transport::SimDuplex duplex(forward, reverse, clock);
+
+  transport::FaultConfig faults;
+  faults.bit_flip_prob = 0.02;
+  faults.drop_prob = 0.01;
+  faults.duplicate_prob = 0.01;
+  faults.reorder_prob = 0.02;
+  faults.seed = opt.seed;
+  transport::FaultInjectingTransport lossy(duplex.a(), faults);
+
+  adaptive::AdaptiveConfig config;
+  config.async_sampling = false;  // deterministic
+  config.decision.block_size = opt.block_kib * 1024;
+  config.decision.sample_size = std::min<std::size_t>(1024, opt.block_kib * 1024);
+  config.worker_threads = opt.workers;
+  config.retransmit_capacity = opt.blocks + 8;  // keep every frame replayable
+  config.retransmit_max_retries = 4;
+  engine::ParallelSender sender(lossy, config);
+  adaptive::AdaptiveReceiver rx(duplex.b(),
+                                {adaptive::RecoveryPolicy::kNack, 4});
+
+  const Bytes data =
+      make_payload(opt.blocks, config.decision.block_size, opt.seed);
+  const adaptive::StreamReport stream = sender.send_all(data);
+  lossy.flush();
+
+  std::map<std::uint64_t, Bytes> recovered;
+  const auto absorb = [&](const adaptive::ReceiveReport& report) {
+    for (const adaptive::FrameOutcome& f : report.frames) {
+      if (f.status == adaptive::FrameOutcome::Status::kOk) {
+        recovered.emplace(f.sequence, f.data);
+      }
+    }
+  };
+  absorb(rx.receive_report());
+
+  std::uint64_t nacks_issued = 0;
+  for (int round = 0; round < 16; ++round) {
+    const std::vector<std::uint64_t> nacks = rx.take_nacks();
+    if (nacks.empty()) break;
+    nacks_issued += nacks.size();
+    sender.sender().retransmit(nacks);
+    lossy.flush();
+    absorb(rx.receive_report());
+  }
+
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::global().snapshot();
+  const std::vector<obs::SpanEvent> spans = obs::BlockTracer::global().snapshot();
+
+  // ------------------------------------------------ consistency checks
+  int failures = 0;
+  const transport::FaultCounters& c = lossy.counters();
+  check_eq("fault.messages",
+           counter_value(snapshot, "acex.transport.fault.messages"),
+           c.messages, failures);
+  check_eq("fault.drops", counter_value(snapshot, "acex.transport.fault.drops"),
+           c.drops, failures);
+  check_eq("fault.reorders",
+           counter_value(snapshot, "acex.transport.fault.reorders"), c.reorders,
+           failures);
+  check_eq("fault.duplicates",
+           counter_value(snapshot, "acex.transport.fault.duplicates"),
+           c.duplicates, failures);
+  check_eq("fault.bit_flips",
+           counter_value(snapshot, "acex.transport.fault.bit_flips"),
+           c.bit_flips, failures);
+  check_eq("fault.truncations",
+           counter_value(snapshot, "acex.transport.fault.truncations"),
+           c.truncations, failures);
+  check_eq("fault.clean", counter_value(snapshot, "acex.transport.fault.clean"),
+           c.clean, failures);
+  check_eq("rx.nacks_issued",
+           counter_value(snapshot, "acex.adaptive.rx.nacks_issued"),
+           nacks_issued, failures);
+  check_eq("tx.retransmits",
+           counter_value(snapshot, "acex.adaptive.retransmits"),
+           sender.sender().degradation().retransmits, failures);
+  check_eq("blocks", counter_value(snapshot, "acex.adaptive.blocks"),
+           stream.blocks.size(), failures);
+
+  for (const obs::MetricPoint& point : snapshot.points) {
+    if (point.kind != obs::MetricPoint::Kind::kHistogram) continue;
+    if (point.hist.count == 0) continue;
+    if (!(point.hist.p50() <= point.hist.p99())) {
+      std::fprintf(stderr, "acexstat: INSANE QUANTILES %s: p50=%g > p99=%g\n",
+                   point.full_name().c_str(), point.hist.p50(),
+                   point.hist.p99());
+      ++failures;
+    }
+  }
+
+  // ------------------------------------------------------------ output
+  std::printf("acexstat: %zu blocks x %zu KiB, %zu workers, seed %llu\n",
+              opt.blocks, opt.block_kib, sender.worker_count(),
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("recovered %zu/%zu blocks, %llu NACKs issued\n\n",
+              recovered.size(), stream.blocks.size(),
+              static_cast<unsigned long long>(nacks_issued));
+  std::fputs(obs::to_text(snapshot).c_str(), stdout);
+
+  // Per-stage span digest: the block lifecycle at a glance.
+  std::map<obs::Stage, std::pair<std::uint64_t, double>> stages;
+  for (const obs::SpanEvent& span : spans) {
+    auto& [count, total] = stages[span.stage];
+    ++count;
+    total += span.duration_us();
+  }
+  std::printf("\nspans (%llu recorded, %llu dropped by ring wrap)\n",
+              static_cast<unsigned long long>(obs::BlockTracer::global().recorded()),
+              static_cast<unsigned long long>(obs::BlockTracer::global().dropped()));
+  for (const auto& [stage, acc] : stages) {
+    std::printf("  %-10s %8llu spans  mean %10.1f us\n",
+                std::string(obs::stage_name(stage)).c_str(),
+                static_cast<unsigned long long>(acc.first),
+                acc.first ? acc.second / static_cast<double>(acc.first) : 0.0);
+  }
+
+  if (opt.dump_spans) {
+    std::fputs("\n", stdout);
+    std::fputs(obs::to_json_lines(spans).c_str(), stdout);
+  }
+  if (!opt.json_path.empty()) {
+    write_output(opt.json_path,
+                 obs::to_json_lines(snapshot) + obs::to_json_lines(spans));
+  }
+  if (!opt.prom_path.empty()) {
+    write_output(opt.prom_path, obs::to_prometheus(snapshot));
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "acexstat: %d consistency check(s) FAILED\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw ConfigError(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "-w") {
+        opt.workers = std::stoul(next());
+      } else if (arg == "-n") {
+        opt.blocks = std::stoul(next());
+        if (opt.blocks == 0) throw ConfigError("-n must be > 0");
+      } else if (arg == "-b") {
+        opt.block_kib = std::stoul(next());
+        if (opt.block_kib == 0) throw ConfigError("-b must be > 0");
+      } else if (arg == "-s") {
+        opt.seed = std::stoull(next());
+      } else if (arg == "--json") {
+        opt.json_path = next();
+      } else if (arg == "--prom") {
+        opt.prom_path = next();
+      } else if (arg == "--spans") {
+        opt.dump_spans = true;
+      } else {
+        return usage();
+      }
+    }
+    return run(opt);
+  } catch (const acex::Error& e) {
+    std::fprintf(stderr, "acexstat: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acexstat: internal error: %s\n", e.what());
+    return 1;
+  }
+}
