@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/varint.hpp"
 
@@ -9,11 +10,16 @@ namespace acex::echo {
 namespace {
 
 // Message discriminators on the bridged transport. kMsgEvent is the legacy
-// unsequenced envelope; senders now emit kMsgEventSeq, but receivers keep
-// accepting both so pre-sequence peers interoperate.
+// unsequenced envelope and kMsgEventSeq the sequence-only one; senders now
+// emit kMsgEventSeqCrc (sequence + body CRC), but receivers keep accepting
+// all three so older peers interoperate. The CRC exists because a bit flip
+// inside the event body can survive deserialization: without it the
+// corrupted event is delivered as genuine AND consumes its sequence, so
+// the ring's clean copy is later dup-dropped (found by `acexfuzz --soak`).
 constexpr std::uint8_t kMsgEvent = 0;
 constexpr std::uint8_t kMsgControl = 1;
 constexpr std::uint8_t kMsgEventSeq = 2;
+constexpr std::uint8_t kMsgEventSeqCrc = 3;
 
 Bytes wrap(std::uint8_t kind, ByteView body) {
   Bytes out;
@@ -25,10 +31,16 @@ Bytes wrap(std::uint8_t kind, ByteView body) {
 
 Bytes wrap_seq(std::uint64_t seq, ByteView body) {
   Bytes out;
-  out.reserve(body.size() + 10);
-  out.push_back(kMsgEventSeq);
+  out.reserve(body.size() + 14);
+  out.push_back(kMsgEventSeqCrc);
   put_varint(out, seq);
   out.insert(out.end(), body.begin(), body.end());
+  // Trailing CRC over the sequence varint AND the body: a flipped bit in
+  // either must read as corruption, never as a different valid message.
+  const std::uint32_t crc = crc32(ByteView(out).subspan(1));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
   return out;
 }
 
@@ -162,7 +174,7 @@ std::size_t ChannelReceiver::poll(std::size_t max_events) {
       } catch (const Error&) {
         ++corrupt_;
       }
-    } else if (kind == kMsgEventSeq) {
+    } else if (kind == kMsgEventSeq || kind == kMsgEventSeqCrc) {
       std::size_t pos = 1;
       try {
         const std::uint64_t seq = get_varint(*message, &pos);
@@ -173,11 +185,30 @@ std::size_t ChannelReceiver::poll(std::size_t max_events) {
           // like. Reject before it can poison gap tracking.
           throw DecodeError("bridge: implausible sequence");
         }
+        std::size_t body_end = message->size();
+        if (kind == kMsgEventSeqCrc) {
+          // Verify the trailing CRC before trusting anything — including
+          // the sequence just parsed. A damaged message must surface as a
+          // gap to NACK, not as a delivered event or a consumed sequence.
+          if (message->size() - pos < 4) {
+            throw DecodeError("bridge: event crc truncated");
+          }
+          body_end = message->size() - 4;
+          std::uint32_t crc = 0;
+          for (int i = 0; i < 4; ++i) {
+            crc |=
+                static_cast<std::uint32_t>((*message)[body_end + i]) << (8 * i);
+          }
+          if (crc32(ByteView(*message).subspan(1, body_end - 1)) != crc) {
+            throw DecodeError("bridge: event crc mismatch");
+          }
+        }
         if (already_delivered(seq)) {
           ++duplicates_;
           continue;
         }
-        Event event = deserialize_event(ByteView(*message).subspan(pos));
+        Event event =
+            deserialize_event(ByteView(*message).subspan(pos, body_end - pos));
         // Commit sequence tracking only after the body deserialized: the
         // varint carries no integrity check of its own, so a seq whose
         // message is detectably corrupt must not move max_seen_. The
@@ -226,7 +257,16 @@ std::size_t ChannelReceiver::signal_nacks() {
   std::vector<std::uint64_t> request;
   for (const std::uint64_t seq : missing()) {
     int& attempts = nack_attempts_[seq];
-    if (attempts >= nack_retry_cap_) continue;  // lost for good
+    if (attempts >= nack_retry_cap_) {
+      // Lost for good. Settle the sequence so the delivery cursor can move
+      // past it: left unsettled, one dead sequence pins next_contiguous_
+      // forever, and once live traffic runs gap_window ahead of the pinned
+      // cursor every later event is rejected as implausible — a permanent
+      // wedge (found by `acexfuzz --soak`).
+      ++abandoned_;
+      mark_delivered(seq);
+      continue;
+    }
     ++attempts;
     request.push_back(seq);
   }

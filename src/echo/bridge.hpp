@@ -80,7 +80,9 @@ class ChannelSender {
 /// and gaps — dropped upstream, or corrupted so the sequence cannot be
 /// trusted — are recorded as missing once later sequences arrive.
 /// signal_nacks() requests them again over the control path; sequences
-/// past the retry cap are abandoned.
+/// past the retry cap are abandoned AND settled — the delivery cursor
+/// skips them so one unrecoverable event cannot wedge the gap window
+/// (and with it all later traffic) forever.
 class ChannelReceiver {
  public:
   /// `gap_window` bounds how far ahead of the delivery cursor a wire
@@ -115,6 +117,8 @@ class ChannelReceiver {
   std::uint64_t duplicates_dropped() const noexcept { return duplicates_; }
   std::uint64_t corrupt_dropped() const noexcept { return corrupt_; }
   std::uint64_t nacks_signalled() const noexcept { return nacks_signalled_; }
+  /// Sequences given up on after the retry cap and skipped past.
+  std::uint64_t events_abandoned() const noexcept { return abandoned_; }
 
  private:
   bool already_delivered(std::uint64_t seq) const noexcept;
@@ -126,6 +130,7 @@ class ChannelReceiver {
   std::uint64_t duplicates_ = 0;
   std::uint64_t corrupt_ = 0;
   std::uint64_t nacks_signalled_ = 0;
+  std::uint64_t abandoned_ = 0;
   int nack_retry_cap_;
   std::uint64_t gap_window_;
 

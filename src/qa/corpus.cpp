@@ -1,0 +1,91 @@
+#include "qa/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace acex::qa {
+namespace fs = std::filesystem;
+
+Corpus::Corpus(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) throw ConfigError("corpus: directory must be non-empty");
+}
+
+std::string Corpus::save(std::string_view tag, ByteView input) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw IoError("corpus: cannot create " + dir_ + ": " + ec.message());
+
+  char name[64];
+  std::snprintf(name, sizeof name, "-%08x.bin", crc32(input));
+  const std::string path =
+      (fs::path(dir_) / (std::string(tag) + name)).string();
+  if (fs::exists(path)) return path;  // content-addressed: already saved
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("corpus: cannot create " + path);
+  out.write(reinterpret_cast<const char*>(input.data()),
+            static_cast<std::streamsize>(input.size()));
+  if (!out) throw IoError("corpus: failed writing " + path);
+  return path;
+}
+
+std::vector<std::string> Corpus::files() const {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+Bytes Corpus::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw IoError("corpus: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(data.data()), size);
+    if (!in) throw IoError("corpus: failed reading " + path);
+  }
+  return data;
+}
+
+Bytes minimize(Bytes input,
+               const std::function<bool(const Bytes&)>& still_interesting) {
+  if (!still_interesting(input)) return input;  // nothing to preserve
+  for (std::size_t chunk = std::max<std::size_t>(input.size() / 2, 1);
+       chunk >= 1; chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any && !input.empty()) {
+      removed_any = false;
+      for (std::size_t at = 0; at < input.size();) {
+        const std::size_t len = std::min(chunk, input.size() - at);
+        Bytes candidate;
+        candidate.reserve(input.size() - len);
+        candidate.insert(candidate.end(), input.begin(),
+                         input.begin() + static_cast<std::ptrdiff_t>(at));
+        candidate.insert(
+            candidate.end(),
+            input.begin() + static_cast<std::ptrdiff_t>(at + len),
+            input.end());
+        if (still_interesting(candidate)) {
+          input = std::move(candidate);
+          removed_any = true;  // retry from the same offset, input shrank
+        } else {
+          at += len;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return input;
+}
+
+}  // namespace acex::qa

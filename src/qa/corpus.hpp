@@ -1,0 +1,50 @@
+#pragma once
+
+// On-disk corpus of crash/interesting fuzz inputs (DESIGN.md §10). A
+// corpus entry is the raw input bytes, nothing else — replaying is just
+// feeding the file back through the oracle battery, so entries survive
+// tool versions and need no sidecar metadata. Filenames are
+// content-addressed (<tag>-<crc32>.bin): saving the same bytes twice is a
+// no-op, and the name doubles as an integrity check.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace acex::qa {
+
+/// A directory of persisted fuzz inputs. The directory is created lazily
+/// on the first save; a Corpus over a non-existent directory lists empty.
+class Corpus {
+ public:
+  explicit Corpus(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// Persist `input` under a content-addressed name; returns the path.
+  /// Saving identical bytes under the same tag reuses the existing file.
+  std::string save(std::string_view tag, ByteView input);
+
+  /// Every entry path in the corpus directory, sorted (deterministic
+  /// regression order).
+  std::vector<std::string> files() const;
+
+  /// Read one entry (any file) back; throws IoError when unreadable.
+  static Bytes load(const std::string& path);
+
+ private:
+  std::string dir_;
+};
+
+/// Greedy chunk-removal minimization: repeatedly delete chunks (halving
+/// the chunk size down to one byte) while `still_interesting` keeps
+/// returning true, yielding a locally minimal input that preserves the
+/// property. The predicate is called O(n log n / chunk) times; it must be
+/// deterministic for the result to be.
+Bytes minimize(Bytes input,
+               const std::function<bool(const Bytes&)>& still_interesting);
+
+}  // namespace acex::qa

@@ -1,0 +1,97 @@
+#include "qa/generators.hpp"
+
+#include "echo/event.hpp"
+#include "util/rng.hpp"
+#include "workloads/molecular.hpp"
+#include "workloads/transactions.hpp"
+
+namespace acex::qa {
+namespace {
+
+Bytes low_entropy(std::size_t size, Rng& rng) {
+  Bytes out(size);
+  for (auto& b : out) {
+    const double u = rng.uniform();
+    if (u < 0.55) {
+      b = 'e';
+    } else if (u < 0.8) {
+      b = static_cast<std::uint8_t>('a' + rng.below(4));
+    } else {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+  }
+  return out;
+}
+
+Bytes long_runs(std::size_t size, Rng& rng) {
+  Bytes out;
+  out.reserve(size);
+  while (out.size() < size) {
+    const auto b = static_cast<std::uint8_t>(rng.below(4));
+    const std::size_t run = 1 + rng.below(600);
+    out.insert(out.end(), std::min(run, size - out.size()), b);
+  }
+  return out;
+}
+
+Bytes high_bytes(std::size_t size, Rng& rng) {
+  // 253..255 everywhere: the RLE escape/sentinel machinery's worst case.
+  Bytes out(size);
+  for (auto& b : out) b = static_cast<std::uint8_t>(253 + rng.below(3));
+  return out;
+}
+
+Bytes periodic(std::size_t size, Rng& rng) {
+  const std::size_t period = 1 + rng.below(7);
+  const Bytes unit = rng.bytes(period);
+  Bytes out;
+  out.reserve(size + period);
+  while (out.size() < size) {
+    out.insert(out.end(), unit.begin(), unit.end());
+  }
+  out.resize(size);
+  return out;
+}
+
+}  // namespace
+
+std::vector<SeedInput> seed_payloads(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  workloads::TransactionGenerator transactions(seed);
+  workloads::MolecularConfig mc;
+  mc.atom_count = std::max<std::size_t>(16, size / 12);  // 12 B per coord row
+  mc.seed = seed;
+  workloads::MolecularGenerator molecular(mc);
+
+  std::vector<SeedInput> inputs;
+  inputs.push_back({"text", transactions.text_block(size)});
+  inputs.push_back({"low_entropy", low_entropy(size, rng)});
+  inputs.push_back({"runs", long_runs(size, rng)});
+  inputs.push_back({"high_bytes", high_bytes(size, rng)});
+  inputs.push_back({"periodic", periodic(size, rng)});
+  inputs.push_back({"random", rng.bytes(size)});
+  Bytes floats = molecular.coordinates_bytes();
+  if (floats.size() > size) floats.resize(size);
+  inputs.push_back({"float_like", std::move(floats)});
+  return inputs;
+}
+
+Bytes seed_pbio_stream(std::uint64_t seed) {
+  workloads::MolecularConfig config;
+  config.atom_count = 64;
+  config.seed = seed;
+  workloads::MolecularGenerator gen(config);
+  return gen.pbio_snapshot();
+}
+
+Bytes seed_event_wire(std::uint64_t seed) {
+  Rng rng(seed);
+  echo::Event event(rng.bytes(256 + rng.below(256)));
+  event.attributes.set_int("seq", static_cast<std::int64_t>(seed));
+  event.attributes.set_double("quality", 3.48);
+  event.attributes.set_string("channel", "qa-fuzz");
+  event.attributes.set_bytes("blob", rng.bytes(48));
+  return serialize_event(event);
+}
+
+}  // namespace acex::qa

@@ -1,0 +1,32 @@
+#pragma once
+
+// Deterministic seed inputs for the fuzzing subsystem: every statistical
+// regime the paper distinguishes (string repetitions, skewed byte
+// distributions, incompressible noise, runs, binary floats) plus the two
+// structured encodings the exchange path carries (PBIO record streams and
+// framed codec payloads). Everything is a pure function of the seed, so a
+// corpus entry or a --replay invocation regenerates bit-exactly.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace acex::qa {
+
+/// One named deterministic payload regime.
+struct SeedInput {
+  const char* tag;  ///< stable short name ("text", "runs", ...)
+  Bytes data;
+};
+
+/// Raw application payloads across regimes, each about `size` bytes.
+std::vector<SeedInput> seed_payloads(std::size_t size, std::uint64_t seed);
+
+/// A PBIO stream (format header + records) from the molecular workload.
+Bytes seed_pbio_stream(std::uint64_t seed);
+
+/// A serialized echo::Event carrying typed attributes and a payload.
+Bytes seed_event_wire(std::uint64_t seed);
+
+}  // namespace acex::qa

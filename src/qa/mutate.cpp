@@ -1,0 +1,338 @@
+#include "qa/mutate.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+
+namespace acex::qa {
+namespace {
+
+/// Bounded LEB128 scan: value + encoded length at `pos`, or nullopt when
+/// no well-formed varint starts there. Never throws — mutators must keep
+/// working on buffers that are already damaged.
+struct ScannedVarint {
+  std::uint64_t value = 0;
+  std::size_t length = 0;
+};
+
+std::optional<ScannedVarint> scan_varint(const Bytes& in,
+                                         std::size_t pos) noexcept {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (std::size_t i = pos; i < in.size() && shift < 64; ++i, shift += 7) {
+    const std::uint8_t byte = in[i];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return ScannedVarint{value, i - pos + 1};
+  }
+  return std::nullopt;
+}
+
+void append_varint(Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Values that straddle every LEB128 width boundary, plus the extremes.
+constexpr std::uint64_t kVarintBoundaries[] = {
+    0,
+    1,
+    0x7F,
+    0x80,
+    0x3FFF,
+    0x4000,
+    0x1FFFFF,
+    0x200000,
+    0xFFFFFFF,
+    0x10000000,
+    0xFFFFFFFFull,
+    0x100000000ull,
+    0xFFFFFFFFFFFFull,
+    0xFFFFFFFFFFFFFFFFull,
+};
+
+void flip_random_bit(Bytes& out, Rng& rng) {
+  if (out.empty()) return;
+  out[rng.below(out.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+}
+
+// ---------------------------------------------------------- frame layout
+
+constexpr std::size_t kFrameMethodPos = 3;  // "AX" + version byte
+
+/// Header geometry of a (possibly damaged) frame buffer. Positions are
+/// byte offsets into the buffer; `checksum_pos` is meaningful for v2 only.
+struct FrameLayout {
+  std::uint8_t version = 0;
+  std::size_t seq_pos = 0;       ///< v2 sequence varint (0 for v1)
+  std::size_t size_pos = 0;      ///< payload-size varint
+  std::size_t checksum_pos = 0;  ///< v2 header-checksum byte (0 for v1)
+  std::size_t payload_pos = 0;   ///< first payload byte
+};
+
+std::optional<FrameLayout> scan_frame(const Bytes& framed) noexcept {
+  if (framed.size() < 5 || framed[0] != 'A' || framed[1] != 'X') {
+    return std::nullopt;
+  }
+  FrameLayout layout;
+  layout.version = framed[2];
+  std::size_t pos = kFrameMethodPos + 1;
+  if (layout.version == 2) {
+    layout.seq_pos = pos;
+    const auto seq = scan_varint(framed, pos);
+    if (!seq) return std::nullopt;
+    pos += seq->length;
+  } else if (layout.version != 1) {
+    return std::nullopt;
+  }
+  layout.size_pos = pos;
+  const auto size = scan_varint(framed, pos);
+  if (!size) return std::nullopt;
+  pos += size->length;
+  if (layout.version == 2) {
+    layout.checksum_pos = pos++;
+  }
+  if (pos > framed.size()) return std::nullopt;
+  layout.payload_pos = pos;
+  return layout;
+}
+
+/// Recompute the v2 header checksum (XOR of every byte before it) after a
+/// field edit, so the mutation reaches the layers behind the gate.
+void fix_header_checksum(Bytes& framed) {
+  const auto layout = scan_frame(framed);
+  if (!layout || layout->version != 2 ||
+      layout->checksum_pos >= framed.size()) {
+    return;
+  }
+  std::uint8_t sum = 0;
+  for (std::size_t i = 0; i < layout->checksum_pos; ++i) sum ^= framed[i];
+  framed[layout->checksum_pos] = sum;
+}
+
+}  // namespace
+
+Bytes mutate(const Bytes& input, Rng& rng) {
+  Bytes out = input;
+  switch (rng.below(5)) {
+    case 0:  // bit flips
+      for (std::uint64_t i = 0, n = 1 + rng.below(8); i < n && !out.empty();
+           ++i) {
+        out[rng.below(out.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    case 1:  // truncate
+      out.resize(rng.below(out.size() + 1));
+      break;
+    case 2:  // splice random bytes
+      if (!out.empty()) {
+        const std::size_t at = rng.below(out.size());
+        const Bytes junk = rng.bytes(1 + rng.below(16));
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   junk.begin(), junk.end());
+      }
+      break;
+    case 3: {  // overwrite a window
+      if (!out.empty()) {
+        const std::size_t at = rng.below(out.size());
+        const std::size_t len = std::min<std::size_t>(
+            1 + rng.below(32), out.size() - at);
+        const Bytes junk = rng.bytes(len);
+        std::copy(junk.begin(), junk.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      break;
+    }
+    case 4:  // duplicate a window (confuses varint/sentinel scanners)
+      if (out.size() > 4) {
+        const std::size_t at = rng.below(out.size() - 4);
+        out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(at),
+                   out.begin() + static_cast<std::ptrdiff_t>(at + 4));
+      }
+      break;
+  }
+  return out;
+}
+
+Bytes mutate_varint_at(const Bytes& input, std::size_t pos, Rng& rng) {
+  const auto existing = scan_varint(input, pos);
+  if (!existing) return input;
+  Bytes replacement;
+  switch (rng.below(4)) {
+    case 0:  // width-boundary neighbour
+      append_varint(replacement,
+                    kVarintBoundaries[rng.below(std::size(kVarintBoundaries))]);
+      break;
+    case 1:  // random value, random width
+      append_varint(replacement, rng() >> rng.below(64));
+      break;
+    case 2: {  // overlong encoding of the original value
+      std::uint64_t v = existing->value;
+      do {
+        replacement.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+      } while (v != 0);
+      replacement.push_back(0x00);  // redundant terminator
+      break;
+    }
+    case 3:  // never-terminating varint
+      replacement.assign(10 + rng.below(4), 0xFF);
+      break;
+  }
+  Bytes out = input;
+  out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos),
+            out.begin() + static_cast<std::ptrdiff_t>(pos + existing->length));
+  out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+             replacement.begin(), replacement.end());
+  return out;
+}
+
+Bytes mutate_frame(const Bytes& framed, Rng& rng) {
+  const auto layout = scan_frame(framed);
+  if (!layout) return mutate(framed, rng);
+  Bytes out = framed;
+  switch (rng.below(8)) {
+    case 0:  // magic
+      out[rng.below(2)] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    case 1:  // version: the other dialect, or an unknown one
+      out[2] = rng.chance(0.5) ? static_cast<std::uint8_t>(3 - out[2])
+                               : static_cast<std::uint8_t>(rng.below(256));
+      break;
+    case 2: {  // method id: a different valid one, or garbage
+      static constexpr std::uint8_t kIds[] = {0, 1, 2, 3, 4, 5, 77, 100, 200,
+                                              255};
+      out[kFrameMethodPos] = kIds[rng.below(std::size(kIds))];
+      break;
+    }
+    case 3:  // sequence varint (v2); v1 has none — mutate the size instead
+      out = mutate_varint_at(
+          out, layout->version == 2 ? layout->seq_pos : layout->size_pos, rng);
+      break;
+    case 4:  // payload-size varint
+      out = mutate_varint_at(out, layout->size_pos, rng);
+      break;
+    case 5:  // header checksum byte (v2) / first payload byte (v1)
+      if (layout->version == 2 && layout->checksum_pos < out.size()) {
+        out[layout->checksum_pos] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      } else {
+        flip_random_bit(out, rng);
+      }
+      break;
+    case 6:  // payload byte
+      if (layout->payload_pos < out.size()) {
+        out[layout->payload_pos +
+            rng.below(out.size() - layout->payload_pos)] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+    case 7:  // CRC trailer
+      if (out.size() >= 4) {
+        out[out.size() - 1 - rng.below(4)] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+  }
+  // Half the time, make the forged header self-consistent again so the
+  // mutation penetrates past the checksum gate to the deeper layers.
+  if (rng.chance(0.5)) fix_header_checksum(out);
+  return out;
+}
+
+Bytes mutate_pbio(const Bytes& stream,
+                  Bytes (*fallback)(const Bytes&, Rng&), Rng& rng) {
+  // Header: 'P' 'B' | version | byte order | name string (varint len +
+  // bytes) | field-count varint | per field: name string + type byte.
+  if (stream.size() < 6 || stream[0] != 'P' || stream[1] != 'B') {
+    return fallback(stream, rng);
+  }
+  Bytes out = stream;
+  const std::size_t name_pos = 4;
+  const auto name_len = scan_varint(out, name_pos);
+  switch (rng.below(6)) {
+    case 0:  // magic / version / byte-order flag
+      out[rng.below(4)] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      break;
+    case 1:  // format-name length varint
+      out = mutate_varint_at(out, name_pos, rng);
+      break;
+    case 2: {  // field-count varint
+      if (!name_len) return fallback(stream, rng);
+      const std::size_t count_pos =
+          name_pos + name_len->length +
+          static_cast<std::size_t>(name_len->value);
+      if (count_pos >= out.size()) return fallback(stream, rng);
+      out = mutate_varint_at(out, count_pos, rng);
+      break;
+    }
+    case 3: {  // a field-type tag inside the schema region
+      if (!name_len) return fallback(stream, rng);
+      std::size_t pos = name_pos + name_len->length +
+                        static_cast<std::size_t>(name_len->value);
+      const auto count = scan_varint(out, pos);
+      if (!count || count->value == 0 || count->value > 64) {
+        return fallback(stream, rng);
+      }
+      pos += count->length;
+      const std::uint64_t target = rng.below(count->value);
+      for (std::uint64_t f = 0; f <= target; ++f) {
+        const auto field_name = scan_varint(out, pos);
+        if (!field_name) return fallback(stream, rng);
+        pos += field_name->length +
+               static_cast<std::size_t>(field_name->value);
+        if (pos >= out.size()) return fallback(stream, rng);
+        if (f == target) {
+          out[pos] = static_cast<std::uint8_t>(rng.below(16));  // type tag
+          return out;
+        }
+        ++pos;  // skip the type byte
+      }
+      break;
+    }
+    case 4: {  // record body, past the schema
+      if (!name_len) return fallback(stream, rng);
+      const std::size_t body_floor =
+          std::min(out.size() - 1, name_pos + name_len->length +
+                                       static_cast<std::size_t>(
+                                           name_len->value));
+      const std::size_t at = body_floor + rng.below(out.size() - body_floor);
+      out[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    }
+    case 5:
+      return fallback(stream, rng);
+  }
+  return out;
+}
+
+Bytes mutate_container(const Bytes& packed, Rng& rng) {
+  if (packed.size() < 4 || !rng.chance(0.5)) return mutate(packed, rng);
+  // Every built-in codec keeps its container bookkeeping (sizes, chunk
+  // counts, tree descriptions) up front; aim there.
+  Bytes out = packed;
+  const std::size_t header = std::min<std::size_t>(out.size(), 16);
+  const std::size_t at = rng.below(header);
+  if (rng.chance(0.5)) {
+    out[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+  } else {
+    out = mutate_varint_at(out, at, rng);
+  }
+  return out;
+}
+
+int fuzz_iterations(int fallback) noexcept {
+  const char* env = std::getenv("ACEX_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed <= 0 || parsed > 1000000000L) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+}  // namespace acex::qa

@@ -21,6 +21,7 @@
 #include "engine/reorder_window.hpp"
 #include "engine/thread_pool.hpp"
 #include "netsim/link.hpp"
+#include "obs/metrics.hpp"
 #include "transport/fault_transport.hpp"
 #include "transport/sim_transport.hpp"
 #include "util/error.hpp"
@@ -157,6 +158,46 @@ TEST(EngineReorderWindow, CloseReleasesBlockedProducers) {
   window.close();
   producer.join();  // released, value discarded
   SUCCEED();
+}
+
+TEST(EngineReorderWindow, ExactCapacityOccupancyAndBoundary) {
+  // The window's memory bound, pinned at the exact edge: sequence
+  // capacity-1 is the last admissible push while base == 0, capacity
+  // itself must block, and each pop frees exactly one slot. The global
+  // occupancy gauge is checked as a delta (other windows may coexist).
+  constexpr std::size_t kCap = 4;
+  obs::Gauge& gauge =
+      obs::MetricsRegistry::global().gauge("acex.engine.reorder_occupancy");
+  const std::int64_t before = gauge.value();
+  {
+    ReorderWindow<int> window(kCap);
+    EXPECT_EQ(window.capacity(), kCap);
+    for (std::size_t s = kCap; s-- > 0;) {  // fill out of order, no block
+      window.push(s, static_cast<int>(s * 10));
+    }
+    EXPECT_EQ(window.buffered(), kCap);
+    EXPECT_EQ(gauge.value() - before, static_cast<std::int64_t>(kCap));
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+      window.push(kCap, static_cast<int>(kCap * 10));  // one past: blocks
+      pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(window.pop(), 0);  // frees exactly one slot
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(window.buffered(), kCap);  // back at the exact bound
+
+    for (std::size_t s = 1; s <= kCap; ++s) {
+      EXPECT_EQ(window.pop(), static_cast<int>(s * 10));
+    }
+    EXPECT_EQ(window.buffered(), 0u);
+    EXPECT_EQ(window.next_sequence(), kCap + 1);
+    EXPECT_EQ(gauge.value(), before);
+  }
+  EXPECT_EQ(gauge.value(), before);  // empty-window destruction: no drift
 }
 
 // -------------------------------------------------- ParallelBlockPipeline

@@ -508,6 +508,75 @@ TEST_F(FaultTest, NackRecoversEveryBlockWithinRetryCap) {
   EXPECT_EQ(reassembled, data);
 }
 
+TEST_F(FaultTest, NackReplayInterleavedWithFreshTrafficConverges) {
+  // The concurrent-recovery corner: retransmitted frames are queued while
+  // later batches of fresh, higher-sequence frames enter the same faulty
+  // pipe (no flush between them), so replays and new traffic interleave —
+  // and the replays run the fault gauntlet again. The receiver must keep
+  // ordering straight and still converge to 100% recovery within the caps.
+  wire();
+  transport::FaultConfig faults;
+  faults.drop_prob = 0.08;
+  faults.reorder_prob = 0.1;
+  faults.bit_flip_prob = 0.02;
+  faults.seed = 51;
+  transport::FaultInjectingTransport lossy(duplex_->a(), faults);
+
+  adaptive::AdaptiveConfig config = small_blocks();
+  config.retransmit_capacity = 512;
+  config.retransmit_max_retries = 6;
+  adaptive::AdaptiveSender sender(lossy, config);
+  adaptive::AdaptiveReceiver rx(duplex_->b(),
+                                {adaptive::RecoveryPolicy::kNack, 5});
+
+  constexpr std::size_t kBatches = 6, kBlocksPerBatch = 24, kBlockSize = 4096;
+  Bytes everything;
+  std::map<std::uint64_t, Bytes> recovered;
+  const auto absorb = [&](const adaptive::ReceiveReport& report) {
+    for (const adaptive::FrameOutcome& f : report.frames) {
+      if (f.status == adaptive::FrameOutcome::Status::kOk) {
+        recovered.emplace(f.sequence, f.data);
+      }
+    }
+  };
+
+  bool replayed_midstream = false;
+  for (std::size_t batch = 0; batch < kBatches; ++batch) {
+    const Bytes data =
+        testdata::repetitive_text(kBlocksPerBatch * kBlockSize, 60 + batch);
+    everything.insert(everything.end(), data.begin(), data.end());
+    ASSERT_EQ(sender.send_all(data).blocks.size(), kBlocksPerBatch);
+    lossy.flush();
+    absorb(rx.receive_report());
+    const std::vector<std::uint64_t> nacks = rx.take_nacks();
+    if (!nacks.empty()) {
+      // Deliberately no flush here: these replays ride alongside the next
+      // batch's fresh frames (reorder holds can interleave the two).
+      sender.retransmit(nacks);
+      if (batch + 1 < kBatches) replayed_midstream = true;
+    }
+  }
+  EXPECT_TRUE(replayed_midstream);  // the corner actually got exercised
+
+  // Drain: plain NACK rounds until the stream is whole.
+  for (int round = 0; round < 12; ++round) {
+    lossy.flush();
+    absorb(rx.receive_report());
+    const std::vector<std::uint64_t> nacks = rx.take_nacks();
+    if (nacks.empty()) break;
+    sender.retransmit(nacks);
+  }
+
+  ASSERT_EQ(recovered.size(), kBatches * kBlocksPerBatch);
+  EXPECT_EQ(rx.nacks_abandoned(), 0u);
+  EXPECT_GT(sender.degradation().retransmits, 0u);
+  Bytes reassembled;
+  for (const auto& [seq, block] : recovered) {
+    reassembled.insert(reassembled.end(), block.begin(), block.end());
+  }
+  EXPECT_EQ(reassembled, everything);
+}
+
 // --------------------------------------------------- echo bridge NACKs
 
 TEST_F(FaultTest, BridgeNackRoundTripRedeliversLostEvents) {
@@ -577,6 +646,15 @@ TEST_F(FaultTest, BridgeAbandonsEventsPastTheRetryCap) {
   receiver.poll();
   EXPECT_EQ(receiver.signal_nacks(), 0u);  // cap reached: lost for good
   EXPECT_GE(sender.nacks_refused(), 1u);
+
+  // Abandonment settles the sequence: the delivery cursor skips it, so
+  // later traffic keeps flowing instead of wedging against the dead gap.
+  EXPECT_EQ(receiver.events_abandoned(), 1u);
+  EXPECT_TRUE(receiver.missing().empty());
+  producer.submit(echo::Event(Bytes{3}));  // seq 2
+  receiver.poll();
+  EXPECT_EQ(receiver.events_received(), 2u);  // seq 1 and seq 2 delivered
+  EXPECT_TRUE(receiver.missing().empty());
 }
 
 TEST_F(FaultTest, BridgeIgnoresCorruptSequenceHeaders) {

@@ -198,6 +198,79 @@ TEST_F(FrameTest, LegacyV1LayoutStillDecodes) {
   EXPECT_EQ(frame_decompress(framed, registry_), payload);
 }
 
+// --------------------------- v1 <-> v2 cross-version differential (§10)
+// The two frame dialects are envelopes around the *same* codec output:
+// byte-identical payload, method and CRC, decoding to the same data, with
+// the v2 overhead being exactly the sequence varint plus one checksum
+// byte. Regression-pins the compat path acexfuzz's cross_version oracle
+// fuzzes.
+
+TEST_F(FrameTest, CrossVersionEnvelopesCarryIdenticalCodecOutput) {
+  const Bytes data = testdata::repetitive_text(12000, 21);
+  for (const MethodId id : registry_.methods()) {
+    const CodecPtr codec_v1 = registry_.create(id);
+    const CodecPtr codec_v2 = registry_.create(id);
+    const std::uint64_t seq = 0x4000;  // three-varint-byte territory
+    const Bytes v1 = frame_compress(*codec_v1, data);
+    const Bytes v2 = frame_compress_seq(*codec_v2, data, seq);
+
+    const Frame f1 = frame_parse(v1);
+    const Frame f2 = frame_parse(v2);
+    EXPECT_FALSE(f1.has_sequence) << method_name(id);
+    ASSERT_TRUE(f2.has_sequence) << method_name(id);
+    EXPECT_EQ(f2.sequence, seq);
+    EXPECT_EQ(f1.method, f2.method) << method_name(id);
+    EXPECT_EQ(f1.crc, f2.crc) << method_name(id);
+    EXPECT_TRUE(f1.payload == f2.payload) << method_name(id);
+
+    EXPECT_EQ(v2.size(), v1.size() + varint_size(seq) + 1) << method_name(id);
+    EXPECT_EQ(frame_decompress(v1, registry_), data) << method_name(id);
+    EXPECT_EQ(frame_decompress(v2, registry_), data) << method_name(id);
+  }
+}
+
+TEST_F(FrameTest, CrossVersionOverheadTracksSequenceVarintWidth) {
+  const Bytes data = testdata::low_entropy(3000, 22);
+  const CodecPtr base = registry_.create(MethodId::kLempelZiv);
+  const Bytes v1 = frame_compress(*base, data);
+  for (const std::uint64_t seq :
+       {std::uint64_t{0}, std::uint64_t{0x7F}, std::uint64_t{0x80},
+        std::uint64_t{0x3FFF}, std::uint64_t{0x4000},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    const CodecPtr codec = registry_.create(MethodId::kLempelZiv);
+    const Bytes v2 = frame_compress_seq(*codec, data, seq);
+    EXPECT_EQ(v2.size(), v1.size() + varint_size(seq) + 1) << "seq " << seq;
+    EXPECT_EQ(frame_decompress(v2, registry_), data) << "seq " << seq;
+  }
+}
+
+TEST_F(FrameTest, V2BodySurvivesAsV1AfterEnvelopeTransplant) {
+  // Strip a v2 frame's sequence varint and checksum byte, rewrite the
+  // version byte, and the result must be a well-formed v1 frame carrying
+  // the same payload — the compat path is an envelope change only.
+  const Bytes data = testdata::repetitive_text(5000, 23);
+  const CodecPtr codec = registry_.create(MethodId::kHuffman);
+  const Bytes v2 = frame_compress_seq(*codec, data, 0x1234);
+
+  Bytes v1(v2);
+  v1[2] = 1;  // version byte back to v1
+  // Layout: "AX" ver method | seq varint | size varint | checksum | ...
+  const std::size_t seq_pos = 4;
+  std::size_t pos = seq_pos;
+  (void)get_varint(v2, &pos);        // skip the sequence varint
+  std::size_t size_end = pos;
+  (void)get_varint(v2, &size_end);   // size varint ends here; checksum next
+  v1.erase(v1.begin() + static_cast<std::ptrdiff_t>(size_end),
+           v1.begin() + static_cast<std::ptrdiff_t>(size_end) + 1);
+  v1.erase(v1.begin() + seq_pos,
+           v1.begin() + static_cast<std::ptrdiff_t>(pos));
+
+  const Frame parsed = frame_parse(v1);
+  EXPECT_FALSE(parsed.has_sequence);
+  EXPECT_EQ(parsed.method, MethodId::kHuffman);
+  EXPECT_EQ(frame_decompress(v1, registry_), data);
+}
+
 TEST(Registry, CreateAllBuiltins) {
   const CodecRegistry reg = CodecRegistry::with_builtins();
   for (const MethodId id :

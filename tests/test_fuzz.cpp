@@ -1,8 +1,8 @@
 // Randomized robustness suite: every parser in acex must survive arbitrary
 // corruption — throw acex::Error or return bounded garbage, never crash,
 // hang, or allocate unboundedly. Seeds are parameterized so ctest runs
-// each seed as its own case; crank kMutationsPerSeed locally for deeper
-// fuzzing.
+// each seed as its own case; set ACEX_FUZZ_ITERS for deeper fuzzing (the
+// ctest default stays at 60 mutations per seed).
 
 #include <gtest/gtest.h>
 
@@ -15,6 +15,7 @@
 #include "compress/registry.hpp"
 #include "echo/channel.hpp"
 #include "pbio/pbio.hpp"
+#include "qa/mutate.hpp"
 #include "testdata.hpp"
 #include "transport/fault_transport.hpp"
 #include "transport/sim_transport.hpp"
@@ -24,51 +25,9 @@
 namespace acex {
 namespace {
 
-constexpr int kMutationsPerSeed = 60;
+using qa::mutate;
 
-/// Apply a random mutation: bit flips, byte splices, truncation, growth.
-Bytes mutate(const Bytes& input, Rng& rng) {
-  Bytes out = input;
-  switch (rng.below(5)) {
-    case 0:  // bit flips
-      for (std::uint64_t i = 0, n = 1 + rng.below(8); i < n && !out.empty();
-           ++i) {
-        out[rng.below(out.size())] ^=
-            static_cast<std::uint8_t>(1u << rng.below(8));
-      }
-      break;
-    case 1:  // truncate
-      out.resize(rng.below(out.size() + 1));
-      break;
-    case 2:  // splice random bytes
-      if (!out.empty()) {
-        const std::size_t at = rng.below(out.size());
-        const Bytes junk = rng.bytes(1 + rng.below(16));
-        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
-                   junk.begin(), junk.end());
-      }
-      break;
-    case 3: {  // overwrite a window
-      if (!out.empty()) {
-        const std::size_t at = rng.below(out.size());
-        const std::size_t len = std::min<std::size_t>(
-            1 + rng.below(32), out.size() - at);
-        const Bytes junk = rng.bytes(len);
-        std::copy(junk.begin(), junk.end(),
-                  out.begin() + static_cast<std::ptrdiff_t>(at));
-      }
-      break;
-    }
-    case 4:  // duplicate a window (confuses varint/sentinel scanners)
-      if (out.size() > 4) {
-        const std::size_t at = rng.below(out.size() - 4);
-        out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(at),
-                   out.begin() + static_cast<std::ptrdiff_t>(at + 4));
-      }
-      break;
-  }
-  return out;
-}
+const int kMutationsPerSeed = qa::fuzz_iterations(60);
 
 class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -7,10 +7,13 @@
 #include <tuple>
 
 #include "compress/metrics.hpp"
+#include "compress/mtf.hpp"
 #include "compress/registry.hpp"
+#include "compress/rle.hpp"
 #include "testdata.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
+#include "util/varint.hpp"
 
 namespace acex {
 namespace {
@@ -166,6 +169,99 @@ TEST(MethodComparison, Figure1OrderingOnLowEntropyData) {
   const auto ar = make_codec(MethodId::kArithmetic)->compress(data).size();
   const auto hu = make_codec(MethodId::kHuffman)->compress(data).size();
   EXPECT_LE(ar, hu + hu / 50);
+}
+
+// ------------------------------------------- boundary widths (DESIGN §10)
+// The exact widths where an encoding changes shape: RLE run lengths around
+// the trigger and the extra-count cap, RLE escape bytes, MTF alphabet
+// edges, and LEB128 varints at every 2^(7k) boundary.
+
+TEST(BoundaryWidths, RleRunLengthsAroundTriggerAndExtraCap) {
+  // kRunTrigger = 4 flips literal runs into encoded ones; kMaxExtra = 250
+  // caps one run token, so 254/255/256/257 repeats must split cleanly.
+  for (const std::size_t run : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                                std::size_t{5}, std::size_t{253},
+                                std::size_t{254}, std::size_t{255},
+                                std::size_t{256}, std::size_t{257},
+                                std::size_t{1000}}) {
+    for (const std::uint8_t byte : {std::uint8_t{0}, std::uint8_t{'a'},
+                                    rle::kEscape, rle::kSentinel}) {
+      Bytes data(run, byte);
+      // A non-run tail on both sides so the run is interior, too.
+      data.insert(data.begin(), std::uint8_t{'x'});
+      data.push_back(std::uint8_t{'y'});
+      const Bytes packed = rle::encode(data);
+      EXPECT_EQ(rle::decode(packed), data)
+          << "run " << run << " of byte " << int(byte);
+      // The encoded alphabet is sentinel-free by construction.
+      for (std::size_t i = 0; i < packed.size(); ++i) {
+        ASSERT_NE(packed[i], rle::kSentinel) << "sentinel leaked at " << i;
+      }
+    }
+  }
+}
+
+TEST(BoundaryWidths, RleWorstCaseEscapeDensityStaysBounded) {
+  // All-253..255 input is the escape machinery's worst case: every escape
+  // byte costs a prefix, but expansion must stay within the documented 2x.
+  Bytes data;
+  Rng rng(77);
+  for (int i = 0; i < 4096; ++i) {
+    data.push_back(static_cast<std::uint8_t>(253 + rng.below(3)));
+  }
+  const Bytes packed = rle::encode(data);
+  EXPECT_EQ(rle::decode(packed), data);
+  EXPECT_LE(packed.size(), data.size() * 2 + 16);
+}
+
+TEST(BoundaryWidths, MtfRoundTripsAtAlphabetEdges) {
+  // First/last alphabet symbols, immediate repeats (rank 0) and the full
+  // 256-symbol sweep that forces every rank to move.
+  Bytes sweep;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int b = 0; b < 256; ++b) {
+      sweep.push_back(static_cast<std::uint8_t>(b));
+    }
+  }
+  EXPECT_EQ(mtf::decode(mtf::encode(sweep)), sweep);
+
+  const Bytes edges = {0, 0, 255, 255, 0, 255, 1, 254, 1, 254, 0};
+  EXPECT_EQ(mtf::decode(mtf::encode(edges)), edges);
+  EXPECT_TRUE(mtf::decode(mtf::encode(Bytes{})).empty());
+
+  // An immediate repeat must encode as rank 0.
+  const Bytes repeats(16, 0xAB);
+  const Bytes ranks = mtf::encode(repeats);
+  ASSERT_EQ(ranks.size(), repeats.size());
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    EXPECT_EQ(ranks[i], 0) << "position " << i;
+  }
+}
+
+TEST(BoundaryWidths, VarintWidthsFlipAtEvery7BitBoundary) {
+  for (std::size_t k = 1; k <= 9; ++k) {
+    const std::uint64_t boundary = std::uint64_t{1} << (7 * k);
+    const std::uint64_t below = boundary - 1;
+    EXPECT_EQ(varint_size(below), k) << "below 2^" << 7 * k;
+    EXPECT_EQ(varint_size(boundary), k + 1) << "at 2^" << 7 * k;
+    for (const std::uint64_t value : {below, boundary}) {
+      Bytes wire;
+      put_varint(wire, value);
+      ASSERT_EQ(wire.size(), varint_size(value));
+      std::size_t pos = 0;
+      EXPECT_EQ(get_varint(wire, &pos), value);
+      EXPECT_EQ(pos, wire.size());
+    }
+  }
+  // The 64-bit extremes.
+  for (const std::uint64_t value :
+       {std::uint64_t{0}, std::uint64_t{0xFFFFFFFFFFFFFFFF}}) {
+    Bytes wire;
+    put_varint(wire, value);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(wire, &pos), value);
+    EXPECT_EQ(pos, wire.size());
+  }
 }
 
 }  // namespace

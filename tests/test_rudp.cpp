@@ -136,6 +136,57 @@ TEST(Rudp, QueueStateCarriesAcrossTransfers) {
   EXPECT_GT(second.completion, first.completion * 1.5);
 }
 
+// ---------------------------------------------------- RTO corner cases
+
+TEST(Rudp, RtoMultipleGovernsStopAndWaitLossRecovery) {
+  // With window=1 every dropped packet stalls for exactly one RTO before
+  // its resend, so the configured multiple shows up directly in the
+  // completion time.
+  const auto run = [](double multiple) {
+    Rig rig(1e6, 0.001, 31);
+    RudpParams params;
+    params.window = 1;
+    params.data_loss = 0.3;
+    params.rto_rtt_multiple = multiple;
+    return simulate_transfer(100'000, rig.forward, rig.reverse, 0, rig.rng,
+                             params);
+  };
+  const auto quick = run(2.0);
+  const auto slow = run(16.0);
+  EXPECT_GT(quick.retransmissions, 0u);
+  EXPECT_GT(slow.retransmissions, 0u);
+  EXPECT_GT(slow.completion, quick.completion * 1.5);
+}
+
+TEST(Rudp, PureAckLossIsHealedByRtoAndDuplicateAcks) {
+  // Zero data loss, heavy ACK loss, stop-and-wait: progress depends on RTO
+  // resends whose duplicate arrivals re-trigger the cumulative ACK. The
+  // transfer completes, every retransmission is pure overhead, and — since
+  // no data packet is ever dropped — every send produces exactly one ACK.
+  Rig rig(1e6, 0.001, 33);
+  RudpParams params;
+  params.window = 1;
+  params.ack_loss = 0.5;
+  const auto r = simulate_transfer(50'000, rig.forward, rig.reverse, 0,
+                                   rig.rng, params);
+  EXPECT_GT(r.retransmissions, 0u);
+  EXPECT_LT(r.efficiency, 1.0);
+  EXPECT_GT(r.goodput_Bps, 0.0);
+  EXPECT_EQ(r.acks_sent, r.data_packets);
+}
+
+TEST(Rudp, ZeroLatencyLinksStillConvergeUnderLoss) {
+  // latency=0 exercises the RTO floor: base RTT reduces to the two
+  // serialization delays, and the simulation must still terminate.
+  Rig rig(1e6, 0.0, 35);
+  RudpParams params;
+  params.data_loss = 0.2;
+  const auto r = simulate_transfer(200'000, rig.forward, rig.reverse, 0,
+                                   rig.rng, params);
+  EXPECT_GT(r.retransmissions, 0u);
+  EXPECT_GT(r.goodput_Bps, 0.0);
+}
+
 TEST(Rudp, RejectsInvalidParameters) {
   Rig rig;
   RudpParams params;

@@ -1,0 +1,458 @@
+// acexfuzz — deterministic fuzzing and differential-testing driver over
+// the acex_qa subsystem (DESIGN.md §10). Modes:
+//
+//   acexfuzz --smoke                     budgeted mutation battery: every
+//                                        codec container, frame envelope,
+//                                        PBIO stream and event wire image
+//                                        is mutated and run through the
+//                                        robustness oracles
+//   acexfuzz --diff [-n BLOCKS]          differential oracle: serial vs
+//            [-w WORKERS]                N-worker wire byte identity per
+//                                        paper codec over fuzzed payloads
+//   acexfuzz --soak SECONDS              invariant soak of the full bridge
+//            [--rounds N]                + faulted-link + engine stack
+//                                        (SECONDS 0 = N deterministic
+//                                        rounds)
+//   acexfuzz --replay FILE               run one corpus entry through the
+//                                        oracle battery (bit-exact output)
+//   acexfuzz --emit FILE                 write the deterministic mutated
+//                                        input for -s SEED to FILE
+//   acexfuzz --minimize FILE             shrink FILE while it keeps
+//                                        triggering a finding; writes
+//                                        FILE.min
+//   acexfuzz --corpus DIR                replay every entry in DIR
+//
+// Common flags: -s SEED, --iters N (or ACEX_FUZZ_ITERS), --seeds ROUNDS,
+// --size BYTES, -b BLOCK_BYTES, --out DIR (crash corpus, default
+// qa/corpus).
+//
+// Every run is a pure function of the seed: the same invocation finds the
+// same findings forever, and every finding is persisted to the crash
+// corpus so `acexfuzz --replay` reproduces it from the file alone.
+// Exit codes: 0 clean, 1 findings/violations, 2 usage or config error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "compress/frame.hpp"
+#include "compress/registry.hpp"
+#include "compress/zlib_codec.hpp"
+#include "qa/corpus.hpp"
+#include "qa/generators.hpp"
+#include "qa/mutate.hpp"
+#include "qa/oracles.hpp"
+#include "qa/soak.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace acex;
+
+enum class Mode { kNone, kSmoke, kDiff, kSoak, kReplay, kEmit, kMinimize,
+                  kCorpus };
+
+struct Options {
+  Mode mode = Mode::kNone;
+  std::uint64_t seed = 1;
+  int iters = 0;               // 0 = ACEX_FUZZ_ITERS or the built-in 60
+  std::size_t seed_rounds = 3; // independent seed rounds per smoke run
+  std::size_t size = 4096;     // seed payload size
+  std::size_t block_size = 2048;
+  std::size_t diff_blocks = 64;  // fuzzed blocks per codec in --diff
+  std::size_t workers = 4;
+  double soak_seconds = 0;
+  std::size_t soak_rounds = 20;
+  std::string out_dir = "qa/corpus";
+  std::string path;            // FILE or DIR operand of the mode
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: acexfuzz (--smoke | --diff | --soak SECONDS |"
+               " --replay FILE |\n"
+               "                 --emit FILE | --minimize FILE |"
+               " --corpus DIR)\n"
+               "                [-s SEED] [--iters N] [--seeds ROUNDS]"
+               " [--size BYTES]\n"
+               "                [-b BLOCK_BYTES] [-n DIFF_BLOCKS]"
+               " [-w WORKERS]\n"
+               "                [--rounds N] [--out DIR]\n");
+  return 2;
+}
+
+/// A named oracle outcome plus the findings ledger shared by every mode.
+struct Findings {
+  std::size_t inputs = 0;
+  std::size_t findings = 0;
+  qa::Corpus corpus;
+
+  explicit Findings(std::string dir) : corpus(std::move(dir)) {}
+
+  /// Account one oracle run; persists the input on failure.
+  void check(const char* tag, const qa::Verdict& verdict, ByteView input) {
+    ++inputs;
+    if (verdict.ok) return;
+    ++findings;
+    std::string saved = "(unsaved)";
+    try {
+      saved = corpus.save(tag, input);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "acexfuzz: cannot persist finding: %s\n", e.what());
+    }
+    std::fprintf(stderr, "acexfuzz: FINDING [%s] %s\n  input: %s\n", tag,
+                 verdict.detail.c_str(), saved.c_str());
+  }
+};
+
+std::vector<MethodId> smoke_methods() {
+  std::vector<MethodId> methods = paper_methods();
+  if (zlib_available()) methods.push_back(MethodId::kZlib);
+  return methods;
+}
+
+/// The arbitrary-bytes oracle battery --replay/--corpus/--minimize use:
+/// which decoders reject or bound this input, and does the frame path
+/// survive it. Returns (name, verdict) pairs in a fixed order.
+std::vector<std::pair<std::string, qa::Verdict>> battery(const Bytes& input) {
+  std::vector<std::pair<std::string, qa::Verdict>> results;
+  const CodecRegistry registry = CodecRegistry::with_builtins();
+  for (const MethodId id : smoke_methods()) {
+    results.emplace_back(
+        std::string("decode.") + std::string(method_name(id)),
+        qa::decoder_bounds(id, input, input.size()));
+  }
+  results.emplace_back("frame", qa::frame_survives(input, registry));
+  results.emplace_back("pbio", qa::pbio_survives(input));
+  results.emplace_back("event", qa::event_survives(input));
+  return results;
+}
+
+// ------------------------------------------------------------------ smoke
+int run_smoke(const Options& opt) {
+  const int iters = opt.iters > 0 ? opt.iters : qa::fuzz_iterations(60);
+  Findings ledger(opt.out_dir);
+  const CodecRegistry registry = CodecRegistry::with_builtins();
+  const std::vector<MethodId> methods = smoke_methods();
+
+  for (std::size_t round = 0; round < opt.seed_rounds; ++round) {
+    const std::uint64_t seed = opt.seed + round;
+    const auto payloads = qa::seed_payloads(opt.size, seed);
+
+    for (const auto& [tag, data] : payloads) {
+      for (const MethodId id : methods) {
+        // Clean-input invariants first: round-trip and determinism.
+        ledger.check("roundtrip", qa::codec_roundtrip(id, data), data);
+        ledger.check("cross_version",
+                     qa::frame_cross_version(id, data, seed * 977 + 11,
+                                             registry),
+                     data);
+
+        // Mutated codec containers through the bounded-decode oracle.
+        const CodecPtr codec = make_codec(id);
+        const Bytes packed = codec->compress(data);
+        Rng rng(seed ^ (static_cast<std::uint64_t>(id) << 32) ^
+                crc32(ByteView(reinterpret_cast<const std::uint8_t*>(tag),
+                               std::strlen(tag))));
+        for (int i = 0; i < iters; ++i) {
+          const Bytes mutated = qa::mutate_container(packed, rng);
+          ledger.check("container", qa::decoder_bounds(id, mutated, data.size()),
+                       mutated);
+        }
+
+        // Mutated frame envelopes through the frame survival oracle.
+        const CodecPtr framing = make_codec(id);
+        const Bytes framed =
+            frame_compress_seq(*framing, data, seed * 131 + ledger.inputs % 7);
+        for (int i = 0; i < iters; ++i) {
+          const Bytes mutated = qa::mutate_frame(framed, rng);
+          ledger.check("frame", qa::frame_survives(mutated, registry), mutated);
+        }
+      }
+      ledger.check("zlib", qa::zlib_agreement(data), data);
+    }
+
+    // Structured streams: PBIO records and event wire images.
+    Rng srng(seed * 0x9E3779B97F4A7C15ull + 3);
+    const Bytes pbio_stream = qa::seed_pbio_stream(seed);
+    const Bytes event_wire = qa::seed_event_wire(seed);
+    for (int i = 0; i < iters; ++i) {
+      const Bytes mutated = qa::mutate_pbio(pbio_stream, srng);
+      ledger.check("pbio", qa::pbio_survives(mutated), mutated);
+    }
+    for (int i = 0; i < iters; ++i) {
+      const Bytes mutated = qa::mutate(event_wire, srng);
+      ledger.check("event", qa::event_survives(mutated), mutated);
+    }
+    std::fprintf(stderr, "acexfuzz: smoke round %zu/%zu: %zu inputs so far\n",
+                 round + 1, opt.seed_rounds, ledger.inputs);
+  }
+
+  std::printf("smoke: %zu inputs, %zu findings, seed %llu, %d iters/target\n",
+              ledger.inputs, ledger.findings,
+              static_cast<unsigned long long>(opt.seed), iters);
+  return ledger.findings == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------------- diff
+int run_diff(const Options& opt) {
+  Findings ledger(opt.out_dir);
+  // Enough regimes x seeds to pass `diff_blocks` blocks through every
+  // paper codec; each payload is sized for several blocks.
+  const std::size_t payload_size = opt.block_size * 8;
+
+  for (const MethodId id : paper_methods()) {
+    std::size_t blocks_done = 0;
+    std::uint64_t seed = opt.seed;
+    while (blocks_done < opt.diff_blocks) {
+      const auto payloads = qa::seed_payloads(payload_size, seed++);
+      for (const auto& [tag, data] : payloads) {
+        if (blocks_done >= opt.diff_blocks || data.empty()) continue;
+        std::size_t blocks = 0;
+        ledger.check("diff",
+                     qa::serial_parallel_identity(data, id, opt.workers,
+                                                  opt.block_size, &blocks),
+                     data);
+        blocks_done += blocks;
+      }
+    }
+    std::printf("diff: %s: %zu blocks byte-identical at %zu workers\n",
+                std::string(method_name(id)).c_str(), blocks_done,
+                opt.workers);
+  }
+
+  // The adaptive path only promises delivered-payload identity.
+  const auto payloads = qa::seed_payloads(payload_size, opt.seed + 1031);
+  for (const auto& [tag, data] : payloads) {
+    ledger.check("diff_adaptive",
+                 qa::serial_parallel_adaptive(data, opt.workers,
+                                              opt.block_size),
+                 data);
+  }
+
+  std::printf("diff: %zu oracle runs, %zu findings\n", ledger.inputs,
+              ledger.findings);
+  return ledger.findings == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------------- soak
+int run_soak_mode(const Options& opt) {
+  qa::SoakConfig config;
+  config.seconds = opt.soak_seconds;
+  config.rounds = opt.soak_rounds;
+  config.seed = opt.seed;
+  config.workers = opt.workers;
+  config.block_size = opt.block_size;
+  const qa::SoakReport report = qa::run_soak(config);
+
+  std::printf(
+      "soak: %zu rounds, seed %llu\n"
+      "  events: %llu published, %llu delivered, %llu abandoned, "
+      "%llu retransmits\n"
+      "  blocks: %llu sent, %llu recovered, %llu abandoned, "
+      "%llu retransmits\n"
+      "  faults injected: %llu\n",
+      report.rounds, static_cast<unsigned long long>(config.seed),
+      static_cast<unsigned long long>(report.events_published),
+      static_cast<unsigned long long>(report.events_delivered),
+      static_cast<unsigned long long>(report.events_unrecovered),
+      static_cast<unsigned long long>(report.event_retransmits),
+      static_cast<unsigned long long>(report.blocks_sent),
+      static_cast<unsigned long long>(report.blocks_recovered),
+      static_cast<unsigned long long>(report.blocks_abandoned),
+      static_cast<unsigned long long>(report.block_retransmits),
+      static_cast<unsigned long long>(report.faults_injected));
+  for (const std::string& violation : report.violations) {
+    std::fprintf(stderr, "acexfuzz: VIOLATION %s\n", violation.c_str());
+  }
+  std::printf("soak: %zu violations\n", report.violations.size());
+  return report.ok() ? 0 : 1;
+}
+
+// ------------------------------------------- replay / emit / minimize / corpus
+/// Deterministic single input for -s SEED: pick an artifact class and
+/// apply one structure-aware mutation. Pure function of the seed.
+Bytes emit_input(const Options& opt) {
+  Rng rng(opt.seed);
+  const auto payloads = qa::seed_payloads(opt.size, opt.seed);
+  const auto& chosen = payloads[rng.below(payloads.size())];
+  switch (rng.below(4)) {
+    case 0: {  // mutated codec container
+      const auto& methods = paper_methods();
+      const CodecPtr codec = make_codec(methods[rng.below(methods.size())]);
+      return qa::mutate_container(codec->compress(chosen.data), rng);
+    }
+    case 1: {  // mutated v2 frame
+      const auto& methods = paper_methods();
+      const CodecPtr codec = make_codec(methods[rng.below(methods.size())]);
+      return qa::mutate_frame(
+          frame_compress_seq(*codec, chosen.data, rng.below(1 << 20)), rng);
+    }
+    case 2:  // mutated PBIO stream
+      return qa::mutate_pbio(qa::seed_pbio_stream(opt.seed), rng);
+    default:  // mutated event wire image
+      return qa::mutate(qa::seed_event_wire(opt.seed), rng);
+  }
+}
+
+int run_replay_one(const Bytes& input, const std::string& label) {
+  int failures = 0;
+  std::printf("replay %s: %zu bytes, crc32 %08x\n", label.c_str(),
+              input.size(), crc32(input));
+  for (const auto& [name, verdict] : battery(input)) {
+    std::printf("  %-22s %s%s%s\n", name.c_str(),
+                verdict.ok ? "ok" : "FINDING", verdict.ok ? "" : ": ",
+                verdict.detail.c_str());
+    if (!verdict.ok) ++failures;
+  }
+  return failures;
+}
+
+int run_replay(const Options& opt) {
+  const Bytes input = qa::Corpus::load(opt.path);
+  return run_replay_one(input, opt.path) == 0 ? 0 : 1;
+}
+
+int run_emit(const Options& opt) {
+  const Bytes input = emit_input(opt);
+  std::ofstream out(opt.path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot create " + opt.path);
+  out.write(reinterpret_cast<const char*>(input.data()),
+            static_cast<std::streamsize>(input.size()));
+  if (!out) throw IoError("failed writing " + opt.path);
+  std::printf("emit %s: %zu bytes, crc32 %08x, seed %llu\n", opt.path.c_str(),
+              input.size(), crc32(input),
+              static_cast<unsigned long long>(opt.seed));
+  return 0;
+}
+
+int run_minimize(const Options& opt) {
+  const Bytes input = qa::Corpus::load(opt.path);
+  const auto fails_somewhere = [](const Bytes& candidate) {
+    for (const auto& [name, verdict] : battery(candidate)) {
+      if (!verdict.ok) return true;
+    }
+    return false;
+  };
+  if (!fails_somewhere(input)) {
+    std::fprintf(stderr,
+                 "acexfuzz: %s triggers no finding; nothing to minimize\n",
+                 opt.path.c_str());
+    return 1;
+  }
+  const Bytes minimal = qa::minimize(input, fails_somewhere);
+  const std::string out_path = opt.path + ".min";
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot create " + out_path);
+  out.write(reinterpret_cast<const char*>(minimal.data()),
+            static_cast<std::streamsize>(minimal.size()));
+  if (!out) throw IoError("failed writing " + out_path);
+  std::printf("minimize: %zu -> %zu bytes, wrote %s\n", input.size(),
+              minimal.size(), out_path.c_str());
+  return 0;
+}
+
+int run_corpus(const Options& opt) {
+  const qa::Corpus corpus(opt.path);
+  const std::vector<std::string> entries = corpus.files();
+  int failures = 0;
+  for (const std::string& path : entries) {
+    failures += run_replay_one(qa::Corpus::load(path), path);
+  }
+  std::printf("corpus: %zu entries, %d findings\n", entries.size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int run(const Options& opt) {
+  switch (opt.mode) {
+    case Mode::kSmoke:    return run_smoke(opt);
+    case Mode::kDiff:     return run_diff(opt);
+    case Mode::kSoak:     return run_soak_mode(opt);
+    case Mode::kReplay:   return run_replay(opt);
+    case Mode::kEmit:     return run_emit(opt);
+    case Mode::kMinimize: return run_minimize(opt);
+    case Mode::kCorpus:   return run_corpus(opt);
+    case Mode::kNone:     break;
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw ConfigError(arg + " needs a value");
+        return argv[++i];
+      };
+      const auto set_mode = [&](Mode mode) {
+        if (opt.mode != Mode::kNone) {
+          throw ConfigError("exactly one mode flag is allowed");
+        }
+        opt.mode = mode;
+      };
+      if (arg == "--smoke") {
+        set_mode(Mode::kSmoke);
+      } else if (arg == "--diff") {
+        set_mode(Mode::kDiff);
+      } else if (arg == "--soak") {
+        set_mode(Mode::kSoak);
+        opt.soak_seconds = std::stod(next());
+        if (opt.soak_seconds < 0) throw ConfigError("--soak must be >= 0");
+      } else if (arg == "--replay") {
+        set_mode(Mode::kReplay);
+        opt.path = next();
+      } else if (arg == "--emit") {
+        set_mode(Mode::kEmit);
+        opt.path = next();
+      } else if (arg == "--minimize") {
+        set_mode(Mode::kMinimize);
+        opt.path = next();
+      } else if (arg == "--corpus") {
+        set_mode(Mode::kCorpus);
+        opt.path = next();
+      } else if (arg == "-s") {
+        opt.seed = std::stoull(next());
+      } else if (arg == "--iters") {
+        opt.iters = std::stoi(next());
+        if (opt.iters <= 0) throw ConfigError("--iters must be > 0");
+      } else if (arg == "--seeds") {
+        opt.seed_rounds = std::stoul(next());
+        if (opt.seed_rounds == 0) throw ConfigError("--seeds must be > 0");
+      } else if (arg == "--size") {
+        opt.size = std::stoul(next());
+        if (opt.size == 0) throw ConfigError("--size must be > 0");
+      } else if (arg == "-b") {
+        opt.block_size = std::stoul(next());
+        if (opt.block_size == 0) throw ConfigError("-b must be > 0");
+      } else if (arg == "-n") {
+        opt.diff_blocks = std::stoul(next());
+        if (opt.diff_blocks == 0) throw ConfigError("-n must be > 0");
+      } else if (arg == "-w") {
+        opt.workers = std::stoul(next());
+        if (opt.workers == 0) throw ConfigError("-w must be > 0");
+      } else if (arg == "--rounds") {
+        opt.soak_rounds = std::stoul(next());
+      } else if (arg == "--out") {
+        opt.out_dir = next();
+      } else {
+        return usage();
+      }
+    }
+    if (opt.mode == Mode::kNone) return usage();
+    return run(opt);
+  } catch (const acex::Error& e) {
+    std::fprintf(stderr, "acexfuzz: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acexfuzz: internal error: %s\n", e.what());
+    return 2;
+  }
+}
