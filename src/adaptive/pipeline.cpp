@@ -146,6 +146,39 @@ EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
   return result;
 }
 
+PayloadEncode encode_payload(const CodecRegistry& registry, ByteView block,
+                             MethodId method,
+                             std::size_t expansion_slack_bytes) {
+  PayloadEncode result;
+  result.method = method;
+  MonotonicClock cpu_clock;
+  const obs::ScopedSpan span(obs::BlockTracer::global(), 0,
+                             obs::Stage::kEncode, obs::current_worker());
+  const Stopwatch cpu(cpu_clock);
+  bool degraded = false;
+  try {
+    const CodecPtr codec = registry.create(method);
+    result.payload = codec->compress(block);
+    if (method != MethodId::kNone &&
+        result.payload.size() > block.size() + expansion_slack_bytes) {
+      degraded = true;
+    }
+  } catch (const Error&) {
+    degraded = true;
+    result.threw = true;
+  }
+  if (degraded) {
+    NullCodec null;
+    result.payload = null.compress(block);
+    result.method = MethodId::kNone;
+    result.fallback = true;
+  }
+  result.encode_seconds = cpu.elapsed();
+  sender_metrics().encode_us.for_method(method).record(result.encode_seconds *
+                                                       1e6);
+  return result;
+}
+
 AdaptiveSender::AdaptiveSender(transport::Transport& transport,
                                AdaptiveConfig config)
     : transport_(&transport),
@@ -259,7 +292,9 @@ BlockReport AdaptiveSender::finish_block(const BlockPlan& plan,
   // which is exactly what the experiment wants on the dashboard.
   metrics.send_us.record(report.send_seconds * 1e6);
 
-  bandwidth_.record(encoded.framed.size(), report.send_seconds);
+  if (!config_.external_bandwidth_feedback) {
+    bandwidth_.record(encoded.framed.size(), report.send_seconds);
+  }
   ring_.store(plan.sequence, std::move(encoded.framed));
   return report;
 }
@@ -357,10 +392,6 @@ BlockPlan AdaptiveSender::plan_block(ByteView block, ByteView next_block) {
   if (block.size() > config_.decision.block_size) {
     throw ConfigError("adaptive: block exceeds configured block_size");
   }
-  // The sequence is assigned at the end of planning; bind it late.
-  obs::ScopedSpan span(obs::BlockTracer::global(), blocks_sent_,
-                       obs::Stage::kPlan);
-
   // The sampler result for THIS block: the paper computes it during the
   // previous block's send; we launch it there (async) and collect it here.
   SampleResult sample;
@@ -369,6 +400,30 @@ BlockPlan AdaptiveSender::plan_block(ByteView block, ByteView next_block) {
   } else {
     sample = sampler_.sample(block);  // first block: no overlap available
   }
+
+  // "Fork a sampling process to compress the first 4KB of the next block"
+  // — overlapped with this block's compression and send, collected by the
+  // next plan_block's wait().
+  if (config_.async_sampling && !next_block.empty()) {
+    sampler_.launch(next_block);
+  }
+  return plan_from_sample(block, sample);
+}
+
+BlockPlan AdaptiveSender::plan_block_sampled(ByteView block,
+                                             const SampleResult& sample) {
+  if (block.size() > config_.decision.block_size) {
+    throw ConfigError("adaptive: block exceeds configured block_size");
+  }
+  return plan_from_sample(block, sample);
+}
+
+BlockPlan AdaptiveSender::plan_from_sample(ByteView block,
+                                           const SampleResult& sample) {
+  // The sequence is assigned at the end of planning; bind it late.
+  obs::ScopedSpan span(obs::BlockTracer::global(), blocks_sent_,
+                       obs::Stage::kPlan);
+
   // Track the sampler's raw reducing speed. It is NOT comparable to block
   // speeds in absolute terms (4 KiB compressions run much faster per byte
   // than 128 KiB ones), so it feeds the drift correction in
@@ -391,13 +446,6 @@ BlockPlan AdaptiveSender::plan_block(ByteView block, ByteView next_block) {
     method = apply_target_rate(method, bw, sample.ratio_percent);
   }
   method = apply_circuit_breaker(method);
-
-  // "Fork a sampling process to compress the first 4KB of the next block"
-  // — overlapped with this block's compression and send, collected by the
-  // next plan_block's wait().
-  if (config_.async_sampling && !next_block.empty()) {
-    sampler_.launch(next_block);
-  }
 
   BlockPlan plan;
   plan.sequence = blocks_sent_++;

@@ -75,6 +75,13 @@ struct AdaptiveConfig {
   /// else is taken literally. AdaptiveSender itself ignores this — only
   /// the engine reads it.
   std::size_t worker_threads = 1;
+
+  /// Broker mode: the transport this sender writes to is an internal
+  /// egress queue whose accept time says nothing about the subscriber's
+  /// actual link, so finish_block() must NOT feed its measured send time
+  /// into the bandwidth estimator. The owner measures real link transfers
+  /// on the delivery path and reports them via record_bandwidth() instead.
+  bool external_bandwidth_feedback = false;
 };
 
 /// One block's serial selector outcome: everything the (possibly
@@ -122,6 +129,28 @@ EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
                           MethodId method, std::uint64_t sequence,
                           std::size_t expansion_slack_bytes,
                           bool allow_degrade = true);
+
+/// One shared (sequence-free) encode of a block: the codec output plus the
+/// degradation verdict, WITHOUT the frame envelope. The fan-out broker runs
+/// this once per distinct method and then frames the payload once per
+/// subscriber with frame_build_seq() — byte-identical payloads across every
+/// subscriber that chose the method. The expansion check compares raw
+/// payload size against the block plus `expansion_slack_bytes` (the frame
+/// envelope around either differs by at most the size-varint width, well
+/// inside the slack).
+struct PayloadEncode {
+  Bytes payload;                      ///< codec output (block itself on fallback)
+  MethodId method = MethodId::kNone;  ///< method actually encoded
+  bool fallback = false;              ///< degraded to the null codec
+  bool threw = false;                 ///< fallback cause: throw vs expansion
+  Seconds encode_seconds = 0;         ///< raw (unscaled) wall-clock CPU time
+};
+
+/// Thread safety: identical to encode_block() — reads a frozen registry,
+/// writes only its result. Degradation is always allowed on this path.
+PayloadEncode encode_payload(const CodecRegistry& registry, ByteView block,
+                             MethodId method,
+                             std::size_t expansion_slack_bytes);
 
 /// Sender-side degradation counters (circuit breaker + NACK service),
 /// surfaced per block through adaptive/telemetry as well.
@@ -231,6 +260,22 @@ class AdaptiveSender {
   /// selector, degradation disabled.
   BlockPlan plan_block_fixed(ByteView block, MethodId method);
 
+  /// plan_block() with an externally supplied sample. The fan-out broker
+  /// samples each published block ONCE and shares the result across every
+  /// subscriber's plan — the sampled ratio is a property of the data, not
+  /// of any one link, so per-subscriber sampling would only burn CPU.
+  /// Feeds the same drift-tracking EWMA as plan_block(); never launches
+  /// the async sampler.
+  BlockPlan plan_block_sampled(ByteView block, const SampleResult& sample);
+
+  /// Broker mode (AdaptiveConfig::external_bandwidth_feedback): report one
+  /// measured link transfer of `bytes` over `elapsed` seconds into the
+  /// bandwidth estimator. Call from the thread that owns this sender's
+  /// state (the broker serializes on a per-subscriber lock).
+  void record_bandwidth(std::size_t bytes, Seconds elapsed) noexcept {
+    bandwidth_.record(bytes, elapsed);
+  }
+
   /// Complete one encoded block: degradation/breaker bookkeeping, monitor
   /// and bandwidth updates, transmission on the transport, retransmit-ring
   /// storage. Must be called from one thread in sequence order. Rethrows
@@ -257,6 +302,10 @@ class AdaptiveSender {
  private:
   /// plan → encode → finish on the calling thread.
   BlockReport transmit_planned(const BlockPlan& plan, ByteView block);
+
+  /// Shared tail of plan_block()/plan_block_sampled(): fold the sample into
+  /// the estimators, run the selector, claim the sequence.
+  BlockPlan plan_from_sample(ByteView block, const SampleResult& sample);
 
   /// Sum a finished block list into the stream-level totals.
   static void finalize_stream(StreamReport& stream);

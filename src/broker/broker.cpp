@@ -1,0 +1,417 @@
+#include "broker/broker.hpp"
+
+#include <condition_variable>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace acex::broker {
+namespace {
+
+/// Broker-wide obs instruments, resolved once (handle caching). The
+/// ground-truth BrokerStats/SubscriberStats structs are authoritative;
+/// these mirror them so exporters and acexstat --broker can cross-check.
+struct BrokerMetrics {
+  obs::Counter& blocks;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Gauge& subscribers;
+  obs::Gauge& groups;
+  obs::Gauge& egress_depth;
+};
+
+BrokerMetrics& broker_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static BrokerMetrics metrics{
+      reg.counter("acex.broker.blocks"),
+      reg.counter("acex.broker.encode_cache.hits"),
+      reg.counter("acex.broker.encode_cache.misses"),
+      reg.gauge("acex.broker.subscribers"),
+      reg.gauge("acex.broker.groups"),
+      reg.gauge("acex.broker.egress.depth"),
+  };
+  return metrics;
+}
+
+}  // namespace
+
+/// Everything one subscriber owns. `sender_mutex` guards the AdaptiveSender
+/// (whose estimators and retransmit ring are not thread-safe); the egress
+/// queue synchronizes itself. Stats live behind their OWN mutex because a
+/// publish blocked in a full kBlock queue holds sender_mutex for the whole
+/// wait — stats queries (the pump loop's progress check) must not deadlock
+/// against it. The two mutexes are never nested. Held by shared_ptr so an
+/// in-flight publish survives a concurrent unsubscribe.
+struct FanoutBroker::Subscriber {
+  SubscriberId id = 0;
+  SubscriberConfig config;
+  transport::Transport* downstream = nullptr;
+  std::unique_ptr<EgressQueue> queue;
+  std::unique_ptr<adaptive::AdaptiveSender> sender;
+
+  mutable std::mutex sender_mutex;
+  mutable std::mutex stats_mutex;
+  SubscriberStats stats;
+
+  obs::Counter* frames_counter = nullptr;
+  obs::Counter* drops_counter = nullptr;
+  obs::Counter* fallbacks_counter = nullptr;
+
+  bool is_disconnected() const {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    return stats.disconnected;
+  }
+  void mark_disconnected() {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.disconnected = true;
+  }
+};
+
+FanoutBroker::FanoutBroker(BrokerConfig config)
+    : config_(config),
+      sampler_(config.sample_prefix == 0 ? 4 * 1024 : config.sample_prefix) {
+  // Shared encodes read this registry from worker threads; freeze it up
+  // front so the concurrency contract (frozen => concurrent reads safe)
+  // holds for the broker's whole lifetime.
+  registry_.freeze();
+  if (config_.worker_threads != 1) {
+    pool_ = std::make_unique<engine::ThreadPool>(config_.worker_threads,
+                                                 config_.queue_capacity);
+  }
+}
+
+FanoutBroker::~FanoutBroker() {
+  // Close every egress first: a publisher blocked in a kBlock queue must
+  // be gone before members (including the encode pool) are torn down.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, sub] : subscribers_) sub->queue->close();
+}
+
+SubscriberId FanoutBroker::subscribe(transport::Transport& transport,
+                                     SubscriberConfig config) {
+  auto sub = std::make_shared<Subscriber>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sub->id = next_id_++;
+  }
+  if (config.name.empty()) config.name = "sub-" + std::to_string(sub->id);
+  // The broker owns the sampling and the bandwidth measurement point;
+  // per-subscriber settings for either would be silently wrong.
+  config.adaptive.external_bandwidth_feedback = true;
+  config.adaptive.async_sampling = false;
+
+  sub->config = config;
+  sub->downstream = &transport;
+  sub->queue = std::make_unique<EgressQueue>(config.egress_capacity,
+                                             config.policy, transport.clock());
+  sub->sender =
+      std::make_unique<adaptive::AdaptiveSender>(*sub->queue, config.adaptive);
+
+  auto& reg = obs::MetricsRegistry::global();
+  sub->frames_counter =
+      &reg.counter("acex.broker.sub.frames", "subscriber", config.name);
+  sub->drops_counter =
+      &reg.counter("acex.broker.sub.drops", "subscriber", config.name);
+  sub->fallbacks_counter =
+      &reg.counter("acex.broker.sub.fallbacks", "subscriber", config.name);
+
+  const SubscriberId id = sub->id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    subscribers_.emplace(id, std::move(sub));
+  }
+  broker_metrics().subscribers.add(1);
+  return id;
+}
+
+bool FanoutBroker::unsubscribe(SubscriberId id) {
+  SubscriberPtr sub;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = subscribers_.find(id);
+    if (it == subscribers_.end()) return false;
+    sub = std::move(it->second);
+    subscribers_.erase(it);
+  }
+  // Wake any publish blocked on this queue (it absorbs the IoError as a
+  // disconnect of this subscriber only) and drop queued frames.
+  sub->queue->close();
+  broker_metrics().subscribers.sub(1);
+  return true;
+}
+
+void FanoutBroker::publish(ByteView block) {
+  // Serialized: each subscriber's finish_block must run in the same order
+  // its sequences were planned.
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  auto& metrics = broker_metrics();
+
+  std::vector<SubscriberPtr> subs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    subs.reserve(subscribers_.size());
+    for (const auto& [id, sub] : subscribers_) subs.push_back(sub);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.blocks;
+  }
+  metrics.blocks.add();
+  if (subs.empty()) {
+    metrics.groups.set(0);
+    return;
+  }
+
+  // One sample per block, shared: the sampled ratio is a property of the
+  // data, not of any subscriber's link.
+  const adaptive::SampleResult sample = sampler_.sample(block);
+
+  struct Planned {
+    SubscriberPtr sub;
+    adaptive::BlockPlan plan;
+  };
+  std::vector<Planned> planned;
+  planned.reserve(subs.size());
+  for (const auto& sub : subs) {
+    if (sub->is_disconnected()) continue;
+    std::lock_guard<std::mutex> lock(sub->sender_mutex);
+    planned.push_back({sub, sub->sender->plan_block_sampled(block, sample)});
+  }
+  if (planned.empty()) {
+    metrics.groups.set(0);
+    return;
+  }
+
+  // Group subscribers by what must actually be encoded. The slack joins
+  // the method in the key because it decides the expansion verdict — two
+  // subscribers that agree on the method but not the slack could demand
+  // different payloads. In practice slacks match and groups == methods.
+  using GroupKey = std::pair<MethodId, std::size_t>;
+  const auto key_of = [](const Planned& p) {
+    return GroupKey{p.plan.method,
+                    p.sub->config.adaptive.expansion_slack_bytes};
+  };
+  std::map<GroupKey, adaptive::PayloadEncode> groups;
+  for (const auto& p : planned) groups.emplace(key_of(p), adaptive::PayloadEncode{});
+
+  // Encode once per group — concurrently when the pool exists and there
+  // is more than one group. encode_payload never throws (pool contract).
+  if (pool_ && groups.size() > 1) {
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = groups.size();
+    for (auto& [key, slot] : groups) {
+      adaptive::PayloadEncode* out = &slot;
+      const GroupKey k = key;
+      pool_->submit([this, block, k, out, &done_mutex, &done_cv, &remaining] {
+        adaptive::PayloadEncode enc =
+            adaptive::encode_payload(registry_, block, k.first, k.second);
+        std::lock_guard<std::mutex> lock(done_mutex);
+        *out = std::move(enc);
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  } else {
+    for (auto& [key, slot] : groups) {
+      slot = adaptive::encode_payload(registry_, block, key.first, key.second);
+    }
+  }
+
+  double encode_cpu = 0;
+  for (const auto& [key, enc] : groups) encode_cpu += enc.encode_seconds;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.encodes += groups.size();
+    stats_.cache_misses += groups.size();
+    stats_.cache_hits += planned.size() - groups.size();
+    stats_.last_groups = groups.size();
+    stats_.encode_seconds += encode_cpu;
+  }
+  metrics.cache_misses.add(groups.size());
+  metrics.cache_hits.add(planned.size() - groups.size());
+  metrics.groups.set(static_cast<std::int64_t>(groups.size()));
+
+  // Frame per subscriber (own sequence number over the shared payload)
+  // and finish. The CRC is of the original block — also shared.
+  const std::uint32_t crc = crc32(block);
+  std::int64_t depth_sum = 0;
+  for (auto& p : planned) {
+    const adaptive::PayloadEncode& enc = groups.at(key_of(p));
+    adaptive::EncodeResult encoded;
+    encoded.framed = frame_build_seq(enc.method, enc.payload, crc,
+                                     p.plan.sequence);
+    encoded.method = enc.method;
+    encoded.fallback = enc.fallback;
+    encoded.threw = enc.threw;
+    encoded.encode_seconds = enc.encode_seconds;
+    const std::size_t framed_size = encoded.framed.size();
+
+    if (p.sub->is_disconnected()) continue;
+    bool finished = true;
+    {
+      std::lock_guard<std::mutex> lock(p.sub->sender_mutex);
+      try {
+        p.sub->sender->finish_block(p.plan, block.size(), std::move(encoded));
+      } catch (const IoError&) {
+        // Egress closed (unsubscribe race) or overflowed under
+        // kDisconnect: this subscriber is done, the others untouched.
+        finished = false;
+      }
+    }
+    if (!finished) {
+      p.sub->mark_disconnected();
+    } else {
+      std::lock_guard<std::mutex> lock(p.sub->stats_mutex);
+      ++p.sub->stats.frames;
+      p.sub->stats.bytes += framed_size;
+      p.sub->frames_counter->add();
+      if (enc.fallback) {
+        ++p.sub->stats.fallbacks;
+        p.sub->fallbacks_counter->add();
+      }
+      const std::uint64_t queue_drops = p.sub->queue->drops();
+      if (queue_drops > p.sub->stats.drops) {
+        p.sub->drops_counter->add(queue_drops - p.sub->stats.drops);
+        p.sub->stats.drops = queue_drops;
+      }
+    }
+    depth_sum += static_cast<std::int64_t>(p.sub->queue->depth());
+  }
+  metrics.egress_depth.set(depth_sum);
+}
+
+std::size_t FanoutBroker::pump(SubscriberId id, std::size_t max_frames) {
+  const SubscriberPtr sub = find(id);
+  if (!sub) return 0;
+  return pump_locked_free(sub, max_frames);
+}
+
+std::size_t FanoutBroker::pump_all() {
+  std::vector<SubscriberPtr> subs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    subs.reserve(subscribers_.size());
+    for (const auto& [id, sub] : subscribers_) subs.push_back(sub);
+  }
+  std::size_t delivered = 0;
+  for (const auto& sub : subs) {
+    delivered +=
+        pump_locked_free(sub, std::numeric_limits<std::size_t>::max());
+  }
+  return delivered;
+}
+
+std::size_t FanoutBroker::pump_locked_free(const SubscriberPtr& sub,
+                                           std::size_t max_frames) {
+  std::size_t delivered = 0;
+  while (delivered < max_frames) {
+    std::optional<Bytes> frame = sub->queue->try_pop();
+    if (!frame) break;
+    // Time the REAL link transfer on the transport's clock — this is the
+    // bandwidth signal external_bandwidth_feedback redirected here.
+    const Clock& clock = sub->downstream->clock();
+    const Seconds start = clock.now();
+    try {
+      sub->downstream->send(*frame);
+    } catch (const IoError&) {
+      sub->mark_disconnected();
+      sub->queue->close();
+      break;
+    }
+    const Seconds elapsed = clock.now() - start;
+    {
+      std::lock_guard<std::mutex> lock(sub->sender_mutex);
+      sub->sender->record_bandwidth(frame->size(), elapsed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(sub->stats_mutex);
+      ++sub->stats.delivered;
+    }
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t FanoutBroker::retransmit(
+    SubscriberId id, const std::vector<std::uint64_t>& sequences) {
+  const SubscriberPtr sub = find(id);
+  if (!sub || sub->is_disconnected()) return 0;
+  std::size_t resent = 0;
+  try {
+    std::lock_guard<std::mutex> lock(sub->sender_mutex);
+    resent = sub->sender->retransmit(sequences);
+  } catch (const IoError&) {
+    sub->mark_disconnected();
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(sub->stats_mutex);
+  sub->stats.retransmits += resent;
+  return resent;
+}
+
+echo::SubscriberId FanoutBroker::attach(echo::EventChannel& channel) {
+  return channel.subscribe([this](const echo::Event& event) {
+    publish(ByteView(event.payload.data(), event.payload.size()));
+  });
+}
+
+void FanoutBroker::detach(echo::EventChannel& channel,
+                          echo::SubscriberId id) noexcept {
+  channel.unsubscribe(id);
+}
+
+SubscriberStats FanoutBroker::subscriber_stats(SubscriberId id) const {
+  const SubscriberPtr sub = find(id);
+  if (!sub) {
+    throw ConfigError("broker: unknown subscriber id " + std::to_string(id));
+  }
+  std::lock_guard<std::mutex> lock(sub->stats_mutex);
+  return sub->stats;
+}
+
+adaptive::DegradationStats FanoutBroker::degradation(SubscriberId id) const {
+  const SubscriberPtr sub = find(id);
+  if (!sub) {
+    throw ConfigError("broker: unknown subscriber id " + std::to_string(id));
+  }
+  std::lock_guard<std::mutex> lock(sub->sender_mutex);
+  return sub->sender->degradation();
+}
+
+BrokerStats FanoutBroker::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::size_t FanoutBroker::subscriber_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subscribers_.size();
+}
+
+std::size_t FanoutBroker::egress_depth(SubscriberId id) const {
+  const SubscriberPtr sub = find(id);
+  if (!sub) {
+    throw ConfigError("broker: unknown subscriber id " + std::to_string(id));
+  }
+  return sub->queue->depth();
+}
+
+bool FanoutBroker::disconnected(SubscriberId id) const {
+  const SubscriberPtr sub = find(id);
+  if (!sub) {
+    throw ConfigError("broker: unknown subscriber id " + std::to_string(id));
+  }
+  return sub->is_disconnected();
+}
+
+FanoutBroker::SubscriberPtr FanoutBroker::find(SubscriberId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = subscribers_.find(id);
+  return it == subscribers_.end() ? nullptr : it->second;
+}
+
+}  // namespace acex::broker

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adaptive/pipeline.hpp"
+#include "adaptive/sampler.hpp"
+#include "broker/egress_queue.hpp"
+#include "echo/channel.hpp"
+#include "engine/thread_pool.hpp"
+#include "transport/transport.hpp"
+
+namespace acex::broker {
+
+/// Identifies a subscriber within one FanoutBroker.
+using SubscriberId = std::uint64_t;
+
+/// Per-subscriber knobs: the adaptive stream configuration for THIS link
+/// plus the egress-queue contract. `adaptive.external_bandwidth_feedback`
+/// and `adaptive.async_sampling` are overridden by the broker (the broker
+/// owns both the bandwidth measurement point and the shared sampler).
+struct SubscriberConfig {
+  /// Obs label; defaults to "sub-<id>" when empty. Must be unique if you
+  /// want per-subscriber metrics to stay distinguishable.
+  std::string name;
+  adaptive::AdaptiveConfig adaptive;
+  std::size_t egress_capacity = 64;
+  SlowConsumerPolicy policy = SlowConsumerPolicy::kBlock;
+};
+
+/// Ground-truth per-subscriber accounting, maintained by the broker and
+/// cross-checked against the obs mirror by tools/acexstat --broker.
+struct SubscriberStats {
+  std::uint64_t frames = 0;       ///< frames framed + handed to the egress
+  std::uint64_t bytes = 0;        ///< framed bytes across those frames
+  std::uint64_t delivered = 0;    ///< frames pumped onto the real transport
+  std::uint64_t fallbacks = 0;    ///< blocks degraded to the null codec
+  std::uint64_t drops = 0;        ///< egress evictions (kDropOldest)
+  std::uint64_t retransmits = 0;  ///< frames replayed on NACK
+  bool disconnected = false;
+};
+
+/// Broker-wide accounting. The shared-encode invariant the tests assert:
+/// encodes == cache_misses, and per block the number of codec runs equals
+/// the number of distinct chosen methods — NOT the subscriber count.
+struct BrokerStats {
+  std::uint64_t blocks = 0;        ///< publish() calls
+  std::uint64_t encodes = 0;       ///< actual codec runs (== cache_misses)
+  std::uint64_t cache_hits = 0;    ///< subscriber frames served from cache
+  std::uint64_t cache_misses = 0;  ///< one per (block, method) group
+  std::uint64_t last_groups = 0;   ///< distinct methods in the last block
+  double encode_seconds = 0;       ///< summed raw encode CPU time
+};
+
+struct BrokerConfig {
+  /// Encode workers for concurrent per-group encodes: 1 runs encodes
+  /// inline on the publishing thread (deterministic, the test default),
+  /// 0 asks for one worker per hardware thread, anything else is literal.
+  std::size_t worker_threads = 1;
+  /// Task-queue capacity of the encode pool; 0 = ThreadPool default.
+  std::size_t queue_capacity = 0;
+  /// Shared sampler prefix (the paper's 4 KiB): each published block is
+  /// sampled ONCE and the result feeds every subscriber's plan.
+  std::size_t sample_prefix = 4 * 1024;
+};
+
+/// Multi-subscriber event distribution with per-subscriber adaptive codecs
+/// and shared-encode caching (DESIGN.md §11).
+///
+/// One FanoutBroker stands between a published block stream (publish(), or
+/// an attached echo::EventChannel) and N subscribers, each with its own
+/// transport, link profile, and adaptive decision state. Per block, every
+/// subscriber plans independently — same shared sample, own bandwidth
+/// estimator, own circuit breaker — and the broker then encodes once per
+/// DISTINCT chosen method, framing the cached payload per subscriber with
+/// its own sequence number (frame_build_seq). K subscribers that agree on
+/// a method cost one codec run, not K.
+///
+/// Thread safety: publish() is serialized internally (per-subscriber
+/// sequence order must match finish order). subscribe()/unsubscribe()/
+/// pump()/retransmit()/stats() may run concurrently with publish() and
+/// each other. unsubscribe() during an in-flight publish is safe: the
+/// publish finishes against a kept-alive handle whose egress is closed,
+/// and the IoError is absorbed as a disconnect of that subscriber only.
+class FanoutBroker {
+ public:
+  explicit FanoutBroker(BrokerConfig config = {});
+  ~FanoutBroker();
+
+  FanoutBroker(const FanoutBroker&) = delete;
+  FanoutBroker& operator=(const FanoutBroker&) = delete;
+
+  /// Register a subscriber over `transport` (which must outlive it).
+  /// Sequences start at 0 at subscribe time — a late joiner's receiver
+  /// sees a fresh stream, not a gap from sequence 0 to "now".
+  SubscriberId subscribe(transport::Transport& transport,
+                         SubscriberConfig config = {});
+
+  /// Remove a subscriber; closes its egress queue (waking any blocked
+  /// publish). Unknown ids return false. Queued frames are dropped.
+  bool unsubscribe(SubscriberId id);
+
+  /// Distribute one block to every live subscriber: shared sample, per-
+  /// subscriber plan, one encode per distinct method, per-subscriber
+  /// framing + finish. A subscriber whose egress rejects the frame
+  /// (kDisconnect overflow, or closed by unsubscribe) is marked
+  /// disconnected; healthy subscribers are unaffected.
+  void publish(ByteView block);
+
+  /// Drain up to `max_frames` from `id`'s egress onto its real transport,
+  /// timing each transfer on the transport's clock and feeding the
+  /// measurement into the subscriber's bandwidth estimator. Returns frames
+  /// delivered. IoError from the transport disconnects the subscriber.
+  std::size_t pump(SubscriberId id,
+                   std::size_t max_frames =
+                       std::numeric_limits<std::size_t>::max());
+
+  /// pump() every subscriber until its egress is empty; returns the total.
+  std::size_t pump_all();
+
+  /// Replay `sequences` from `id`'s retransmit ring into its egress (the
+  /// sender half of the per-subscriber NACK protocol). Returns frames
+  /// actually re-sent. Retransmission is per-subscriber state: one lossy
+  /// link replays without touching any other subscriber's stream.
+  std::size_t retransmit(SubscriberId id,
+                         const std::vector<std::uint64_t>& sequences);
+
+  /// Attach this broker to a channel: every event submitted to the channel
+  /// is published as one block. Returns the channel subscription id for
+  /// detach(). The channel's dispatch thread becomes the publish thread.
+  echo::SubscriberId attach(echo::EventChannel& channel);
+  void detach(echo::EventChannel& channel, echo::SubscriberId id) noexcept;
+
+  SubscriberStats subscriber_stats(SubscriberId id) const;
+  adaptive::DegradationStats degradation(SubscriberId id) const;
+  BrokerStats stats() const;
+  std::size_t subscriber_count() const;
+  std::size_t egress_depth(SubscriberId id) const;
+  bool disconnected(SubscriberId id) const;
+
+ private:
+  struct Subscriber;
+  using SubscriberPtr = std::shared_ptr<Subscriber>;
+
+  SubscriberPtr find(SubscriberId id) const;
+  std::size_t pump_locked_free(const SubscriberPtr& sub,
+                               std::size_t max_frames);
+
+  BrokerConfig config_;
+  CodecRegistry registry_ = CodecRegistry::with_builtins();
+  adaptive::Sampler sampler_;
+  std::unique_ptr<engine::ThreadPool> pool_;  ///< null = inline encodes
+
+  mutable std::mutex mutex_;        ///< guards subscribers_ + next_id_
+  std::map<SubscriberId, SubscriberPtr> subscribers_;
+  SubscriberId next_id_ = 1;
+
+  std::mutex publish_mutex_;        ///< serializes publish()
+
+  mutable std::mutex stats_mutex_;  ///< guards stats_
+  BrokerStats stats_;
+};
+
+}  // namespace acex::broker

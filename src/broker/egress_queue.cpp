@@ -1,0 +1,82 @@
+#include "broker/egress_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace acex::broker {
+
+EgressQueue::EgressQueue(std::size_t capacity, SlowConsumerPolicy policy,
+                         const Clock& clock)
+    : capacity_(capacity == 0 ? 1 : capacity), policy_(policy),
+      clock_(&clock) {}
+
+void EgressQueue::send(ByteView message) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) throw IoError("egress queue closed");
+
+  if (frames_.size() >= capacity_) {
+    switch (policy_) {
+      case SlowConsumerPolicy::kBlock:
+        not_full_.wait(lock, [this] {
+          return closed_ || frames_.size() < capacity_;
+        });
+        if (closed_) throw IoError("egress queue closed");
+        break;
+      case SlowConsumerPolicy::kDropOldest:
+        // The receiver sees the evicted sequence as a gap and asks for it
+        // back through its NACK path — loss here is recoverable loss.
+        while (frames_.size() >= capacity_) {
+          frames_.pop_front();
+          ++drops_;
+        }
+        break;
+      case SlowConsumerPolicy::kDisconnect:
+        closed_ = true;
+        frames_.clear();
+        not_full_.notify_all();
+        throw IoError("egress queue overflow: slow consumer disconnected");
+    }
+  }
+
+  frames_.emplace_back(message.begin(), message.end());
+  ++accepted_;
+}
+
+std::optional<Bytes> EgressQueue::receive() { return try_pop(); }
+
+std::optional<Bytes> EgressQueue::try_pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (frames_.empty()) return std::nullopt;
+  Bytes frame = std::move(frames_.front());
+  frames_.pop_front();
+  not_full_.notify_one();
+  return frame;
+}
+
+void EgressQueue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  frames_.clear();
+  not_full_.notify_all();
+}
+
+bool EgressQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t EgressQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_.size();
+}
+
+std::uint64_t EgressQueue::drops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drops_;
+}
+
+std::uint64_t EgressQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+}  // namespace acex::broker

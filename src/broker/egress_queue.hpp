@@ -1,0 +1,92 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "transport/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace acex::broker {
+
+/// What the broker does when a subscriber's egress queue is full — the
+/// slow-consumer contract (DESIGN.md §11). The policy is the whole reason
+/// the queue exists: without it, one stalled subscriber would backpressure
+/// the publisher and starve every healthy subscriber behind the same
+/// publish loop.
+enum class SlowConsumerPolicy {
+  /// Publisher blocks until the pump drains a slot. Lossless, but a dead
+  /// consumer stalls the publish — only safe when every subscriber is
+  /// actively pumped.
+  kBlock,
+  /// Evict the oldest queued frame to admit the new one. The subscriber's
+  /// receiver sees a sequence gap and recovers through its NACK path; the
+  /// publisher never waits.
+  kDropOldest,
+  /// Close the queue and fail the subscriber: the publish throws IoError
+  /// for THIS subscriber only, and the broker marks it disconnected.
+  kDisconnect,
+};
+
+/// Bounded, thread-safe frame queue standing between one subscriber's
+/// AdaptiveSender (producer: the broker's publish loop) and its real
+/// transport (consumer: the delivery pump). Implements Transport so the
+/// sender writes to it unchanged; receive()/try_pop() hand frames to the
+/// pump, which forwards them downstream and times the REAL transfer.
+///
+/// The queue's own accept time is meaningless as a bandwidth signal —
+/// which is why broker senders run with
+/// AdaptiveConfig::external_bandwidth_feedback and the pump reports
+/// measured link transfers via AdaptiveSender::record_bandwidth().
+class EgressQueue final : public transport::Transport {
+ public:
+  /// `clock` must outlive the queue; it is the downstream transport's
+  /// clock, forwarded so sender-side timing stays on the link's timeline.
+  EgressQueue(std::size_t capacity, SlowConsumerPolicy policy,
+              const Clock& clock);
+
+  /// Enqueue one frame, applying the slow-consumer policy when full.
+  /// Throws IoError once the queue is closed (disconnect semantics) — a
+  /// publisher blocked under kBlock is woken and thrown out by close().
+  void send(ByteView message) override;
+
+  /// Pop the oldest frame; std::nullopt when empty (or closed and drained).
+  std::optional<Bytes> receive() override;
+
+  const Clock& clock() const override { return *clock_; }
+
+  /// Non-blocking pop for the delivery pump (same as receive()).
+  std::optional<Bytes> try_pop();
+
+  /// Close the queue: wakes any blocked sender with IoError, drops queued
+  /// frames, and makes every later send() fail. Idempotent. Called on
+  /// unsubscribe so an in-flight publish can never deadlock on a
+  /// subscriber that no longer exists.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  SlowConsumerPolicy policy() const noexcept { return policy_; }
+
+  /// Frames evicted under kDropOldest since construction.
+  std::uint64_t drops() const;
+  /// Frames accepted (enqueued) since construction.
+  std::uint64_t accepted() const;
+
+ private:
+  const std::size_t capacity_;
+  const SlowConsumerPolicy policy_;
+  const Clock* clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::deque<Bytes> frames_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t accepted_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace acex::broker

@@ -51,18 +51,22 @@ Bytes frame_compress(Codec& codec, ByteView data) {
 Bytes frame_compress_seq(Codec& codec, ByteView data, std::uint64_t sequence) {
   const std::uint32_t crc = crc32(data);
   const Bytes payload = codec.compress(data);
+  return frame_build_seq(codec.id(), payload, crc, sequence);
+}
 
+Bytes frame_build_seq(MethodId method, ByteView payload,
+                      std::uint32_t original_crc, std::uint64_t sequence) {
   Bytes out;
   out.reserve(payload.size() + 24);
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   out.push_back(kFrameVersionSeq);
-  out.push_back(static_cast<std::uint8_t>(codec.id()));
+  out.push_back(static_cast<std::uint8_t>(method));
   put_varint(out, sequence);
   put_varint(out, payload.size());
   out.push_back(header_checksum(out, out.size()));
   out.insert(out.end(), payload.begin(), payload.end());
-  append_crc(out, crc);
+  append_crc(out, original_crc);
   return out;
 }
 

@@ -46,6 +46,15 @@ Bytes frame_compress(Codec& codec, ByteView data);
 /// `sequence`.
 Bytes frame_compress_seq(Codec& codec, ByteView data, std::uint64_t sequence);
 
+/// Wrap an ALREADY-COMPRESSED payload in a v2 frame. `original_crc` must be
+/// the CRC-32 of the original (uncompressed) data, exactly as
+/// frame_compress_seq would compute it. This is the shared-encode
+/// primitive: one codec run can be framed once per subscriber, each with
+/// its own sequence number, without recompressing — the resulting bytes
+/// are identical to frame_compress_seq for the same (payload, sequence).
+Bytes frame_build_seq(MethodId method, ByteView payload,
+                      std::uint32_t original_crc, std::uint64_t sequence);
+
 /// Parse a frame (either version) without decompressing. Throws DecodeError
 /// on malformed or truncated envelopes, including header-checksum failures.
 Frame frame_parse(ByteView framed);

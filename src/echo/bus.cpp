@@ -8,7 +8,7 @@ ChannelId EventBus::create_channel(std::string name) {
   if (has(name)) throw ConfigError("channel name already in use: " + name);
   const ChannelId id = next_id_++;
   Node node;
-  node.channel = std::make_unique<EventChannel>(std::move(name));
+  node.channel = std::make_shared<EventChannel>(std::move(name));
   channels_.emplace(id, std::move(node));
   return id;
 }
@@ -50,20 +50,31 @@ ChannelId EventBus::derive_channel(ChannelId source, EventHandler handler,
   if (!handler) throw ConfigError("derive_channel: handler must not be empty");
   EventChannel& src = channel(source);  // validates source id
   const ChannelId id = create_channel(std::move(name));
-  EventChannel& derived = *node(id).channel;
 
-  // Data path: source -> handler -> derived.
+  // Data path: source -> handler -> derived. The tap holds a weak_ptr, not
+  // a reference: remove_channel(derived) can run from a sink of the source
+  // channel while this very submit() is dispatching, and the tap must then
+  // either skip the dead channel (lock fails) or keep it alive long enough
+  // to finish an in-flight delivery (lock succeeded before erasure).
+  std::weak_ptr<EventChannel> weak_derived = node(id).channel;
   const SubscriberId tap = src.subscribe(
-      [&derived, handler = std::move(handler)](const Event& event) {
+      [weak_derived, handler = std::move(handler)](const Event& event) {
+        const std::shared_ptr<EventChannel> derived = weak_derived.lock();
+        if (!derived) return;  // derived channel removed; tap is inert
         std::optional<Event> transformed = handler(event);
-        if (transformed) derived.submit(*std::move(transformed));
+        if (transformed) derived->submit(*std::move(transformed));
       });
 
   // Control path: consumer signals on the derived channel reach the
-  // original producer.
-  EventChannel* src_ptr = &src;
-  const SubscriberId control_tap = derived.on_control(
-      [src_ptr](const AttributeMap& attrs) { src_ptr->signal_control(attrs); });
+  // original producer. Weak for the same reason as the data tap, mirrored:
+  // the source may be removed while the derived channel lives on.
+  std::weak_ptr<EventChannel> weak_src = node(source).channel;
+  const SubscriberId control_tap = node(id).channel->on_control(
+      [weak_src](const AttributeMap& attrs) {
+        if (const std::shared_ptr<EventChannel> src = weak_src.lock()) {
+          src->signal_control(attrs);
+        }
+      });
 
   Node& n = node(id);
   n.source = source;

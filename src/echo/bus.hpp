@@ -50,7 +50,10 @@ class EventBus {
 
  private:
   struct Node {
-    std::unique_ptr<EventChannel> channel;
+    // shared_ptr so a derivation tap can hold a weak_ptr: removing a derived
+    // channel while its source is mid-submit must not leave the tap calling
+    // into a destroyed channel (the tap locks, and a failed lock is a no-op).
+    std::shared_ptr<EventChannel> channel;
     // Set when this channel was derived: which channel feeds it and the
     // subscription/control hooks to tear down on removal.
     ChannelId source = 0;

@@ -55,11 +55,24 @@ void EventChannel::submit(Event event) {
   std::vector<SubscriberId> ids;
   ids.reserve(sinks_.size());
   for (const auto& e : sinks_) ids.push_back(e.id);
+  std::exception_ptr first_error;
   for (const SubscriberId id : ids) {
     const auto it = std::find_if(sinks_.begin(), sinks_.end(),
                                  [id](const auto& e) { return e.id == id; });
-    if (it != sinks_.end()) it->callback(event);
+    if (it == sinks_.end()) continue;
+    // Copy the callback before invoking: if the sink unsubscribes itself,
+    // erase_if move-assigns over the std::function we are executing, which
+    // destroys its captures mid-call. The copy keeps them alive.
+    const auto callback = it->callback;
+    try {
+      callback(event);
+    } catch (...) {
+      // One faulty subscriber must not starve the others: finish the
+      // dispatch, then surface the first failure to the producer.
+      if (!first_error) first_error = std::current_exception();
+    }
   }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 SubscriberId EventChannel::on_control(ControlSink sink) {
@@ -81,7 +94,9 @@ void EventChannel::signal_control(const AttributeMap& attrs) {
     const auto it =
         std::find_if(control_sinks_.begin(), control_sinks_.end(),
                      [id](const auto& e) { return e.id == id; });
-    if (it != control_sinks_.end()) it->callback(attrs);
+    if (it == control_sinks_.end()) continue;
+    const auto callback = it->callback;  // see submit(): self-removal safety
+    callback(attrs);
   }
 }
 

@@ -46,7 +46,10 @@ class EventChannel {
   void unsubscribe(SubscriberId id) noexcept;
   std::size_t subscriber_count() const noexcept;
 
-  /// Deliver an event to all subscribers.
+  /// Deliver an event to all subscribers. A sink may (un)subscribe — even
+  /// itself — during dispatch without invalidating the iteration. If a sink
+  /// throws, the remaining sinks still receive the event and the first
+  /// exception is rethrown to the producer afterwards.
   void submit(Event event);
 
   /// Register a producer-side control callback.

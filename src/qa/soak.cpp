@@ -1,10 +1,13 @@
 #include "qa/soak.hpp"
 
 #include <chrono>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "adaptive/pipeline.hpp"
+#include "broker/broker.hpp"
 #include "echo/bridge.hpp"
 #include "echo/channel.hpp"
 #include "engine/parallel_sender.hpp"
@@ -45,6 +48,267 @@ struct ObsFault {
             r.counter("acex.transport.fault.bit_flips").value(),
             r.counter("acex.transport.fault.truncations").value(),
             r.counter("acex.transport.fault.clean").value()};
+  }
+};
+
+/// Broker half of the soak: one FanoutBroker fanning every published block
+/// out to N subscribers, each over its own faulted SimDuplex with a kNack
+/// receiver. Subscribers churn mid-stream; ground truth is the global
+/// `crcs` vector, and a subscriber that joined at global index J maps its
+/// local sequence s to block J + s (broker sequences start at 0 at
+/// subscribe time).
+struct BrokerSoak {
+  struct Sub {
+    std::unique_ptr<netsim::SimLink> forward;
+    std::unique_ptr<netsim::SimLink> reverse;
+    std::unique_ptr<transport::SimDuplex> duplex;
+    std::unique_ptr<transport::FaultInjectingTransport> lossy;
+    std::unique_ptr<adaptive::AdaptiveReceiver> rx;
+    broker::SubscriberId id = 0;
+    std::size_t joined_at = 0;  ///< crcs.size() at subscribe time
+    std::map<std::uint64_t, std::uint32_t> recovered;  ///< local seq -> crc
+  };
+
+  const SoakConfig& config;
+  std::function<void(std::string)> violate;
+
+  VirtualClock clock;  ///< shared by every subscriber link
+  broker::FanoutBroker broker;
+  std::vector<std::unique_ptr<Sub>> subs;
+  std::vector<std::uint32_t> crcs;     ///< ground truth per published block
+  std::uint64_t planned_frames = 0;    ///< Σ live subscribers per publish
+  std::uint64_t retransmits = 0;
+  std::uint64_t settled_recovered = 0;  ///< from churned-out subscribers
+  std::uint64_t settled_abandoned = 0;
+  transport::FaultCounters faults;  ///< accumulated over ALL injectors
+  std::uint64_t next_endpoint = 0;
+  Rng rng;
+
+  BrokerSoak(const SoakConfig& cfg, std::function<void(std::string)> v)
+      : config(cfg),
+        violate(std::move(v)),
+        broker(broker_config(cfg)),
+        rng(cfg.seed + 71) {
+    for (std::size_t i = 0; i < cfg.broker_subscribers; ++i) {
+      add_subscriber();
+    }
+  }
+
+  static broker::BrokerConfig broker_config(const SoakConfig& cfg) {
+    broker::BrokerConfig bc;
+    bc.worker_threads = cfg.workers == 0 ? 1 : cfg.workers;
+    bc.sample_prefix = std::min<std::size_t>(1024, cfg.block_size);
+    return bc;
+  }
+
+  void add_subscriber() {
+    auto sub = std::make_unique<Sub>();
+    const std::uint64_t n = ++next_endpoint;
+    sub->forward = std::make_unique<netsim::SimLink>(flat_link(2e7),
+                                                     config.seed * 131 + n * 2);
+    sub->reverse = std::make_unique<netsim::SimLink>(
+        flat_link(2e8), config.seed * 131 + n * 2 + 1);
+    sub->duplex = std::make_unique<transport::SimDuplex>(*sub->forward,
+                                                         *sub->reverse, clock);
+    transport::FaultConfig fc;
+    fc.drop_prob = config.drop_prob;
+    fc.reorder_prob = config.reorder_prob;
+    fc.duplicate_prob = config.duplicate_prob;
+    fc.bit_flip_prob = config.bit_flip_prob;
+    fc.truncate_prob = config.truncate_prob;
+    fc.seed =
+        config.seed ^ (0x165667B19E3779F9ull + n * 0x27D4EB2F165667C5ull);
+    sub->lossy = std::make_unique<transport::FaultInjectingTransport>(
+        sub->duplex->a(), fc);
+
+    adaptive::ReceiverConfig rc;
+    rc.policy = adaptive::RecoveryPolicy::kNack;
+    rc.nack_retry_cap = config.nack_retry_cap;
+    rc.gap_window = config.gap_window;
+    sub->rx =
+        std::make_unique<adaptive::AdaptiveReceiver>(sub->duplex->b(), rc);
+
+    broker::SubscriberConfig sc;
+    sc.name = "qa-sub-" + std::to_string(n);
+    sc.adaptive.decision.block_size = config.block_size;
+    sc.adaptive.decision.sample_size =
+        std::min<std::size_t>(1024, config.block_size);
+    sc.adaptive.retransmit_capacity = config.blocks_per_round * 6 + 64;
+    sc.adaptive.retransmit_max_retries = config.nack_retry_cap;
+    sc.egress_capacity = config.blocks_per_round * 6 + 64;
+    // kDropOldest: the soak pumps on the publishing thread, so kBlock
+    // would self-deadlock on overflow; evictions are NACK-recoverable.
+    sc.policy = broker::SlowConsumerPolicy::kDropOldest;
+    sub->joined_at = crcs.size();
+    sub->id = broker.subscribe(*sub->lossy, sc);
+    subs.push_back(std::move(sub));
+  }
+
+  void publish(ByteView block) {
+    std::size_t live = 0;
+    for (const auto& sub : subs) {
+      if (!broker.disconnected(sub->id)) ++live;
+    }
+    planned_frames += live;
+    crcs.push_back(crc32(block));
+    broker.publish(block);
+  }
+
+  void drain(Sub& sub) {
+    const adaptive::ReceiveReport r = sub.rx->receive_report();
+    if (r.gaps.size() > config.gap_window) {
+      violate("broker: " + std::to_string(r.gaps.size()) +
+              " gaps exceed the gap window of " +
+              std::to_string(config.gap_window));
+    }
+    for (const auto& frame : r.frames) {
+      if (frame.status != adaptive::FrameOutcome::Status::kOk) continue;
+      if (!frame.has_sequence) {
+        violate("broker: intact frame delivered without a sequence");
+        continue;
+      }
+      const std::uint64_t global = sub.joined_at + frame.sequence;
+      if (global >= crcs.size()) {
+        violate("broker: delivered sequence " +
+                std::to_string(frame.sequence) +
+                " maps past the published stream");
+        continue;
+      }
+      const std::uint32_t got = crc32(frame.data);
+      if (!sub.recovered.emplace(frame.sequence, got).second) {
+        violate("broker: frame " + std::to_string(frame.sequence) +
+                " delivered twice to one subscriber");
+      } else if (got != crcs[static_cast<std::size_t>(global)]) {
+        violate("broker: frame " + std::to_string(frame.sequence) +
+                " payload diverged from block " + std::to_string(global));
+      }
+    }
+  }
+
+  void pump_and_drain(Sub& sub) {
+    broker.pump(sub.id);
+    sub.lossy->flush();
+    drain(sub);
+  }
+
+  bool nack_cycle(Sub& sub, int extra_passes) {
+    for (int pass = 0; pass < config.nack_retry_cap + extra_passes; ++pass) {
+      const std::vector<std::uint64_t> nacks = sub.rx->take_nacks();
+      if (nacks.empty()) return true;
+      retransmits += broker.retransmit(sub.id, nacks);
+      pump_and_drain(sub);
+    }
+    return sub.rx->take_nacks().empty();
+  }
+
+  void round(std::size_t round_index) {
+    const std::size_t round_bytes =
+        config.blocks_per_round * config.block_size;
+    auto regimes = seed_payloads(round_bytes, config.seed + 53 * round_index);
+    const Bytes& data = regimes[round_index % regimes.size()].data;
+    for (std::size_t at = 0; at < data.size(); at += config.block_size) {
+      const std::size_t len = std::min(config.block_size, data.size() - at);
+      publish(ByteView(data.data() + at, len));
+    }
+    for (auto& sub : subs) {
+      pump_and_drain(*sub);
+      nack_cycle(*sub, 2);
+      if (broker.disconnected(sub->id)) {
+        violate("broker: subscriber " + std::to_string(sub->id) +
+                " disconnected unexpectedly");
+      }
+    }
+  }
+
+  /// Fault-counter identity for one injector, folded into the running sum
+  /// (the obs mirror check in run_soak needs the broker's share too).
+  void accumulate_faults(const Sub& sub) {
+    const transport::FaultCounters& c = sub.lossy->counters();
+    if (c.messages != c.drops + c.reorders + c.duplicates + c.bit_flips +
+                          c.truncations + c.clean) {
+      violate("broker: fault counter identity broken");
+    }
+    faults.messages += c.messages;
+    faults.drops += c.drops;
+    faults.reorders += c.reorders;
+    faults.duplicates += c.duplicates;
+    faults.bit_flips += c.bit_flips;
+    faults.truncations += c.truncations;
+    faults.clean += c.clean;
+  }
+
+  /// Settle the oldest subscriber's accounting and replace it with a fresh
+  /// endpoint: the churn the broker promises to survive mid-stream.
+  void maybe_churn(std::size_t completed_rounds) {
+    if (config.broker_churn_every == 0 || subs.empty()) return;
+    if (completed_rounds % config.broker_churn_every != 0) return;
+    Sub& leaving = *subs.front();
+    nack_cycle(leaving, 2);
+    const std::uint64_t published_while = crcs.size() - leaving.joined_at;
+    if (leaving.recovered.size() > published_while) {
+      violate("broker: subscriber recovered more frames than were published "
+              "while it was subscribed");
+      settled_recovered += published_while;
+    } else {
+      settled_recovered += leaving.recovered.size();
+      settled_abandoned += published_while - leaving.recovered.size();
+    }
+    accumulate_faults(leaving);
+    broker.unsubscribe(leaving.id);
+    subs.erase(subs.begin());
+    add_subscriber();
+  }
+
+  /// Heal every link, push a sentinel block past any tail drops, replay to
+  /// a fixed point, then check the accounting and shared-encode identities.
+  void finish(SoakReport& report) {
+    transport::FaultConfig clean;
+    for (auto& sub : subs) sub->lossy->set_config(clean);
+    if (!subs.empty()) {
+      const Bytes sentinel = rng.bytes(config.block_size);
+      publish(sentinel);
+      for (auto& sub : subs) {
+        pump_and_drain(*sub);
+        if (!nack_cycle(*sub, 4)) {
+          violate("broker: NACK traffic did not converge on a healed link");
+        }
+      }
+    }
+
+    std::uint64_t live_recovered = 0;
+    std::uint64_t live_abandoned = 0;
+    for (auto& sub : subs) {
+      const std::uint64_t published_while = crcs.size() - sub->joined_at;
+      const std::size_t gaps = sub->rx->receive_report().gaps.size();
+      if (sub->recovered.size() + gaps != published_while) {
+        violate("broker: accounting leak: " +
+                std::to_string(sub->recovered.size()) + " recovered + " +
+                std::to_string(gaps) + " gaps != " +
+                std::to_string(published_while) +
+                " published while subscribed");
+      }
+      live_recovered += sub->recovered.size();
+      live_abandoned += gaps;
+      accumulate_faults(*sub);
+    }
+
+    report.broker_blocks = crcs.size();
+    report.broker_recovered = settled_recovered + live_recovered;
+    report.broker_abandoned = settled_abandoned + live_abandoned;
+    report.broker_retransmits = retransmits;
+    const broker::BrokerStats bs = broker.stats();
+    report.broker_encodes = bs.encodes;
+    report.broker_cache_hits = bs.cache_hits;
+    if (bs.blocks != crcs.size()) {
+      violate("broker: publish count diverges from ground truth");
+    }
+    if (bs.cache_misses != bs.encodes) {
+      violate("broker: encode-cache misses diverge from actual codec runs");
+    }
+    if (bs.cache_hits + bs.cache_misses != planned_frames) {
+      violate("broker: cache hits + misses != frames planned "
+              "(shared-encode accounting leak)");
+    }
   }
 };
 
@@ -193,6 +457,12 @@ SoakReport run_soak(const SoakConfig& config) {
     return eng_rx.take_nacks().empty();
   };
 
+  // ---- broker half (optional): fan-out with per-subscriber recovery ----
+  std::unique_ptr<BrokerSoak> brk;
+  if (config.broker_subscribers > 0) {
+    brk = std::make_unique<BrokerSoak>(config, violate);
+  }
+
   Rng event_rng(config.seed + 17);
 
   // ---- the soak loop ---------------------------------------------------
@@ -260,6 +530,13 @@ SoakReport run_soak(const SoakConfig& config) {
       engine_nack_cycle(2);
     }
 
+    // Broker round: publish the fan-out stream, recover per subscriber,
+    // then churn the subscriber set on its cadence.
+    if (brk) {
+      brk->round(report.rounds);
+      brk->maybe_churn(report.rounds + 1);
+    }
+
     ++report.rounds;
   }
 
@@ -293,6 +570,7 @@ SoakReport run_soak(const SoakConfig& config) {
       violate("engine: retransmit ring did not converge on a healed link");
     }
   }
+  if (brk) brk->finish(report);
 
   // ---- final accounting ------------------------------------------------
   report.events_published = published_crc.size();
@@ -340,6 +618,12 @@ SoakReport run_soak(const SoakConfig& config) {
   const transport::FaultCounters& ec = eng_lossy.counters();
   check_identity("pubsub", pc);
   check_identity("engine", ec);
+  // The broker half checked each injector's identity as it settled; its
+  // running sum joins the obs-mirror ground truth below.
+  const transport::FaultCounters bc =
+      brk ? brk->faults : transport::FaultCounters{};
+  report.faults_injected +=
+      bc.drops + bc.reorders + bc.duplicates + bc.bit_flips + bc.truncations;
 
   const ObsFault after = ObsFault::read();
   const auto obs_mirror = [&](const char* field, std::uint64_t before_v,
@@ -351,17 +635,19 @@ SoakReport run_soak(const SoakConfig& config) {
     }
   };
   obs_mirror("messages", obs_before.messages, after.messages,
-             pc.messages + ec.messages);
-  obs_mirror("drops", obs_before.drops, after.drops, pc.drops + ec.drops);
+             pc.messages + ec.messages + bc.messages);
+  obs_mirror("drops", obs_before.drops, after.drops,
+             pc.drops + ec.drops + bc.drops);
   obs_mirror("reorders", obs_before.reorders, after.reorders,
-             pc.reorders + ec.reorders);
+             pc.reorders + ec.reorders + bc.reorders);
   obs_mirror("duplicates", obs_before.duplicates, after.duplicates,
-             pc.duplicates + ec.duplicates);
+             pc.duplicates + ec.duplicates + bc.duplicates);
   obs_mirror("bit_flips", obs_before.bit_flips, after.bit_flips,
-             pc.bit_flips + ec.bit_flips);
+             pc.bit_flips + ec.bit_flips + bc.bit_flips);
   obs_mirror("truncations", obs_before.truncations, after.truncations,
-             pc.truncations + ec.truncations);
-  obs_mirror("clean", obs_before.clean, after.clean, pc.clean + ec.clean);
+             pc.truncations + ec.truncations + bc.truncations);
+  obs_mirror("clean", obs_before.clean, after.clean,
+             pc.clean + ec.clean + bc.clean);
 
   return report;
 }

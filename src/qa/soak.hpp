@@ -44,6 +44,15 @@ struct SoakConfig {
 
   std::uint64_t gap_window = 512;
   int nack_retry_cap = 4;
+
+  /// Broker half: fan one block stream out to this many subscribers, each
+  /// over its own faulted link with independent NACK recovery. 0 disables
+  /// the scenario entirely — the default budgets are unchanged.
+  std::size_t broker_subscribers = 0;
+  /// With the broker scenario on: every N rounds the oldest subscriber is
+  /// unsubscribed (its accounting settled) and a fresh one joins, so the
+  /// soak exercises mid-stream churn. 0 keeps the subscriber set fixed.
+  std::size_t broker_churn_every = 3;
 };
 
 struct SoakReport {
@@ -58,6 +67,13 @@ struct SoakReport {
   std::uint64_t blocks_recovered = 0;   ///< unique blocks, CRC-verified
   std::uint64_t blocks_abandoned = 0;
   std::uint64_t block_retransmits = 0;
+
+  std::uint64_t broker_blocks = 0;       ///< blocks published to the broker
+  std::uint64_t broker_recovered = 0;    ///< unique frames, CRC-verified
+  std::uint64_t broker_abandoned = 0;    ///< given up (churn or retry cap)
+  std::uint64_t broker_retransmits = 0;
+  std::uint64_t broker_encodes = 0;      ///< actual codec runs (cache misses)
+  std::uint64_t broker_cache_hits = 0;   ///< frames served by shared encodes
 
   std::uint64_t faults_injected = 0;    ///< non-clean messages, both links
 

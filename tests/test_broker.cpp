@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "adaptive/pipeline.hpp"
+#include "broker/broker.hpp"
+#include "netsim/link.hpp"
+#include "obs/metrics.hpp"
+#include "testdata.hpp"
+#include "transport/fault_transport.hpp"
+#include "transport/sim_transport.hpp"
+#include "util/error.hpp"
+
+namespace acex::broker {
+namespace {
+
+netsim::LinkParams flat(double bandwidth_Bps = 1e6) {
+  netsim::LinkParams p;
+  p.bandwidth_Bps = bandwidth_Bps;
+  p.jitter_frac = 0;
+  return p;
+}
+
+/// Thread-safe frame sink for the concurrency tests (SimDuplex is
+/// single-threaded by design, so churn/blocking tests use this instead).
+class SinkTransport final : public transport::Transport {
+ public:
+  void send(ByteView message) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++frames_;
+    bytes_ += message.size();
+  }
+  std::optional<Bytes> receive() override { return std::nullopt; }
+  const Clock& clock() const override { return clock_; }
+
+  std::uint64_t frames() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return frames_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+  MonotonicClock clock_;
+};
+
+Bytes compressible_block(std::size_t size, std::uint64_t seed) {
+  return testdata::low_entropy(size, seed);
+}
+
+/// One simulated subscriber endpoint: its own duplex link pair, with the
+/// broker writing into a() and the receiver draining b().
+struct SimEndpoint {
+  explicit SimEndpoint(VirtualClock& clock, double bandwidth_Bps = 1e6,
+                       std::uint64_t seed = 1)
+      : forward(flat(bandwidth_Bps), seed),
+        reverse(flat(bandwidth_Bps), seed + 1000),
+        duplex(forward, reverse, clock) {}
+
+  netsim::SimLink forward;
+  netsim::SimLink reverse;
+  transport::SimDuplex duplex;
+};
+
+// ------------------------------------------------------- group formation
+
+TEST(BrokerGroups, HomogeneousSubscribersFormOneGroupPerBlock) {
+  VirtualClock clock;
+  std::vector<std::unique_ptr<SimEndpoint>> endpoints;
+  FanoutBroker broker;
+  std::vector<SubscriberId> ids;
+  for (int i = 0; i < 4; ++i) {
+    endpoints.push_back(std::make_unique<SimEndpoint>(clock, 1e6, 10 + i));
+    ids.push_back(broker.subscribe(endpoints.back()->duplex.a()));
+  }
+
+  const Bytes block = compressible_block(8 * 1024, 7);
+  const int kBlocks = 5;
+  for (int i = 0; i < kBlocks; ++i) {
+    broker.publish(block);
+    broker.pump_all();
+  }
+
+  const BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.blocks, static_cast<std::uint64_t>(kBlocks));
+  // Identical configs + identical measured links + one shared sample per
+  // block => every subscriber picks the same method => exactly one codec
+  // run per block, K-1 cache hits.
+  EXPECT_EQ(stats.encodes, static_cast<std::uint64_t>(kBlocks));
+  EXPECT_EQ(stats.cache_misses, stats.encodes);
+  EXPECT_EQ(stats.cache_hits, static_cast<std::uint64_t>(kBlocks * 3));
+  EXPECT_EQ(stats.last_groups, 1u);
+  for (const SubscriberId id : ids) {
+    EXPECT_EQ(broker.subscriber_stats(id).frames,
+              static_cast<std::uint64_t>(kBlocks));
+  }
+}
+
+TEST(BrokerGroups, HeterogeneousLinksFormMethodGroups) {
+  VirtualClock clock;
+  // Two subscribers behind an (initially) very fast link — sending is
+  // cheaper than compressing, the selector stays at kNone — and two
+  // behind a crawling one, which must compress.
+  SimEndpoint fast1(clock, 1e6, 1), fast2(clock, 1e6, 2);
+  SimEndpoint slow1(clock, 1e6, 3), slow2(clock, 1e6, 4);
+
+  FanoutBroker broker;
+  SubscriberConfig fast_cfg;
+  fast_cfg.adaptive.initial_bandwidth_Bps = 1e12;
+  SubscriberConfig slow_cfg;
+  slow_cfg.adaptive.initial_bandwidth_Bps = 1e3;
+  broker.subscribe(fast1.duplex.a(), fast_cfg);
+  broker.subscribe(fast2.duplex.a(), fast_cfg);
+  broker.subscribe(slow1.duplex.a(), slow_cfg);
+  broker.subscribe(slow2.duplex.a(), slow_cfg);
+
+  broker.publish(compressible_block(16 * 1024, 9));
+
+  const BrokerStats stats = broker.stats();
+  // Two distinct method choices -> two groups -> two encodes, two hits.
+  EXPECT_EQ(stats.last_groups, 2u);
+  EXPECT_EQ(stats.encodes, 2u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+// --------------------------------------------- shared-encode byte identity
+
+TEST(BrokerCache, SubscribersOnIdenticalLinksReceiveIdenticalBytes) {
+  obs::MetricsRegistry::global().reset_values();
+  VirtualClock clock;
+  constexpr int kSubs = 3;
+  std::vector<std::unique_ptr<SimEndpoint>> endpoints;
+  FanoutBroker broker;
+  std::vector<SubscriberId> ids;
+  for (int i = 0; i < kSubs; ++i) {
+    // Same link seed everywhere: the measured transfers (and therefore
+    // the bandwidth feedback) are identical across subscribers.
+    endpoints.push_back(std::make_unique<SimEndpoint>(clock, 1e6, 1));
+    ids.push_back(broker.subscribe(endpoints.back()->duplex.a()));
+  }
+
+  std::vector<Bytes> blocks;
+  const int kBlocks = 6;
+  for (int i = 0; i < kBlocks; ++i) {
+    blocks.push_back(compressible_block(8 * 1024, 100 + i));
+    broker.publish(blocks.back());
+    broker.pump_all();
+  }
+
+  // The wire bytes must be identical subscriber-to-subscriber: same
+  // payload from the shared encode, same sequence (every subscriber
+  // joined at the start), same frame envelope.
+  std::vector<std::vector<Bytes>> wires(kSubs);
+  for (int s = 0; s < kSubs; ++s) {
+    while (auto frame = endpoints[s]->duplex.b().receive()) {
+      wires[s].push_back(std::move(*frame));
+    }
+    ASSERT_EQ(wires[s].size(), static_cast<std::size_t>(kBlocks));
+  }
+  for (int s = 1; s < kSubs; ++s) EXPECT_EQ(wires[s], wires[0]);
+
+  // And each frame decodes back to the published block.
+  const CodecRegistry registry = CodecRegistry::with_builtins();
+  for (int i = 0; i < kBlocks; ++i) {
+    EXPECT_EQ(frame_decompress(wires[0][i], registry), blocks[i]);
+  }
+
+  // Obs mirror == ground truth: encode invocations per block == distinct
+  // chosen methods (here 1), asserted through the encode-cache counters.
+  const BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.encodes, static_cast<std::uint64_t>(kBlocks));
+  EXPECT_EQ(stats.cache_hits, static_cast<std::uint64_t>(kBlocks * (kSubs - 1)));
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const obs::MetricPoint* hits = snap.find("acex.broker.encode_cache.hits");
+  const obs::MetricPoint* misses = snap.find("acex.broker.encode_cache.misses");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(misses, nullptr);
+  EXPECT_EQ(hits->counter, stats.cache_hits);
+  EXPECT_EQ(misses->counter, stats.cache_misses);
+}
+
+TEST(BrokerCache, LateJoinerSequencesStartAtZero) {
+  VirtualClock clock;
+  SimEndpoint early(clock, 1e6, 1), late(clock, 1e6, 2);
+  FanoutBroker broker;
+  broker.subscribe(early.duplex.a());
+
+  broker.publish(compressible_block(4096, 1));
+  broker.publish(compressible_block(4096, 2));
+  broker.pump_all();
+
+  broker.subscribe(late.duplex.a());
+  broker.publish(compressible_block(4096, 3));
+  broker.pump_all();
+
+  // The late joiner's stream starts at sequence 0: its receiver must see
+  // a gapless fresh stream, not a hole covering the blocks it missed.
+  adaptive::AdaptiveReceiver receiver(late.duplex.b(),
+                                      {adaptive::RecoveryPolicy::kNack,
+                                       3, 1024});
+  const adaptive::ReceiveReport report = receiver.receive_report();
+  EXPECT_EQ(report.frames_ok, 1u);
+  EXPECT_TRUE(report.gaps.empty());
+  ASSERT_EQ(report.frames.size(), 1u);
+  EXPECT_EQ(report.frames[0].sequence, 0u);
+}
+
+// --------------------------------------------------- slow-consumer policy
+
+TEST(BrokerPolicy, DropOldestNeverStallsAndCountsDrops) {
+  VirtualClock clock;
+  SimEndpoint slow(clock, 1e6, 1), healthy(clock, 1e6, 2);
+  FanoutBroker broker;
+
+  SubscriberConfig slow_cfg;
+  slow_cfg.egress_capacity = 2;
+  slow_cfg.policy = SlowConsumerPolicy::kDropOldest;
+  const SubscriberId slow_id = broker.subscribe(slow.duplex.a(), slow_cfg);
+
+  SubscriberConfig healthy_cfg;
+  healthy_cfg.egress_capacity = 64;
+  const SubscriberId healthy_id =
+      broker.subscribe(healthy.duplex.a(), healthy_cfg);
+
+  // Publish without ever pumping the slow subscriber: the publisher must
+  // never block, and the overflow lands on the slow queue alone.
+  const int kBlocks = 5;
+  for (int i = 0; i < kBlocks; ++i) {
+    broker.publish(compressible_block(4096, i));
+  }
+  EXPECT_EQ(broker.subscriber_stats(slow_id).drops,
+            static_cast<std::uint64_t>(kBlocks - 2));
+  EXPECT_EQ(broker.egress_depth(slow_id), 2u);
+  EXPECT_FALSE(broker.disconnected(slow_id));
+  EXPECT_EQ(broker.subscriber_stats(healthy_id).frames,
+            static_cast<std::uint64_t>(kBlocks));
+  EXPECT_EQ(broker.egress_depth(healthy_id),
+            static_cast<std::size_t>(kBlocks));
+}
+
+TEST(BrokerPolicy, DisconnectFailsSlowSubscriberOnly) {
+  VirtualClock clock;
+  SimEndpoint doomed(clock, 1e6, 1), healthy(clock, 1e6, 2);
+  FanoutBroker broker;
+
+  SubscriberConfig doomed_cfg;
+  doomed_cfg.egress_capacity = 2;
+  doomed_cfg.policy = SlowConsumerPolicy::kDisconnect;
+  const SubscriberId doomed_id =
+      broker.subscribe(doomed.duplex.a(), doomed_cfg);
+  const SubscriberId healthy_id = broker.subscribe(healthy.duplex.a());
+
+  const int kBlocks = 5;
+  for (int i = 0; i < kBlocks; ++i) {
+    broker.publish(compressible_block(4096, i));
+  }
+  EXPECT_TRUE(broker.disconnected(doomed_id));
+  EXPECT_FALSE(broker.disconnected(healthy_id));
+  // The overflow happened on block 3 (capacity 2): the doomed subscriber
+  // accepted 2 frames, then dropped out; the healthy one got them all.
+  EXPECT_EQ(broker.subscriber_stats(doomed_id).frames, 2u);
+  EXPECT_EQ(broker.subscriber_stats(healthy_id).frames,
+            static_cast<std::uint64_t>(kBlocks));
+  broker.pump_all();
+  EXPECT_EQ(broker.subscriber_stats(healthy_id).delivered,
+            static_cast<std::uint64_t>(kBlocks));
+}
+
+TEST(BrokerPolicy, BlockPolicyWakesWhenPumped) {
+  SinkTransport sink;
+  FanoutBroker broker;
+  SubscriberConfig cfg;
+  cfg.egress_capacity = 1;
+  cfg.policy = SlowConsumerPolicy::kBlock;
+  const SubscriberId id = broker.subscribe(sink, cfg);
+
+  const Bytes block = compressible_block(4096, 1);
+  std::atomic<int> published{0};
+  std::thread publisher([&] {
+    for (int i = 0; i < 3; ++i) {
+      broker.publish(block);
+      published.fetch_add(1);
+    }
+  });
+  // Drain until all three frames made it through the capacity-1 queue —
+  // each pump frees the slot the blocked publisher is waiting for.
+  while (broker.subscriber_stats(id).delivered < 3) {
+    broker.pump(id);
+    std::this_thread::yield();
+  }
+  publisher.join();
+  EXPECT_EQ(published.load(), 3);
+  EXPECT_EQ(sink.frames(), 3u);
+}
+
+// ------------------------------------------------------ churn under load
+
+TEST(BrokerChurn, SubscribeUnsubscribeDuringConcurrentPublish) {
+  SinkTransport sinks[4];
+  FanoutBroker broker({.worker_threads = 2});
+
+  SubscriberConfig cfg;
+  cfg.egress_capacity = 4;
+  cfg.policy = SlowConsumerPolicy::kDropOldest;
+
+  // A stable subscriber that lives through the whole run.
+  const SubscriberId stable = broker.subscribe(sinks[0], cfg);
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    const Bytes block = compressible_block(8 * 1024, 1);
+    while (!stop.load()) broker.publish(block);
+  });
+  std::thread pumper([&] {
+    while (!stop.load()) broker.pump_all();
+  });
+  std::thread churner([&] {
+    for (int round = 0; round < 50; ++round) {
+      std::vector<SubscriberId> ids;
+      for (int i = 1; i < 4; ++i) ids.push_back(broker.subscribe(sinks[i], cfg));
+      for (const SubscriberId id : ids) broker.unsubscribe(id);
+    }
+    stop.store(true);
+  });
+  churner.join();
+  publisher.join();
+  pumper.join();
+  broker.pump_all();
+
+  EXPECT_EQ(broker.subscriber_count(), 1u);
+  const SubscriberStats stats = broker.subscriber_stats(stable);
+  EXPECT_FALSE(stats.disconnected);
+  EXPECT_GT(stats.frames, 0u);
+  // Ground truth stays consistent under churn: every frame the stable
+  // subscriber accepted was either delivered or dropped or is queued.
+  EXPECT_EQ(stats.frames,
+            stats.delivered + stats.drops + broker.egress_depth(stable));
+}
+
+TEST(BrokerChurn, UnsubscribedSubscriberStopsReceiving) {
+  VirtualClock clock;
+  SimEndpoint a(clock, 1e6, 1), b(clock, 1e6, 2);
+  FanoutBroker broker;
+  const SubscriberId id_a = broker.subscribe(a.duplex.a());
+  const SubscriberId id_b = broker.subscribe(b.duplex.a());
+
+  broker.publish(compressible_block(4096, 1));
+  ASSERT_TRUE(broker.unsubscribe(id_a));
+  EXPECT_FALSE(broker.unsubscribe(id_a));  // idempotent
+  broker.publish(compressible_block(4096, 2));
+  broker.pump_all();
+
+  EXPECT_EQ(broker.subscriber_count(), 1u);
+  EXPECT_EQ(broker.subscriber_stats(id_b).frames, 2u);
+  EXPECT_THROW(broker.subscriber_stats(id_a), ConfigError);
+  // The removed subscriber's egress died with it: only the pre-removal
+  // frame could ever have been delivered, and queued ones were dropped.
+  std::size_t delivered_a = 0;
+  while (a.duplex.b().receive()) ++delivered_a;
+  EXPECT_LE(delivered_a, 1u);
+}
+
+// ------------------------------------------- per-subscriber recovery
+
+TEST(BrokerRecovery, LossySubscriberRecoversIndependently) {
+  VirtualClock clock;
+  SimEndpoint lossy_ep(clock, 1e6, 1), clean_ep(clock, 1e6, 2);
+  transport::FaultConfig faults;
+  faults.drop_prob = 0.3;
+  faults.seed = 7;
+  transport::FaultInjectingTransport lossy(lossy_ep.duplex.a(), faults);
+
+  FanoutBroker broker;
+  const SubscriberId lossy_id = broker.subscribe(lossy);
+  const SubscriberId clean_id = broker.subscribe(clean_ep.duplex.a());
+
+  std::vector<Bytes> blocks;
+  const int kBlocks = 12;
+  for (int i = 0; i < kBlocks; ++i) {
+    blocks.push_back(compressible_block(4096, 200 + i));
+    broker.publish(blocks.back());
+    broker.pump_all();
+  }
+  lossy.flush();
+
+  adaptive::ReceiverConfig rcfg;
+  rcfg.policy = adaptive::RecoveryPolicy::kNack;
+  adaptive::AdaptiveReceiver lossy_rx(lossy_ep.duplex.b(), rcfg);
+  adaptive::AdaptiveReceiver clean_rx(clean_ep.duplex.b(), rcfg);
+
+  std::map<std::uint64_t, Bytes> recovered;
+  const auto drain = [&](adaptive::AdaptiveReceiver& rx) {
+    const adaptive::ReceiveReport report = rx.receive_report();
+    for (const auto& frame : report.frames) {
+      if (frame.status == adaptive::FrameOutcome::Status::kOk) {
+        recovered[frame.sequence] = frame.data;
+      }
+    }
+  };
+
+  drain(lossy_rx);
+  // NACK cycles: receiver asks, broker replays from the lossy
+  // subscriber's OWN retransmit ring, pump delivers.
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    const std::vector<std::uint64_t> nacks = lossy_rx.take_nacks();
+    if (nacks.empty()) break;
+    broker.retransmit(lossy_id, nacks);
+    broker.pump(lossy_id);
+    lossy.flush();
+    broker.pump(lossy_id);
+    drain(lossy_rx);
+  }
+  ASSERT_EQ(recovered.size(), static_cast<std::size_t>(kBlocks));
+  for (int i = 0; i < kBlocks; ++i) {
+    EXPECT_EQ(recovered[static_cast<std::uint64_t>(i)], blocks[i]);
+  }
+  EXPECT_GT(broker.subscriber_stats(lossy_id).retransmits, 0u);
+
+  // The clean subscriber never noticed: full stream, zero retransmits.
+  recovered.clear();
+  drain(clean_rx);
+  EXPECT_EQ(recovered.size(), static_cast<std::size_t>(kBlocks));
+  EXPECT_EQ(broker.subscriber_stats(clean_id).retransmits, 0u);
+}
+
+// ---------------------------------------------------------- channel attach
+
+TEST(BrokerAttach, ChannelEventsFanOutToSubscribers) {
+  VirtualClock clock;
+  SimEndpoint ep(clock, 1e6, 1);
+  FanoutBroker broker;
+  broker.subscribe(ep.duplex.a());
+
+  echo::EventChannel channel("sensors");
+  const echo::SubscriberId tap = broker.attach(channel);
+  channel.submit(echo::Event(compressible_block(4096, 1)));
+  channel.submit(echo::Event(compressible_block(4096, 2)));
+  broker.detach(channel, tap);
+  channel.submit(echo::Event(compressible_block(4096, 3)));  // not published
+  broker.pump_all();
+
+  EXPECT_EQ(broker.stats().blocks, 2u);
+  std::size_t frames = 0;
+  while (ep.duplex.b().receive()) ++frames;
+  EXPECT_EQ(frames, 2u);
+}
+
+}  // namespace
+}  // namespace acex::broker

@@ -168,6 +168,72 @@ TEST(EventChannel, UnsubscribeSelfDuringDispatchIsSafe) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(EventChannel, SelfUnsubscribeKeepsSinkCapturesAlive) {
+  // Regression: unsubscribe() erases the vector entry holding the very
+  // std::function being executed. The dispatch must run a copy, or the
+  // sink's captures are destroyed mid-call (heap-use-after-free under
+  // ASan when the capture is heap-backed, like this string).
+  EventChannel ch("test");
+  auto tag = std::make_shared<std::string>("capture-must-survive");
+  std::string observed;
+  SubscriberId id = 0;
+  id = ch.subscribe([&observed, tag, &ch, &id](const Event&) {
+    ch.unsubscribe(id);
+    observed = *tag;  // capture read AFTER the entry was erased
+  });
+  ch.submit(Event(to_bytes("a")));
+  EXPECT_EQ(observed, "capture-must-survive");
+  EXPECT_EQ(ch.subscriber_count(), 0u);
+}
+
+TEST(EventChannel, UnsubscribeOtherDuringDispatchSkipsIt) {
+  EventChannel ch("test");
+  int second = 0;
+  SubscriberId victim = 0;
+  ch.subscribe([&](const Event&) { ch.unsubscribe(victim); });
+  victim = ch.subscribe([&](const Event&) { ++second; });
+  ch.submit(Event(to_bytes("a")));
+  // The first sink removed the second before its turn: never invoked.
+  EXPECT_EQ(second, 0);
+  EXPECT_EQ(ch.subscriber_count(), 1u);
+}
+
+TEST(EventChannel, SubscribersObserveEventsInSubmissionOrder) {
+  EventChannel ch("test");
+  constexpr int kSubs = 4;
+  std::vector<std::vector<std::string>> seen(kSubs);
+  for (int i = 0; i < kSubs; ++i) {
+    ch.subscribe([&seen, i](const Event& e) {
+      seen[i].emplace_back(e.payload.begin(), e.payload.end());
+    });
+  }
+  const std::vector<std::string> events = {"a", "b", "c", "d", "e"};
+  for (const auto& e : events) ch.submit(Event(to_bytes(e)));
+  for (int i = 0; i < kSubs; ++i) EXPECT_EQ(seen[i], events);
+}
+
+TEST(EventChannel, ThrowingSubscriberDoesNotStarveOthers) {
+  EventChannel ch("test");
+  std::vector<std::string> first, third;
+  ch.subscribe([&](const Event& e) {
+    first.emplace_back(e.payload.begin(), e.payload.end());
+  });
+  ch.subscribe([](const Event&) -> void {
+    throw std::runtime_error("subscriber bug");
+  });
+  ch.subscribe([&](const Event& e) {
+    third.emplace_back(e.payload.begin(), e.payload.end());
+  });
+
+  // Both healthy subscribers see both events, in submission order; the
+  // first failure per dispatch still surfaces to the producer.
+  EXPECT_THROW(ch.submit(Event(to_bytes("a"))), std::runtime_error);
+  EXPECT_THROW(ch.submit(Event(to_bytes("b"))), std::runtime_error);
+  const std::vector<std::string> expected = {"a", "b"};
+  EXPECT_EQ(first, expected);
+  EXPECT_EQ(third, expected);
+}
+
 TEST(EventChannel, ControlPathReachesProducer) {
   EventChannel ch("test");
   AttributeMap seen;
@@ -283,6 +349,51 @@ TEST(EventBus, RemoveSourceBeforeDerivedIsSafe) {
   bus.remove_channel(raw);
   EXPECT_TRUE(bus.has("derived"));
   bus.remove_channel(derived);  // must not touch the dead source
+}
+
+TEST(EventBus, RemoveDerivedChannelDuringSourceDispatchIsSafe) {
+  // Regression: a source subscriber removes the derived channel while the
+  // source is mid-submit. The derivation tap runs AFTER the removal in the
+  // same dispatch — it must notice the channel is gone (weak_ptr lock
+  // fails) instead of submitting into a destroyed EventChannel.
+  EventBus bus;
+  const ChannelId raw = bus.create_channel("raw");
+  int removed_then_delivered = 0;
+  // Subscribed BEFORE the derivation tap, so it runs first in dispatch.
+  bus.channel(raw).subscribe([&bus](const Event&) {
+    if (bus.has("derived")) bus.remove_channel(bus.find("derived"));
+  });
+  const ChannelId derived = bus.derive_channel(
+      raw, [](Event e) -> std::optional<Event> { return e; }, "derived");
+  bus.channel(derived).subscribe(
+      [&removed_then_delivered](const Event&) { ++removed_then_delivered; });
+
+  bus.channel(raw).submit(Event(to_bytes("x")));  // must not crash
+  EXPECT_EQ(removed_then_delivered, 0);
+  EXPECT_FALSE(bus.has("derived"));
+  bus.channel(raw).submit(Event(to_bytes("y")));  // tap now fully inert
+}
+
+TEST(EventBus, RemoveSourceDuringDerivedControlSignalIsSafe) {
+  // Mirror hazard on the control path: a control sink on the SOURCE
+  // removes the source while the derived channel's control tap is
+  // forwarding a signal through it. The weak control tap must cope with
+  // the source dying between dispatches too.
+  EventBus bus;
+  const ChannelId raw = bus.create_channel("raw");
+  const ChannelId derived = bus.derive_channel(
+      raw, [](Event e) -> std::optional<Event> { return e; }, "derived");
+  int signals = 0;
+  bus.channel(raw).on_control([&](const AttributeMap&) {
+    ++signals;
+    bus.remove_channel(raw);
+  });
+  AttributeMap attrs;
+  attrs.set_int("x", 1);
+  bus.channel(derived).signal_control(attrs);
+  EXPECT_EQ(signals, 1);
+  bus.channel(derived).signal_control(attrs);  // source gone: no-op
+  EXPECT_EQ(signals, 1);
 }
 
 // ------------------------------------------------------------------ bridge

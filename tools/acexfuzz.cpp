@@ -11,8 +11,13 @@
 //                                        paper codec over fuzzed payloads
 //   acexfuzz --soak SECONDS              invariant soak of the full bridge
 //            [--rounds N]                + faulted-link + engine stack
-//                                        (SECONDS 0 = N deterministic
-//                                        rounds)
+//            [--broker K]                (SECONDS 0 = N deterministic
+//            [--churn M]                 rounds); --broker K adds a K-
+//                                        subscriber fan-out half with
+//                                        subscriber churn every M rounds
+//                                        (default 3, 0 = no churn); the
+//                                        default soak is unchanged without
+//                                        --broker
 //   acexfuzz --replay FILE               run one corpus entry through the
 //                                        oracle battery (bit-exact output)
 //   acexfuzz --emit FILE                 write the deterministic mutated
@@ -67,6 +72,8 @@ struct Options {
   std::size_t workers = 4;
   double soak_seconds = 0;
   std::size_t soak_rounds = 20;
+  std::size_t broker_subscribers = 0;  // 0 = broker half off
+  std::size_t broker_churn = 3;
   std::string out_dir = "qa/corpus";
   std::string path;            // FILE or DIR operand of the mode
 };
@@ -81,7 +88,8 @@ int usage() {
                " [--size BYTES]\n"
                "                [-b BLOCK_BYTES] [-n DIFF_BLOCKS]"
                " [-w WORKERS]\n"
-               "                [--rounds N] [--out DIR]\n");
+               "                [--rounds N] [--broker K] [--churn M]"
+               " [--out DIR]\n");
   return 2;
 }
 
@@ -247,6 +255,8 @@ int run_soak_mode(const Options& opt) {
   config.seed = opt.seed;
   config.workers = opt.workers;
   config.block_size = opt.block_size;
+  config.broker_subscribers = opt.broker_subscribers;
+  config.broker_churn_every = opt.broker_churn;
   const qa::SoakReport report = qa::run_soak(config);
 
   std::printf(
@@ -266,6 +276,19 @@ int run_soak_mode(const Options& opt) {
       static_cast<unsigned long long>(report.blocks_abandoned),
       static_cast<unsigned long long>(report.block_retransmits),
       static_cast<unsigned long long>(report.faults_injected));
+  if (config.broker_subscribers > 0) {
+    std::printf(
+        "  broker: %llu blocks x %zu subs, %llu recovered, %llu abandoned, "
+        "%llu retransmits\n"
+        "  broker encode cache: %llu encodes, %llu hits\n",
+        static_cast<unsigned long long>(report.broker_blocks),
+        config.broker_subscribers,
+        static_cast<unsigned long long>(report.broker_recovered),
+        static_cast<unsigned long long>(report.broker_abandoned),
+        static_cast<unsigned long long>(report.broker_retransmits),
+        static_cast<unsigned long long>(report.broker_encodes),
+        static_cast<unsigned long long>(report.broker_cache_hits));
+  }
   for (const std::string& violation : report.violations) {
     std::fprintf(stderr, "acexfuzz: VIOLATION %s\n", violation.c_str());
   }
@@ -440,6 +463,13 @@ int main(int argc, char** argv) {
         if (opt.workers == 0) throw ConfigError("-w must be > 0");
       } else if (arg == "--rounds") {
         opt.soak_rounds = std::stoul(next());
+      } else if (arg == "--broker") {
+        opt.broker_subscribers = std::stoul(next());
+        if (opt.broker_subscribers == 0) {
+          throw ConfigError("--broker must be > 0");
+        }
+      } else if (arg == "--churn") {
+        opt.broker_churn = std::stoul(next());
       } else if (arg == "--out") {
         opt.out_dir = next();
       } else {

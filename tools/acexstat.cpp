@@ -4,12 +4,20 @@
 //
 //   acexstat [-w WORKERS] [-n BLOCKS] [-b BLOCK_KIB] [-s SEED]
 //            [--json PATH] [--prom PATH] [--spans]
+//   acexstat --broker SUBS [-n BLOCKS] [-b BLOCK_KIB] [-s SEED]
 //
 // The run itself doubles as a consistency check: the obs counters mirrored
 // by FaultInjectingTransport must match the injector's own tallies exactly,
 // the NACK/retransmit counters must match the sender/receiver bookkeeping,
 // and every histogram must satisfy p50 <= p99. Any violation exits 1 —
 // CI runs this binary as a test.
+//
+// --broker SUBS runs the fan-out demo instead: SUBS subscribers on
+// heterogeneous links (half fast, half slow, every fourth one faulted)
+// receive the same block stream through one FanoutBroker, and every
+// broker obs series — blocks, encode-cache hits/misses, per-subscriber
+// frames/drops/fallbacks — is checked against the broker's own ground
+// truth and the receivers' byte-exact recovery. Any mismatch exits 1.
 //
 // --json / --prom write the same snapshot through the JSON-lines or
 // Prometheus exporter ("-" for stdout); --spans dumps the raw span ring.
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "adaptive/pipeline.hpp"
+#include "broker/broker.hpp"
 #include "engine/parallel_sender.hpp"
 #include "netsim/link.hpp"
 #include "obs/export.hpp"
@@ -29,6 +38,7 @@
 #include "obs/trace.hpp"
 #include "transport/fault_transport.hpp"
 #include "transport/sim_transport.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -40,6 +50,7 @@ struct Options {
   std::size_t blocks = 64;
   std::size_t block_kib = 4;
   std::uint64_t seed = 17;
+  std::size_t broker_subs = 0;  // > 0 switches to the fan-out demo
   std::string json_path;  // empty = off, "-" = stdout
   std::string prom_path;
   bool dump_spans = false;
@@ -113,8 +124,208 @@ std::uint64_t counter_value(const obs::MetricsSnapshot& snapshot,
 int usage() {
   std::fprintf(stderr,
                "usage: acexstat [-w WORKERS] [-n BLOCKS] [-b BLOCK_KIB] "
-               "[-s SEED] [--json PATH] [--prom PATH] [--spans]\n");
+               "[-s SEED] [--json PATH] [--prom PATH] [--spans]\n"
+               "       acexstat --broker SUBS [-n BLOCKS] [-b BLOCK_KIB] "
+               "[-s SEED]\n");
   return 2;
+}
+
+// ------------------------------------------------------ fan-out demo mode
+/// One broker subscriber endpoint for the demo: its own sim duplex (all on
+/// a shared virtual clock), optionally behind a fault injector, with a
+/// NACK receiver draining the far side.
+struct DemoSubscriber {
+  std::unique_ptr<netsim::SimLink> forward;
+  std::unique_ptr<netsim::SimLink> reverse;
+  std::unique_ptr<transport::SimDuplex> duplex;
+  std::unique_ptr<transport::FaultInjectingTransport> lossy;  // may be null
+  std::unique_ptr<adaptive::AdaptiveReceiver> rx;
+  broker::SubscriberId id = 0;
+  std::string name;
+  bool faulted = false;
+  std::map<std::uint64_t, std::uint32_t> recovered;  // sequence -> crc32
+};
+
+int run_broker_demo(const Options& opt) {
+  obs::MetricsRegistry::global().reset_values();
+  obs::BlockTracer::global().clear();
+
+  const std::size_t block_size = opt.block_kib * 1024;
+  VirtualClock clock;
+  broker::BrokerConfig bc;
+  bc.worker_threads = opt.workers;
+  broker::FanoutBroker broker(bc);
+
+  // Heterogeneous fleet: even subscribers ride a fast link, odd ones a slow
+  // link (so the planners pick different methods and the encode cache has
+  // real groups to share), and every fourth link drops/corrupts frames.
+  std::vector<std::unique_ptr<DemoSubscriber>> subs;
+  for (std::size_t i = 0; i < opt.broker_subs; ++i) {
+    auto sub = std::make_unique<DemoSubscriber>();
+    const bool fast = i % 2 == 0;
+    const double link_bps = fast ? 5e7 : 2e5;
+    sub->forward = std::make_unique<netsim::SimLink>(flat_link(link_bps),
+                                                     opt.seed + i * 2);
+    sub->reverse = std::make_unique<netsim::SimLink>(flat_link(1e9),
+                                                     opt.seed + i * 2 + 1);
+    sub->duplex = std::make_unique<transport::SimDuplex>(
+        *sub->forward, *sub->reverse, clock);
+    transport::Transport* wire = &sub->duplex->a();
+    if (i % 4 == 3) {
+      sub->faulted = true;
+      transport::FaultConfig faults;
+      faults.drop_prob = 0.05;
+      faults.bit_flip_prob = 0.02;
+      faults.seed = opt.seed * 31 + i;
+      sub->lossy = std::make_unique<transport::FaultInjectingTransport>(
+          *wire, faults);
+      wire = sub->lossy.get();
+    }
+    adaptive::ReceiverConfig rc;
+    rc.policy = adaptive::RecoveryPolicy::kNack;
+    rc.nack_retry_cap = 4;
+    sub->rx =
+        std::make_unique<adaptive::AdaptiveReceiver>(sub->duplex->b(), rc);
+
+    broker::SubscriberConfig sc;
+    sub->name = (fast ? "fast-" : "slow-") + std::to_string(i);
+    if (sub->faulted) sub->name += "-faulted";
+    sc.name = sub->name;
+    sc.adaptive.decision.block_size = block_size;
+    sc.adaptive.decision.sample_size = std::min<std::size_t>(1024, block_size);
+    sc.adaptive.initial_bandwidth_Bps = link_bps;
+    sc.adaptive.retransmit_capacity = opt.blocks + 8;
+    sc.adaptive.retransmit_max_retries = 4;
+    sc.egress_capacity = opt.blocks + 8;
+    sub->id = broker.subscribe(*wire, sc);
+    subs.push_back(std::move(sub));
+  }
+
+  // Publish the stream, pump every subscriber, drain + NACK-replay the
+  // faulted ones until every receiver has every block.
+  const Bytes data = make_payload(opt.blocks, block_size, opt.seed);
+  std::vector<std::uint32_t> truth;
+  for (std::size_t at = 0; at < data.size(); at += block_size) {
+    const std::size_t len = std::min(block_size, data.size() - at);
+    const ByteView block(data.data() + at, len);
+    truth.push_back(crc32(block));
+    broker.publish(block);
+  }
+
+  int failures = 0;
+  const auto drain = [&](DemoSubscriber& sub) {
+    for (const adaptive::FrameOutcome& f : sub.rx->receive_report().frames) {
+      if (f.status != adaptive::FrameOutcome::Status::kOk) continue;
+      if (f.sequence >= truth.size()) {
+        std::fprintf(stderr, "acexstat: %s got unpublished sequence %llu\n",
+                     sub.name.c_str(),
+                     static_cast<unsigned long long>(f.sequence));
+        ++failures;
+        continue;
+      }
+      const std::uint32_t got = crc32(f.data);
+      sub.recovered.emplace(f.sequence, got);
+      if (got != truth[static_cast<std::size_t>(f.sequence)]) {
+        std::fprintf(stderr, "acexstat: %s block %llu payload diverged\n",
+                     sub.name.c_str(),
+                     static_cast<unsigned long long>(f.sequence));
+        ++failures;
+      }
+    }
+  };
+  for (auto& sub : subs) {
+    broker.pump(sub->id);
+    if (sub->lossy) sub->lossy->flush();
+    drain(*sub);
+    for (int round = 0; round < 16; ++round) {
+      const std::vector<std::uint64_t> nacks = sub->rx->take_nacks();
+      if (nacks.empty()) break;
+      broker.retransmit(sub->id, nacks);
+      broker.pump(sub->id);
+      if (sub->lossy) sub->lossy->flush();
+      drain(*sub);
+    }
+  }
+
+  // ---------------------- obs counters vs ground truth, per subscriber --
+  auto& reg = obs::MetricsRegistry::global();
+  const broker::BrokerStats bs = broker.stats();
+  std::uint64_t total_frames = 0;
+  for (auto& sub : subs) {
+    const broker::SubscriberStats ss = broker.subscriber_stats(sub->id);
+    total_frames += ss.frames;
+    const std::string tag = "sub." + sub->name;
+    check_eq((tag + ".frames").c_str(),
+             reg.counter("acex.broker.sub.frames", "subscriber", sub->name)
+                 .value(),
+             ss.frames, failures);
+    check_eq((tag + ".drops").c_str(),
+             reg.counter("acex.broker.sub.drops", "subscriber", sub->name)
+                 .value(),
+             ss.drops, failures);
+    check_eq((tag + ".fallbacks").c_str(),
+             reg.counter("acex.broker.sub.fallbacks", "subscriber", sub->name)
+                 .value(),
+             ss.fallbacks, failures);
+    check_eq((tag + ".recovered").c_str(), sub->recovered.size(),
+             truth.size(), failures);
+    if (broker.disconnected(sub->id)) {
+      std::fprintf(stderr, "acexstat: %s disconnected unexpectedly\n",
+                   sub->name.c_str());
+      ++failures;
+    }
+  }
+
+  // Broker-wide identities: every series equals the broker's bookkeeping,
+  // the cache accounts for every planned frame, and misses == codec runs.
+  check_eq("broker.blocks",
+           reg.counter("acex.broker.blocks").value(), bs.blocks, failures);
+  check_eq("broker.blocks.truth", bs.blocks, truth.size(), failures);
+  check_eq("broker.cache.hits",
+           reg.counter("acex.broker.encode_cache.hits").value(), bs.cache_hits,
+           failures);
+  check_eq("broker.cache.misses",
+           reg.counter("acex.broker.encode_cache.misses").value(),
+           bs.cache_misses, failures);
+  check_eq("broker.encodes==misses", bs.encodes, bs.cache_misses, failures);
+  check_eq("broker.cache.total", bs.cache_hits + bs.cache_misses,
+           total_frames, failures);
+  check_eq("broker.subscribers",
+           static_cast<std::uint64_t>(
+               reg.gauge("acex.broker.subscribers").value()),
+           subs.size(), failures);
+  // Fault mirror: the only injectors alive are the demo's own.
+  std::uint64_t fault_messages = 0;
+  for (const auto& sub : subs) {
+    if (sub->lossy) fault_messages += sub->lossy->counters().messages;
+  }
+  check_eq("fault.messages",
+           reg.counter("acex.transport.fault.messages").value(),
+           fault_messages, failures);
+
+  const double hit_ratio =
+      bs.cache_hits + bs.cache_misses == 0
+          ? 0.0
+          : static_cast<double>(bs.cache_hits) /
+                static_cast<double>(bs.cache_hits + bs.cache_misses);
+  std::printf(
+      "acexstat --broker: %zu subscribers x %zu blocks (%zu KiB), seed %llu\n"
+      "  encodes %llu, cache hits %llu (%.1f%% shared), last block had %llu "
+      "method group(s)\n"
+      "  every subscriber recovered %zu/%zu blocks byte-exact\n",
+      subs.size(), truth.size(), opt.block_kib,
+      static_cast<unsigned long long>(opt.seed),
+      static_cast<unsigned long long>(bs.encodes),
+      static_cast<unsigned long long>(bs.cache_hits), hit_ratio * 100.0,
+      static_cast<unsigned long long>(bs.last_groups), truth.size(),
+      truth.size());
+  if (failures != 0) {
+    std::fprintf(stderr, "acexstat: %d broker consistency check(s) FAILED\n",
+                 failures);
+    return 1;
+  }
+  std::printf("  obs counters match ground truth on every series\n");
+  return 0;
 }
 
 int run(const Options& opt) {
@@ -276,6 +487,9 @@ int main(int argc, char** argv) {
       };
       if (arg == "-w") {
         opt.workers = std::stoul(next());
+      } else if (arg == "--broker") {
+        opt.broker_subs = std::stoul(next());
+        if (opt.broker_subs == 0) throw ConfigError("--broker must be > 0");
       } else if (arg == "-n") {
         opt.blocks = std::stoul(next());
         if (opt.blocks == 0) throw ConfigError("-n must be > 0");
@@ -294,7 +508,7 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    return run(opt);
+    return opt.broker_subs > 0 ? run_broker_demo(opt) : run(opt);
   } catch (const acex::Error& e) {
     std::fprintf(stderr, "acexstat: %s\n", e.what());
     return 1;
