@@ -196,7 +196,8 @@ AdaptiveSender::AdaptiveSender(transport::Transport& transport,
     throw ConfigError("adaptive: breaker threshold and cooldown must be > 0");
   }
   ring_ = transport::RetransmitRing(config_.retransmit_capacity,
-                                    config_.retransmit_max_retries);
+                                    config_.retransmit_max_retries,
+                                    config_.retransmit_max_bytes);
 }
 
 MethodId AdaptiveSender::apply_circuit_breaker(
@@ -219,16 +220,26 @@ MethodId AdaptiveSender::apply_circuit_breaker(
 
 void AdaptiveSender::note_codec_failure(MethodId method) {
   MethodHealth& health = health_[method];
-  if (++health.consecutive_failures >= config_.breaker_failure_threshold) {
+  // A failure of the post-cooldown probe re-trips the breaker on the spot:
+  // the method already proved unhealthy once, so it does not get another
+  // `threshold` free failures per cooldown.
+  const bool probe_failed =
+      health.probation && blocks_sent_ >= health.quarantined_until;
+  if (probe_failed ||
+      ++health.consecutive_failures >= config_.breaker_failure_threshold) {
     health.quarantined_until = blocks_sent_ + config_.breaker_cooldown_blocks;
     health.consecutive_failures = 0;
+    health.probation = true;
     ++degradation_.quarantines;
   }
 }
 
 void AdaptiveSender::note_codec_success(MethodId method) noexcept {
   const auto it = health_.find(method);
-  if (it != health_.end()) it->second.consecutive_failures = 0;
+  if (it != health_.end()) {
+    it->second.consecutive_failures = 0;
+    it->second.probation = false;  // probe succeeded: breaker fully closed
+  }
 }
 
 BlockReport AdaptiveSender::finish_block(const BlockPlan& plan,
@@ -277,7 +288,15 @@ BlockReport AdaptiveSender::finish_block(const BlockPlan& plan,
   {
     const obs::ScopedSpan tx(obs::BlockTracer::global(), plan.sequence,
                              obs::Stage::kTransmit);
-    transport_->send(encoded.framed);
+    try {
+      transport_->send(encoded.framed);
+    } catch (...) {
+      // The wire frame is final even though this delivery failed; keep it
+      // replayable so a bounded egress wait (EgressTimeout) stays
+      // recoverable loss instead of a permanent stream gap.
+      ring_.store(plan.sequence, std::move(encoded.framed));
+      throw;
+    }
   }
   report.delivered = wire_clock.now();
   report.send_seconds = report.delivered - report.submitted;
@@ -320,6 +339,25 @@ std::size_t AdaptiveSender::retransmit(
       ++degradation_.retransmits;
       sender_metrics().retransmits.add(1);
     }
+  }
+  return sent;
+}
+
+std::optional<std::size_t> AdaptiveSender::replay_range(std::uint64_t from,
+                                                        std::uint64_t to) {
+  // Verify the whole gap is still held BEFORE sending anything: a partial
+  // replay would hand the resumed receiver an unfillable hole while
+  // claiming success.
+  for (std::uint64_t seq = from; seq < to; ++seq) {
+    if (ring_.peek(seq) == nullptr) return std::nullopt;
+  }
+  std::size_t sent = 0;
+  for (std::uint64_t seq = from; seq < to; ++seq) {
+    const Bytes* wire = ring_.peek(seq);
+    const obs::ScopedSpan tx(obs::BlockTracer::global(), seq,
+                             obs::Stage::kTransmit);
+    transport_->send(*wire);
+    ++sent;
   }
   return sent;
 }
@@ -446,6 +484,12 @@ BlockPlan AdaptiveSender::plan_from_sample(ByteView block,
     method = apply_target_rate(method, bw, sample.ratio_percent);
   }
   method = apply_circuit_breaker(method);
+  if (config_.method_governor) {
+    // Overload governor (session degradation ladder); its choice passes
+    // through the breaker once more so a downgrade can never resurrect a
+    // quarantined method. The breaker only demotes, so order is stable.
+    method = apply_circuit_breaker(config_.method_governor(method));
+  }
 
   BlockPlan plan;
   plan.sequence = blocks_sent_++;

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -66,9 +68,12 @@ struct AdaptiveConfig {
   std::size_t breaker_cooldown_blocks = 16;
 
   /// How many recent frames the sender keeps for NACK retransmission, and
-  /// how often each may be replayed.
+  /// how often each may be replayed. `retransmit_max_bytes` additionally
+  /// bounds the ring by wire bytes (0 = frame count only) — large blocks
+  /// at a fixed frame cap would otherwise dodge any memory envelope.
   std::size_t retransmit_capacity = 64;
   int retransmit_max_retries = 3;
+  std::size_t retransmit_max_bytes = 0;
 
   /// Worker threads of the parallel engine (engine::ParallelSender): 1 is
   /// the serial path, 0 asks for one worker per hardware thread, anything
@@ -82,6 +87,15 @@ struct AdaptiveConfig {
   /// into the bandwidth estimator. The owner measures real link transfers
   /// on the delivery path and reports them via record_bandwidth() instead.
   bool external_bandwidth_feedback = false;
+
+  /// Overload hook: after the selector (and circuit breaker) have chosen a
+  /// method, the governor may substitute a cheaper one — the session
+  /// layer's degradation ladder plugs in here to trade ratio for CPU under
+  /// memory pressure. The returned method passes through the circuit
+  /// breaker again (the breaker only ever demotes, so breaker-open cannot
+  /// fight a governor downgrade). Never consulted on the fixed baselines.
+  /// Must be callable from whichever thread plans blocks for this sender.
+  std::function<MethodId(MethodId)> method_governor;
 };
 
 /// One block's serial selector outcome: everything the (possibly
@@ -240,6 +254,19 @@ class AdaptiveSender {
   /// budget are skipped.
   std::size_t retransmit(const std::vector<std::uint64_t>& sequences);
 
+  /// The sequence number the NEXT planned block will carry — the stream
+  /// head a resuming session must catch up to.
+  std::uint64_t next_sequence() const noexcept { return blocks_sent_; }
+
+  /// Session resume: re-send every frame in `[from, to)` from the ring,
+  /// verbatim and in order, without touching the per-sequence retry
+  /// budgets (a resume is not a NACK). All-or-nothing: if ANY sequence in
+  /// the range has been evicted, nothing is sent and nullopt is returned —
+  /// "resume impossible", and the caller downgrades to a fresh restart.
+  /// Returns the number of frames re-sent (0 for an empty range).
+  std::optional<std::size_t> replay_range(std::uint64_t from,
+                                          std::uint64_t to);
+
   // --- engine hooks ----------------------------------------------------
   // The parallel engine splits a block send into three steps so the encode
   // can run off-thread while selection and transmission stay serial:
@@ -343,6 +370,9 @@ class AdaptiveSender {
   struct MethodHealth {
     int consecutive_failures = 0;
     std::size_t quarantined_until = 0;  // block index the cooldown ends at
+    // Half-open: the first post-cooldown block is a probe. One probe
+    // failure re-trips the breaker immediately; one success closes it.
+    bool probation = false;
   };
   std::map<MethodId, MethodHealth> health_;
   DegradationStats degradation_;
@@ -440,6 +470,18 @@ class AdaptiveReceiver {
 
   /// Missing sequences the NACK retry cap has exhausted — lost for good.
   std::size_t nacks_abandoned() const noexcept;
+
+  /// The lowest sequence not yet delivered contiguously — what a session
+  /// resume asks the sender to replay from (`resume_from`).
+  std::uint64_t next_expected() const noexcept { return next_contiguous_; }
+
+  /// Point this receiver at a new transport, keeping every piece of
+  /// sequence/gap/NACK state. A reconnecting session client rebinds its
+  /// receiver to the fresh link so the resumed stream continues exactly
+  /// where the dropped one stopped. `transport` must outlive the receiver.
+  void rebind(transport::Transport& transport) noexcept {
+    transport_ = &transport;
+  }
 
   std::size_t frames_received() const noexcept { return frames_; }
   std::size_t frames_corrupt() const noexcept { return frames_corrupt_; }

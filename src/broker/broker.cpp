@@ -1,5 +1,6 @@
 #include "broker/broker.hpp"
 
+#include <atomic>
 #include <condition_variable>
 #include <utility>
 
@@ -47,7 +48,14 @@ BrokerMetrics& broker_metrics() {
 struct FanoutBroker::Subscriber {
   SubscriberId id = 0;
   SubscriberConfig config;
-  transport::Transport* downstream = nullptr;
+  /// Atomic because resume() swaps in the reconnected peer's transport
+  /// while a concurrent pump may be reading it for another subscriber's
+  /// loop iteration; each pump iteration loads it once.
+  std::atomic<transport::Transport*> downstream{nullptr};
+  /// Parked: liveness lost, state kept warm; pumps skip it, publishes keep
+  /// feeding its (shed-mode) egress so the sequence cursor tracks the
+  /// stream head.
+  std::atomic<bool> parked{false};
   std::unique_ptr<EgressQueue> queue;
   std::unique_ptr<adaptive::AdaptiveSender> sender;
 
@@ -103,9 +111,10 @@ SubscriberId FanoutBroker::subscribe(transport::Transport& transport,
   config.adaptive.async_sampling = false;
 
   sub->config = config;
-  sub->downstream = &transport;
+  sub->downstream.store(&transport);
   sub->queue = std::make_unique<EgressQueue>(config.egress_capacity,
-                                             config.policy, transport.clock());
+                                             config.policy, transport.clock(),
+                                             config.block_timeout);
   sub->sender =
       std::make_unique<adaptive::AdaptiveSender>(*sub->queue, config.adaptive);
 
@@ -252,17 +261,27 @@ void FanoutBroker::publish(ByteView block) {
 
     if (p.sub->is_disconnected()) continue;
     bool finished = true;
+    bool timed_out = false;
     {
       std::lock_guard<std::mutex> lock(p.sub->sender_mutex);
       try {
         p.sub->sender->finish_block(p.plan, block.size(), std::move(encoded));
+      } catch (const EgressTimeout&) {
+        // A wedged consumer may not pin the publish: the frame is dropped
+        // recoverably (its sequence resurfaces through the NACK path) and
+        // the subscriber stays connected.
+        finished = false;
+        timed_out = true;
       } catch (const IoError&) {
         // Egress closed (unsubscribe race) or overflowed under
         // kDisconnect: this subscriber is done, the others untouched.
         finished = false;
       }
     }
-    if (!finished) {
+    if (timed_out) {
+      std::lock_guard<std::mutex> lock(p.sub->stats_mutex);
+      ++p.sub->stats.egress_timeouts;
+    } else if (!finished) {
       p.sub->mark_disconnected();
     } else {
       std::lock_guard<std::mutex> lock(p.sub->stats_mutex);
@@ -309,14 +328,18 @@ std::size_t FanoutBroker::pump_locked_free(const SubscriberPtr& sub,
                                            std::size_t max_frames) {
   std::size_t delivered = 0;
   while (delivered < max_frames) {
+    // Parked subscribers have no peer to pump to; their frames wait in
+    // the shed-mode egress for resume() to sort out.
+    if (sub->parked.load()) break;
     std::optional<Bytes> frame = sub->queue->try_pop();
     if (!frame) break;
+    transport::Transport* downstream = sub->downstream.load();
     // Time the REAL link transfer on the transport's clock — this is the
     // bandwidth signal external_bandwidth_feedback redirected here.
-    const Clock& clock = sub->downstream->clock();
+    const Clock& clock = downstream->clock();
     const Seconds start = clock.now();
     try {
-      sub->downstream->send(*frame);
+      downstream->send(*frame);
     } catch (const IoError&) {
       sub->mark_disconnected();
       sub->queue->close();
@@ -351,6 +374,82 @@ std::size_t FanoutBroker::retransmit(
   std::lock_guard<std::mutex> lock(sub->stats_mutex);
   sub->stats.retransmits += resent;
   return resent;
+}
+
+bool FanoutBroker::park(SubscriberId id) {
+  const SubscriberPtr sub = find(id);
+  if (!sub) return false;
+  sub->parked.store(true);
+  // Shed mode before anything else: a publish blocked on this queue under
+  // kBlock must wake and drop-and-proceed, or the whole fan-out stalls on
+  // a peer that just died.
+  sub->queue->set_shed_mode(true);
+  return true;
+}
+
+BrokerResume FanoutBroker::resume(SubscriberId id,
+                                  transport::Transport& transport,
+                                  std::uint64_t resume_from) {
+  const SubscriberPtr sub = find(id);
+  if (!sub || sub->is_disconnected()) return {};
+  std::lock_guard<std::mutex> lock(sub->sender_mutex);
+  const std::uint64_t head = sub->sender->next_sequence();
+  if (resume_from > head) return {};  // a cursor from some other stream
+  // Frames queued while parked are stale paths to the dead transport's
+  // pacing; the replay below re-sends everything from resume_from anyway,
+  // so clear first — otherwise the queue would hold duplicates.
+  sub->queue->clear();
+  const std::optional<std::size_t> replayed =
+      sub->sender->replay_range(resume_from, head);
+  if (!replayed) return {};  // gap evicted: stays parked, caller restarts
+  sub->downstream.store(&transport);
+  sub->parked.store(false);
+  sub->queue->set_shed_mode(false);
+  return {true, *replayed};
+}
+
+bool FanoutBroker::parked(SubscriberId id) const {
+  const SubscriberPtr sub = find(id);
+  return sub && sub->parked.load();
+}
+
+void FanoutBroker::set_shed(SubscriberId id, bool on) {
+  const SubscriberPtr sub = find(id);
+  if (!sub) return;
+  // A parked subscriber's egress must stay shed no matter what the ladder
+  // does; parking owns the flag until resume.
+  if (sub->parked.load() && !on) return;
+  sub->queue->set_shed_mode(on);
+}
+
+SubscriberMemory FanoutBroker::memory_usage(SubscriberId id) const {
+  const SubscriberPtr sub = find(id);
+  if (!sub) {
+    throw ConfigError("broker: unknown subscriber id " + std::to_string(id));
+  }
+  SubscriberMemory mem;
+  mem.egress_bytes = sub->queue->bytes();
+  {
+    std::lock_guard<std::mutex> lock(sub->sender_mutex);
+    mem.ring_bytes = sub->sender->retransmit_ring().bytes();
+  }
+  return mem;
+}
+
+std::size_t FanoutBroker::memory_usage_total() const {
+  std::vector<SubscriberPtr> subs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    subs.reserve(subscribers_.size());
+    for (const auto& [id, sub] : subscribers_) subs.push_back(sub);
+  }
+  std::size_t total = 0;
+  for (const auto& sub : subs) {
+    total += sub->queue->bytes();
+    std::lock_guard<std::mutex> lock(sub->sender_mutex);
+    total += sub->sender->retransmit_ring().bytes();
+  }
+  return total;
 }
 
 echo::SubscriberId FanoutBroker::attach(echo::EventChannel& channel) {

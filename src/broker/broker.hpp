@@ -31,6 +31,10 @@ struct SubscriberConfig {
   adaptive::AdaptiveConfig adaptive;
   std::size_t egress_capacity = 64;
   SlowConsumerPolicy policy = SlowConsumerPolicy::kBlock;
+  /// Bound on a kBlock publish wait (real seconds; 0 = wait forever). On
+  /// expiry the publish sees EgressTimeout for THIS subscriber only: the
+  /// frame is lost recoverably (NACK path), the subscriber stays alive.
+  Seconds block_timeout = 0;
 };
 
 /// Ground-truth per-subscriber accounting, maintained by the broker and
@@ -42,7 +46,25 @@ struct SubscriberStats {
   std::uint64_t fallbacks = 0;    ///< blocks degraded to the null codec
   std::uint64_t drops = 0;        ///< egress evictions (kDropOldest)
   std::uint64_t retransmits = 0;  ///< frames replayed on NACK
+  std::uint64_t egress_timeouts = 0;  ///< kBlock publishes that timed out
   bool disconnected = false;
+};
+
+/// Outcome of resume(): `ok` means the gap `[resume_from, head)` was fully
+/// replayed from the retransmit ring and the subscriber is live again on
+/// its new transport. !ok means the ring has evicted part of the gap —
+/// resume is impossible and the caller downgrades to a fresh subscribe.
+struct BrokerResume {
+  bool ok = false;
+  std::size_t replayed = 0;  ///< frames re-sent into the egress
+};
+
+/// One subscriber's share of process memory, for the session layer's
+/// MemoryBudget probe: queued egress frames plus retransmit-ring history.
+struct SubscriberMemory {
+  std::size_t egress_bytes = 0;
+  std::size_t ring_bytes = 0;
+  std::size_t total() const noexcept { return egress_bytes + ring_bytes; }
 };
 
 /// Broker-wide accounting. The shared-encode invariant the tests assert:
@@ -129,6 +151,43 @@ class FanoutBroker {
   /// link replays without touching any other subscriber's stream.
   std::size_t retransmit(SubscriberId id,
                          const std::vector<std::uint64_t>& sequences);
+
+  // --- session support (park / resume / shed) --------------------------
+  // The session layer parks a subscriber whose peer went quiet instead of
+  // unsubscribing it: every piece of adaptive state — sequence cursor,
+  // bandwidth estimator, circuit breaker, retransmit ring — stays warm, so
+  // a resume within the ring's window is byte-identical to a stream that
+  // never dropped. While parked, publishes keep planning and framing for
+  // the subscriber (the cursor must advance with the stream); its egress
+  // runs in shed mode so nothing can wedge on a queue nobody pumps.
+
+  /// Park `id`: stop pumping it and put its egress in shed mode (a kBlock
+  /// publisher blocked on it is woken to drop-and-proceed). Idempotent.
+  /// Returns false for unknown ids.
+  bool park(SubscriberId id);
+
+  /// Re-attach a parked subscriber on a (possibly new) transport and
+  /// replay the gap `[resume_from, head)` from its retransmit ring. On
+  /// success the subscriber is unparked and pumping resumes; on failure
+  /// (ring evicted part of the gap) it STAYS parked and untouched — the
+  /// caller decides between retry and restart. Replayed frames that
+  /// overflow the egress are dropped oldest-first and remain recoverable
+  /// through the NACK path while the ring holds them.
+  BrokerResume resume(SubscriberId id, transport::Transport& transport,
+                      std::uint64_t resume_from);
+
+  /// Whether `id` is currently parked. Unknown ids return false.
+  bool parked(SubscriberId id) const;
+
+  /// Force or clear shed mode on a LIVE subscriber's egress — the overload
+  /// ladder's drop-oldest stage. Parked subscribers are always shed.
+  void set_shed(SubscriberId id, bool on);
+
+  /// `id`'s egress + retransmit-ring memory. Throws on unknown ids.
+  SubscriberMemory memory_usage(SubscriberId id) const;
+
+  /// Sum of memory_usage over every subscriber, parked or live.
+  std::size_t memory_usage_total() const;
 
   /// Attach this broker to a channel: every event submitted to the channel
   /// is published as one block. Returns the channel subscription id for

@@ -1,43 +1,64 @@
 #include "broker/egress_queue.hpp"
 
-#include "util/error.hpp"
+#include <chrono>
 
 namespace acex::broker {
 
 EgressQueue::EgressQueue(std::size_t capacity, SlowConsumerPolicy policy,
-                         const Clock& clock)
+                         const Clock& clock, Seconds block_timeout)
     : capacity_(capacity == 0 ? 1 : capacity), policy_(policy),
-      clock_(&clock) {}
+      clock_(&clock), block_timeout_(block_timeout < 0 ? 0 : block_timeout) {}
+
+void EgressQueue::drop_front_locked() {
+  bytes_ -= frames_.front().size();
+  frames_.pop_front();
+  ++drops_;
+}
 
 void EgressQueue::send(ByteView message) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) throw IoError("egress queue closed");
 
   if (frames_.size() >= capacity_) {
-    switch (policy_) {
-      case SlowConsumerPolicy::kBlock:
-        not_full_.wait(lock, [this] {
-          return closed_ || frames_.size() < capacity_;
-        });
+    const SlowConsumerPolicy effective =
+        shed_mode_ ? SlowConsumerPolicy::kDropOldest : policy_;
+    switch (effective) {
+      case SlowConsumerPolicy::kBlock: {
+        const auto ready = [this] {
+          return closed_ || shed_mode_ || frames_.size() < capacity_;
+        };
+        if (block_timeout_ > 0) {
+          if (!not_full_.wait_for(
+                  lock, std::chrono::duration<double>(block_timeout_),
+                  ready)) {
+            // The frame is lost here, not the subscriber: the receiver
+            // NACKs the gap and the sender's retransmit ring answers.
+            ++timeouts_;
+            throw EgressTimeout("egress queue send timed out");
+          }
+        } else {
+          not_full_.wait(lock, ready);
+        }
         if (closed_) throw IoError("egress queue closed");
+        while (shed_mode_ && frames_.size() >= capacity_) drop_front_locked();
         break;
+      }
       case SlowConsumerPolicy::kDropOldest:
         // The receiver sees the evicted sequence as a gap and asks for it
         // back through its NACK path — loss here is recoverable loss.
-        while (frames_.size() >= capacity_) {
-          frames_.pop_front();
-          ++drops_;
-        }
+        while (frames_.size() >= capacity_) drop_front_locked();
         break;
       case SlowConsumerPolicy::kDisconnect:
         closed_ = true;
         frames_.clear();
+        bytes_ = 0;
         not_full_.notify_all();
         throw IoError("egress queue overflow: slow consumer disconnected");
     }
   }
 
   frames_.emplace_back(message.begin(), message.end());
+  bytes_ += frames_.back().size();
   ++accepted_;
 }
 
@@ -48,6 +69,7 @@ std::optional<Bytes> EgressQueue::try_pop() {
   if (frames_.empty()) return std::nullopt;
   Bytes frame = std::move(frames_.front());
   frames_.pop_front();
+  bytes_ -= frame.size();
   not_full_.notify_one();
   return frame;
 }
@@ -56,7 +78,28 @@ void EgressQueue::close() {
   std::lock_guard<std::mutex> lock(mutex_);
   closed_ = true;
   frames_.clear();
+  bytes_ = 0;
   not_full_.notify_all();
+}
+
+std::size_t EgressQueue::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t cleared = frames_.size();
+  frames_.clear();
+  bytes_ = 0;
+  not_full_.notify_all();
+  return cleared;
+}
+
+void EgressQueue::set_shed_mode(bool on) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shed_mode_ = on;
+  if (on) not_full_.notify_all();
+}
+
+bool EgressQueue::shed_mode() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_mode_;
 }
 
 bool EgressQueue::closed() const {
@@ -69,6 +112,11 @@ std::size_t EgressQueue::depth() const {
   return frames_.size();
 }
 
+std::size_t EgressQueue::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
 std::uint64_t EgressQueue::drops() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return drops_;
@@ -77,6 +125,11 @@ std::uint64_t EgressQueue::drops() const {
 std::uint64_t EgressQueue::accepted() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return accepted_;
+}
+
+std::uint64_t EgressQueue::timeouts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timeouts_;
 }
 
 }  // namespace acex::broker

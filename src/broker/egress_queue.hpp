@@ -8,6 +8,7 @@
 
 #include "transport/transport.hpp"
 #include "util/bytes.hpp"
+#include "util/error.hpp"
 
 namespace acex::broker {
 
@@ -19,7 +20,9 @@ namespace acex::broker {
 enum class SlowConsumerPolicy {
   /// Publisher blocks until the pump drains a slot. Lossless, but a dead
   /// consumer stalls the publish — only safe when every subscriber is
-  /// actively pumped.
+  /// actively pumped. With a nonzero block_timeout the wait is bounded
+  /// and a wedged consumer surfaces as EgressTimeout instead of pinning
+  /// the publisher thread forever.
   kBlock,
   /// Evict the oldest queued frame to admit the new one. The subscriber's
   /// receiver sees a sequence gap and recovers through its NACK path; the
@@ -28,6 +31,16 @@ enum class SlowConsumerPolicy {
   /// Close the queue and fail the subscriber: the publish throws IoError
   /// for THIS subscriber only, and the broker marks it disconnected.
   kDisconnect,
+};
+
+/// Typed outcome of a kBlock send that waited out its deadline. The frame
+/// was NOT enqueued, but the queue stays open: the receiver recovers the
+/// missing sequence through its NACK path, so a timeout is recoverable
+/// loss — unlike the IoError thrown for a closed queue, which is fatal to
+/// the subscriber.
+class EgressTimeout : public IoError {
+ public:
+  explicit EgressTimeout(const std::string& what) : IoError(what) {}
 };
 
 /// Bounded, thread-safe frame queue standing between one subscriber's
@@ -44,12 +57,17 @@ class EgressQueue final : public transport::Transport {
  public:
   /// `clock` must outlive the queue; it is the downstream transport's
   /// clock, forwarded so sender-side timing stays on the link's timeline.
+  /// `block_timeout` bounds a kBlock wait in REAL (wall-clock) seconds —
+  /// the stored clock may be virtual, and a publisher stuck on a
+  /// condition_variable can only be freed by real time or a wakeup;
+  /// 0 preserves the wait-forever seed behaviour.
   EgressQueue(std::size_t capacity, SlowConsumerPolicy policy,
-              const Clock& clock);
+              const Clock& clock, Seconds block_timeout = 0);
 
   /// Enqueue one frame, applying the slow-consumer policy when full.
   /// Throws IoError once the queue is closed (disconnect semantics) — a
   /// publisher blocked under kBlock is woken and thrown out by close().
+  /// Throws EgressTimeout when a bounded kBlock wait expires.
   void send(ByteView message) override;
 
   /// Pop the oldest frame; std::nullopt when empty (or closed and drained).
@@ -66,27 +84,52 @@ class EgressQueue final : public transport::Transport {
   /// subscriber that no longer exists.
   void close();
 
+  /// Drop every queued frame without closing — a session resume clears
+  /// stale frames before replaying the gap from the retransmit ring.
+  /// The cleared frames do not count as drops (they are about to be
+  /// replayed, not lost). Returns how many were cleared.
+  std::size_t clear();
+
+  /// While shed mode is on, a full queue behaves as kDropOldest no matter
+  /// the configured policy, and any publisher blocked under kBlock is
+  /// woken to drop-and-proceed. The overload ladder and session parking
+  /// use this so a publisher can never wedge on a queue nobody pumps.
+  void set_shed_mode(bool on);
+  bool shed_mode() const;
+
   bool closed() const;
   std::size_t depth() const;
+  /// Payload bytes currently queued — the queue's share of the process
+  /// memory budget.
+  std::size_t bytes() const;
   std::size_t capacity() const noexcept { return capacity_; }
   SlowConsumerPolicy policy() const noexcept { return policy_; }
+  Seconds block_timeout() const noexcept { return block_timeout_; }
 
-  /// Frames evicted under kDropOldest since construction.
+  /// Frames evicted under kDropOldest (or shed mode) since construction.
   std::uint64_t drops() const;
   /// Frames accepted (enqueued) since construction.
   std::uint64_t accepted() const;
+  /// kBlock sends that waited out their deadline since construction.
+  std::uint64_t timeouts() const;
 
  private:
+  void drop_front_locked();
+
   const std::size_t capacity_;
   const SlowConsumerPolicy policy_;
   const Clock* clock_;
+  const Seconds block_timeout_;
 
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::deque<Bytes> frames_;
+  std::size_t bytes_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t accepted_ = 0;
+  std::uint64_t timeouts_ = 0;
   bool closed_ = false;
+  bool shed_mode_ = false;
 };
 
 }  // namespace acex::broker

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <limits>
+
+#include "util/clock.hpp"
+
+namespace acex::session {
+
+/// A point on a monotonic Clock's timeline by which something must have
+/// happened — the unit of liveness tracking. Default-constructed deadlines
+/// are unarmed and never expire; armed ones expire when the clock passes
+/// `when()`. Works against any Clock, so session tests drive expiry with a
+/// VirtualClock instead of sleeping.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Arm `timeout` seconds from the clock's current time.
+  Deadline(const Clock& clock, Seconds timeout)
+      : armed_(true), when_(clock.now() + timeout) {}
+
+  bool armed() const noexcept { return armed_; }
+
+  /// Expiry instant; +infinity while unarmed.
+  Seconds when() const noexcept {
+    return armed_ ? when_ : std::numeric_limits<Seconds>::infinity();
+  }
+
+  bool expired(const Clock& clock) const noexcept {
+    return armed_ && clock.now() >= when_;
+  }
+
+  /// Seconds until expiry (negative once past); +infinity while unarmed.
+  Seconds remaining(const Clock& clock) const noexcept {
+    return armed_ ? when_ - clock.now()
+                  : std::numeric_limits<Seconds>::infinity();
+  }
+
+  /// Re-arm `timeout` seconds from now — a heartbeat pushing the liveness
+  /// horizon out.
+  void extend(const Clock& clock, Seconds timeout) noexcept {
+    armed_ = true;
+    when_ = clock.now() + timeout;
+  }
+
+  void disarm() noexcept { armed_ = false; }
+
+ private:
+  bool armed_ = false;
+  Seconds when_ = 0;
+};
+
+}  // namespace acex::session

@@ -1,0 +1,41 @@
+#include "session/reconnect.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace acex::session {
+
+void ReconnectConfig::validate() const {
+  if (base_delay <= 0 || max_delay < base_delay) {
+    throw ConfigError("reconnect: need 0 < base_delay <= max_delay");
+  }
+}
+
+ReconnectPolicy::ReconnectPolicy(ReconnectConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.validate();
+}
+
+std::optional<Seconds> ReconnectPolicy::next_delay() {
+  if (exhausted()) return std::nullopt;
+  ++attempts_;
+  if (attempts_ == 1) {
+    prev_delay_ = config_.base_delay;
+    return prev_delay_;
+  }
+  // Decorrelated jitter (the AWS architecture-blog variant): the window
+  // grows from the PREVIOUS delay, not the attempt number, so consecutive
+  // delays wander instead of marching through the same powers of two.
+  const Seconds ceiling = std::min(config_.max_delay, prev_delay_ * 3);
+  prev_delay_ =
+      config_.base_delay + rng_.uniform() * (ceiling - config_.base_delay);
+  return prev_delay_;
+}
+
+void ReconnectPolicy::reset() noexcept {
+  attempts_ = 0;
+  prev_delay_ = 0;
+}
+
+}  // namespace acex::session

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace acex::session {
+
+struct ReconnectConfig {
+  /// First retry fires after exactly this delay; later delays jitter
+  /// upward from it.
+  Seconds base_delay = 0.05;
+  /// Hard cap on any single delay.
+  Seconds max_delay = 5.0;
+  /// Give up after this many attempts; 0 = never.
+  std::size_t max_attempts = 8;
+
+  void validate() const;
+};
+
+/// Client-side re-attach pacing: exponential backoff with decorrelated
+/// jitter (each delay drawn uniformly from [base, min(cap, prev * 3)], so
+/// a fleet of clients dropped by one fault does not reconnect in
+/// lockstep), capped attempts. Deterministic for a given seed.
+class ReconnectPolicy {
+ public:
+  explicit ReconnectPolicy(ReconnectConfig config = {},
+                           std::uint64_t seed = 0x5e55104ull);
+
+  /// Delay before the next attempt, or nullopt once attempts are
+  /// exhausted. Counts the attempt.
+  std::optional<Seconds> next_delay();
+
+  /// Successful reconnect: restart the schedule from scratch.
+  void reset() noexcept;
+
+  std::size_t attempts() const noexcept { return attempts_; }
+  bool exhausted() const noexcept {
+    return config_.max_attempts > 0 && attempts_ >= config_.max_attempts;
+  }
+  const ReconnectConfig& config() const noexcept { return config_; }
+
+ private:
+  ReconnectConfig config_;
+  Rng rng_;
+  std::size_t attempts_ = 0;
+  Seconds prev_delay_ = 0;
+};
+
+}  // namespace acex::session

@@ -1,5 +1,7 @@
 #include "transport/retransmit.hpp"
 
+#include <utility>
+
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -11,6 +13,7 @@ struct RingMetrics {
   obs::Counter& replays;
   obs::Counter& evictions;
   obs::Counter& refusals;
+  obs::Gauge& bytes;
 };
 
 RingMetrics& ring_metrics() {
@@ -18,27 +21,79 @@ RingMetrics& ring_metrics() {
   static RingMetrics m{r.counter("acex.transport.ring.stores"),
                        r.counter("acex.transport.ring.replays"),
                        r.counter("acex.transport.ring.evictions"),
-                       r.counter("acex.transport.ring.refusals")};
+                       r.counter("acex.transport.ring.refusals"),
+                       r.gauge("acex.transport.ring.bytes")};
   return m;
 }
 
 }  // namespace
 
-RetransmitRing::RetransmitRing(std::size_t capacity, int max_retries)
-    : capacity_(capacity), max_retries_(max_retries) {
+RetransmitRing::RetransmitRing(std::size_t capacity, int max_retries,
+                               std::size_t max_bytes)
+    : capacity_(capacity), max_retries_(max_retries), max_bytes_(max_bytes) {
   if (capacity == 0 || max_retries <= 0) {
     throw ConfigError("retransmit ring: capacity and retries must be positive");
   }
 }
 
-void RetransmitRing::store(std::uint64_t seq, Bytes wire) {
-  if (slots_.size() == capacity_) {
-    slots_.pop_front();
-    ++evictions_;
-    ring_metrics().evictions.add(1);
+RetransmitRing::~RetransmitRing() { release_gauge(); }
+
+RetransmitRing::RetransmitRing(RetransmitRing&& other) noexcept
+    : capacity_(other.capacity_),
+      max_retries_(other.max_retries_),
+      max_bytes_(other.max_bytes_),
+      slots_(std::move(other.slots_)),
+      bytes_(other.bytes_),
+      replays_(other.replays_),
+      evictions_(other.evictions_),
+      refusals_(other.refusals_) {
+  other.slots_.clear();
+  other.bytes_ = 0;
+}
+
+RetransmitRing& RetransmitRing::operator=(RetransmitRing&& other) noexcept {
+  if (this == &other) return *this;
+  release_gauge();
+  capacity_ = other.capacity_;
+  max_retries_ = other.max_retries_;
+  max_bytes_ = other.max_bytes_;
+  slots_ = std::move(other.slots_);
+  bytes_ = other.bytes_;
+  replays_ = other.replays_;
+  evictions_ = other.evictions_;
+  refusals_ = other.refusals_;
+  other.slots_.clear();
+  other.bytes_ = 0;
+  return *this;
+}
+
+void RetransmitRing::release_gauge() noexcept {
+  if (bytes_ > 0) {
+    ring_metrics().bytes.sub(static_cast<std::int64_t>(bytes_));
+    bytes_ = 0;
   }
+}
+
+void RetransmitRing::evict_front() {
+  bytes_ -= slots_.front().wire.size();
+  ring_metrics().bytes.sub(
+      static_cast<std::int64_t>(slots_.front().wire.size()));
+  slots_.pop_front();
+  ++evictions_;
+  ring_metrics().evictions.add(1);
+}
+
+void RetransmitRing::store(std::uint64_t seq, Bytes wire) {
+  const std::size_t incoming = wire.size();
   slots_.push_back(Slot{seq, std::move(wire), 0});
+  bytes_ += incoming;
+  ring_metrics().bytes.add(static_cast<std::int64_t>(incoming));
   ring_metrics().stores.add(1);
+  while (slots_.size() > 1 &&
+         (slots_.size() > capacity_ ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_))) {
+    evict_front();
+  }
 }
 
 const Bytes* RetransmitRing::replay(std::uint64_t seq) {
@@ -56,6 +111,13 @@ const Bytes* RetransmitRing::replay(std::uint64_t seq) {
   }
   ++refusals_;
   ring_metrics().refusals.add(1);
+  return nullptr;
+}
+
+const Bytes* RetransmitRing::peek(std::uint64_t seq) const {
+  for (const auto& slot : slots_) {
+    if (slot.seq == seq) return &slot.wire;
+  }
   return nullptr;
 }
 

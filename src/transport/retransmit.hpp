@@ -12,18 +12,31 @@ namespace acex::transport {
 /// `capacity` messages (older ones are evicted — a NACK for them fails,
 /// like any ARQ scheme whose window has moved on) and caps how many times
 /// one sequence may be replayed, so a hopeless receiver cannot pin the
-/// sender in a retransmit loop.
+/// sender in a retransmit loop. An optional byte bound (`max_bytes`)
+/// evicts on memory pressure as well: a fixed frame cap alone lets large
+/// blocks blow past any sane memory envelope.
 ///
 /// Shared by AdaptiveSender (frame replay) and echo::ChannelSender (event
 /// replay); both store fully encoded wire bytes so a replay is a plain
 /// re-send with no re-encoding.
 class RetransmitRing {
  public:
-  explicit RetransmitRing(std::size_t capacity = 64, int max_retries = 3);
+  explicit RetransmitRing(std::size_t capacity = 64, int max_retries = 3,
+                          std::size_t max_bytes = 0);
+  ~RetransmitRing();
+
+  // The ring owns a share of the process-wide `acex.transport.ring.bytes`
+  // gauge; moves must transfer that share rather than double-count it.
+  RetransmitRing(RetransmitRing&& other) noexcept;
+  RetransmitRing& operator=(RetransmitRing&& other) noexcept;
+  RetransmitRing(const RetransmitRing&) = delete;
+  RetransmitRing& operator=(const RetransmitRing&) = delete;
 
   /// Remember `wire` as the bytes sent for `seq`, evicting the oldest
-  /// entry when full. Sequences are expected to arrive in increasing
-  /// order (they are the sender's own counter).
+  /// entries while over the frame cap or the byte cap. The entry just
+  /// stored is never evicted, even when it alone exceeds `max_bytes`.
+  /// Sequences are expected to arrive in increasing order (they are the
+  /// sender's own counter).
   void store(std::uint64_t seq, Bytes wire);
 
   /// The wire bytes for `seq` if still held and its retry budget is not
@@ -31,9 +44,18 @@ class RetransmitRing {
   /// evicted or already replayed max_retries times.
   const Bytes* replay(std::uint64_t seq);
 
+  /// The wire bytes for `seq` if still held, with no retry accounting:
+  /// a session resume replaying `[last_acked, head]` is not a NACK and
+  /// must not eat into the per-sequence retry budget.
+  const Bytes* peek(std::uint64_t seq) const;
+
   std::size_t capacity() const noexcept { return capacity_; }
   int max_retries() const noexcept { return max_retries_; }
   std::size_t size() const noexcept { return slots_.size(); }
+  /// Wire bytes currently held. Bounded by max_bytes() when nonzero.
+  std::size_t bytes() const noexcept { return bytes_; }
+  /// Byte cap; 0 means bounded by frame count only.
+  std::size_t max_bytes() const noexcept { return max_bytes_; }
 
   std::uint64_t replays() const noexcept { return replays_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
@@ -47,9 +69,14 @@ class RetransmitRing {
     int retries = 0;
   };
 
+  void evict_front();
+  void release_gauge() noexcept;
+
   std::size_t capacity_;
   int max_retries_;
+  std::size_t max_bytes_;
   std::deque<Slot> slots_;
+  std::size_t bytes_ = 0;
   std::uint64_t replays_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t refusals_ = 0;

@@ -449,5 +449,89 @@ TEST(BrokerAttach, ChannelEventsFanOutToSubscribers) {
   EXPECT_EQ(frames, 2u);
 }
 
+// ----------------------------------------- egress timeout + shed mode
+
+TEST(BrokerEgress, BlockTimeoutThrowsTypedOutcomeAndKeepsQueueOpen) {
+  MonotonicClock clock;
+  EgressQueue q(1, SlowConsumerPolicy::kBlock, clock, 0.05);
+  q.send(Bytes{1});
+  // Nobody pumps: the bounded wait must expire with the typed outcome
+  // instead of pinning this thread forever (the seed behaviour).
+  EXPECT_THROW(q.send(Bytes{2}), EgressTimeout);
+  EXPECT_EQ(q.timeouts(), 1u);
+  EXPECT_FALSE(q.closed());
+  // The timed-out frame was not enqueued; the queue keeps working.
+  EXPECT_EQ(q.try_pop(), Bytes{1});
+  q.send(Bytes{3});
+  EXPECT_EQ(q.try_pop(), Bytes{3});
+}
+
+TEST(BrokerEgress, BlockedSenderWakesWhenDrainedBeforeTimeout) {
+  MonotonicClock clock;
+  EgressQueue q(1, SlowConsumerPolicy::kBlock, clock, 5.0);
+  q.send(Bytes{1});
+  std::thread consumer([&] {
+    while (!q.try_pop()) std::this_thread::yield();
+  });
+  q.send(Bytes{2});  // must ride the drain, nowhere near the 5 s deadline
+  consumer.join();
+  EXPECT_EQ(q.timeouts(), 0u);
+  EXPECT_EQ(q.try_pop(), Bytes{2});
+}
+
+TEST(BrokerEgress, ShedModeDropsOldestInsteadOfBlocking) {
+  MonotonicClock clock;
+  EgressQueue q(2, SlowConsumerPolicy::kBlock, clock);
+  q.send(Bytes{1});
+  q.send(Bytes{2});
+  q.set_shed_mode(true);
+  q.send(Bytes{3});  // full queue + shed: evict 1, admit 3, never wait
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.try_pop(), Bytes{2});
+  EXPECT_EQ(q.try_pop(), Bytes{3});
+  q.set_shed_mode(false);
+  EXPECT_FALSE(q.shed_mode());
+}
+
+TEST(BrokerEgress, ClearEmptiesWithoutCountingDrops) {
+  MonotonicClock clock;
+  EgressQueue q(8, SlowConsumerPolicy::kDropOldest, clock);
+  q.send(Bytes{1, 2, 3});
+  q.send(Bytes{4, 5});
+  EXPECT_EQ(q.bytes(), 5u);
+  EXPECT_EQ(q.clear(), 2u);
+  EXPECT_EQ(q.bytes(), 0u);
+  EXPECT_EQ(q.drops(), 0u);  // cleared frames are replayed, not lost
+  EXPECT_FALSE(q.closed());
+  q.send(Bytes{6});
+  EXPECT_EQ(q.try_pop(), Bytes{6});
+}
+
+TEST(BrokerPolicy, EgressTimeoutCountsOnSubscriberAndStaysConnected) {
+  SinkTransport sink;
+  FanoutBroker broker;
+  SubscriberConfig cfg;
+  cfg.egress_capacity = 1;
+  cfg.policy = SlowConsumerPolicy::kBlock;
+  cfg.block_timeout = 0.05;
+  const SubscriberId id = broker.subscribe(sink, cfg);
+
+  broker.publish(compressible_block(4096, 1));
+  // Queue full, nobody pumping: the publish must return after the bounded
+  // wait with the timeout accounted, NOT disconnect the subscriber and NOT
+  // wedge the publisher.
+  broker.publish(compressible_block(4096, 2));
+  EXPECT_EQ(broker.subscriber_stats(id).egress_timeouts, 1u);
+  EXPECT_FALSE(broker.disconnected(id));
+
+  // Drain and confirm the stream continues; the lost sequence stays
+  // NACK-recoverable from the ring.
+  broker.pump(id);
+  broker.publish(compressible_block(4096, 3));
+  broker.pump(id);
+  EXPECT_EQ(sink.frames(), 2u);
+  EXPECT_EQ(broker.retransmit(id, {1}), 1u);
+}
+
 }  // namespace
 }  // namespace acex::broker

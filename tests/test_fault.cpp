@@ -191,6 +191,52 @@ TEST(RetransmitRing, RejectsDegenerateConfig) {
   EXPECT_THROW(transport::RetransmitRing(4, 0), ConfigError);
 }
 
+TEST(RetransmitRing, EvictsOnBytePressure) {
+  // Slot budget is generous; the 250-byte envelope is what binds. Three
+  // 100-byte frames exceed it, so storing the third evicts the oldest.
+  transport::RetransmitRing ring(64, 3, 250);
+  ring.store(0, Bytes(100, 0xA0));
+  ring.store(1, Bytes(100, 0xA1));
+  EXPECT_EQ(ring.bytes(), 200u);
+  ring.store(2, Bytes(100, 0xA2));
+  EXPECT_EQ(ring.replay(0), nullptr);
+  ASSERT_NE(ring.replay(1), nullptr);
+  ASSERT_NE(ring.replay(2), nullptr);
+  EXPECT_EQ(ring.bytes(), 200u);
+  EXPECT_EQ(ring.evictions(), 1u);
+}
+
+TEST(RetransmitRing, ByteBudgetNeverEvictsTheNewestFrame) {
+  // One frame alone may exceed the budget: it must still be retained
+  // (evicting the frame just stored would make every store a no-op).
+  transport::RetransmitRing ring(8, 3, 50);
+  ring.store(0, Bytes(200, 0xB0));
+  ASSERT_NE(ring.replay(0), nullptr);
+  EXPECT_EQ(ring.bytes(), 200u);
+  ring.store(1, Bytes(10, 0xB1));  // now the oversized one goes
+  EXPECT_EQ(ring.replay(0), nullptr);
+  ASSERT_NE(ring.replay(1), nullptr);
+  EXPECT_EQ(ring.bytes(), 10u);
+}
+
+TEST(RetransmitRing, PeekDoesNotConsumeRetryBudget) {
+  transport::RetransmitRing ring(4, 1);
+  ring.store(7, Bytes{7, 7});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(ring.peek(7), nullptr);  // resume replay: no retry accounting
+  }
+  EXPECT_EQ(*ring.peek(7), (Bytes{7, 7}));
+  EXPECT_NE(ring.replay(7), nullptr);   // the single NACK retry still there
+  EXPECT_EQ(ring.replay(7), nullptr);   // ...and now spent
+  EXPECT_NE(ring.peek(7), nullptr);     // resume is not bound by that budget
+  EXPECT_EQ(ring.peek(99), nullptr);    // unknown sequences stay unknown
+  ring.store(8, Bytes(1, 8));
+  ring.store(9, Bytes(1, 9));
+  ring.store(10, Bytes(1, 10));
+  ring.store(11, Bytes(1, 11));  // capacity 4: sequence 7 evicted
+  EXPECT_EQ(ring.peek(7), nullptr);  // peek does honour real eviction
+}
+
 // ------------------------------------------------- receiver policies
 
 TEST_F(FaultTest, ThrowPolicyKeepsSeedBehaviour) {
@@ -329,6 +375,96 @@ TEST_F(FaultTest, CircuitBreakerQuarantinesAFailingMethod) {
   EXPECT_EQ(d.expansions, 0u);
 
   // Nothing about degradation is allowed to damage the stream itself.
+  EXPECT_EQ(rx.receive_available(), data);
+}
+
+TEST_F(FaultTest, BreakerReTripsImmediatelyWhenTheProbeFails) {
+  wire(100e3);
+  adaptive::AdaptiveConfig config = small_blocks();
+  config.target_rate_Bps = 1e12;  // keep the selector on kBurrowsWheeler
+  config.breaker_failure_threshold = 2;
+  config.breaker_cooldown_blocks = 2;
+  adaptive::AdaptiveSender sender(duplex_->a(), config);
+  sender.registry().register_factory(
+      MethodId::kBurrowsWheeler, [] { return CodecPtr(new ThrowingCodec); });
+  adaptive::AdaptiveReceiver rx(duplex_->b(),
+                                {adaptive::RecoveryPolicy::kSkip, 3});
+
+  const Bytes data = testdata::repetitive_text(12 * 4096, 23);
+  const adaptive::StreamReport report = sender.send_all(data);
+  ASSERT_EQ(report.blocks.size(), 12u);
+
+  const adaptive::DegradationStats& d = sender.degradation();
+  // Opening costs `threshold` consecutive failures; after that the method
+  // is on probation, so each half-open probe that fails re-trips on ONE
+  // failure instead of accumulating a fresh streak.
+  EXPECT_GE(d.quarantines, 3u);
+  EXPECT_EQ(d.codec_failures,
+            static_cast<std::uint64_t>(config.breaker_failure_threshold) +
+                (d.quarantines - 1));
+  // Degradation never corrupts the stream.
+  EXPECT_EQ(rx.receive_available(), data);
+}
+
+TEST_F(FaultTest, BreakerClosesWhenTheProbeSucceeds) {
+  // Fails the first `threshold` compress calls, then delegates to the real
+  // codec: the breaker must re-admit the method after one successful
+  // half-open probe, and the receiver (which knows nothing of the flake)
+  // keeps decoding standard frames.
+  class FlakyCodec final : public Codec {
+   public:
+    explicit FlakyCodec(int* failures_left)
+        : failures_left_(failures_left),
+          inner_(make_codec(MethodId::kBurrowsWheeler)) {}
+    MethodId id() const noexcept override {
+      return MethodId::kBurrowsWheeler;
+    }
+    Bytes compress(ByteView input) override {
+      if (*failures_left_ > 0) {
+        --*failures_left_;
+        throw DecodeError("codec warming up");
+      }
+      return inner_->compress(input);
+    }
+    Bytes decompress(ByteView input) override {
+      return inner_->decompress(input);
+    }
+
+   private:
+    int* failures_left_;
+    CodecPtr inner_;
+  };
+
+  wire(100e3);
+  adaptive::AdaptiveConfig config = small_blocks();
+  config.target_rate_Bps = 1e12;
+  config.breaker_failure_threshold = 2;
+  config.breaker_cooldown_blocks = 2;
+  adaptive::AdaptiveSender sender(duplex_->a(), config);
+  static int failures_left = 0;
+  failures_left = 2;
+  sender.registry().register_factory(MethodId::kBurrowsWheeler, [] {
+    return CodecPtr(new FlakyCodec(&failures_left));
+  });
+  adaptive::AdaptiveReceiver rx(duplex_->b(),
+                                {adaptive::RecoveryPolicy::kSkip, 3});
+
+  const Bytes data = testdata::repetitive_text(10 * 4096, 24);
+  const adaptive::StreamReport report = sender.send_all(data);
+  ASSERT_EQ(report.blocks.size(), 10u);
+
+  const adaptive::DegradationStats& d = sender.degradation();
+  EXPECT_EQ(d.quarantines, 1u);   // opened once, never re-tripped
+  EXPECT_EQ(d.codec_failures, 2u);
+  // After the successful probe the method is fully re-admitted.
+  bool bw_after_probe = false;
+  for (std::size_t i = 4; i < report.blocks.size(); ++i) {
+    if (report.blocks[i].method == MethodId::kBurrowsWheeler) {
+      bw_after_probe = true;
+      EXPECT_FALSE(report.blocks[i].fallback);
+    }
+  }
+  EXPECT_TRUE(bw_after_probe);
   EXPECT_EQ(rx.receive_available(), data);
 }
 

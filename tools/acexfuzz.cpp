@@ -18,6 +18,14 @@
 //                                        (default 3, 0 = no churn); the
 //                                        default soak is unchanged without
 //                                        --broker
+//   acexfuzz --chaos SECONDS             session-resilience chaos: kill and
+//            [--rounds N]                reconnect every subscriber session
+//            [--sessions K]              mid-stream over a faulted link and
+//                                        check resume byte-identity, expiry
+//                                        accounting and obs mirrors
+//                                        (SECONDS 0 = one deterministic run
+//                                        of N rounds; > 0 = a wall-clock
+//                                        budget sweeping seeds from -s)
 //   acexfuzz --replay FILE               run one corpus entry through the
 //                                        oracle battery (bit-exact output)
 //   acexfuzz --emit FILE                 write the deterministic mutated
@@ -36,6 +44,8 @@
 // corpus so `acexfuzz --replay` reproduces it from the file alone.
 // Exit codes: 0 clean, 1 findings/violations, 2 usage or config error.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +55,7 @@
 #include "compress/frame.hpp"
 #include "compress/registry.hpp"
 #include "compress/zlib_codec.hpp"
+#include "qa/chaos.hpp"
 #include "qa/corpus.hpp"
 #include "qa/generators.hpp"
 #include "qa/mutate.hpp"
@@ -58,8 +69,8 @@ namespace {
 
 using namespace acex;
 
-enum class Mode { kNone, kSmoke, kDiff, kSoak, kReplay, kEmit, kMinimize,
-                  kCorpus };
+enum class Mode { kNone, kSmoke, kDiff, kSoak, kChaos, kReplay, kEmit,
+                  kMinimize, kCorpus };
 
 struct Options {
   Mode mode = Mode::kNone;
@@ -72,6 +83,8 @@ struct Options {
   std::size_t workers = 4;
   double soak_seconds = 0;
   std::size_t soak_rounds = 20;
+  double chaos_seconds = 0;
+  std::size_t chaos_sessions = 16;
   std::size_t broker_subscribers = 0;  // 0 = broker half off
   std::size_t broker_churn = 3;
   std::string out_dir = "qa/corpus";
@@ -81,15 +94,16 @@ struct Options {
 int usage() {
   std::fprintf(stderr,
                "usage: acexfuzz (--smoke | --diff | --soak SECONDS |"
-               " --replay FILE |\n"
-               "                 --emit FILE | --minimize FILE |"
-               " --corpus DIR)\n"
+               " --chaos SECONDS |\n"
+               "                 --replay FILE | --emit FILE |"
+               " --minimize FILE | --corpus DIR)\n"
                "                [-s SEED] [--iters N] [--seeds ROUNDS]"
                " [--size BYTES]\n"
                "                [-b BLOCK_BYTES] [-n DIFF_BLOCKS]"
                " [-w WORKERS]\n"
                "                [--rounds N] [--broker K] [--churn M]"
-               " [--out DIR]\n");
+               " [--sessions K]\n"
+               "                [--out DIR]\n");
   return 2;
 }
 
@@ -296,6 +310,74 @@ int run_soak_mode(const Options& opt) {
   return report.ok() ? 0 : 1;
 }
 
+// ------------------------------------------------------------------ chaos
+int run_chaos_once(const qa::ChaosConfig& config, qa::Corpus& corpus) {
+  const qa::ChaosReport report = qa::run_chaos(config);
+  std::printf(
+      "chaos: seed %llu: %zu rounds, %zu sessions, %llu blocks\n"
+      "  kills %llu, resumes %llu, restarts %llu, expired %llu, "
+      "delivered %llu, heartbeats %llu\n",
+      static_cast<unsigned long long>(config.seed), report.rounds,
+      config.sessions, static_cast<unsigned long long>(report.published),
+      static_cast<unsigned long long>(report.kills),
+      static_cast<unsigned long long>(report.resumes),
+      static_cast<unsigned long long>(report.restarts),
+      static_cast<unsigned long long>(report.expired),
+      static_cast<unsigned long long>(report.delivered),
+      static_cast<unsigned long long>(report.heartbeats));
+  for (const std::string& violation : report.violations) {
+    std::fprintf(stderr, "acexfuzz: VIOLATION %s\n", violation.c_str());
+  }
+  if (!report.ok()) {
+    // The whole run is a pure function of its config, so the repro is the
+    // config itself; persist it as a corpus note for the nightly artifact.
+    const std::string repro =
+        "acexfuzz --chaos 0 -s " + std::to_string(config.seed) +
+        " --rounds " + std::to_string(config.rounds) + " --sessions " +
+        std::to_string(config.sessions) + " -b " +
+        std::to_string(config.block_size) + "\n";
+    try {
+      const std::string saved = corpus.save(
+          "chaos", ByteView(reinterpret_cast<const std::uint8_t*>(
+                                repro.data()),
+                            repro.size()));
+      std::fprintf(stderr, "acexfuzz: chaos repro saved to %s\n",
+                   saved.c_str());
+    } catch (const Error& e) {
+      std::fprintf(stderr, "acexfuzz: cannot persist chaos repro: %s\n",
+                   e.what());
+    }
+  }
+  std::printf("chaos: %zu violations\n", report.violations.size());
+  return report.ok() ? 0 : 1;
+}
+
+int run_chaos_mode(const Options& opt) {
+  qa::ChaosConfig config;
+  config.rounds = opt.soak_rounds > 0 ? opt.soak_rounds : config.rounds;
+  config.sessions = opt.chaos_sessions;
+  config.block_size = opt.block_size;
+  config.seed = opt.seed;
+  qa::Corpus corpus(opt.out_dir);
+
+  if (opt.chaos_seconds <= 0) return run_chaos_once(config, corpus);
+
+  // Wall-clock budget: sweep seeds until time is up; any violating seed
+  // fails the whole sweep (its repro line is already in the corpus).
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::duration<double>(opt.chaos_seconds);
+  int worst = 0;
+  std::size_t runs = 0;
+  while (std::chrono::steady_clock::now() - start < budget) {
+    worst = std::max(worst, run_chaos_once(config, corpus));
+    ++config.seed;
+    ++runs;
+  }
+  std::printf("chaos: swept %zu seeds in %.1fs budget\n", runs,
+              opt.chaos_seconds);
+  return worst;
+}
+
 // ------------------------------------------- replay / emit / minimize / corpus
 /// Deterministic single input for -s SEED: pick an artifact class and
 /// apply one structure-aware mutation. Pure function of the seed.
@@ -395,6 +477,7 @@ int run(const Options& opt) {
     case Mode::kSmoke:    return run_smoke(opt);
     case Mode::kDiff:     return run_diff(opt);
     case Mode::kSoak:     return run_soak_mode(opt);
+    case Mode::kChaos:    return run_chaos_mode(opt);
     case Mode::kReplay:   return run_replay(opt);
     case Mode::kEmit:     return run_emit(opt);
     case Mode::kMinimize: return run_minimize(opt);
@@ -429,6 +512,11 @@ int main(int argc, char** argv) {
         set_mode(Mode::kSoak);
         opt.soak_seconds = std::stod(next());
         if (opt.soak_seconds < 0) throw ConfigError("--soak must be >= 0");
+      } else if (arg == "--chaos") {
+        set_mode(Mode::kChaos);
+        opt.chaos_seconds = std::stod(next());
+        if (opt.chaos_seconds < 0) throw ConfigError("--chaos must be >= 0");
+        opt.soak_rounds = 24;  // chaos default; --rounds overrides
       } else if (arg == "--replay") {
         set_mode(Mode::kReplay);
         opt.path = next();
@@ -470,6 +558,9 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--churn") {
         opt.broker_churn = std::stoul(next());
+      } else if (arg == "--sessions") {
+        opt.chaos_sessions = std::stoul(next());
+        if (opt.chaos_sessions == 0) throw ConfigError("--sessions must be > 0");
       } else if (arg == "--out") {
         opt.out_dir = next();
       } else {

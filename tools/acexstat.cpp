@@ -5,12 +5,18 @@
 //   acexstat [-w WORKERS] [-n BLOCKS] [-b BLOCK_KIB] [-s SEED]
 //            [--json PATH] [--prom PATH] [--spans]
 //   acexstat --broker SUBS [-n BLOCKS] [-b BLOCK_KIB] [-s SEED]
+//   acexstat --chaos SESSIONS [-s SEED]
 //
 // The run itself doubles as a consistency check: the obs counters mirrored
 // by FaultInjectingTransport must match the injector's own tallies exactly,
 // the NACK/retransmit counters must match the sender/receiver bookkeeping,
 // and every histogram must satisfy p50 <= p99. Any violation exits 1 —
 // CI runs this binary as a test.
+//
+// --chaos SESSIONS runs the session-resilience battery instead: SESSIONS
+// durable sessions are killed and reconnected mid-stream over faulted
+// links (qa::run_chaos), and every `acex.session.*` series is checked
+// against the chaos harness's own ground truth. Any mismatch exits 1.
 //
 // --broker SUBS runs the fan-out demo instead: SUBS subscribers on
 // heterogeneous links (half fast, half slow, every fourth one faulted)
@@ -36,6 +42,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "qa/chaos.hpp"
 #include "transport/fault_transport.hpp"
 #include "transport/sim_transport.hpp"
 #include "util/crc32.hpp"
@@ -51,6 +58,7 @@ struct Options {
   std::size_t block_kib = 4;
   std::uint64_t seed = 17;
   std::size_t broker_subs = 0;  // > 0 switches to the fan-out demo
+  std::size_t chaos_sessions = 0;  // > 0 switches to the chaos battery
   std::string json_path;  // empty = off, "-" = stdout
   std::string prom_path;
   bool dump_spans = false;
@@ -126,7 +134,8 @@ int usage() {
                "usage: acexstat [-w WORKERS] [-n BLOCKS] [-b BLOCK_KIB] "
                "[-s SEED] [--json PATH] [--prom PATH] [--spans]\n"
                "       acexstat --broker SUBS [-n BLOCKS] [-b BLOCK_KIB] "
-               "[-s SEED]\n");
+               "[-s SEED]\n"
+               "       acexstat --chaos SESSIONS [-s SEED]\n");
   return 2;
 }
 
@@ -328,6 +337,66 @@ int run_broker_demo(const Options& opt) {
   return 0;
 }
 
+// -------------------------------------------------- chaos battery mode
+int run_chaos_stat(const Options& opt) {
+  // Reset first so the session series are exactly this run's ground truth
+  // (the harness's own mirror checks use deltas; here we can be absolute).
+  obs::MetricsRegistry::global().reset_values();
+  obs::BlockTracer::global().clear();
+
+  qa::ChaosConfig config;
+  config.sessions = opt.chaos_sessions;
+  config.seed = opt.seed;
+  const qa::ChaosReport report = qa::run_chaos(config);
+
+  int failures = 0;
+  for (const std::string& violation : report.violations) {
+    std::fprintf(stderr, "acexstat: CHAOS VIOLATION %s\n", violation.c_str());
+    ++failures;
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  check_eq("session.resumes", reg.counter("acex.session.resumes").value(),
+           report.resumes, failures);
+  check_eq("session.restarts", reg.counter("acex.session.restarts").value(),
+           report.restarts, failures);
+  check_eq("session.expired", reg.counter("acex.session.expired").value(),
+           report.expired, failures);
+  check_eq("session.heartbeats", reg.counter("acex.session.heartbeats").value(),
+           report.heartbeats, failures);
+  // Every session ends the run attached: live gauge full, parked empty,
+  // and the budget ladder back at its normal stage.
+  check_eq("session.live",
+           static_cast<std::uint64_t>(reg.gauge("acex.session.live").value()),
+           opt.chaos_sessions, failures);
+  check_eq("session.parked",
+           static_cast<std::uint64_t>(reg.gauge("acex.session.parked").value()),
+           0, failures);
+  check_eq("budget.stage",
+           static_cast<std::uint64_t>(reg.gauge("acex.budget.stage").value()),
+           0, failures);
+
+  std::printf(
+      "acexstat --chaos: %zu sessions, seed %llu, %zu rounds, %llu blocks\n"
+      "  kills %llu, resumes %llu, restarts %llu, expired %llu, "
+      "delivered %llu\n",
+      opt.chaos_sessions, static_cast<unsigned long long>(opt.seed),
+      report.rounds, static_cast<unsigned long long>(report.published),
+      static_cast<unsigned long long>(report.kills),
+      static_cast<unsigned long long>(report.resumes),
+      static_cast<unsigned long long>(report.restarts),
+      static_cast<unsigned long long>(report.expired),
+      static_cast<unsigned long long>(report.delivered));
+  if (failures != 0) {
+    std::fprintf(stderr, "acexstat: %d chaos consistency check(s) FAILED\n",
+                 failures);
+    return 1;
+  }
+  std::printf("  session obs series match ground truth, every session "
+              "resumed byte-exact\n");
+  return 0;
+}
+
 int run(const Options& opt) {
   // Scope every series to this run (the instruments themselves are
   // process-wide and permanent; only the values reset).
@@ -490,6 +559,9 @@ int main(int argc, char** argv) {
       } else if (arg == "--broker") {
         opt.broker_subs = std::stoul(next());
         if (opt.broker_subs == 0) throw ConfigError("--broker must be > 0");
+      } else if (arg == "--chaos") {
+        opt.chaos_sessions = std::stoul(next());
+        if (opt.chaos_sessions == 0) throw ConfigError("--chaos must be > 0");
       } else if (arg == "-n") {
         opt.blocks = std::stoul(next());
         if (opt.blocks == 0) throw ConfigError("-n must be > 0");
@@ -508,6 +580,7 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
+    if (opt.chaos_sessions > 0) return run_chaos_stat(opt);
     return opt.broker_subs > 0 ? run_broker_demo(opt) : run(opt);
   } catch (const acex::Error& e) {
     std::fprintf(stderr, "acexstat: %s\n", e.what());
