@@ -173,6 +173,38 @@ void FanoutBroker::publish(ByteView block) {
     return;
   }
 
+  // Subscribers may carry different block sizes (the acexd handshake
+  // honours each client's negotiated granularity): re-chunk the publish
+  // per distinct size so no sender ever plans a block beyond its
+  // configured block_size — the same split a private
+  // AdaptiveSender::send_all would make, which is what keeps per-
+  // subscriber wire identity. Every subscriber whose block_size covers
+  // the whole publish shares one full-size chunk, so the common case
+  // (uniform sizes) stays on the single shared-encode pass.
+  std::map<std::size_t, std::vector<SubscriberPtr>> by_chunk;
+  for (auto& sub : subs) {
+    std::size_t cap = sub->config.adaptive.decision.block_size;
+    if (cap == 0 || cap > block.size()) cap = block.size();
+    by_chunk[cap].push_back(std::move(sub));
+  }
+  for (auto& [chunk_size, group] : by_chunk) {
+    if (chunk_size == block.size()) {  // also the empty-publish case
+      publish_chunk(block, group);
+      continue;
+    }
+    for (std::size_t off = 0; off < block.size(); off += chunk_size) {
+      publish_chunk(
+          ByteView(block.data() + off,
+                   std::min(chunk_size, block.size() - off)),
+          group);
+    }
+  }
+}
+
+void FanoutBroker::publish_chunk(ByteView block,
+                                 const std::vector<SubscriberPtr>& subs) {
+  auto& metrics = broker_metrics();
+
   // One sample per block, shared: the sampled ratio is a property of the
   // data, not of any subscriber's link.
   const adaptive::SampleResult sample = sampler_.sample(block);

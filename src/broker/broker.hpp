@@ -129,9 +129,13 @@ class FanoutBroker {
 
   /// Distribute one block to every live subscriber: shared sample, per-
   /// subscriber plan, one encode per distinct method, per-subscriber
-  /// framing + finish. A subscriber whose egress rejects the frame
-  /// (kDisconnect overflow, or closed by unsubscribe) is marked
-  /// disconnected; healthy subscribers are unaffected.
+  /// framing + finish. A block larger than a subscriber's configured
+  /// block_size is re-chunked for that subscriber (the same split a
+  /// private AdaptiveSender::send_all would make), so heterogeneous
+  /// negotiated block sizes coexist on one stream. A subscriber whose
+  /// egress rejects the frame (kDisconnect overflow, or closed by
+  /// unsubscribe) is marked disconnected; healthy subscribers are
+  /// unaffected.
   void publish(ByteView block);
 
   /// Drain up to `max_frames` from `id`'s egress onto its real transport,
@@ -209,6 +213,10 @@ class FanoutBroker {
   SubscriberPtr find(SubscriberId id) const;
   std::size_t pump_locked_free(const SubscriberPtr& sub,
                                std::size_t max_frames);
+  /// One publish pass over `subs` with a chunk every member's block_size
+  /// can carry: shared sample, per-subscriber plan, grouped encode, frame
+  /// + finish. The body of publish(), minus the re-chunking.
+  void publish_chunk(ByteView block, const std::vector<SubscriberPtr>& subs);
 
   BrokerConfig config_;
   CodecRegistry registry_ = CodecRegistry::with_builtins();

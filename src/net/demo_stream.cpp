@@ -1,0 +1,79 @@
+#include "net/demo_stream.hpp"
+
+#include <array>
+#include <cstring>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace acex::net {
+
+namespace {
+
+constexpr std::string_view kMagic = "acexdemo";
+constexpr std::size_t kHeaderBytes = kMagic.size() + 8;
+
+// A small phrase pool keeps the stream compressible (the point of the
+// demo is to watch negotiated codecs at work), while the seeded shuffle
+// keeps it from being trivially constant.
+constexpr std::array<std::string_view, 8> kPhrases = {
+    "configurable compression ", "end to end exchange ",
+    "adaptive block stream ",    "burrows wheeler transform ",
+    "lempel ziv window ",        "huffman code table ",
+    "target rate escalation ",   "loopback subscriber ",
+};
+
+}  // namespace
+
+Bytes demo_block(std::uint64_t seed, std::uint32_t index, std::size_t size) {
+  Bytes block;
+  block.reserve(size < kHeaderBytes ? kHeaderBytes : size);
+  block.insert(block.end(), kMagic.begin(), kMagic.end());
+  for (std::size_t i = 0; i < 4; ++i) {
+    block.push_back(static_cast<std::uint8_t>(index >> (8 * i)));
+  }
+  const std::uint32_t size32 = static_cast<std::uint32_t>(size);
+  for (std::size_t i = 0; i < 4; ++i) {
+    block.push_back(static_cast<std::uint8_t>(size32 >> (8 * i)));
+  }
+  // Mix the index into the stream seed so consecutive blocks differ.
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (index + 1)));
+  while (block.size() < size) {
+    const std::string_view phrase = kPhrases[rng.below(kPhrases.size())];
+    const std::size_t room = size - block.size();
+    block.insert(block.end(), phrase.begin(),
+                 phrase.begin() + std::min(room, phrase.size()));
+  }
+  return block;
+}
+
+std::int64_t demo_block_index(ByteView block) noexcept {
+  if (block.size() < kHeaderBytes) return -1;
+  if (std::memcmp(block.data(), kMagic.data(), kMagic.size()) != 0) return -1;
+  std::uint32_t index = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    index |= static_cast<std::uint32_t>(block[kMagic.size() + i]) << (8 * i);
+  }
+  return static_cast<std::int64_t>(index);
+}
+
+std::size_t demo_block_size(ByteView view) noexcept {
+  if (view.size() < kHeaderBytes) return 0;
+  if (std::memcmp(view.data(), kMagic.data(), kMagic.size()) != 0) return 0;
+  std::uint32_t size = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(view[kMagic.size() + 4 + i]) << (8 * i);
+  }
+  return size;
+}
+
+bool demo_block_verify(std::uint64_t seed, ByteView block) noexcept {
+  const std::int64_t index = demo_block_index(block);
+  if (index < 0) return false;
+  const Bytes expected =
+      demo_block(seed, static_cast<std::uint32_t>(index), block.size());
+  return expected.size() == block.size() &&
+         std::memcmp(expected.data(), block.data(), block.size()) == 0;
+}
+
+}  // namespace acex::net

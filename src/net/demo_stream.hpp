@@ -1,0 +1,33 @@
+#pragma once
+
+// Deterministic demo block stream published by acexd and verified by
+// acexctl / the smoke tests. Each block embeds its own publish index, so a
+// subscriber can check completeness and ordering from content alone — the
+// broker numbers frames per subscriber from 0 at subscribe time, which
+// says nothing about where in the publish stream a late joiner attached.
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace acex::net {
+
+/// Block `index` of the demo stream for `seed`: a 16-byte header
+/// ("acexdemo" | u32 index LE | u32 size LE) followed by compressible
+/// seeded text. Same (seed, index, size) always yields the same bytes on
+/// every host, so server and verifier regenerate rather than share.
+Bytes demo_block(std::uint64_t seed, std::uint32_t index, std::size_t size);
+
+/// Extract the embedded publish index; -1 if `block` is not a demo block.
+std::int64_t demo_block_index(ByteView block) noexcept;
+
+/// Embedded total block size (header included), or 0 if `view` does not
+/// start with a demo header. Lets a consumer split a concatenated decoded
+/// stream back into publish-sized blocks.
+std::size_t demo_block_size(ByteView view) noexcept;
+
+/// True iff `block` is byte-identical to demo_block(seed, its embedded
+/// index, block.size()).
+bool demo_block_verify(std::uint64_t seed, ByteView block) noexcept;
+
+}  // namespace acex::net

@@ -1,0 +1,185 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#define ACEX_HAVE_EPOLL 1
+#else
+#define ACEX_HAVE_EPOLL 0
+#endif
+
+#include "net/socket.hpp"
+#include "util/error.hpp"
+
+namespace acex::net {
+
+EventLoop::EventLoop(EventLoopConfig config) : config_(config) {
+  if (config_.max_events == 0) config_.max_events = 256;
+  const bool want_epoll = config_.backend != LoopBackend::kPoll;
+#if ACEX_HAVE_EPOLL
+  if (want_epoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  }
+#else
+  if (config_.backend == LoopBackend::kEpoll) {
+    throw ConfigError("event loop: epoll unavailable on this platform");
+  }
+  (void)want_epoll;
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::string_view EventLoop::backend_name() const noexcept {
+  return epoll_fd_ >= 0 ? "epoll" : "poll";
+}
+
+namespace {
+
+#if ACEX_HAVE_EPOLL
+std::uint32_t epoll_mask(bool want_read, bool want_write) noexcept {
+  std::uint32_t events = 0;
+  if (want_read) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  return events;
+}
+#endif
+
+}  // namespace
+
+void EventLoop::add(int fd, bool want_read, bool want_write,
+                    Callback callback) {
+  if (fd < 0) throw ConfigError("event loop: invalid fd");
+  if (entries_.count(fd) != 0) {
+    throw ConfigError("event loop: fd " + std::to_string(fd) +
+                      " already registered");
+  }
+#if ACEX_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      throw_errno("epoll_ctl(ADD)");
+    }
+  }
+#endif
+  entries_.emplace(fd, Entry{want_read, want_write, std::move(callback)});
+}
+
+void EventLoop::modify(int fd, bool want_read, bool want_write) {
+  const auto it = entries_.find(fd);
+  if (it == entries_.end()) {
+    throw ConfigError("event loop: modify of unregistered fd " +
+                      std::to_string(fd));
+  }
+  if (it->second.want_read == want_read &&
+      it->second.want_write == want_write) {
+    return;
+  }
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+#if ACEX_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+      throw_errno("epoll_ctl(MOD)");
+    }
+  }
+#endif
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+#if ACEX_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    // The fd may already be closed (EBADF) — deregistration is best effort.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  entries_.erase(it);
+}
+
+std::size_t EventLoop::poll_once(int timeout_ms) {
+  ++wakeups_;
+  return epoll_fd_ >= 0 ? poll_once_epoll(timeout_ms)
+                        : poll_once_poll(timeout_ms);
+}
+
+std::size_t EventLoop::poll_once_epoll(int timeout_ms) {
+#if ACEX_HAVE_EPOLL
+  std::vector<epoll_event> ready(config_.max_events);
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_, ready.data(),
+                     static_cast<int>(ready.size()), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait");
+
+  std::size_t dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = ready[static_cast<std::size_t>(i)].data.fd;
+    const std::uint32_t events = ready[static_cast<std::size_t>(i)].events;
+    // A prior callback in this batch may have removed this fd.
+    const auto it = entries_.find(fd);
+    if (it == entries_.end() || !it->second.callback) continue;
+    Ready r;
+    r.readable = (events & EPOLLIN) != 0;
+    r.writable = (events & EPOLLOUT) != 0;
+    r.error = (events & (EPOLLERR | EPOLLHUP)) != 0;
+    // Copy the handle: the callback may remove its own entry.
+    Callback cb = it->second.callback;
+    cb(fd, r);
+    ++dispatched;
+  }
+  return dispatched;
+#else
+  (void)timeout_ms;
+  return 0;
+#endif
+}
+
+std::size_t EventLoop::poll_once_poll(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries_.size());
+  for (const auto& [fd, entry] : entries_) {
+    pollfd p{};
+    p.fd = fd;
+    if (entry.want_read) p.events |= POLLIN;
+    if (entry.want_write) p.events |= POLLOUT;
+    fds.push_back(p);
+  }
+  int n;
+  do {
+    n = ::poll(fds.data(), fds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("poll");
+
+  std::size_t dispatched = 0;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    const auto it = entries_.find(p.fd);
+    if (it == entries_.end() || !it->second.callback) continue;
+    Ready r;
+    r.readable = (p.revents & POLLIN) != 0;
+    r.writable = (p.revents & POLLOUT) != 0;
+    r.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    Callback cb = it->second.callback;
+    cb(p.fd, r);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace acex::net

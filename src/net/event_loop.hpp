@@ -1,0 +1,90 @@
+#pragma once
+
+// Readiness loop of the acexd daemon (DESIGN.md §13): level-triggered
+// epoll on Linux with a portable poll(2) fallback, non-blocking sockets,
+// one callback per fd, no thread-per-connection.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string_view>
+
+namespace acex::net {
+
+enum class LoopBackend {
+  kAuto,   ///< epoll where available, poll otherwise
+  kEpoll,  ///< force epoll; throws ConfigError off-Linux
+  kPoll,   ///< force the poll fallback (exercised by tests even on Linux)
+};
+
+struct EventLoopConfig {
+  LoopBackend backend = LoopBackend::kAuto;
+  /// Ready-set capacity per wait (epoll backend); more ready fds simply
+  /// surface on the next turn — level-triggered readiness is retried.
+  std::size_t max_events = 256;
+};
+
+/// What one dispatch observed on an fd.
+struct Ready {
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  ///< EPOLLERR/EPOLLHUP/POLLERR/POLLHUP/POLLNVAL
+};
+
+/// A single-threaded readiness multiplexer. All methods must be called from
+/// the owning (loop) thread; cross-thread signalling is done by writing to
+/// a registered pipe/eventfd, not by touching the loop directly.
+///
+/// Callbacks may add/modify/remove fds freely — including removing
+/// themselves or another fd that is ready in the same batch; dispatch
+/// re-checks registration before every invocation.
+class EventLoop {
+ public:
+  using Callback = std::function<void(int fd, Ready ready)>;
+
+  explicit EventLoop(EventLoopConfig config = {});
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` (must be non-blocking) for level-triggered readiness.
+  /// Throws ConfigError if already registered.
+  void add(int fd, bool want_read, bool want_write, Callback callback);
+
+  /// Change the interest set of a registered fd.
+  void modify(int fd, bool want_read, bool want_write);
+
+  /// Deregister; unknown fds are ignored (a close path may race its own
+  /// cleanup). Never closes the fd.
+  void remove(int fd);
+
+  /// Wait up to `timeout_ms` (-1 = forever, 0 = poll) and dispatch every
+  /// ready callback once. Returns the number of callbacks dispatched.
+  std::size_t poll_once(int timeout_ms);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Times poll_once() woke with at least one ready fd or a timeout —
+  /// mirrored to `acex.net.loop_wakeups` by the daemon.
+  std::uint64_t wakeups() const noexcept { return wakeups_; }
+
+  std::string_view backend_name() const noexcept;
+
+ private:
+  struct Entry {
+    bool want_read = false;
+    bool want_write = false;
+    Callback callback;
+  };
+
+  std::size_t poll_once_epoll(int timeout_ms);
+  std::size_t poll_once_poll(int timeout_ms);
+
+  EventLoopConfig config_;
+  std::map<int, Entry> entries_;
+  int epoll_fd_ = -1;  ///< -1 = poll backend
+  std::uint64_t wakeups_ = 0;
+};
+
+}  // namespace acex::net

@@ -1,0 +1,215 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace acex::net {
+
+void throw_errno(const char* what) {
+  const int err = errno;
+  throw IoError(std::string(what) + ": " + std::strerror(err) + " (errno " +
+                std::to_string(err) + ")");
+}
+
+void ScopedFd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+bool recv_all(int fd, std::uint8_t* data, std::size_t len, bool eof_ok) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw IoError("recv: peer closed mid-message");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::ptrdiff_t read_some(int fd, std::uint8_t* buf, std::size_t len) {
+  for (;;) {
+    // ::read, not ::recv: the daemon's wakeup pipe drains through here too,
+    // and recv() on a pipe fd is ENOTSOCK.
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("read");
+  }
+}
+
+std::ptrdiff_t write_some(int fd, const std::uint8_t* data, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("send");
+  }
+}
+
+void put_length_prefix(std::uint8_t out[kLengthPrefixBytes],
+                       std::uint32_t size) noexcept {
+  for (std::size_t i = 0; i < kLengthPrefixBytes; ++i) {
+    out[i] = static_cast<std::uint8_t>(size >> (8 * i));
+  }
+}
+
+std::uint32_t get_length_prefix(
+    const std::uint8_t in[kLengthPrefixBytes]) noexcept {
+  std::uint32_t size = 0;
+  for (std::size_t i = 0; i < kLengthPrefixBytes; ++i) {
+    size |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return size;
+}
+
+void send_message(int fd, ByteView message) {
+  if (message.size() > 0xFFFFFFFFull) {
+    throw ConfigError("net: message exceeds 4 GiB framing limit");
+  }
+  std::uint8_t header[kLengthPrefixBytes];
+  put_length_prefix(header, static_cast<std::uint32_t>(message.size()));
+  send_all(fd, header, sizeof header);
+  send_all(fd, message.data(), message.size());
+}
+
+std::optional<Bytes> recv_message(int fd, std::size_t max_bytes) {
+  std::uint8_t header[kLengthPrefixBytes];
+  if (!recv_all(fd, header, sizeof header, /*eof_ok=*/true)) {
+    return std::nullopt;
+  }
+  const std::uint32_t size = get_length_prefix(header);
+  if (size > max_bytes) {
+    throw IoError("recv: message length " + std::to_string(size) +
+                  " exceeds cap " + std::to_string(max_bytes));
+  }
+  Bytes body(size);
+  if (size > 0) recv_all(fd, body.data(), size, /*eof_ok=*/false);
+  return body;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  for (;;) {
+    const int n = ::poll(&p, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return n > 0;
+  }
+}
+
+int listen_loopback(std::uint16_t port, int backlog,
+                    std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("bind");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+  if (::listen(fd, backlog) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("listen");
+  }
+  try {
+    set_nonblocking(fd);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  return fd;
+}
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    throw_errno("connect");
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+int accept_client(int listen_fd) {
+  for (;;) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client >= 0) {
+      set_nodelay(client);
+      return client;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return -1;
+    }
+    throw_errno("accept");
+  }
+}
+
+}  // namespace acex::net

@@ -1,0 +1,108 @@
+#pragma once
+
+// Shared low-level socket plumbing (DESIGN.md §13). Every raw read()/write()
+// loop in the codebase lives here: TcpTransport's blocking message framing
+// and the daemon's non-blocking buffered state machines both build on these
+// helpers, so EINTR handling, typed errno errors, and the length-prefix
+// format exist exactly once.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace acex::net {
+
+/// Throw IoError carrying `what`, strerror(errno), and the errno value.
+[[noreturn]] void throw_errno(const char* what);
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) noexcept : fd_(fd) {}
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset(std::exchange(other.fd_, -1));
+    }
+    return *this;
+  }
+  ~ScopedFd() { reset(); }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// O_NONBLOCK on/off; throws IoError on fcntl failure.
+void set_nonblocking(int fd, bool on = true);
+
+/// TCP_NODELAY — every message here is a complete protocol unit, so Nagle
+/// batching only adds latency. Best effort (AF_UNIX pairs reject it).
+void set_nodelay(int fd) noexcept;
+
+/// EINTR-safe full write: blocks until all `len` bytes are accepted.
+/// MSG_NOSIGNAL, so a dead peer surfaces as IoError, never SIGPIPE.
+void send_all(int fd, const std::uint8_t* data, std::size_t len);
+
+/// EINTR-safe full read of exactly `len` bytes. Returns false on clean EOF
+/// before the first byte when `eof_ok`; EOF mid-buffer always throws.
+bool recv_all(int fd, std::uint8_t* data, std::size_t len, bool eof_ok);
+
+/// One non-blocking read: bytes read, 0 on EOF, -1 when the socket has
+/// nothing (EAGAIN/EWOULDBLOCK). Hard errors throw IoError.
+std::ptrdiff_t read_some(int fd, std::uint8_t* buf, std::size_t len);
+
+/// One non-blocking write: bytes written or -1 when the socket buffer is
+/// full. Hard errors (including a dead peer) throw IoError.
+std::ptrdiff_t write_some(int fd, const std::uint8_t* data, std::size_t len);
+
+/// The message framing every acex socket speaks: 4-byte little-endian body
+/// size, then the body. `kMaxMessageBytes` is the sanity cap a receiver
+/// enforces before allocating — a corrupt or hostile length prefix must not
+/// buy a 4 GiB allocation.
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+inline constexpr std::size_t kMaxMessageBytes = 64ull << 20;
+
+/// Encode `size` into the 4-byte little-endian prefix.
+void put_length_prefix(std::uint8_t out[kLengthPrefixBytes], std::uint32_t size) noexcept;
+
+/// Decode the 4-byte little-endian prefix.
+std::uint32_t get_length_prefix(const std::uint8_t in[kLengthPrefixBytes]) noexcept;
+
+/// Blocking send of one length-prefixed message.
+void send_message(int fd, ByteView message);
+
+/// Blocking receive of one length-prefixed message; nullopt on clean EOF at
+/// a message boundary. Throws IoError on mid-message EOF or an oversized
+/// length prefix (> `max_bytes`).
+std::optional<Bytes> recv_message(int fd,
+                                  std::size_t max_bytes = kMaxMessageBytes);
+
+/// poll(2) for readability. True when `fd` is readable (or has an error to
+/// report) within `timeout_ms`; -1 waits forever. EINTR retries.
+bool wait_readable(int fd, int timeout_ms);
+
+/// Non-blocking loopback listener on 127.0.0.1:`port` (0 = ephemeral).
+/// Returns the listening fd and writes the bound port to `bound_port`.
+int listen_loopback(std::uint16_t port, int backlog,
+                    std::uint16_t* bound_port);
+
+/// Blocking connect to 127.0.0.1:`port`; returns a connected fd with
+/// TCP_NODELAY set.
+int connect_loopback(std::uint16_t port);
+
+/// accept(2) one client from a non-blocking listener: the connected fd, or
+/// -1 when no connection is pending.
+int accept_client(int listen_fd);
+
+}  // namespace acex::net

@@ -103,10 +103,13 @@ ConnectResult SessionManager::connect(transport::Transport& transport,
   }
   // The governor hook is how the ladder reaches into every subscriber's
   // plan step; it reads one atomic, so calling it from the publish thread
-  // under the subscriber's sender lock is safe.
-  config.subscriber.adaptive.method_governor = [this](MethodId m) {
-    return govern(m);
-  };
+  // under the subscriber's sender lock is safe. A caller-supplied governor
+  // (the daemon's negotiated method allowlist) is COMPOSED, not replaced:
+  // the ladder demotes first, the user governor runs last, so an overload
+  // downgrade can never land on a method the client did not negotiate.
+  config.subscriber.adaptive.method_governor =
+      [this, user = std::move(config.subscriber.adaptive.method_governor)](
+          MethodId m) { return user ? user(govern(m)) : govern(m); };
 
   Session s;
   s.id = next_id_++;

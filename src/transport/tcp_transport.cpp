@@ -1,56 +1,18 @@
 #include "transport/tcp_transport.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <utility>
 
+#include "net/socket.hpp"
 #include "util/error.hpp"
 
+// All raw socket I/O — EINTR-safe full read/write loops, the 4-byte
+// little-endian message framing, loopback listen/connect — is shared with
+// the acexd daemon through net/socket.hpp (DESIGN.md §13).
+
 namespace acex::transport {
-namespace {
-
-[[noreturn]] void throw_errno(const char* what) {
-  throw IoError(std::string(what) + ": " + std::strerror(errno));
-}
-
-void send_all(int fd, const std::uint8_t* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("send");
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-}
-
-/// Read exactly `len` bytes. Returns false on clean EOF at a message
-/// boundary (len bytes means mid-message EOF, which throws).
-bool recv_all(int fd, std::uint8_t* data, std::size_t len, bool eof_ok) {
-  std::size_t got = 0;
-  while (got < len) {
-    const ssize_t n = ::recv(fd, data + got, len - got, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("recv");
-    }
-    if (n == 0) {
-      if (got == 0 && eof_ok) return false;
-      throw IoError("recv: peer closed mid-message");
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 TcpTransport::TcpTransport(int fd) : fd_(fd) {
   if (fd < 0) throw ConfigError("TcpTransport: invalid descriptor");
@@ -73,31 +35,12 @@ TcpTransport::~TcpTransport() {
 
 void TcpTransport::send(ByteView message) {
   if (fd_ < 0) throw IoError("send on closed transport");
-  if (message.size() > 0xFFFFFFFFull) {
-    throw ConfigError("TcpTransport: message exceeds 4 GiB framing limit");
-  }
-  std::uint8_t header[4];
-  const auto size = static_cast<std::uint32_t>(message.size());
-  for (int i = 0; i < 4; ++i) {
-    header[i] = static_cast<std::uint8_t>(size >> (8 * i));
-  }
-  send_all(fd_, header, sizeof header);
-  send_all(fd_, message.data(), message.size());
+  net::send_message(fd_, message);
 }
 
 std::optional<Bytes> TcpTransport::receive() {
   if (fd_ < 0) return std::nullopt;
-  std::uint8_t header[4];
-  if (!recv_all(fd_, header, sizeof header, /*eof_ok=*/true)) {
-    return std::nullopt;
-  }
-  std::uint32_t size = 0;
-  for (int i = 0; i < 4; ++i) {
-    size |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-  }
-  Bytes body(size);
-  if (size > 0) recv_all(fd_, body.data(), size, /*eof_ok=*/false);
-  return body;
+  return net::recv_message(fd_);
 }
 
 void TcpTransport::shutdown_send() noexcept {
@@ -105,32 +48,7 @@ void TcpTransport::shutdown_send() noexcept {
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) throw_errno("socket");
-  const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = err;
-    throw_errno("bind");
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(fd_, 8) < 0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = err;
-    throw_errno("listen");
-  }
+  fd_ = net::listen_loopback(port, /*backlog=*/8, &port_);
 }
 
 TcpListener::~TcpListener() {
@@ -138,35 +56,24 @@ TcpListener::~TcpListener() {
 }
 
 TcpTransport TcpListener::accept() {
-  const int client = ::accept(fd_, nullptr, nullptr);
-  if (client < 0) throw_errno("accept");
-  const int one = 1;
-  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return TcpTransport(client);
+  // listen_loopback hands back a non-blocking listener (the daemon's event
+  // loop requires it); this API promises a blocking accept, so wait for
+  // readability first.
+  for (;;) {
+    net::wait_readable(fd_, -1);
+    const int client = net::accept_client(fd_);
+    if (client >= 0) return TcpTransport(client);
+  }
 }
 
 TcpTransport tcp_connect(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw_errno("socket");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    const int err = errno;
-    ::close(fd);
-    errno = err;
-    throw_errno("connect");
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return TcpTransport(fd);
+  return TcpTransport(net::connect_loopback(port));
 }
 
 std::pair<TcpTransport, TcpTransport> socket_pair() {
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
-    throw_errno("socketpair");
+    net::throw_errno("socketpair");
   }
   return {TcpTransport(fds[0]), TcpTransport(fds[1])};
 }

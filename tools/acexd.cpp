@@ -1,0 +1,166 @@
+// acexd — the standalone multi-client distribution daemon (DESIGN.md §13).
+//
+// Serves a deterministic demo block stream (net/demo_stream.hpp) to every
+// TCP subscriber that completes the compression-negotiation handshake.
+// Each block embeds its own publish index, so any acexctl subscriber can
+// verify completeness and ordering from content alone.
+//
+//   acexd [--port N] [--port-file PATH] [--blocks N] [--block-size BYTES]
+//         [--interval-ms MS] [--seed S] [--wait-subs N]
+//         [--wait-timeout-ms MS] [--linger-ms MS] [--backend auto|epoll|poll]
+//
+// --blocks 0 publishes until SIGTERM/SIGINT. On shutdown a one-line
+// summary of the acex.net.* counters is printed and the exit is clean.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/daemon.hpp"
+#include "net/demo_stream.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void msleep(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: acexd [--port N] [--port-file PATH] [--blocks N]\n"
+      "             [--block-size BYTES] [--interval-ms MS] [--seed S]\n"
+      "             [--wait-subs N] [--wait-timeout-ms MS] [--linger-ms MS]\n"
+      "             [--backend auto|epoll|poll]\n");
+  std::exit(64);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace acex;
+
+  net::DaemonConfig config;
+  const char* port_file = nullptr;
+  long blocks = 100;
+  long block_size = 16 * 1024;
+  int interval_ms = 2;
+  std::uint64_t seed = 1;
+  long wait_subs = 0;
+  int wait_timeout_ms = 30000;
+  int linger_ms = 500;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else if (arg == "--blocks") {
+      blocks = std::atol(next());
+    } else if (arg == "--block-size") {
+      block_size = std::atol(next());
+    } else if (arg == "--interval-ms") {
+      interval_ms = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--wait-subs") {
+      wait_subs = std::atol(next());
+    } else if (arg == "--wait-timeout-ms") {
+      wait_timeout_ms = std::atoi(next());
+    } else if (arg == "--linger-ms") {
+      linger_ms = std::atoi(next());
+    } else if (arg == "--backend") {
+      const std::string b = next();
+      if (b == "auto") {
+        config.backend = net::LoopBackend::kAuto;
+      } else if (b == "epoll") {
+        config.backend = net::LoopBackend::kEpoll;
+      } else if (b == "poll") {
+        config.backend = net::LoopBackend::kPoll;
+      } else {
+        usage();
+      }
+    } else {
+      usage();
+    }
+  }
+  if (block_size <= 0 || blocks < 0) usage();
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    net::Daemon daemon(config);
+    std::printf("acexd: listening on 127.0.0.1:%u\n", daemon.port());
+    std::fflush(stdout);
+    if (port_file != nullptr) {
+      std::FILE* f = std::fopen(port_file, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "acexd: cannot write %s\n", port_file);
+        return 1;
+      }
+      std::fprintf(f, "%u\n", daemon.port());
+      std::fclose(f);
+    }
+    daemon.start();
+
+    if (wait_subs > 0) {
+      int waited = 0;
+      while (g_stop == 0 &&
+             daemon.streaming_count() < static_cast<std::size_t>(wait_subs)) {
+        if (waited >= wait_timeout_ms) {
+          std::fprintf(stderr, "acexd: timed out waiting for %ld subs\n",
+                       wait_subs);
+          daemon.stop();
+          return 1;
+        }
+        msleep(10);
+        waited += 10;
+      }
+    }
+
+    std::uint32_t published = 0;
+    for (long i = 0; (blocks == 0 || i < blocks) && g_stop == 0; ++i) {
+      daemon.publish(net::demo_block(seed, published,
+                                     static_cast<std::size_t>(block_size)));
+      ++published;
+      if (interval_ms > 0) msleep(interval_ms);
+    }
+
+    int lingered = 0;
+    while (g_stop == 0 && lingered < linger_ms) {
+      msleep(20);
+      lingered += 20;
+    }
+
+    daemon.stop();
+    const net::DaemonStats s = daemon.stats();
+    std::printf(
+        "acexd: clean shutdown published=%u connections=%llu "
+        "handshakes=%llu rejects=%llu bytes_in=%llu bytes_out=%llu "
+        "wakeups=%llu\n",
+        published, static_cast<unsigned long long>(s.connections_total),
+        static_cast<unsigned long long>(s.handshakes),
+        static_cast<unsigned long long>(s.rejects),
+        static_cast<unsigned long long>(s.bytes_in),
+        static_cast<unsigned long long>(s.bytes_out),
+        static_cast<unsigned long long>(s.loop_wakeups));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "acexd: %s\n", e.what());
+    return 1;
+  }
+}

@@ -26,6 +26,16 @@
 //                                        (SECONDS 0 = one deterministic run
 //                                        of N rounds; > 0 = a wall-clock
 //                                        budget sweeping seeds from -s)
+//   acexfuzz --handshake                 daemon handshake/protocol codec
+//                                        battery: truncation + bit-flip +
+//                                        varint mutations of offer/params/
+//                                        welcome/reject/nack/stat wire
+//                                        images — nothing but a typed
+//                                        HandshakeError may escape, valid
+//                                        inputs must re-encode to a byte-
+//                                        identical fixpoint, and negotiate()
+//                                        must hold its invariants under
+//                                        random offer x policy pairs
 //   acexfuzz --replay FILE               run one corpus entry through the
 //                                        oracle battery (bit-exact output)
 //   acexfuzz --emit FILE                 write the deterministic mutated
@@ -55,6 +65,8 @@
 #include "compress/frame.hpp"
 #include "compress/registry.hpp"
 #include "compress/zlib_codec.hpp"
+#include "net/handshake.hpp"
+#include "net/protocol.hpp"
 #include "qa/chaos.hpp"
 #include "qa/corpus.hpp"
 #include "qa/generators.hpp"
@@ -69,8 +81,8 @@ namespace {
 
 using namespace acex;
 
-enum class Mode { kNone, kSmoke, kDiff, kSoak, kChaos, kReplay, kEmit,
-                  kMinimize, kCorpus };
+enum class Mode { kNone, kSmoke, kDiff, kSoak, kChaos, kHandshake, kReplay,
+                  kEmit, kMinimize, kCorpus };
 
 struct Options {
   Mode mode = Mode::kNone;
@@ -95,7 +107,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: acexfuzz (--smoke | --diff | --soak SECONDS |"
                " --chaos SECONDS |\n"
-               "                 --replay FILE | --emit FILE |"
+               "                 --handshake | --replay FILE | --emit FILE |"
                " --minimize FILE | --corpus DIR)\n"
                "                [-s SEED] [--iters N] [--seeds ROUNDS]"
                " [--size BYTES]\n"
@@ -378,6 +390,255 @@ int run_chaos_mode(const Options& opt) {
   return worst;
 }
 
+// -------------------------------------------------------------- handshake
+/// One fuzz target: a canonical wire image plus a decode->re-encode->
+/// re-decode fixpoint check. `decode_fixpoint` must throw HandshakeError
+/// (and nothing else) on inputs it cannot accept; when it accepts, the
+/// re-encoded form must decode back to the same value (canonicalization
+/// is a fixpoint, so a forged-but-parseable image cannot smuggle state
+/// that survives one hop but not two).
+struct HandshakeTarget {
+  const char* tag;
+  Bytes wire;
+  void (*decode_fixpoint)(ByteView);
+};
+
+void offer_fixpoint(ByteView wire) {
+  const net::CompressionOffer a = net::offer_decode(wire);
+  const net::CompressionOffer b = net::offer_decode(net::offer_encode(a));
+  if (!(a == b)) throw std::logic_error("offer fixpoint violated");
+}
+
+void params_fixpoint(ByteView wire) {
+  const net::NegotiatedParams a = net::params_decode(wire);
+  const net::NegotiatedParams b = net::params_decode(net::params_encode(a));
+  if (!(a == b)) throw std::logic_error("params fixpoint violated");
+}
+
+void welcome_fixpoint(ByteView wire) {
+  const net::Welcome a = net::welcome_decode(wire);
+  const net::Welcome b = net::welcome_decode(net::welcome_encode(a));
+  if (!(a == b)) throw std::logic_error("welcome fixpoint violated");
+}
+
+void reject_fixpoint(ByteView wire) {
+  const net::Reject a = net::reject_decode(wire);
+  const net::Reject b = net::reject_decode(net::reject_encode(a));
+  if (!(a == b)) throw std::logic_error("reject fixpoint violated");
+}
+
+void nack_fixpoint(ByteView wire) {
+  const auto a = net::nack_decode(wire);
+  const auto b = net::nack_decode(net::nack_encode(a));
+  if (a != b) throw std::logic_error("nack fixpoint violated");
+}
+
+void stats_fixpoint(ByteView wire) {
+  const net::DaemonStats a = net::stats_decode(wire);
+  const net::DaemonStats b = net::stats_decode(net::stats_encode(a));
+  if (!(a == b)) throw std::logic_error("stats fixpoint violated");
+}
+
+void msg_fixpoint(ByteView wire) {
+  const net::Msg a = net::unwrap(wire);
+  const net::Msg b = net::unwrap(net::wrap(a.kind, a.payload));
+  if (a.kind != b.kind || a.payload != b.payload) {
+    throw std::logic_error("msg fixpoint violated");
+  }
+}
+
+/// Deterministic canonical wire images for one seed round.
+std::vector<HandshakeTarget> handshake_targets(std::uint64_t seed) {
+  Rng rng(seed * 0xD1B54A32D192ED03ull + 5);
+  std::vector<HandshakeTarget> targets;
+
+  net::CompressionOffer fresh;
+  fresh.name = "fuzz-" + std::to_string(rng.below(1000));
+  fresh.block_size = static_cast<std::uint32_t>(1 + rng.below(1 << 22));
+  fresh.target_rate_Bps = rng.below(1ull << 44);
+  targets.push_back({"offer", net::offer_encode(fresh), &offer_fixpoint});
+
+  net::CompressionOffer resume;
+  resume.methods = {MethodId::kLempelZiv, MethodId::kNone};
+  resume.context_takeover = false;
+  resume.resume_session = 1 + rng.below(1 << 16);
+  resume.resume_token = rng();
+  resume.resume_from = rng.below(1 << 20);
+  targets.push_back(
+      {"offer_resume", net::offer_encode(resume), &offer_fixpoint});
+
+  net::NegotiatedParams params;
+  params.methods = {MethodId::kBurrowsWheeler, MethodId::kHuffman,
+                    MethodId::kNone};
+  params.block_size = static_cast<std::uint32_t>(4096 + rng.below(1 << 20));
+  params.expansion_slack = static_cast<std::uint32_t>(rng.below(4096));
+  targets.push_back({"params", net::params_encode(params), &params_fixpoint});
+
+  net::Welcome welcome;
+  welcome.session_id = 1 + rng.below(1 << 20);
+  welcome.token = rng();
+  welcome.resumed = rng.chance(0.5);
+  welcome.replayed = rng.below(1 << 12);
+  welcome.params = params;
+  targets.push_back(
+      {"welcome", net::welcome_encode(welcome), &welcome_fixpoint});
+
+  net::Reject reject;
+  reject.status = net::HandshakeStatus::kNoCommonMethod;
+  reject.reason = "offer and policy share no codec";
+  targets.push_back({"reject", net::reject_encode(reject), &reject_fixpoint});
+
+  std::vector<std::uint64_t> sequences;
+  for (std::size_t i = 0; i < 1 + rng.below(32); ++i) {
+    sequences.push_back(rng.below(1ull << 32));
+  }
+  targets.push_back({"nack", net::nack_encode(sequences), &nack_fixpoint});
+
+  net::DaemonStats stats;
+  stats.connections_total = rng.below(1 << 16);
+  stats.bytes_out = rng.below(1ull << 40);
+  targets.push_back({"stats", net::stats_encode(stats), &stats_fixpoint});
+
+  targets.push_back(
+      {"msg", net::wrap(net::MsgKind::kControl, net::offer_encode(fresh)),
+       &msg_fixpoint});
+  return targets;
+}
+
+int run_handshake(const Options& opt) {
+  const int iters = opt.iters > 0 ? opt.iters : qa::fuzz_iterations(120);
+  std::size_t inputs = 0;
+  std::size_t findings = 0;
+  const auto finding = [&](const char* tag, const std::string& detail) {
+    ++findings;
+    std::fprintf(stderr, "acexfuzz: FINDING [handshake.%s] %s\n", tag,
+                 detail.c_str());
+  };
+
+  for (std::size_t round = 0; round < opt.seed_rounds; ++round) {
+    const std::uint64_t seed = opt.seed + round;
+    Rng rng(seed ^ 0xACE1ACE1ACE1ACE1ull);
+
+    for (const HandshakeTarget& target : handshake_targets(seed)) {
+      // The canonical image itself must pass its fixpoint.
+      ++inputs;
+      try {
+        target.decode_fixpoint(target.wire);
+      } catch (const std::exception& e) {
+        finding(target.tag, std::string("clean input rejected: ") + e.what());
+      }
+
+      // Mutation battery: generic bit flips/splices, hard truncation, and
+      // adversarial varint overwrites. Only HandshakeError may escape.
+      for (int i = 0; i < iters; ++i) {
+        Bytes evil;
+        switch (rng.below(4)) {
+          case 0:
+            evil = qa::mutate(target.wire, rng);
+            break;
+          case 1:
+            evil = target.wire;
+            if (!evil.empty()) evil.resize(rng.below(evil.size()));
+            break;
+          case 2:
+            evil = qa::mutate_varint_at(
+                target.wire, rng.below(target.wire.size() + 1), rng);
+            break;
+          default:
+            evil = qa::mutate(qa::mutate(target.wire, rng), rng);
+            break;
+        }
+        ++inputs;
+        try {
+          target.decode_fixpoint(evil);
+        } catch (const net::HandshakeError&) {
+          // The one sanctioned outcome for garbage.
+        } catch (const std::exception& e) {
+          finding(target.tag, std::string("non-handshake escape: ") +
+                                  e.what());
+        }
+      }
+    }
+
+    // negotiate() under random structurally-valid offer x policy pairs:
+    // either a typed reject, or a result inside every negotiated bound.
+    const std::vector<MethodId> pool = {
+        MethodId::kNone,      MethodId::kHuffman,
+        MethodId::kArithmetic, MethodId::kLempelZiv,
+        MethodId::kBurrowsWheeler, MethodId::kLzw};
+    for (int i = 0; i < iters; ++i) {
+      net::CompressionOffer offer;
+      offer.methods.clear();
+      const std::size_t n = rng.below(pool.size() + 1);
+      for (std::size_t k = 0; k < n; ++k) {
+        offer.methods.push_back(pool[rng.below(pool.size())]);
+      }
+      offer.block_size = static_cast<std::uint32_t>(rng.below(1ull << 33));
+      offer.expansion_slack =
+          static_cast<std::uint32_t>(rng.below(1ull << 22));
+      offer.context_takeover = rng.chance(0.5);
+      offer.target_rate_Bps = rng.below(1ull << 50);
+
+      net::ServerPolicy policy;
+      policy.methods.clear();
+      const std::size_t m = rng.below(pool.size() + 1);
+      for (std::size_t k = 0; k < m; ++k) {
+        policy.methods.push_back(pool[rng.below(pool.size())]);
+      }
+      policy.min_block_size =
+          static_cast<std::uint32_t>(rng.below(1 << 20));
+      policy.max_block_size =
+          policy.min_block_size +
+          static_cast<std::uint32_t>(rng.below(1 << 22));
+      policy.max_expansion_slack =
+          static_cast<std::uint32_t>(rng.below(1 << 16));
+      policy.allow_context_takeover = rng.chance(0.5);
+      policy.max_target_rate_Bps = rng.below(1ull << 50);
+
+      ++inputs;
+      try {
+        const net::NegotiatedParams result = net::negotiate(offer, policy);
+        if (result.methods.empty()) {
+          finding("negotiate", "empty negotiated method list");
+        }
+        if (result.block_size < policy.min_block_size ||
+            result.block_size > policy.max_block_size) {
+          finding("negotiate", "block size escaped the policy window");
+        }
+        if (result.expansion_slack > policy.max_expansion_slack) {
+          finding("negotiate", "slack above the policy cap");
+        }
+        if (result.context_takeover &&
+            !(offer.context_takeover && policy.allow_context_takeover)) {
+          finding("negotiate", "context takeover granted unilaterally");
+        }
+        for (const MethodId method : result.methods) {
+          const bool offered =
+              std::find(offer.methods.begin(), offer.methods.end(),
+                        method) != offer.methods.end();
+          if (method != MethodId::kNone && !offered) {
+            finding("negotiate", "negotiated a method the client never "
+                                 "offered");
+          }
+        }
+      } catch (const net::HandshakeError&) {
+        // Typed rejects are legal outcomes of adversarial pairs.
+      } catch (const std::exception& e) {
+        finding("negotiate", std::string("non-handshake escape: ") +
+                                 e.what());
+      }
+    }
+    std::fprintf(stderr,
+                 "acexfuzz: handshake round %zu/%zu: %zu inputs so far\n",
+                 round + 1, opt.seed_rounds, inputs);
+  }
+
+  std::printf(
+      "handshake: %zu inputs, %zu findings, seed %llu, %d iters/target\n",
+      inputs, findings, static_cast<unsigned long long>(opt.seed), iters);
+  return findings == 0 ? 0 : 1;
+}
+
 // ------------------------------------------- replay / emit / minimize / corpus
 /// Deterministic single input for -s SEED: pick an artifact class and
 /// apply one structure-aware mutation. Pure function of the seed.
@@ -478,6 +739,7 @@ int run(const Options& opt) {
     case Mode::kDiff:     return run_diff(opt);
     case Mode::kSoak:     return run_soak_mode(opt);
     case Mode::kChaos:    return run_chaos_mode(opt);
+    case Mode::kHandshake: return run_handshake(opt);
     case Mode::kReplay:   return run_replay(opt);
     case Mode::kEmit:     return run_emit(opt);
     case Mode::kMinimize: return run_minimize(opt);
@@ -517,6 +779,8 @@ int main(int argc, char** argv) {
         opt.chaos_seconds = std::stod(next());
         if (opt.chaos_seconds < 0) throw ConfigError("--chaos must be >= 0");
         opt.soak_rounds = 24;  // chaos default; --rounds overrides
+      } else if (arg == "--handshake") {
+        set_mode(Mode::kHandshake);
       } else if (arg == "--replay") {
         set_mode(Mode::kReplay);
         opt.path = next();
