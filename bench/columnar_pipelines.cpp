@@ -1,0 +1,162 @@
+// Columnar pipeline grid: {whole-block methods, shuffle + whole-block,
+// per-column planned pipelines} x {MD trace, transactional workload}.
+//
+// The question this bench answers is the DESIGN.md §14 headline: does
+// planning a composed stage pipeline PER COLUMN of a shuffled PBIO block
+// beat the best single whole-block method, and at what CPU price? Every
+// variant is round-trip verified; ratios and blocks/s land in
+// BENCH_results.json for the CI artifact.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "colpipe/columnar_codec.hpp"
+#include "compress/zlib_codec.hpp"
+#include "pbio/columnar.hpp"
+
+namespace {
+
+using namespace acex;
+
+struct Run {
+  double ratio_percent = 0;  ///< encoded bytes / raw bytes, %
+  double blocks_per_s = 0;
+  double encode_seconds = 0;
+};
+
+std::vector<MethodId> whole_block_methods() {
+  std::vector<MethodId> methods = paper_methods();
+  if (zlib_available()) methods.push_back(MethodId::kZlib);
+  return methods;
+}
+
+/// Compress every block with `codec` (shuffling first when asked), verify
+/// the round trip, and tally ratio + throughput.
+Run run_codec(Codec& codec, const std::vector<Bytes>& blocks, bool shuffle) {
+  MonotonicClock clock;
+  std::size_t raw = 0, encoded = 0;
+  double encode_s = 0;
+  for (const Bytes& block : blocks) {
+    const Bytes input = shuffle ? pbio::columnar_shuffle(block) : block;
+    const double t0 = clock.now();
+    const Bytes packed = codec.compress(input);
+    encode_s += clock.now() - t0;
+    Bytes restored = codec.decompress(packed);
+    if (shuffle) restored = pbio::columnar_unshuffle(restored);
+    if (restored != block) {
+      std::fprintf(stderr, "round-trip FAILED\n");
+      std::exit(1);
+    }
+    raw += block.size();
+    encoded += packed.size();
+  }
+  Run run;
+  run.ratio_percent =
+      100.0 * static_cast<double>(encoded) / static_cast<double>(raw);
+  run.encode_seconds = encode_s;
+  run.blocks_per_s = static_cast<double>(blocks.size()) / encode_s;
+  return run;
+}
+
+void record(const char* dataset, const std::string& variant, const Run& run) {
+  bench::record_result("bench.columnar_pipelines.ratio_percent", "case",
+                       std::string(dataset) + "/" + variant,
+                       run.ratio_percent);
+  bench::record_result("bench.columnar_pipelines.blocks_per_s", "case",
+                       std::string(dataset) + "/" + variant,
+                       run.blocks_per_s);
+}
+
+void print_row(const std::string& name, const Run& run) {
+  std::printf("%-28s  %8.2f%%  %10.1f  %10.3f\n", name.c_str(),
+              run.ratio_percent, run.blocks_per_s, run.encode_seconds);
+}
+
+/// One dataset through the full grid. Returns true when the per-column
+/// planner beats the best whole-block method by >= 10 % ratio at <= 2x its
+/// encode CPU (the DESIGN.md §14 acceptance bar).
+bool run_dataset(const char* dataset, const std::vector<Bytes>& blocks) {
+  std::size_t raw = 0;
+  for (const Bytes& b : blocks) raw += b.size();
+  std::printf("\n%s: %zu blocks, %zu bytes\n", dataset, blocks.size(), raw);
+  std::printf("%-28s  %9s  %10s  %10s\n", "variant", "ratio", "blocks/s",
+              "encode s");
+  bench::rule();
+
+  Run best_whole;
+  std::string best_name;
+  for (const MethodId m : whole_block_methods()) {
+    const CodecPtr codec = make_codec(m);
+    const Run run = run_codec(*codec, blocks, false);
+    const std::string name = std::string(method_name(m));
+    print_row(name, run);
+    record(dataset, name, run);
+    if (best_name.empty() || run.ratio_percent < best_whole.ratio_percent) {
+      best_whole = run;
+      best_name = name;
+    }
+  }
+
+  // The best whole-block method again, fed the shuffled form: how much of
+  // the win is the transpose alone, before any per-column planning?
+  {
+    const CodecPtr codec = make_codec(method_from_name(best_name));
+    const Run run = run_codec(*codec, blocks, true);
+    print_row("shuffle+" + best_name, run);
+    record(dataset, "shuffle+" + best_name, run);
+  }
+
+  colpipe::ColumnarCodec columnar;
+  const Run planned = run_codec(columnar, blocks, false);
+  print_row("colpipe (per-column)", planned);
+  record(dataset, "colpipe", planned);
+
+  const double gain =
+      100.0 * (best_whole.ratio_percent - planned.ratio_percent) /
+      best_whole.ratio_percent;
+  const double cpu_factor = planned.encode_seconds / best_whole.encode_seconds;
+  std::printf(
+      "colpipe vs %s (best whole-block): %.1f %% smaller at %.2fx encode "
+      "CPU\n",
+      best_name.c_str(), gain, cpu_factor);
+  bench::record_result("bench.columnar_pipelines.gain_percent", "dataset",
+                       dataset, gain);
+  bench::record_result("bench.columnar_pipelines.cpu_factor", "dataset",
+                       dataset, cpu_factor);
+  return gain >= 10.0 && cpu_factor <= 2.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Columnar pipelines: per-column planning vs whole-block");
+
+  // Transactional workload: TPC-H-flavoured fixed-layout records (monotonic
+  // counters, low-cardinality enums, skewed quantities, smooth floats).
+  std::vector<Bytes> txn_blocks;
+  {
+    workloads::TransactionGenerator gen(2004);
+    for (int i = 0; i < 12; ++i) txn_blocks.push_back(gen.pbio_block(1500));
+  }
+  const bool txn_ok = run_dataset("transactional", txn_blocks);
+
+  // MD trace: per-snapshot PBIO blocks from the Fig. 6 generator.
+  std::vector<Bytes> md_blocks;
+  {
+    workloads::MolecularConfig config;
+    config.atom_count = 2048;
+    config.seed = 2004;
+    workloads::MolecularGenerator gen(config);
+    for (int i = 0; i < 8; ++i) {
+      md_blocks.push_back(gen.pbio_snapshot());
+      gen.step();
+    }
+  }
+  run_dataset("molecular", md_blocks);
+
+  std::printf("\nacceptance (transactional): >= 10 %% ratio gain at <= 2x "
+              "encode CPU: %s\n",
+              txn_ok ? "PASS" : "FAIL");
+  bench::write_results_json("columnar_pipelines");
+  return txn_ok ? 0 : 1;
+}

@@ -494,6 +494,12 @@ class AdaptiveReceiver {
   /// ("decompression requires the use of receivers' CPU cycles").
   Seconds decompress_seconds() const noexcept { return decompress_seconds_; }
 
+  /// The receiver's codec registry. Mutable for the same reason as the
+  /// sender's: application codecs (FloatQuantCodec, the colpipe columnar
+  /// codec) are opt-in on BOTH ends, so receivers must be able to register
+  /// the ids their peer negotiated.
+  CodecRegistry& registry() noexcept { return registry_; }
+
  private:
   bool already_delivered(std::uint64_t seq) const noexcept;
   void mark_delivered(std::uint64_t seq);

@@ -80,10 +80,6 @@ struct FanoutBroker::Subscriber {
 FanoutBroker::FanoutBroker(BrokerConfig config)
     : config_(config),
       sampler_(config.sample_prefix == 0 ? 4 * 1024 : config.sample_prefix) {
-  // Shared encodes read this registry from worker threads; freeze it up
-  // front so the concurrency contract (frozen => concurrent reads safe)
-  // holds for the broker's whole lifetime.
-  registry_.freeze();
   if (config_.worker_threads != 1) {
     pool_ = std::make_unique<engine::ThreadPool>(config_.worker_threads,
                                                  config_.queue_capacity);
@@ -155,6 +151,10 @@ void FanoutBroker::publish(ByteView block) {
   // Serialized: each subscriber's finish_block must run in the same order
   // its sequences were planned.
   std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  // Shared encodes read the registry from worker threads; freeze it at the
+  // first publish so the concurrency contract (frozen => concurrent reads
+  // safe) holds from here on. Application codecs register before this.
+  registry_.freeze();
   auto& metrics = broker_metrics();
 
   std::vector<SubscriberPtr> subs;

@@ -206,6 +206,12 @@ class FanoutBroker {
   std::size_t egress_depth(SubscriberId id) const;
   bool disconnected(SubscriberId id) const;
 
+  /// The broker's codec registry (shared by the encode cache and every
+  /// subscriber plan). Application codecs — the colpipe columnar codec,
+  /// FloatQuantCodec — must be registered here before the first publish;
+  /// the registry freezes when concurrent encodes begin.
+  CodecRegistry& registry() noexcept { return registry_; }
+
  private:
   struct Subscriber;
   using SubscriberPtr = std::shared_ptr<Subscriber>;

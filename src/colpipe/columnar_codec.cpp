@@ -1,0 +1,146 @@
+#include "colpipe/columnar_codec.hpp"
+
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex::colpipe {
+namespace {
+
+constexpr std::uint8_t kModeOpaque = 0x00;
+constexpr std::uint8_t kModeColumnar = 0x01;
+
+/// A corrupt header cannot ask for more columns than PBIO schemas allow.
+constexpr std::uint64_t kMaxColumns = 4096;
+
+/// When a planned pipeline refuses the full column (the dictionary stage
+/// may overflow on data whose sample looked low-cardinality), degrade
+/// deterministically: keep only the entropy tail, or store.
+Pipeline entropy_tail_of(const Pipeline& planned) {
+  const auto& specs = planned.specs();
+  if (!specs.empty() &&
+      static_cast<std::uint32_t>(specs.back().id) >=
+          static_cast<std::uint32_t>(StageId::kHuffman)) {
+    return Pipeline{{specs.back()}};
+  }
+  return Pipeline{};
+}
+
+Bytes encode_column(const Pipeline& planned, ByteView column) {
+  try {
+    return planned.encode(column);
+  } catch (const ConfigError&) {
+    return entropy_tail_of(planned).encode(column);
+  }
+}
+
+}  // namespace
+
+ColumnarCodec::ColumnarCodec(PlannerConfig config)
+    : planner_(std::move(config)) {}
+
+Bytes ColumnarCodec::compress(ByteView input) {
+  Bytes shuffled;
+  pbio::ColumnSlices slices;
+  bool columnar = false;
+  try {
+    shuffled = pbio::columnar_shuffle(input);
+    slices = pbio::column_slices(ByteView(shuffled.data(), shuffled.size()));
+    columnar = !slices.columns.empty();
+  } catch (const Error&) {
+    columnar = false;
+  }
+
+  Bytes out;
+  if (!columnar) {
+    out.push_back(kModeOpaque);
+    const ColumnChoice choice = planner_.plan_opaque(input);
+    const Bytes blob = choice.pipeline.encode(input);
+    out.insert(out.end(), blob.begin(), blob.end());
+    return out;
+  }
+
+  const ByteView view(shuffled.data(), shuffled.size());
+  const ColumnPlan plan = planner_.plan_columns(view, slices);
+  out.push_back(kModeColumnar);
+  put_varint(out, slices.body_offset);
+  out.insert(out.end(), shuffled.begin(),
+             shuffled.begin() + static_cast<std::ptrdiff_t>(slices.body_offset));
+  put_varint(out, slices.columns.size());
+  for (std::size_t i = 0; i < slices.columns.size(); ++i) {
+    const Bytes blob =
+        encode_column(plan.columns[i].pipeline, slices.column(view, i));
+    put_varint(out, blob.size());
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+Bytes ColumnarCodec::decompress(ByteView input) {
+  if (input.empty()) throw DecodeError("colpipe: empty payload");
+  const std::uint8_t mode = input[0];
+  std::size_t pos = 1;
+
+  if (mode == kModeOpaque) {
+    return Pipeline::decode(input.subspan(pos));
+  }
+  if (mode != kModeColumnar) {
+    throw DecodeError("colpipe: unknown payload mode " + std::to_string(mode));
+  }
+
+  const std::uint64_t preamble_len = get_varint(input, &pos);
+  if (input.size() - pos < preamble_len) {
+    throw DecodeError("colpipe: truncated columnar preamble");
+  }
+  Bytes shuffled(input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() +
+                     static_cast<std::ptrdiff_t>(pos + preamble_len));
+  pos += static_cast<std::size_t>(preamble_len);
+
+  const std::uint64_t ncols = get_varint(input, &pos);
+  if (ncols > kMaxColumns) {
+    throw DecodeError("colpipe: column count out of range");
+  }
+  std::vector<Bytes> columns;
+  columns.reserve(static_cast<std::size_t>(ncols));
+  for (std::uint64_t i = 0; i < ncols; ++i) {
+    const std::uint64_t len = get_varint(input, &pos);
+    if (input.size() - pos < len) {
+      throw DecodeError("colpipe: truncated column blob");
+    }
+    columns.push_back(Pipeline::decode(
+        input.subspan(pos, static_cast<std::size_t>(len))));
+    pos += static_cast<std::size_t>(len);
+  }
+  if (pos != input.size()) {
+    throw DecodeError("colpipe: trailing bytes after last column");
+  }
+
+  for (const Bytes& column : columns) {
+    shuffled.insert(shuffled.end(), column.begin(), column.end());
+  }
+  const ByteView view(shuffled.data(), shuffled.size());
+  pbio::ColumnSlices slices;
+  try {
+    slices = pbio::column_slices(view);
+  } catch (const ConfigError& err) {
+    // A variable-width schema can never have been shuffled by compress().
+    throw DecodeError(err.what());
+  }
+  if (slices.columns.size() != columns.size()) {
+    throw DecodeError("colpipe: column count does not match the schema");
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].size() != slices.columns[i].size) {
+      throw DecodeError("colpipe: decoded column size mismatch");
+    }
+  }
+  return pbio::columnar_unshuffle(view);
+}
+
+void register_columnar(CodecRegistry& registry, PlannerConfig config) {
+  registry.register_factory(ColumnarCodec::kId, [config] {
+    return std::make_unique<ColumnarCodec>(config);
+  });
+}
+
+}  // namespace acex::colpipe

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "colpipe/planner.hpp"
+#include "compress/registry.hpp"
+
+namespace acex::colpipe {
+
+/// Application-registered codec (MethodId::kColumnar = 129) that compresses
+/// PBIO blocks column by column with planned stage pipelines — §5's
+/// "application-specific compression method", layered on the generic
+/// adaptive machinery exactly as DESIGN.md §14 describes.
+///
+/// Wire format (payload inside the ordinary frame):
+///   mode byte 0x01 (columnar):
+///     varint preamble_len | preamble (format header + record-count varint)
+///     varint column_count
+///     column_count x (varint blob_len | pipeline blob)
+///   mode byte 0x00 (opaque):
+///     one pipeline blob covering the whole input
+///
+/// compress() shuffles the block (pbio::columnar_shuffle), plans one
+/// pipeline per column, and falls back to the opaque mode when the input is
+/// not a transposable PBIO stream. Determinism: the planner scores with
+/// static cost weights, so compress() is a pure function of the input —
+/// required by the broker's shared-encode cache and the serial/parallel
+/// byte-identity guarantee.
+///
+/// decompress() needs no planner state: every pipeline blob is
+/// self-describing. Unknown stage ids, CRC mismatches, truncation, or
+/// column/record inconsistencies raise DecodeError.
+class ColumnarCodec final : public Codec {
+ public:
+  static constexpr MethodId kId = MethodId::kColumnar;
+
+  explicit ColumnarCodec(PlannerConfig config = {});
+
+  MethodId id() const noexcept override { return kId; }
+  Bytes compress(ByteView input) override;
+  Bytes decompress(ByteView input) override;
+
+  const PipelinePlanner& planner() const noexcept { return planner_; }
+
+ private:
+  PipelinePlanner planner_;
+};
+
+/// Register the columnar codec under MethodId::kColumnar. Like the
+/// FloatQuantCodec, it is NOT part of CodecRegistry::with_builtins(); both
+/// peers must opt in (and the handshake only negotiates it when both sides
+/// offer it).
+void register_columnar(CodecRegistry& registry, PlannerConfig config = {});
+
+}  // namespace acex::colpipe

@@ -1,0 +1,330 @@
+#include "colpipe/planner.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "compress/zlib_codec.hpp"
+#include "util/error.hpp"
+
+namespace acex::colpipe {
+namespace {
+
+using pbio::FieldType;
+
+/// Fixed weights for the transform stages: rough CPU expense relative to a
+/// memcpy of the column. They only need to be *ordered* sensibly — the
+/// entropy tail dominates real cost — and, critically, they are constants,
+/// so planning stays deterministic.
+double transform_weight(StageId id) noexcept {
+  switch (id) {
+    case StageId::kDelta:
+    case StageId::kZigzag:
+    case StageId::kXorDelta:
+      return 0.02;
+    case StageId::kBytePlane:
+      return 0.05;
+    case StageId::kDict:
+      return 0.10;
+    case StageId::kMtf:
+    case StageId::kRle:
+      return 0.15;
+    case StageId::kHuffman:
+    case StageId::kArithmetic:
+    case StageId::kZlib:
+    case StageId::kLz:
+      break;
+  }
+  return 0.0;
+}
+
+double rating_weight(adaptive::Rating r) noexcept {
+  switch (r) {
+    case adaptive::Rating::kExcellent:
+      return 0.05;
+    case adaptive::Rating::kGood:
+      return 0.15;
+    case adaptive::Rating::kSatisfactory:
+      return 0.40;
+    case adaptive::Rating::kPoor:
+      return 1.00;
+  }
+  return 1.00;
+}
+
+/// Entropy tails inherit Fig. 1's time ratings: compress time in full (the
+/// sender pays it inline) plus half the decompress time (the receiver's
+/// share of "Global Time"). zlib is not in the paper's table; rate it like
+/// the Good/Good LZ row it approximates.
+double entropy_weight(StageId id) noexcept {
+  MethodId method = MethodId::kNone;
+  switch (id) {
+    case StageId::kHuffman:
+      method = MethodId::kHuffman;
+      break;
+    case StageId::kArithmetic:
+      method = MethodId::kArithmetic;
+      break;
+    case StageId::kLz:
+    case StageId::kZlib:
+      method = MethodId::kLempelZiv;
+      break;
+    default:
+      return 0.0;
+  }
+  for (const adaptive::MethodProfile& row : adaptive::figure1_table()) {
+    if (row.method == method) {
+      return rating_weight(row.compress_time) +
+             0.5 * rating_weight(row.decompress_time);
+    }
+  }
+  return 1.0;
+}
+
+double stage_weight(StageId id) noexcept {
+  const double entropy = entropy_weight(id);
+  return entropy > 0.0 ? entropy : transform_weight(id);
+}
+
+bool is_integer(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::kInt32:
+    case FieldType::kUInt32:
+    case FieldType::kInt64:
+    case FieldType::kUInt64:
+      return true;
+    case FieldType::kFloat32:
+    case FieldType::kFloat64:
+    case FieldType::kString:
+    case FieldType::kBytes:
+      return false;
+  }
+  return false;
+}
+
+std::vector<StageSpec> entropy_tails() {
+  std::vector<StageSpec> tails = {{StageId::kHuffman, 0},
+                                  {StageId::kArithmetic, 0},
+                                  {StageId::kLz, 0}};
+  if (zlib_available()) tails.push_back({StageId::kZlib, 0});
+  return tails;
+}
+
+/// Sampled cardinality of W-byte elements, capped at `limit + 1` so the
+/// scan stops early on high-cardinality columns.
+std::size_t sample_cardinality(ByteView sample, std::size_t width,
+                               std::size_t limit) {
+  std::set<Bytes> seen;
+  for (std::size_t i = 0; i + width <= sample.size(); i += width) {
+    seen.emplace(sample.begin() + static_cast<std::ptrdiff_t>(i),
+                 sample.begin() + static_cast<std::ptrdiff_t>(i + width));
+    if (seen.size() > limit) break;
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+void PlannerConfig::validate() const {
+  decision.validate();
+  if (cpu_lambda < 0.0) {
+    throw ConfigError("colpipe: cpu_lambda must be non-negative");
+  }
+  if (dict_sample_cardinality == 0 || dict_sample_cardinality > 256) {
+    throw ConfigError("colpipe: dict_sample_cardinality must be in [1, 256]");
+  }
+}
+
+double pipeline_cost_weight(const Pipeline& pipeline) {
+  double weight = 0.0;
+  for (const StageSpec& spec : pipeline.specs()) {
+    weight += stage_weight(spec.id);
+  }
+  return weight;
+}
+
+PipelinePlanner::PipelinePlanner(PlannerConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+/// The type-aware transform prefixes a column of this shape proposes.
+static std::vector<std::vector<StageSpec>> transform_prefixes(
+    FieldType type,
+                                                       std::size_t width,
+                                                       bool low_cardinality) {
+  std::vector<std::vector<StageSpec>> prefixes;
+  prefixes.push_back({});  // entropy tail alone (and with it, "store")
+  if (is_integer(type)) {
+    prefixes.push_back({{StageId::kDelta, width}, {StageId::kZigzag, width}});
+    prefixes.push_back({{StageId::kBytePlane, width}});
+    prefixes.push_back({{StageId::kDelta, width},
+                        {StageId::kZigzag, width},
+                        {StageId::kBytePlane, width}});
+    if (low_cardinality) prefixes.push_back({{StageId::kDict, width}});
+  } else if (type == FieldType::kFloat32 || type == FieldType::kFloat64) {
+    prefixes.push_back(
+        {{StageId::kXorDelta, width}, {StageId::kBytePlane, width}});
+    prefixes.push_back({{StageId::kXorDelta, width}});
+  }
+  return prefixes;
+}
+
+std::vector<Pipeline> PipelinePlanner::candidates(FieldType type,
+                                                  std::size_t width,
+                                                  bool low_cardinality) const {
+  const std::vector<std::vector<StageSpec>> prefixes =
+      transform_prefixes(type, width, low_cardinality);
+  std::vector<Pipeline> out;
+  const std::vector<StageSpec> tails = entropy_tails();
+  for (const std::vector<StageSpec>& prefix : prefixes) {
+    out.emplace_back(prefix);  // no entropy tail
+    for (const StageSpec& tail : tails) {
+      std::vector<StageSpec> specs = prefix;
+      specs.push_back(tail);
+      out.emplace_back(std::move(specs));
+    }
+  }
+  return out;
+}
+
+ColumnChoice PipelinePlanner::choose(
+    ByteView sample, const std::vector<Pipeline>& options) const {
+  ColumnChoice best;  // empty pipeline: raw bytes + 5-byte header
+  best.sampled_ratio_percent = 100.0;
+  double best_score = static_cast<double>(sample.size()) +
+                      static_cast<double>(Pipeline{}.header_size());
+  for (const Pipeline& option : options) {
+    if (option.empty()) continue;  // already the baseline
+    std::size_t encoded = 0;
+    try {
+      encoded = option.encode(sample).size();
+    } catch (const ConfigError&) {
+      continue;  // candidate does not apply (e.g. dict overflow)
+    }
+    const double cost = pipeline_cost_weight(option);
+    const double score = static_cast<double>(encoded) *
+                         (1.0 + config_.cpu_lambda * cost);
+    if (score < best_score) {
+      best_score = score;
+      best.pipeline = option;
+      best.cost_weight = cost;
+      best.sampled_ratio_percent =
+          sample.empty() ? 100.0
+                         : 100.0 * static_cast<double>(encoded) /
+                               static_cast<double>(sample.size());
+    }
+  }
+  return best;
+}
+
+ColumnChoice PipelinePlanner::choose_structured(
+    ByteView sample, const std::vector<std::vector<StageSpec>>& prefixes,
+    const std::vector<StageSpec>& tails) const {
+  ColumnChoice best;  // empty pipeline: raw bytes + 5-byte header
+  best.sampled_ratio_percent = 100.0;
+  double best_score = static_cast<double>(sample.size()) +
+                      static_cast<double>(Pipeline{}.header_size());
+
+  // Phase 1: apply each transform prefix to the sample once and rank the
+  // prefixes by the cheap Huffman proxy tail. The expensive tails only
+  // ever see the winning prefix, so planning costs P proxy encodes plus T
+  // tail encodes instead of P x T tail encodes.
+  const StagePtr proxy = make_stage(StageId::kHuffman, 0);
+  const std::vector<StageSpec>* win_prefix = nullptr;
+  Bytes win_transformed;
+  double win_score = 0.0;
+  for (const std::vector<StageSpec>& prefix : prefixes) {
+    Bytes transformed(sample.begin(), sample.end());
+    double prefix_cost = 0.0;
+    try {
+      for (const StageSpec& spec : prefix) {
+        transformed = make_stage(spec.id, spec.param)->encode(transformed);
+        prefix_cost += stage_weight(spec.id);
+      }
+    } catch (const ConfigError&) {
+      continue;  // prefix does not apply (e.g. dict overflow)
+    }
+    const double proxy_score =
+        static_cast<double>(proxy->encode(transformed).size()) *
+        (1.0 + config_.cpu_lambda * prefix_cost);
+    if (win_prefix == nullptr || proxy_score < win_score) {
+      win_prefix = &prefix;
+      win_transformed = std::move(transformed);
+      win_score = proxy_score;
+    }
+  }
+  if (win_prefix == nullptr) return best;  // no prefix applied
+
+  // Phase 2: the winning prefix bare, then under every entropy tail.
+  const auto consider = [&](std::vector<StageSpec> specs,
+                            std::size_t payload) {
+    Pipeline pipeline{std::move(specs)};
+    const double cost = pipeline_cost_weight(pipeline);
+    const std::size_t encoded = payload + pipeline.header_size();
+    const double score = static_cast<double>(encoded) *
+                         (1.0 + config_.cpu_lambda * cost);
+    if (score < best_score) {
+      best_score = score;
+      best.cost_weight = cost;
+      best.sampled_ratio_percent =
+          sample.empty() ? 100.0
+                         : 100.0 * static_cast<double>(encoded) /
+                               static_cast<double>(sample.size());
+      best.pipeline = std::move(pipeline);
+    }
+  };
+  if (!win_prefix->empty()) consider(*win_prefix, win_transformed.size());
+  for (const StageSpec& tail : tails) {
+    std::size_t tail_payload = 0;
+    try {
+      tail_payload =
+          make_stage(tail.id, tail.param)->encode(win_transformed).size();
+    } catch (const ConfigError&) {
+      continue;
+    }
+    std::vector<StageSpec> specs = *win_prefix;
+    specs.push_back(tail);
+    consider(std::move(specs), tail_payload);
+  }
+  return best;
+}
+
+ColumnPlan PipelinePlanner::plan_columns(
+    ByteView shuffled, const pbio::ColumnSlices& slices) const {
+  const std::size_t sample_cap = config_.column_sample != 0
+                                     ? config_.column_sample
+                                     : config_.decision.sample_size;
+  const std::vector<StageSpec> tails = entropy_tails();
+  ColumnPlan plan;
+  plan.columns.reserve(slices.columns.size());
+  for (std::size_t i = 0; i < slices.columns.size(); ++i) {
+    const pbio::ColumnSlice& col = slices.columns[i];
+    ByteView column = slices.column(shuffled, i);
+
+    // The §2.5 sampling rule, per column: score on a prefix, aligned down
+    // to whole elements so width-sensitive stages apply cleanly.
+    std::size_t sample_len = std::min(column.size(), sample_cap);
+    if (col.width > 0) sample_len -= sample_len % col.width;
+    ByteView sample = column.first(sample_len);
+
+    const bool low_card =
+        col.width > 0 && is_integer(col.type) &&
+        sample_cardinality(sample, col.width, config_.dict_sample_cardinality)
+                <= config_.dict_sample_cardinality &&
+        !sample.empty();
+    plan.columns.push_back(choose_structured(
+        sample, transform_prefixes(col.type, col.width, low_card), tails));
+  }
+  return plan;
+}
+
+ColumnChoice PipelinePlanner::plan_opaque(ByteView data) const {
+  ByteView sample = data.first(std::min(data.size(),
+                                        config_.decision.sample_size));
+  std::vector<Pipeline> options;
+  options.emplace_back(std::vector<StageSpec>{{StageId::kHuffman, 0}});
+  options.emplace_back(std::vector<StageSpec>{{StageId::kLz, 0}});
+  return choose(sample, options);
+}
+
+}  // namespace acex::colpipe

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <vector>
+
+#include "adaptive/decision.hpp"
+#include "colpipe/stage.hpp"
+#include "pbio/columnar.hpp"
+
+namespace acex::colpipe {
+
+/// Column-aware pipeline planner (DESIGN.md §14).
+///
+/// The §2.5 selector samples a 4 KiB prefix and scores whole-block methods;
+/// the planner applies the same sample-then-score discipline PER COLUMN of a
+/// shuffled PBIO block, over composed stage pipelines instead of single
+/// codecs. Candidate pipelines are derived from the column's declared type
+/// (delta/zigzag for integers, xor-of-consecutive for floats, dictionary for
+/// low-cardinality data, byte-plane splits for both), each finished with an
+/// entropy tail.
+///
+/// Scoring must be a pure function of the bytes: the adaptive stack requires
+/// compress() to be deterministic (the broker's shared-encode cache and the
+/// serial/parallel byte-identity guarantee both depend on it), so the CPU
+/// term uses static weights derived from Fig. 1's compress/decompress-time
+/// ratings — the same MethodProfile data the whole-block selector trusts —
+/// never wall-clock measurements.
+struct PlannerConfig {
+  /// Reused for its sample_size (the §2.5 "first 4KB" prefix rule).
+  adaptive::DecisionParams decision{};
+
+  /// Weight of the CPU-cost term: score = bytes x (1 + lambda x cost).
+  /// 0 plans purely for ratio; larger values favour cheaper pipelines.
+  double cpu_lambda = 0.25;
+
+  /// Columns whose sampled cardinality is at or below this propose a
+  /// dictionary stage (the wire dict stage itself allows up to 256).
+  std::size_t dict_sample_cardinality = 64;
+
+  /// Per-column planning sample cap, in bytes. A column is homogeneous, so
+  /// scoring needs far less context than the §2.5 whole-block 4 KiB
+  /// prefix; 0 falls back to decision.sample_size. (plan_opaque always
+  /// uses decision.sample_size — it scores a whole block.)
+  std::size_t column_sample = 2048;
+
+  void validate() const;
+};
+
+/// The planner's verdict for one column.
+struct ColumnChoice {
+  Pipeline pipeline;                    ///< winning composition (may be empty)
+  double sampled_ratio_percent = 100.0; ///< encoded/raw on the sample, percent
+  double cost_weight = 0.0;             ///< static CPU weight of the pipeline
+};
+
+/// Per-block plan: one choice per column, in schema declaration order.
+struct ColumnPlan {
+  std::vector<ColumnChoice> columns;
+};
+
+/// Static CPU weight of a pipeline: transform stages carry small fixed
+/// weights; entropy tails inherit Fig. 1's time ratings. Deterministic.
+double pipeline_cost_weight(const Pipeline& pipeline);
+
+class PipelinePlanner {
+ public:
+  explicit PipelinePlanner(PlannerConfig config = {});
+
+  const PlannerConfig& config() const noexcept { return config_; }
+
+  /// Score candidate pipelines against each column's sample prefix and pick
+  /// the cheapest score (encoded bytes x cost multiplier) per column.
+  /// `shuffled` must be the buffer `slices` was computed from.
+  ColumnPlan plan_columns(ByteView shuffled,
+                          const pbio::ColumnSlices& slices) const;
+
+  /// Plan a single pipeline for an opaque (non-PBIO) buffer: store,
+  /// Huffman, or LZ — the degenerate one-column case.
+  ColumnChoice plan_opaque(ByteView data) const;
+
+  /// The candidate stage compositions considered for a column of the given
+  /// type and width (exposed for tests and the bench grid).
+  std::vector<Pipeline> candidates(pbio::FieldType type, std::size_t width,
+                                   bool low_cardinality) const;
+
+ private:
+  ColumnChoice choose(ByteView sample,
+                      const std::vector<Pipeline>& options) const;
+
+  /// Two-phase search over prefixes x tails: rank transform prefixes with
+  /// the cheap Huffman proxy tail, then score every entropy tail (and no
+  /// tail) on the winning prefix only. Cuts planning from P x T entropy
+  /// encodes of the sample to P cheap + T expensive ones, with the same
+  /// determinism guarantees as the exhaustive form.
+  ColumnChoice choose_structured(ByteView sample,
+                                 const std::vector<std::vector<StageSpec>>&
+                                     prefixes,
+                                 const std::vector<StageSpec>& tails) const;
+
+  PlannerConfig config_;
+};
+
+}  // namespace acex::colpipe

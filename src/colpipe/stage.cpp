@@ -1,0 +1,525 @@
+#include "colpipe/stage.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "compress/arith.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lz77.hpp"
+#include "compress/mtf.hpp"
+#include "compress/rle.hpp"
+#include "compress/zlib_codec.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex::colpipe {
+namespace {
+
+bool valid_width(std::uint64_t w) noexcept {
+  return w == 1 || w == 2 || w == 4 || w == 8;
+}
+
+std::uint64_t read_le(const std::uint8_t* p, std::size_t width) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+void write_le(std::uint8_t* p, std::uint64_t v, std::size_t width) noexcept {
+  for (std::size_t i = 0; i < width; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t width_mask(std::size_t width) noexcept {
+  return width == 8 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << (8 * width)) - 1;
+}
+
+void require_multiple(ByteView input, std::size_t width, bool trusted) {
+  if (input.size() % width == 0) return;
+  const std::string what = "colpipe: input size " +
+                           std::to_string(input.size()) +
+                           " not a multiple of element width " +
+                           std::to_string(width);
+  if (trusted) throw ConfigError(what);
+  throw DecodeError(what);
+}
+
+/// Element-wise difference of consecutive values, modulo the element width.
+/// Monotonic columns (sequence numbers, timestamps) become near-zero runs —
+/// the same idea WisentCpp applies before its LZ77 pass.
+class DeltaStage final : public Stage {
+ public:
+  explicit DeltaStage(std::size_t width) : width_(width) {}
+
+  StageId id() const noexcept override { return StageId::kDelta; }
+  std::uint64_t param() const noexcept override { return width_; }
+
+  Bytes encode(ByteView input) const override {
+    require_multiple(input, width_, /*trusted=*/true);
+    Bytes out(input.size());
+    const std::uint64_t mask = width_mask(width_);
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < input.size(); i += width_) {
+      const std::uint64_t cur = read_le(input.data() + i, width_);
+      write_le(out.data() + i, (cur - prev) & mask, width_);
+      prev = cur;
+    }
+    return out;
+  }
+
+  Bytes decode(ByteView input) const override {
+    require_multiple(input, width_, /*trusted=*/false);
+    Bytes out(input.size());
+    const std::uint64_t mask = width_mask(width_);
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < input.size(); i += width_) {
+      prev = (prev + read_le(input.data() + i, width_)) & mask;
+      write_le(out.data() + i, prev, width_);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t width_;
+};
+
+/// Zigzag-fold signed elements so small negatives (as deltas produce) become
+/// small unsigned values with many leading zero bytes.
+class ZigzagStage final : public Stage {
+ public:
+  explicit ZigzagStage(std::size_t width) : width_(width) {}
+
+  StageId id() const noexcept override { return StageId::kZigzag; }
+  std::uint64_t param() const noexcept override { return width_; }
+
+  Bytes encode(ByteView input) const override {
+    require_multiple(input, width_, /*trusted=*/true);
+    Bytes out(input.size());
+    for (std::size_t i = 0; i < input.size(); i += width_) {
+      const std::int64_t n = sign_extend(read_le(input.data() + i, width_));
+      const std::uint64_t z = (static_cast<std::uint64_t>(n) << 1) ^
+                              static_cast<std::uint64_t>(n >> 63);
+      write_le(out.data() + i, z & width_mask(width_), width_);
+    }
+    return out;
+  }
+
+  Bytes decode(ByteView input) const override {
+    require_multiple(input, width_, /*trusted=*/false);
+    Bytes out(input.size());
+    for (std::size_t i = 0; i < input.size(); i += width_) {
+      const std::uint64_t z = read_le(input.data() + i, width_);
+      const std::uint64_t n = (z >> 1) ^ (~(z & 1) + 1);
+      write_le(out.data() + i, n & width_mask(width_), width_);
+    }
+    return out;
+  }
+
+ private:
+  std::int64_t sign_extend(std::uint64_t v) const noexcept {
+    if (width_ == 8) return static_cast<std::int64_t>(v);
+    const std::uint64_t sign_bit = std::uint64_t{1} << (8 * width_ - 1);
+    return static_cast<std::int64_t>((v ^ sign_bit) - sign_bit);
+  }
+
+  std::size_t width_;
+};
+
+/// XOR each byte with the byte one element earlier. For floats whose
+/// exponent and high mantissa bytes barely move between consecutive samples
+/// (MD trajectories), this zeroes the stable bytes without any integer
+/// interpretation — and it works on any input length.
+class XorDeltaStage final : public Stage {
+ public:
+  explicit XorDeltaStage(std::size_t lag) : lag_(lag) {}
+
+  StageId id() const noexcept override { return StageId::kXorDelta; }
+  std::uint64_t param() const noexcept override { return lag_; }
+
+  Bytes encode(ByteView input) const override {
+    Bytes out(input.begin(), input.end());
+    for (std::size_t i = out.size(); i-- > lag_;) out[i] ^= out[i - lag_];
+    return out;
+  }
+
+  Bytes decode(ByteView input) const override {
+    Bytes out(input.begin(), input.end());
+    for (std::size_t i = lag_; i < out.size(); ++i) out[i] ^= out[i - lag_];
+    return out;
+  }
+
+ private:
+  std::size_t lag_;
+};
+
+/// Transpose N elements of W bytes into W planes of N bytes, grouping the
+/// high (often near-constant) bytes of every element together.
+class BytePlaneStage final : public Stage {
+ public:
+  explicit BytePlaneStage(std::size_t width) : width_(width) {}
+
+  StageId id() const noexcept override { return StageId::kBytePlane; }
+  std::uint64_t param() const noexcept override { return width_; }
+
+  Bytes encode(ByteView input) const override {
+    require_multiple(input, width_, /*trusted=*/true);
+    return transpose(input, /*forward=*/true);
+  }
+
+  Bytes decode(ByteView input) const override {
+    require_multiple(input, width_, /*trusted=*/false);
+    return transpose(input, /*forward=*/false);
+  }
+
+ private:
+  Bytes transpose(ByteView input, bool forward) const {
+    const std::size_t n = input.size() / width_;
+    Bytes out(input.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t p = 0; p < width_; ++p) {
+        if (forward) {
+          out[p * n + i] = input[i * width_ + p];
+        } else {
+          out[i * width_ + p] = input[p * n + i];
+        }
+      }
+    }
+    return out;
+  }
+
+  std::size_t width_;
+};
+
+/// Dictionary-code low-cardinality columns (airport codes, enum statuses):
+/// up to 255 distinct W-byte values become one index byte per element.
+/// Encoding a high-cardinality column throws ConfigError, which the planner
+/// and codec treat as "this candidate does not apply".
+class DictStage final : public Stage {
+ public:
+  explicit DictStage(std::size_t width) : width_(width) {}
+
+  StageId id() const noexcept override { return StageId::kDict; }
+  std::uint64_t param() const noexcept override { return width_; }
+
+  Bytes encode(ByteView input) const override {
+    require_multiple(input, width_, /*trusted=*/true);
+    const std::size_t n = input.size() / width_;
+    std::unordered_map<std::uint64_t, std::uint8_t> index;
+    std::vector<std::uint64_t> entries;
+    Bytes codes;
+    codes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t v = read_le(input.data() + i * width_, width_);
+      auto [it, inserted] = index.try_emplace(
+          v, static_cast<std::uint8_t>(entries.size()));
+      if (inserted) {
+        if (entries.size() >= 256) {
+          throw ConfigError("colpipe: dict stage saw more than 256 values");
+        }
+        entries.push_back(v);
+      }
+      codes.push_back(it->second);
+    }
+    Bytes out;
+    out.reserve(1 + entries.size() * width_ + codes.size());
+    put_varint(out, entries.size());
+    for (const std::uint64_t v : entries) {
+      const std::size_t at = out.size();
+      out.resize(at + width_);
+      write_le(out.data() + at, v, width_);
+    }
+    out.insert(out.end(), codes.begin(), codes.end());
+    return out;
+  }
+
+  Bytes decode(ByteView input) const override {
+    std::size_t pos = 0;
+    const std::uint64_t count = get_varint(input, &pos);
+    if (count > 256) throw DecodeError("colpipe: dict table too large");
+    if (input.size() - pos < count * width_) {
+      throw DecodeError("colpipe: truncated dict table");
+    }
+    const std::size_t codes_at = pos + count * width_;
+    const std::size_t n = input.size() - codes_at;
+    Bytes out(n * width_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t code = input[codes_at + i];
+      if (code >= count) throw DecodeError("colpipe: dict index out of range");
+      std::copy_n(input.data() + pos + code * width_, width_,
+                  out.data() + i * width_);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t width_;
+};
+
+class MtfStage final : public Stage {
+ public:
+  StageId id() const noexcept override { return StageId::kMtf; }
+  std::uint64_t param() const noexcept override { return 0; }
+  Bytes encode(ByteView input) const override { return mtf::encode(input); }
+  Bytes decode(ByteView input) const override { return mtf::decode(input); }
+};
+
+class RleStage final : public Stage {
+ public:
+  StageId id() const noexcept override { return StageId::kRle; }
+  std::uint64_t param() const noexcept override { return 0; }
+  Bytes encode(ByteView input) const override { return rle::encode(input); }
+  Bytes decode(ByteView input) const override { return rle::decode(input); }
+};
+
+/// Entropy tails reuse the whole-buffer codecs; instances are created per
+/// call because codecs are cheap to build and not const-callable.
+class HuffmanStage final : public Stage {
+ public:
+  StageId id() const noexcept override { return StageId::kHuffman; }
+  std::uint64_t param() const noexcept override { return 0; }
+  Bytes encode(ByteView input) const override {
+    return HuffmanCodec{}.compress(input);
+  }
+  Bytes decode(ByteView input) const override {
+    return HuffmanCodec{}.decompress(input);
+  }
+};
+
+class ArithmeticStage final : public Stage {
+ public:
+  StageId id() const noexcept override { return StageId::kArithmetic; }
+  std::uint64_t param() const noexcept override { return 0; }
+  Bytes encode(ByteView input) const override {
+    return ArithmeticCodec{}.compress(input);
+  }
+  Bytes decode(ByteView input) const override {
+    return ArithmeticCodec{}.decompress(input);
+  }
+};
+
+class LzStage final : public Stage {
+ public:
+  StageId id() const noexcept override { return StageId::kLz; }
+  std::uint64_t param() const noexcept override { return 0; }
+  Bytes encode(ByteView input) const override {
+    return LempelZivCodec{}.compress(input);
+  }
+  Bytes decode(ByteView input) const override {
+    return LempelZivCodec{}.decompress(input);
+  }
+};
+
+#ifdef ACEX_HAVE_ZLIB
+class ZlibStage final : public Stage {
+ public:
+  StageId id() const noexcept override { return StageId::kZlib; }
+  std::uint64_t param() const noexcept override { return 0; }
+  Bytes encode(ByteView input) const override {
+    return ZlibCodec{}.compress(input);
+  }
+  Bytes decode(ByteView input) const override {
+    return ZlibCodec{}.decompress(input);
+  }
+};
+#endif
+
+/// Upper bound on a useful xor lag; wide enough for any packed element yet
+/// small enough that a corrupt header cannot request absurd work.
+constexpr std::uint64_t kMaxXorLag = 64;
+
+}  // namespace
+
+std::string_view stage_name(StageId id) noexcept {
+  switch (id) {
+    case StageId::kDelta:
+      return "delta";
+    case StageId::kZigzag:
+      return "zigzag";
+    case StageId::kXorDelta:
+      return "xor";
+    case StageId::kBytePlane:
+      return "byteplane";
+    case StageId::kDict:
+      return "dict";
+    case StageId::kMtf:
+      return "mtf";
+    case StageId::kRle:
+      return "rle";
+    case StageId::kHuffman:
+      return "huffman";
+    case StageId::kArithmetic:
+      return "arithmetic";
+    case StageId::kZlib:
+      return "zlib";
+    case StageId::kLz:
+      return "lz";
+  }
+  return "unknown";
+}
+
+StagePtr make_stage(StageId id, std::uint64_t param) {
+  const auto need_width = [&]() -> std::size_t {
+    if (!valid_width(param)) {
+      throw DecodeError("colpipe: stage '" + std::string(stage_name(id)) +
+                        "' has invalid element width " +
+                        std::to_string(param));
+    }
+    return static_cast<std::size_t>(param);
+  };
+  const auto no_param = [&] {
+    if (param != 0) {
+      throw DecodeError("colpipe: stage '" + std::string(stage_name(id)) +
+                        "' takes no parameter");
+    }
+  };
+  switch (id) {
+    case StageId::kDelta:
+      return std::make_unique<DeltaStage>(need_width());
+    case StageId::kZigzag:
+      return std::make_unique<ZigzagStage>(need_width());
+    case StageId::kXorDelta:
+      if (param == 0 || param > kMaxXorLag) {
+        throw DecodeError("colpipe: xor stage lag out of range");
+      }
+      return std::make_unique<XorDeltaStage>(
+          static_cast<std::size_t>(param));
+    case StageId::kBytePlane:
+      return std::make_unique<BytePlaneStage>(need_width());
+    case StageId::kDict:
+      return std::make_unique<DictStage>(need_width());
+    case StageId::kMtf:
+      no_param();
+      return std::make_unique<MtfStage>();
+    case StageId::kRle:
+      no_param();
+      return std::make_unique<RleStage>();
+    case StageId::kHuffman:
+      no_param();
+      return std::make_unique<HuffmanStage>();
+    case StageId::kArithmetic:
+      no_param();
+      return std::make_unique<ArithmeticStage>();
+    case StageId::kZlib:
+      no_param();
+#ifdef ACEX_HAVE_ZLIB
+      return std::make_unique<ZlibStage>();
+#else
+      throw DecodeError("colpipe: zlib stage not compiled in");
+#endif
+    case StageId::kLz:
+      no_param();
+      return std::make_unique<LzStage>();
+  }
+  throw DecodeError("colpipe: unknown stage id " +
+                    std::to_string(static_cast<std::uint32_t>(id)));
+}
+
+Pipeline::Pipeline(std::vector<StageSpec> specs) : specs_(std::move(specs)) {
+  if (specs_.size() > kMaxStages) {
+    throw ConfigError("colpipe: pipeline depth exceeds kMaxStages");
+  }
+  try {
+    for (const StageSpec& spec : specs_) make_stage(spec.id, spec.param);
+  } catch (const DecodeError& err) {
+    // Specs are caller-built, not wire data: misuse, not corruption.
+    throw ConfigError(err.what());
+  }
+}
+
+std::vector<StagePtr> Pipeline::build() const {
+  std::vector<StagePtr> stages;
+  stages.reserve(specs_.size());
+  for (const StageSpec& spec : specs_) {
+    stages.push_back(make_stage(spec.id, spec.param));
+  }
+  return stages;
+}
+
+Bytes Pipeline::encode(ByteView input) const {
+  Bytes out;
+  out.reserve(header_size() + input.size());
+  put_varint(out, specs_.size());
+  for (const StageSpec& spec : specs_) {
+    put_varint(out, static_cast<std::uint64_t>(spec.id));
+    put_varint(out, spec.param);
+  }
+  const std::uint32_t crc = crc32(ByteView(out.data(), out.size()));
+  for (unsigned shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(crc >> shift));
+  }
+
+  Bytes payload(input.begin(), input.end());
+  for (const StagePtr& stage : build()) {
+    payload = stage->encode(ByteView(payload.data(), payload.size()));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Bytes Pipeline::decode(ByteView blob) {
+  std::size_t pos = 0;
+  const std::uint64_t count = get_varint(blob, &pos);
+  if (count > kMaxStages) {
+    throw DecodeError("colpipe: pipeline depth exceeds kMaxStages");
+  }
+  std::vector<StageSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    StageSpec spec;
+    spec.id = static_cast<StageId>(get_varint(blob, &pos));
+    spec.param = get_varint(blob, &pos);
+    specs.push_back(spec);
+  }
+  if (blob.size() - pos < 4) {
+    throw DecodeError("colpipe: truncated pipeline header CRC");
+  }
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(blob[pos]) |
+      (static_cast<std::uint32_t>(blob[pos + 1]) << 8) |
+      (static_cast<std::uint32_t>(blob[pos + 2]) << 16) |
+      (static_cast<std::uint32_t>(blob[pos + 3]) << 24);
+  if (crc32(blob.first(pos)) != stored) {
+    throw DecodeError("colpipe: pipeline header CRC mismatch");
+  }
+  pos += 4;
+
+  std::vector<StagePtr> stages;
+  stages.reserve(specs.size());
+  for (const StageSpec& spec : specs) {
+    stages.push_back(make_stage(spec.id, spec.param));
+  }
+  Bytes payload(blob.begin() + static_cast<std::ptrdiff_t>(pos), blob.end());
+  for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+    payload = (*it)->decode(ByteView(payload.data(), payload.size()));
+  }
+  return payload;
+}
+
+std::string Pipeline::describe() const {
+  if (specs_.empty()) return "null";
+  std::string out;
+  for (const StageSpec& spec : specs_) {
+    if (!out.empty()) out += '|';
+    out += stage_name(spec.id);
+    if (spec.param != 0) {
+      out += '(' + std::to_string(spec.param) + ')';
+    }
+  }
+  return out;
+}
+
+std::size_t Pipeline::header_size() const noexcept {
+  std::size_t size = varint_size(specs_.size()) + 4;
+  for (const StageSpec& spec : specs_) {
+    size += varint_size(static_cast<std::uint64_t>(spec.id)) +
+            varint_size(spec.param);
+  }
+  return size;
+}
+
+}  // namespace acex::colpipe

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace acex::colpipe {
+
+/// Composable per-column compression stages (DESIGN.md §14).
+///
+/// §5 of the paper invites "application-specific compression methods"; Fig. 6
+/// shows that the fields of one record compress wildly differently. A stage
+/// pipeline makes that exploitable: a column is pushed through zero or more
+/// type-aware TRANSFORMS (delta, zigzag, xor-of-consecutive, byte-plane
+/// split, dictionary, MTF, RLE) and finished with one ENTROPY tail (Huffman,
+/// arithmetic, LZ, zlib — or nothing). Every pipeline is self-describing on
+/// the wire, so a receiver that has never seen the planner can still invert
+/// it, and an unknown stage id degrades to DecodeError, never to garbage.
+
+/// Wire-stable stage identifiers (varint-coded in the pipeline header).
+/// Transforms live below 16, entropy tails at 16 and above; the split is a
+/// documentation aid, not a wire rule.
+enum class StageId : std::uint32_t {
+  kDelta = 1,      ///< element-wise delta, param = element width (1/2/4/8)
+  kZigzag = 2,     ///< signed->unsigned zigzag, param = element width
+  kXorDelta = 3,   ///< byte[i] ^= byte[i-W], param = lag W (float trick)
+  kBytePlane = 4,  ///< N x W -> W x N byte-plane transpose, param = width
+  kDict = 5,       ///< low-cardinality dictionary, param = element width
+  kMtf = 6,        ///< move-to-front (§2.4 step 2), param unused
+  kRle = 7,        ///< capped run-length (§2.4 step 3), param unused
+  kHuffman = 16,     ///< §2.1 canonical Huffman tail
+  kArithmetic = 17,  ///< §2.2 adaptive arithmetic tail
+  kZlib = 18,        ///< zlib comparator tail (only if zlib_available())
+  kLz = 19,          ///< §2.3 LZ77+Huffman tail
+};
+
+/// Maximum stages in one pipeline; decode rejects deeper headers so a
+/// corrupt count cannot make decode allocate without bound.
+inline constexpr std::size_t kMaxStages = 8;
+
+/// Short stable name ("delta", "huffman", ...) for logs and bench tables.
+std::string_view stage_name(StageId id) noexcept;
+
+/// One stage of a pipeline. Stages are immutable after construction and
+/// keep no mutable state across calls, matching the Codec concurrency
+/// contract (codec.hpp): distinct instances may run concurrently.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  virtual StageId id() const noexcept = 0;
+
+  /// The wire parameter (element width or lag; 0 when unused).
+  virtual std::uint64_t param() const noexcept = 0;
+
+  /// Forward transform. Throws ConfigError when the input shape does not
+  /// fit the stage (e.g. size not a multiple of the element width) — the
+  /// planner treats that as "candidate unavailable", not data corruption.
+  virtual Bytes encode(ByteView input) const = 0;
+
+  /// Inverse of encode(). Throws DecodeError on malformed stage payloads.
+  virtual Bytes decode(ByteView input) const = 0;
+};
+
+using StagePtr = std::unique_ptr<Stage>;
+
+/// Construct a stage from its wire identity. Throws DecodeError on unknown
+/// ids or invalid params (decode paths call this on untrusted headers).
+StagePtr make_stage(StageId id, std::uint64_t param);
+
+/// A stage's wire identity, used to spell out pipelines compactly.
+struct StageSpec {
+  StageId id;
+  std::uint64_t param = 0;
+
+  bool operator==(const StageSpec&) const = default;
+};
+
+/// An ordered stage composition with a self-describing wire form.
+///
+/// Wire layout:
+///   varint stage_count
+///   stage_count x (varint stage_id, varint param)
+///   crc32 of all preceding header bytes, LE (4 bytes)
+///   payload (the stages' composed output)
+///
+/// encode() applies stages front to back; decode() verifies the CRC,
+/// instantiates each stage (unknown id -> DecodeError) and inverts them
+/// back to front. An empty pipeline is the identity ("null" tail).
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  /// Throws ConfigError when specs exceed kMaxStages or name an unknown
+  /// stage (the specs are caller-built, not wire data).
+  explicit Pipeline(std::vector<StageSpec> specs);
+
+  const std::vector<StageSpec>& specs() const noexcept { return specs_; }
+  bool empty() const noexcept { return specs_.empty(); }
+
+  /// Header + transformed payload, self-contained for decode().
+  Bytes encode(ByteView input) const;
+
+  /// Invert any pipeline blob produced by encode(); no planner state
+  /// needed. Throws DecodeError on truncation, CRC mismatch, unknown
+  /// stage ids, or depth over kMaxStages.
+  static Bytes decode(ByteView blob);
+
+  /// Human-readable composition, e.g. "delta(4)|zigzag(4)|huffman".
+  std::string describe() const;
+
+  /// Wire size of the header this pipeline emits.
+  std::size_t header_size() const noexcept;
+
+  bool operator==(const Pipeline&) const = default;
+
+ private:
+  std::vector<StageSpec> specs_;
+  std::vector<StagePtr> build() const;
+};
+
+}  // namespace acex::colpipe

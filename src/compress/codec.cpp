@@ -20,6 +20,8 @@ std::string_view method_name(MethodId id) noexcept {
       return "lzw";
     case MethodId::kZlib:
       return "zlib";
+    case MethodId::kColumnar:
+      return "colpipe";
   }
   return "unknown";
 }
@@ -28,7 +30,7 @@ MethodId method_from_name(std::string_view name) {
   for (const MethodId id :
        {MethodId::kNone, MethodId::kHuffman, MethodId::kArithmetic,
         MethodId::kLempelZiv, MethodId::kBurrowsWheeler, MethodId::kLzw,
-        MethodId::kZlib}) {
+        MethodId::kZlib, MethodId::kColumnar}) {
     if (method_name(id) == name) return id;
   }
   throw ConfigError("unknown compression method name: " + std::string(name));

@@ -22,6 +22,11 @@ enum class MethodId : std::uint8_t {
   kBurrowsWheeler = 4,  ///< §2.4 chunked BWT -> MTF -> RLE -> joint Huffman
   kLzw = 5,             ///< LZ78/LZW comparator ([24]'s branch of §2.3)
   kZlib = 100,          ///< comparator only; not part of the paper's set
+  /// Application-registered (>= 128, §5's application-specific codecs):
+  /// id 128 is the lossy FloatQuantCodec (quant_codec.hpp); id 129 is the
+  /// per-column pipeline codec (src/colpipe/). Neither is part of
+  /// with_builtins() — both sides must register explicitly (§3.2).
+  kColumnar = 129,      ///< colpipe::ColumnarCodec per-column pipelines
 };
 
 /// Short stable lowercase name ("huffman", "lz", ...), for logs and tables.

@@ -31,6 +31,10 @@ CodecPtr make_codec(MethodId id) {
 #else
       throw ConfigError("zlib codec not compiled in");
 #endif
+    case MethodId::kColumnar:
+      throw ConfigError(
+          "colpipe is application-registered: call "
+          "colpipe::register_columnar(registry) on both ends");
   }
   throw ConfigError("unknown method id");
 }

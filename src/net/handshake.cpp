@@ -26,10 +26,14 @@ constexpr std::size_t kMaxNameBytes = 256;
 constexpr std::size_t kMaxExtBytes = 4096;
 
 /// Methods by descending strength — the order the selector escalates
-/// through; governed_method() demotes along it.
-constexpr std::array<MethodId, 6> kStrengthLadder = {
-    MethodId::kBurrowsWheeler, MethodId::kLzw,      MethodId::kLempelZiv,
-    MethodId::kArithmetic,     MethodId::kHuffman,  MethodId::kNone};
+/// through; governed_method() demotes along it. The columnar pipeline
+/// codec slots just below Burrows-Wheeler: it typically matches or beats
+/// BW's ratio on structured data at lower cost, so a BW demotion lands on
+/// it first when both peers negotiated it (DESIGN.md §14).
+constexpr std::array<MethodId, 7> kStrengthLadder = {
+    MethodId::kBurrowsWheeler, MethodId::kColumnar, MethodId::kLzw,
+    MethodId::kLempelZiv,      MethodId::kArithmetic, MethodId::kHuffman,
+    MethodId::kNone};
 
 std::size_t ladder_rank(MethodId m) noexcept {
   for (std::size_t i = 0; i < kStrengthLadder.size(); ++i) {
@@ -47,6 +51,7 @@ bool known_method(std::uint64_t raw) noexcept {
     case static_cast<std::uint64_t>(MethodId::kBurrowsWheeler):
     case static_cast<std::uint64_t>(MethodId::kLzw):
     case static_cast<std::uint64_t>(MethodId::kZlib):
+    case static_cast<std::uint64_t>(MethodId::kColumnar):
       return true;
     default:
       return false;

@@ -30,6 +30,7 @@ struct Layout {
   std::size_t header_size = 0;   // bytes of the format header
   std::size_t record_size = 0;   // packed bytes per record
   std::vector<std::size_t> widths;
+  std::vector<FieldDesc> fields;
 };
 
 Layout parse_layout(ByteView stream) {
@@ -45,6 +46,7 @@ Layout parse_layout(ByteView stream) {
     }
     layout.widths.push_back(width);
     layout.record_size += width;
+    layout.fields.push_back(field);
   }
   return layout;
 }
@@ -113,6 +115,34 @@ Bytes columnar_unshuffle(ByteView shuffled) {
     field_offset += width;
   }
   return out;
+}
+
+ColumnSlices column_slices(ByteView shuffled) {
+  const Layout layout = parse_layout(shuffled);
+  std::size_t pos = layout.header_size;
+  const std::uint64_t records = get_varint(shuffled, &pos);
+  const std::size_t body = shuffled.size() - pos;
+  if (layout.record_size == 0 || body % layout.record_size != 0 ||
+      records != body / layout.record_size) {
+    throw DecodeError("columnar: record count inconsistent with body size");
+  }
+
+  ColumnSlices slices;
+  slices.header_size = layout.header_size;
+  slices.body_offset = pos;
+  slices.records = records;
+  std::size_t offset = pos;
+  for (std::size_t i = 0; i < layout.widths.size(); ++i) {
+    ColumnSlice slice;
+    slice.name = layout.fields[i].name;
+    slice.type = layout.fields[i].type;
+    slice.width = layout.widths[i];
+    slice.offset = offset;
+    slice.size = static_cast<std::size_t>(records) * layout.widths[i];
+    offset += slice.size;
+    slices.columns.push_back(std::move(slice));
+  }
+  return slices;
 }
 
 }  // namespace acex::pbio

@@ -33,4 +33,36 @@ Bytes columnar_shuffle(ByteView stream);
 /// Inverse of columnar_shuffle; returns the original PBIO stream.
 Bytes columnar_unshuffle(ByteView shuffled);
 
+/// One field's contiguous byte range within a shuffled stream.
+struct ColumnSlice {
+  std::string name;        ///< field name from the schema
+  FieldType type = FieldType::kInt32;
+  std::size_t width = 0;   ///< packed bytes per element
+  std::size_t offset = 0;  ///< byte offset of the column in the shuffled form
+  std::size_t size = 0;    ///< records * width bytes
+};
+
+/// Structural map of a shuffled stream: where the preamble (format header +
+/// record-count varint) ends and where each field's column lives. Spares
+/// per-column consumers — the colpipe planner, the columnar ablation bench —
+/// from re-deriving offsets out of the wire form by hand.
+struct ColumnSlices {
+  std::size_t header_size = 0;  ///< bytes of the verbatim format header
+  std::size_t body_offset = 0;  ///< first column's offset (header + varint)
+  std::uint64_t records = 0;
+  std::vector<ColumnSlice> columns;
+
+  /// View of one column's bytes within `shuffled` (the buffer the slices
+  /// were computed from).
+  ByteView column(ByteView shuffled, std::size_t index) const {
+    return shuffled.subspan(columns.at(index).offset, columns.at(index).size);
+  }
+};
+
+/// Parse the layout of a shuffled stream (as produced by columnar_shuffle)
+/// into per-column offsets/extents. Throws ConfigError on variable-size
+/// layouts, DecodeError when the record count is inconsistent with the
+/// body size.
+ColumnSlices column_slices(ByteView shuffled);
+
 }  // namespace acex::pbio

@@ -309,6 +309,190 @@ Bytes mutate_pbio(const Bytes& stream,
   return out;
 }
 
+namespace {
+
+// ------------------------------------------------- colpipe payload layout
+
+/// Geometry of a (possibly damaged) ColumnarCodec payload: where each
+/// pipeline blob starts and how long it claims to be. Lenient scan —
+/// returns nullopt rather than throwing on buffers already out of shape.
+struct ColpipeLayout {
+  std::uint8_t mode = 0;
+  std::size_t preamble_pos = 0;  ///< preamble-length varint (columnar mode)
+  std::size_t ncols_pos = 0;     ///< column-count varint (columnar mode)
+  std::vector<std::size_t> len_pos;   ///< each blob-length varint
+  std::vector<std::size_t> blob_pos;  ///< each pipeline blob's first byte
+  std::vector<std::size_t> blob_len;
+};
+
+std::optional<ColpipeLayout> scan_colpipe(const Bytes& packed) noexcept {
+  if (packed.empty() || (packed[0] != 0x00 && packed[0] != 0x01)) {
+    return std::nullopt;
+  }
+  ColpipeLayout layout;
+  layout.mode = packed[0];
+  if (layout.mode == 0x00) {  // opaque: one blob spanning the rest
+    layout.blob_pos.push_back(1);
+    layout.blob_len.push_back(packed.size() - 1);
+    return layout;
+  }
+  layout.preamble_pos = 1;
+  const auto preamble = scan_varint(packed, layout.preamble_pos);
+  if (!preamble) return std::nullopt;
+  std::size_t pos = layout.preamble_pos + preamble->length +
+                    static_cast<std::size_t>(preamble->value);
+  if (pos >= packed.size()) return std::nullopt;
+  layout.ncols_pos = pos;
+  const auto ncols = scan_varint(packed, pos);
+  if (!ncols || ncols->value > 4096) return std::nullopt;
+  pos += ncols->length;
+  for (std::uint64_t i = 0; i < ncols->value; ++i) {
+    layout.len_pos.push_back(pos);
+    const auto len = scan_varint(packed, pos);
+    if (!len) return std::nullopt;
+    pos += len->length;
+    if (packed.size() - pos < len->value) return std::nullopt;
+    layout.blob_pos.push_back(pos);
+    layout.blob_len.push_back(static_cast<std::size_t>(len->value));
+    pos += static_cast<std::size_t>(len->value);
+  }
+  if (layout.blob_pos.empty()) return std::nullopt;
+  return layout;
+}
+
+/// Extent of a pipeline header (stage-count varint + per-stage id/param
+/// varints) starting at `at`; nullopt when it does not scan.
+std::optional<std::size_t> scan_pipeline_header(const Bytes& buf,
+                                                std::size_t at) noexcept {
+  const auto count = scan_varint(buf, at);
+  if (!count || count->value > 64) return std::nullopt;
+  std::size_t pos = at + count->length;
+  for (std::uint64_t i = 0; i < count->value; ++i) {
+    const auto id = scan_varint(buf, pos);
+    if (!id) return std::nullopt;
+    pos += id->length;
+    const auto param = scan_varint(buf, pos);
+    if (!param) return std::nullopt;
+    pos += param->length;
+  }
+  return pos - at;  // header length, CRC excluded
+}
+
+/// Recompute the 4-byte pipeline-header CRC at `at` after a field edit, so
+/// the mutation reaches the stage decoders behind the gate.
+void fix_pipeline_crc(Bytes& buf, std::size_t at) {
+  const auto header_len = scan_pipeline_header(buf, at);
+  if (!header_len || buf.size() - at < *header_len + 4) return;
+  std::uint32_t crc = 0xFFFFFFFFu;
+  // One-off CRC-32 (IEEE) over the header bytes; mirrors util/crc32 so the
+  // qa library keeps its pure-(input, Rng) mutator contract visible here.
+  for (std::size_t i = at; i < at + *header_len; ++i) {
+    crc ^= buf[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+    }
+  }
+  crc ^= 0xFFFFFFFFu;
+  for (unsigned shift = 0; shift < 32; shift += 8) {
+    buf[at + *header_len + (shift / 8)] =
+        static_cast<std::uint8_t>(crc >> shift);
+  }
+}
+
+}  // namespace
+
+Bytes mutate_colpipe(const Bytes& packed, Rng& rng) {
+  const auto layout = scan_colpipe(packed);
+  if (!layout) return mutate(packed, rng);
+  Bytes out = packed;
+  const std::size_t pick = rng.below(layout->blob_pos.size());
+  const std::size_t blob = layout->blob_pos[pick];
+  switch (rng.below(8)) {
+    case 0:  // mode byte: the other mode, or an unknown one
+      out[0] = rng.chance(0.5) ? static_cast<std::uint8_t>(1 - out[0])
+                               : static_cast<std::uint8_t>(2 + rng.below(254));
+      break;
+    case 1:  // preamble-length varint (columnar) / stage count (opaque)
+      out = mutate_varint_at(
+          out, layout->mode == 0x01 ? layout->preamble_pos : blob, rng);
+      break;
+    case 2:  // column-count varint (columnar) / stage count (opaque)
+      out = mutate_varint_at(
+          out, layout->mode == 0x01 ? layout->ncols_pos : blob, rng);
+      break;
+    case 3:  // a blob-length varint (columnar only)
+      if (layout->mode == 0x01) {
+        out = mutate_varint_at(out, layout->len_pos[pick], rng);
+        break;
+      }
+      [[fallthrough]];
+    case 4: {  // forge a stage id — including ids no decoder knows
+      const auto count = scan_varint(out, blob);
+      if (!count || count->value == 0) {
+        out = mutate_varint_at(out, blob, rng);
+        break;
+      }
+      std::size_t pos = blob + count->length;
+      const std::uint64_t target = rng.below(count->value);
+      bool edited = false;
+      for (std::uint64_t i = 0; i <= target && !edited; ++i) {
+        const auto id = scan_varint(out, pos);
+        if (!id) break;
+        if (i == target) {
+          static constexpr std::uint64_t kForgedIds[] = {0,  8,  9,  15,
+                                                         20, 77, 200, 1u << 20};
+          Bytes forged;
+          append_varint(forged, kForgedIds[rng.below(std::size(kForgedIds))]);
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                    out.begin() + static_cast<std::ptrdiff_t>(pos + id->length));
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                     forged.begin(), forged.end());
+          edited = true;
+          break;
+        }
+        pos += id->length;
+        const auto param = scan_varint(out, pos);
+        if (!param) break;
+        pos += param->length;
+      }
+      if (!edited) out = mutate_varint_at(out, blob, rng);
+      break;
+    }
+    case 5: {  // a stage-param varint
+      const auto count = scan_varint(out, blob);
+      if (count && count->value > 0) {
+        const auto id = scan_varint(out, blob + count->length);
+        if (id) {
+          out = mutate_varint_at(out, blob + count->length + id->length, rng);
+          break;
+        }
+      }
+      out = mutate_varint_at(out, blob, rng);
+      break;
+    }
+    case 6: {  // a header-CRC byte
+      const auto header_len = scan_pipeline_header(out, blob);
+      if (header_len && out.size() - blob >= *header_len + 4) {
+        out[blob + *header_len + rng.below(4)] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      } else {
+        flip_random_bit(out, rng);
+      }
+      break;
+    }
+    case 7:  // a stage-payload byte, past the header
+      if (blob < out.size()) {
+        out[blob + rng.below(out.size() - blob)] ^=
+            static_cast<std::uint8_t>(1u << rng.below(8));
+      }
+      break;
+  }
+  // Half the time, re-seal the pipeline header so the forged fields pass
+  // the CRC gate and exercise make_stage / the stage decoders.
+  if (rng.chance(0.5) && blob < out.size()) fix_pipeline_crc(out, blob);
+  return out;
+}
+
 Bytes mutate_container(const Bytes& packed, Rng& rng) {
   if (packed.size() < 4 || !rng.chance(0.5)) return mutate(packed, rng);
   // Every built-in codec keeps its container bookkeeping (sizes, chunk

@@ -49,6 +49,17 @@ inline Bytes mutate_pbio(const Bytes& stream, Rng& rng) {
   return mutate_pbio(stream, &mutate, rng);
 }
 
+/// Structure-aware colpipe-payload mutator. Treats `packed` as a
+/// ColumnarCodec payload (mode byte, columnar preamble, per-column
+/// pipeline blobs) and mutates *fields*: the mode byte, the preamble/
+/// column-count/blob-length varints, a pipeline header's stage-count or
+/// stage-id varint (including forging UNKNOWN stage ids), a header CRC
+/// byte, or stage payload bytes. With probability ~1/2 the pipeline
+/// header CRC is recomputed after the edit so the damage penetrates the
+/// CRC gate and lands on the stage decoders. Falls back to mutate() when
+/// the buffer does not scan as a colpipe payload.
+Bytes mutate_colpipe(const Bytes& packed, Rng& rng);
+
 /// Codec-container mutator: biases half of all mutations into the first
 /// few bytes of `packed` — where every built-in codec keeps its container
 /// header (sizes, chunk counts, tree descriptions) — and applies generic

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "adaptive/pipeline.hpp"
+#include "colpipe/columnar_codec.hpp"
 #include "compress/frame.hpp"
 #include "compress/zlib_codec.hpp"
 #include "engine/parallel_sender.hpp"
@@ -182,6 +183,42 @@ Verdict event_survives(const Bytes& mutated) {
   return Verdict::pass();
 }
 
+Verdict colpipe_roundtrip(ByteView data) {
+  try {
+    colpipe::ColumnarCodec codec;
+    const Bytes packed = codec.compress(data);
+    const Bytes restored = codec.decompress(packed);
+    if (restored.size() != data.size() ||
+        !std::equal(restored.begin(), restored.end(), data.begin())) {
+      return Verdict::fail("colpipe: round-trip diverged at " +
+                           std::to_string(data.size()) + " bytes");
+    }
+    if (codec.compress(data) != packed) {
+      return Verdict::fail("colpipe: compress not deterministic");
+    }
+  } catch (const Error& e) {
+    return Verdict::fail(std::string("colpipe: threw on clean input: ") +
+                         e.what());
+  }
+  return Verdict::pass();
+}
+
+Verdict colpipe_survives(const Bytes& mutated, std::size_t original_hint) {
+  const std::size_t bound = (mutated.size() + original_hint + 64) * 2100;
+  try {
+    colpipe::ColumnarCodec codec;
+    const Bytes out = codec.decompress(mutated);
+    if (out.size() > bound) {
+      return Verdict::fail("colpipe: unbounded decode, " +
+                           std::to_string(out.size()) + " bytes from " +
+                           std::to_string(mutated.size()));
+    }
+  } catch (const Error&) {
+    // Detected corruption: the contract we promise.
+  }
+  return Verdict::pass();
+}
+
 Verdict serial_parallel_identity(ByteView data, MethodId method,
                                  std::size_t workers, std::size_t block_size,
                                  std::size_t* blocks_out) {
@@ -191,6 +228,7 @@ Verdict serial_parallel_identity(ByteView data, MethodId method,
   transport::SimDuplex serial_duplex(sf, sr, serial_clock);
   adaptive::AdaptiveSender serial(serial_duplex.a(),
                                   engine_config(1, block_size));
+  colpipe::register_columnar(serial.registry());
   serial.send_all_fixed(data, method);
   const std::vector<Bytes> serial_wire = drain_wire(serial_duplex.b());
 
@@ -200,6 +238,7 @@ Verdict serial_parallel_identity(ByteView data, MethodId method,
   transport::SimDuplex parallel_duplex(pf, pr, parallel_clock);
   engine::ParallelSender parallel(parallel_duplex.a(),
                                   engine_config(workers, block_size));
+  colpipe::register_columnar(parallel.sender().registry());
   parallel.send_all_fixed(data, method);
   const std::vector<Bytes> parallel_wire = drain_wire(parallel_duplex.b());
 
@@ -210,7 +249,8 @@ Verdict serial_parallel_identity(ByteView data, MethodId method,
                          " frames, parallel " +
                          std::to_string(parallel_wire.size()));
   }
-  const CodecRegistry registry = CodecRegistry::with_builtins();
+  CodecRegistry registry = CodecRegistry::with_builtins();
+  colpipe::register_columnar(registry);
   Bytes reassembled;
   reassembled.reserve(data.size());
   for (std::size_t i = 0; i < serial_wire.size(); ++i) {

@@ -58,6 +58,18 @@ Verdict frame_cross_version(MethodId id, ByteView data,
 /// pbio::decode_stream on arbitrary bytes: throw or return bounded records.
 Verdict pbio_survives(const Bytes& mutated);
 
+/// Columnar-pipeline differential oracle: ColumnarCodec must round-trip
+/// `data` byte-identically (columnar or opaque path alike) and compress
+/// deterministically. The colpipe analogue of codec_roundtrip for an id
+/// make_codec() cannot build.
+Verdict colpipe_roundtrip(ByteView data);
+
+/// ColumnarCodec::decompress on arbitrary bytes: throw DecodeError (or any
+/// acex::Error) or return bounded output — never crash, hang, or allocate
+/// unboundedly. Truncations, forged stage ids, and CRC-resealed header
+/// damage from mutate_colpipe all land here.
+Verdict colpipe_survives(const Bytes& mutated, std::size_t original_hint);
+
 /// echo::deserialize_event / AttributeMap::deserialize on arbitrary bytes.
 Verdict event_survives(const Bytes& mutated);
 

@@ -1,5 +1,6 @@
 #include "workloads/transactions.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 
@@ -20,18 +21,23 @@ TransactionGenerator::TransactionGenerator(std::uint64_t seed) : rng_(seed) {}
 
 TransactionGenerator::EventData TransactionGenerator::next_event() {
   EventData e;
-  e.kind = kKinds[rng_.below(kKinds.size())];
+  e.kind_idx = static_cast<unsigned>(rng_.below(kKinds.size()));
+  e.kind = kKinds[e.kind_idx];
   // A small working set of flights recurs, giving long-range repetition.
+  e.carrier_idx = static_cast<unsigned>(rng_.below(kCarriers.size()));
+  e.flight_no = static_cast<unsigned>(1000 + rng_.below(40));
   char flight[8];
-  std::snprintf(flight, sizeof flight, "%s%04u",
-                kCarriers[rng_.below(kCarriers.size())],
-                static_cast<unsigned>(1000 + rng_.below(40)));
+  std::snprintf(flight, sizeof flight, "%s%04u", kCarriers[e.carrier_idx],
+                e.flight_no);
   e.flight = flight;
-  e.origin = kAirports[rng_.below(kAirports.size())];
+  e.origin_idx = static_cast<unsigned>(rng_.below(kAirports.size()));
+  e.origin = kAirports[e.origin_idx];
   do {
-    e.destination = kAirports[rng_.below(kAirports.size())];
+    e.destination_idx = static_cast<unsigned>(rng_.below(kAirports.size()));
+    e.destination = kAirports[e.destination_idx];
   } while (e.destination == e.origin);
-  e.status = kStatus[rng_.below(kStatus.size())];
+  e.status_idx = static_cast<unsigned>(rng_.below(kStatus.size()));
+  e.status = kStatus[e.status_idx];
   clock_minutes_ = (clock_minutes_ + static_cast<unsigned>(rng_.below(3))) %
                    (24 * 60);
   e.minute = clock_minutes_;
@@ -81,6 +87,60 @@ std::string TransactionGenerator::next_xml() {
       e.origin, e.destination, e.status, e.minute, e.pnr.c_str(),
       static_cast<unsigned>(rng_.below(10)));
   return elem;
+}
+
+const pbio::RecordFormat& TransactionGenerator::record_format() {
+  using pbio::FieldType;
+  static const pbio::RecordFormat kFormat(
+      "txn-event-v1",
+      {{"seq", FieldType::kUInt64},          // monotonic counter
+       {"minute", FieldType::kUInt32},       // slowly advancing clock
+       {"kind", FieldType::kInt32},          // 6 distinct values
+       {"carrier", FieldType::kInt32},       // 5 distinct values
+       {"origin", FieldType::kInt32},        // 10 distinct values
+       {"destination", FieldType::kInt32},   // 10 distinct values
+       {"status", FieldType::kInt32},        // 6 distinct values
+       {"flight_no", FieldType::kUInt32},    // 40 distinct values
+       {"bags", FieldType::kUInt32},         // skewed quantity
+       {"passengers", FieldType::kUInt32},   // skewed quantity
+       {"fuel_kg", FieldType::kFloat32},     // smooth random walk
+       {"fare_usd", FieldType::kFloat64}});  // quantized price grid
+  return kFormat;
+}
+
+pbio::Record TransactionGenerator::next_record() {
+  const EventData e = next_event();
+  fuel_kg_ = static_cast<unsigned>(
+      std::clamp<std::int64_t>(static_cast<std::int64_t>(fuel_kg_) +
+                                   rng_.between(-120, 120),
+                               8000, 96000));
+  pbio::Record r(record_format());
+  r.set(0, static_cast<std::uint64_t>(events_));
+  r.set(1, static_cast<std::uint32_t>(e.minute));
+  r.set(2, static_cast<std::int32_t>(e.kind_idx));
+  r.set(3, static_cast<std::int32_t>(e.carrier_idx));
+  r.set(4, static_cast<std::int32_t>(e.origin_idx));
+  r.set(5, static_cast<std::int32_t>(e.destination_idx));
+  r.set(6, static_cast<std::int32_t>(e.status_idx));
+  r.set(7, static_cast<std::uint32_t>(e.flight_no));
+  r.set(8, static_cast<std::uint32_t>(rng_.below(100000)));
+  r.set(9, static_cast<std::uint32_t>(rng_.below(500)));
+  r.set(10, static_cast<float>(fuel_kg_));
+  // Fares live on a cent grid around a per-flight base — the TPC-H-style
+  // "numeric with limited precision" column.
+  r.set(11, 89.0 + 3.5 * static_cast<double>(e.flight_no % 40) +
+                0.01 * static_cast<double>(rng_.below(2000)));
+  return r;
+}
+
+Bytes TransactionGenerator::pbio_block(std::size_t records) {
+  const pbio::Encoder encoder(record_format());
+  Bytes out;
+  encoder.encode_format(out);
+  for (std::size_t i = 0; i < records; ++i) {
+    encoder.encode_record(next_record(), out);
+  }
+  return out;
 }
 
 Bytes TransactionGenerator::text_block(std::size_t bytes) {

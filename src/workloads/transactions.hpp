@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "pbio/pbio.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -15,10 +16,13 @@ namespace acex::workloads {
 /// repetitions", putting the data squarely in Lempel-Ziv / Burrows-Wheeler
 /// territory (Fig. 2: best methods reach ~30 % of original size).
 ///
-/// Two renderings of the same event stream:
+/// Three renderings of the same event stream:
 ///   text  — fixed-field operational log lines;
 ///   xml   — the markup form the paper's abstract mentions for commercial
-///           data (even more repetitive: tags dominate).
+///           data (even more repetitive: tags dominate);
+///   pbio  — packed fixed-layout records (TPC-H-flavoured mix of monotonic
+///           counters, low-cardinality enums, skewed quantities, and
+///           smooth floats) for the per-column pipeline planner.
 class TransactionGenerator {
  public:
   explicit TransactionGenerator(std::uint64_t seed = 7);
@@ -37,6 +41,16 @@ class TransactionGenerator {
   /// stream element.
   Bytes xml_block(std::size_t bytes);
 
+  /// The fixed-layout schema of the binary rendering: every column is a
+  /// fixed-width scalar, so blocks are columnar_shuffle-eligible.
+  static const pbio::RecordFormat& record_format();
+
+  /// One event as a packed PBIO record conforming to record_format().
+  pbio::Record next_record();
+
+  /// PBIO stream (format header + `records` packed records).
+  Bytes pbio_block(std::size_t records);
+
   /// Number of events emitted so far.
   std::uint64_t events() const noexcept { return events_; }
 
@@ -49,6 +63,13 @@ class TransactionGenerator {
     const char* status;
     unsigned minute;
     std::string pnr;
+    // Index form of the categorical fields, for the binary rendering.
+    unsigned kind_idx;
+    unsigned carrier_idx;
+    unsigned flight_no;
+    unsigned origin_idx;
+    unsigned destination_idx;
+    unsigned status_idx;
   };
 
   EventData next_event();
@@ -56,6 +77,7 @@ class TransactionGenerator {
   Rng rng_;
   std::uint64_t events_ = 0;
   unsigned clock_minutes_ = 0;
+  unsigned fuel_kg_ = 52000;  ///< random-walk fuel gauge (smooth float data)
 };
 
 }  // namespace acex::workloads

@@ -8,7 +8,15 @@
 //                                        robustness oracles
 //   acexfuzz --diff [-n BLOCKS]          differential oracle: serial vs
 //            [-w WORKERS]                N-worker wire byte identity per
-//                                        paper codec over fuzzed payloads
+//                                        paper codec (plus the columnar
+//                                        pipeline codec) over fuzzed
+//                                        payloads
+//   acexfuzz --colpipe                   columnar-pipeline battery: the
+//                                        round-trip oracle over PBIO/text/
+//                                        random payloads, a truncation
+//                                        sweep, and a mutate_colpipe storm
+//                                        (forged stage ids, CRC-resealed
+//                                        headers) through colpipe_survives
 //   acexfuzz --soak SECONDS              invariant soak of the full bridge
 //            [--rounds N]                + faulted-link + engine stack
 //            [--broker K]                (SECONDS 0 = N deterministic
@@ -62,6 +70,7 @@
 #include <string>
 #include <vector>
 
+#include "colpipe/columnar_codec.hpp"
 #include "compress/frame.hpp"
 #include "compress/registry.hpp"
 #include "compress/zlib_codec.hpp"
@@ -74,6 +83,8 @@
 #include "qa/oracles.hpp"
 #include "qa/soak.hpp"
 #include "util/crc32.hpp"
+#include "workloads/molecular.hpp"
+#include "workloads/transactions.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -81,8 +92,8 @@ namespace {
 
 using namespace acex;
 
-enum class Mode { kNone, kSmoke, kDiff, kSoak, kChaos, kHandshake, kReplay,
-                  kEmit, kMinimize, kCorpus };
+enum class Mode { kNone, kSmoke, kDiff, kColpipe, kSoak, kChaos, kHandshake,
+                  kReplay, kEmit, kMinimize, kCorpus };
 
 struct Options {
   Mode mode = Mode::kNone;
@@ -105,8 +116,8 @@ struct Options {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: acexfuzz (--smoke | --diff | --soak SECONDS |"
-               " --chaos SECONDS |\n"
+               "usage: acexfuzz (--smoke | --diff | --colpipe |"
+               " --soak SECONDS | --chaos SECONDS |\n"
                "                 --handshake | --replay FILE | --emit FILE |"
                " --minimize FILE | --corpus DIR)\n"
                "                [-s SEED] [--iters N] [--seeds ROUNDS]"
@@ -239,7 +250,12 @@ int run_diff(const Options& opt) {
   // paper codec; each payload is sized for several blocks.
   const std::size_t payload_size = opt.block_size * 8;
 
-  for (const MethodId id : paper_methods()) {
+  // Paper codecs plus the columnar pipeline codec: the identity must hold
+  // for application-registered methods too (the oracle registers colpipe on
+  // both ends itself).
+  std::vector<MethodId> diff_methods = paper_methods();
+  diff_methods.push_back(MethodId::kColumnar);
+  for (const MethodId id : diff_methods) {
     std::size_t blocks_done = 0;
     std::uint64_t seed = opt.seed;
     while (blocks_done < opt.diff_blocks) {
@@ -270,6 +286,68 @@ int run_diff(const Options& opt) {
 
   std::printf("diff: %zu oracle runs, %zu findings\n", ledger.inputs,
               ledger.findings);
+  return ledger.findings == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------- colpipe
+int run_colpipe(const Options& opt) {
+  const int iters = opt.iters > 0 ? opt.iters : qa::fuzz_iterations(80);
+  Findings ledger(opt.out_dir);
+
+  for (std::size_t round = 0; round < opt.seed_rounds; ++round) {
+    const std::uint64_t seed = opt.seed + round;
+    Rng rng(seed ^ 0xC01b17e5ull);
+
+    // Targets spanning the codec's regimes: schema-bearing PBIO blocks
+    // (columnar path), text (opaque fallback), incompressible noise, and
+    // the empty payload.
+    std::vector<std::pair<const char*, Bytes>> targets;
+    workloads::TransactionGenerator txn(seed);
+    targets.emplace_back("txn_pbio", txn.pbio_block(256));
+    workloads::MolecularConfig mdc;
+    mdc.atom_count = 512;
+    mdc.seed = seed;
+    workloads::MolecularGenerator md(mdc);
+    targets.emplace_back("md_pbio", md.pbio_snapshot());
+    workloads::TransactionGenerator text(seed + 1);
+    targets.emplace_back("text", text.text_block(opt.size));
+    targets.emplace_back("random", rng.bytes(opt.size));
+    targets.emplace_back("empty", Bytes{});
+
+    colpipe::ColumnarCodec codec;
+    for (const auto& [tag, data] : targets) {
+      (void)tag;
+      // Clean-input invariants: round-trip identity and determinism.
+      ledger.check("colpipe.roundtrip", qa::colpipe_roundtrip(data), data);
+
+      const Bytes packed = codec.compress(data);
+
+      // Every truncation of the container must be rejected cleanly or
+      // decode within bounds — never crash.
+      const std::size_t cuts = std::min<std::size_t>(packed.size(), 48);
+      for (std::size_t len = 0; len < cuts; ++len) {
+        const Bytes prefix(packed.begin(),
+                           packed.begin() + static_cast<std::ptrdiff_t>(len));
+        ledger.check("colpipe.truncate",
+                     qa::colpipe_survives(prefix, data.size()), prefix);
+      }
+
+      // Structure-aware mutation storm: forged stage ids, varint damage,
+      // and CRC-resealed pipeline headers so corruption penetrates past
+      // the header check.
+      for (int i = 0; i < iters; ++i) {
+        const Bytes mutated = qa::mutate_colpipe(packed, rng);
+        ledger.check("colpipe.survives",
+                     qa::colpipe_survives(mutated, data.size()), mutated);
+      }
+    }
+    std::fprintf(stderr, "acexfuzz: colpipe round %zu/%zu: %zu inputs so far\n",
+                 round + 1, opt.seed_rounds, ledger.inputs);
+  }
+
+  std::printf("colpipe: %zu inputs, %zu findings, seed %llu, %d iters/target\n",
+              ledger.inputs, ledger.findings,
+              static_cast<unsigned long long>(opt.seed), iters);
   return ledger.findings == 0 ? 0 : 1;
 }
 
@@ -737,6 +815,7 @@ int run(const Options& opt) {
   switch (opt.mode) {
     case Mode::kSmoke:    return run_smoke(opt);
     case Mode::kDiff:     return run_diff(opt);
+    case Mode::kColpipe:  return run_colpipe(opt);
     case Mode::kSoak:     return run_soak_mode(opt);
     case Mode::kChaos:    return run_chaos_mode(opt);
     case Mode::kHandshake: return run_handshake(opt);
@@ -770,6 +849,8 @@ int main(int argc, char** argv) {
         set_mode(Mode::kSmoke);
       } else if (arg == "--diff") {
         set_mode(Mode::kDiff);
+      } else if (arg == "--colpipe") {
+        set_mode(Mode::kColpipe);
       } else if (arg == "--soak") {
         set_mode(Mode::kSoak);
         opt.soak_seconds = std::stod(next());

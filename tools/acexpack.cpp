@@ -8,9 +8,11 @@
 // worker-pool gauges) after the run — the same snapshot acexstat renders.
 //
 // METHOD: none | huffman | arithmetic | lempel-ziv | burrows-wheeler |
-//         lzw | auto (default: per-block sampling-based choice, as §2.5 does
-//         without a network: repetitive blocks go to LZ, others to
-//         Huffman) | best (try every method per block, keep the smallest).
+//         lzw | colpipe (per-column composable pipelines over a PBIO block;
+//         non-PBIO input falls back to a planned opaque pipeline) | auto
+//         (default: per-block sampling-based choice, as §2.5 does without a
+//         network: repetitive blocks go to LZ, others to Huffman) | best
+//         (try every method per block, keep the smallest).
 //
 // -j JOBS compresses blocks on a worker pool (0 = one worker per hardware
 // thread).  Method selection stays on the driver thread; the container is
@@ -27,6 +29,7 @@
 #include <vector>
 
 #include "adaptive/sampler.hpp"
+#include "colpipe/columnar_codec.hpp"
 #include "compress/frame.hpp"
 #include "compress/metrics.hpp"
 #include "compress/registry.hpp"
@@ -65,6 +68,16 @@ void write_file(const std::string& path, ByteView data) {
   if (!out) throw IoError("failed writing " + path);
 }
 
+/// Builtins plus the application-registered columnar pipeline codec —
+/// acexpack is both ends of the exchange, so it opts in on both sides and
+/// freezes before any worker touches the registry.
+CodecRegistry pack_registry() {
+  CodecRegistry registry = CodecRegistry::with_builtins();
+  colpipe::register_columnar(registry);
+  registry.freeze();
+  return registry;
+}
+
 /// §2.5 without a network: pick by the 4 KiB sample's compressibility.
 MethodId choose_auto(const adaptive::Sampler& sampler, ByteView block) {
   const auto s = sampler.sample(block);
@@ -73,13 +86,14 @@ MethodId choose_auto(const adaptive::Sampler& sampler, ByteView block) {
   return MethodId::kNone;
 }
 
-Bytes pack_block_inner(ByteView block, MethodId method, bool best) {
-  if (!best) return frame_compress(*make_codec(method), block);
+Bytes pack_block_inner(const CodecRegistry& registry, ByteView block,
+                       MethodId method, bool best) {
+  if (!best) return frame_compress(*registry.create(method), block);
   Bytes framed;
   for (const MethodId m :
        {MethodId::kNone, MethodId::kHuffman, MethodId::kLempelZiv,
         MethodId::kBurrowsWheeler}) {
-    Bytes candidate = frame_compress(*make_codec(m), block);
+    Bytes candidate = frame_compress(*registry.create(m), block);
     if (framed.empty() || candidate.size() < framed.size()) {
       framed = std::move(candidate);
     }
@@ -89,11 +103,13 @@ Bytes pack_block_inner(ByteView block, MethodId method, bool best) {
 
 /// One block framed with METHOD, or with whichever method packs smallest
 /// when `best` is set.  Runs on worker threads: the obs instruments it
-/// feeds are lock-free and process-wide (--stats renders them).
-Bytes pack_block(ByteView block, MethodId method, bool best) {
+/// feeds are lock-free and process-wide (--stats renders them), and the
+/// registry is frozen before the pool starts.
+Bytes pack_block(const CodecRegistry& registry, ByteView block,
+                 MethodId method, bool best) {
   MonotonicClock clock;
   const Stopwatch sw(clock);
-  Bytes framed = pack_block_inner(block, method, best);
+  Bytes framed = pack_block_inner(registry, block, method, best);
   obs::MetricsRegistry::global()
       .histogram("acex.pack.block_us", "method",
                  best ? "best" : method_name(method))
@@ -112,6 +128,7 @@ int cmd_compress(const std::string& method_arg, std::size_t block_size,
                  const std::string& output) {
   const Bytes data = read_file(input);
   const adaptive::Sampler sampler(4096);
+  const CodecRegistry registry = pack_registry();
 
   const bool auto_mode = method_arg == "auto";
   const bool best_mode = method_arg == "best";
@@ -141,10 +158,10 @@ int cmd_compress(const std::string& method_arg, std::size_t block_size,
     // Selection happens here, on the driver; workers only encode.
     const MethodId method =
         auto_mode ? choose_auto(sampler, block) : fixed_method;
-    return [block, method, best_mode] {
+    return [&registry, block, method, best_mode] {
       PackResult result;
       try {
-        result.framed = pack_block(block, method, best_mode);
+        result.framed = pack_block(registry, block, method, best_mode);
       } catch (...) {
         result.failure = std::current_exception();
       }
@@ -197,7 +214,7 @@ int cmd_decompress(const std::string& input, const std::string& output) {
   }
   if (packed[4] != kVersion) throw DecodeError("unsupported container version");
 
-  const CodecRegistry registry = CodecRegistry::with_builtins();
+  const CodecRegistry registry = pack_registry();
   Bytes out;
   std::size_t pos = 5;
   std::size_t frames = 0;
@@ -236,14 +253,14 @@ int cmd_bench(const std::string& input) {
 }
 
 constexpr const char* kValidMethods =
-    "none huffman arithmetic lempel-ziv burrows-wheeler lzw auto best";
+    "none huffman arithmetic lempel-ziv burrows-wheeler lzw colpipe auto best";
 
 int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  acexpack c [-m METHOD] [-b BLOCK_KIB] [-j JOBS] [--stats] INPUT "
-      "OUTPUT\n"
+      "  acexpack c [-m|--method METHOD] [-b BLOCK_KIB] [-j JOBS] [--stats] "
+      "INPUT OUTPUT\n"
       "  acexpack d INPUT OUTPUT\n"
       "  acexpack bench INPUT\n"
       "METHOD: %s\n"
@@ -298,7 +315,7 @@ int main(int argc, char** argv) {
           continue;
         }
         if (i + 1 >= args.size()) return usage();
-        if (args[i] == "-m") {
+        if (args[i] == "-m" || args[i] == "--method") {
           method = args[i + 1];
         } else if (args[i] == "-b") {
           block_kib = parse_count(args[i + 1], "block size");
