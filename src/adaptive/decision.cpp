@@ -7,6 +7,46 @@
 
 namespace acex::adaptive {
 
+std::string_view policy_name(DecisionPolicy policy) noexcept {
+  switch (policy) {
+    case DecisionPolicy::kBandwidth:
+      return "bandwidth";
+    case DecisionPolicy::kCpuEfficiency:
+      return "cpu-efficiency";
+    case DecisionPolicy::kEnergyProxy:
+      return "energy-proxy";
+    case DecisionPolicy::kTargetRate:
+      return "target-rate";
+  }
+  return "?";
+}
+
+bool known_policy(std::uint64_t raw) noexcept {
+  switch (raw) {
+    case static_cast<std::uint64_t>(DecisionPolicy::kBandwidth):
+    case static_cast<std::uint64_t>(DecisionPolicy::kCpuEfficiency):
+    case static_cast<std::uint64_t>(DecisionPolicy::kEnergyProxy):
+    case static_cast<std::uint64_t>(DecisionPolicy::kTargetRate):
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::vector<DecisionPolicy>& all_policies() {
+  static const std::vector<DecisionPolicy> kAll = {
+      DecisionPolicy::kBandwidth, DecisionPolicy::kCpuEfficiency,
+      DecisionPolicy::kEnergyProxy, DecisionPolicy::kTargetRate};
+  return kAll;
+}
+
+std::size_t decision_ladder_rung(MethodId method) noexcept {
+  for (std::size_t i = 0; i < kDecisionLadder.size(); ++i) {
+    if (kDecisionLadder[i] == method) return i;
+  }
+  return kDecisionLadder.size();
+}
+
 void DecisionParams::validate() const {
   if (!(alpha > 0) || !(beta > 0) || beta < alpha) {
     throw ConfigError("decision: need 0 < alpha <= beta");
@@ -16,6 +56,15 @@ void DecisionParams::validate() const {
   }
   if (block_size == 0 || sample_size == 0 || sample_size > block_size) {
     throw ConfigError("decision: need 0 < sample_size <= block_size");
+  }
+  if (!known_policy(static_cast<std::uint64_t>(policy))) {
+    throw ConfigError("decision: unknown policy id");
+  }
+  if (min_saving_per_cpu_us < 0) {
+    throw ConfigError("decision: min_saving_per_cpu_us must be >= 0");
+  }
+  if (energy_cpu_weight < 0 || energy_wire_weight < 0) {
+    throw ConfigError("decision: energy weights must be >= 0");
   }
 }
 
@@ -31,6 +80,78 @@ MethodId decide(const SelectionInputs& inputs, const DecisionParams& params) {
     return MethodId::kHuffman;
   }
   return MethodId::kNone;
+}
+
+namespace {
+
+// kTargetRate's qualifying band must dominate every non-qualifying
+// effective rate: rates are capped below kQualifiedBase, and qualifying
+// utilities live at kQualifiedBase minus the (comparatively tiny) CPU time.
+constexpr double kRateCap = 1e18;
+constexpr double kQualifiedBase = 1e19;
+
+}  // namespace
+
+double policy_utility(const SelectionInputs& inputs,
+                      const DecisionParams& params, std::size_t rung) {
+  if (rung >= kDecisionLadder.size()) {
+    throw ConfigError("decision: utility rung out of range");
+  }
+  const MethodEstimate& est = inputs.estimates[rung];
+  const double block = static_cast<double>(inputs.block_bytes);
+  const double saved = block * (1.0 - est.ratio);
+  const Seconds cpu = est.encode_seconds;
+  switch (params.policy) {
+    case DecisionPolicy::kCpuEfficiency: {
+      // Net bytes saved after charging CPU time at the opportunity-cost
+      // floor: a candidate beats kNone (utility 0) exactly when its
+      // saving rate exceeds min_saving_per_cpu_us. Unknown CPU (0) is
+      // optimistic, matching the paper's first-block infinity rule.
+      const double floor_Bps = params.min_saving_per_cpu_us * 1e6;
+      return saved - floor_Bps * cpu;
+    }
+    case DecisionPolicy::kEnergyProxy:
+      // Lower proxy energy = higher utility. kNone costs exactly the wire.
+      return -(params.energy_cpu_weight * cpu +
+               params.energy_wire_weight * block * est.ratio);
+    case DecisionPolicy::kTargetRate: {
+      // Effective original-payload rate: the link drained at bw/ratio,
+      // additionally capped by encode throughput block/cpu.
+      double rate = est.ratio > 0 ? inputs.bandwidth_Bps / est.ratio
+                                  : kRateCap;
+      if (cpu > 0) rate = std::min(rate, block / cpu);
+      rate = std::min(rate, kRateCap);
+      const bool qualifies =
+          inputs.target_rate_Bps <= 0 || rate >= inputs.target_rate_Bps;
+      // Qualifiers race on (minus) CPU above every non-qualifier; the rest
+      // race on best-effort rate.
+      return qualifies ? kQualifiedBase - cpu : rate;
+    }
+    case DecisionPolicy::kBandwidth:
+      break;
+  }
+  throw ConfigError("decision: kBandwidth is rule-based, not scored");
+}
+
+MethodId decide_policy(const SelectionInputs& inputs,
+                       const DecisionParams& params) {
+  params.validate();
+  if (params.policy == DecisionPolicy::kBandwidth) {
+    return decide(inputs, params);
+  }
+  // Argmax over the ladder; ties break toward the weaker method (strictly
+  // greater to displace), so the null codec wins whenever nothing
+  // measurably beats it.
+  std::size_t best = 0;
+  double best_utility = policy_utility(inputs, params, 0);
+  for (std::size_t rung = 1; rung < kDecisionLadder.size(); ++rung) {
+    const double utility = policy_utility(inputs, params, rung);
+    if (utility > best_utility) {
+      best = rung;
+      best_utility = utility;
+    }
+  }
+  return kDecisionLadder[best];
 }
 
 std::string_view rating_name(Rating r) noexcept {

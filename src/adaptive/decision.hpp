@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -8,10 +10,43 @@
 
 namespace acex::adaptive {
 
+/// What the selector optimizes for (DESIGN.md §15). The paper's §2.5 rule
+/// scores methods on bandwidth alone; the Ferragina–Tosoni energy study
+/// shows the ratio-vs-CPU frontier shifts with the objective, so the
+/// objective itself is now a pluggable policy. Values are wire-stable:
+/// acexd negotiates them per client like method ids.
+enum class DecisionPolicy : std::uint8_t {
+  /// The §2.5 bandwidth rule, bit-identical to the original engine — the
+  /// default, and the only policy the target-rate escalator composes with.
+  kBandwidth = 0,
+  /// Maximize bytes saved per CPU second spent encoding; compression must
+  /// clear a configurable saving-rate floor to beat the null codec.
+  kCpuEfficiency = 1,
+  /// Minimize a weighted CPU + bytes-on-wire energy proxy (CPU joules vs
+  /// NIC/radio joules per byte).
+  kEnergyProxy = 2,
+  /// Satisfy the user's target payload rate at minimum CPU: the cheapest
+  /// method whose effective rate clears the floor, best-effort strongest
+  /// rate when none does. With no target set it never compresses.
+  kTargetRate = 3,
+};
+
+std::string_view policy_name(DecisionPolicy policy) noexcept;
+
+/// Whether `raw` names a DecisionPolicy this build understands — the
+/// handshake's typed-reject gate for policy ids from newer peers.
+bool known_policy(std::uint64_t raw) noexcept;
+
+/// Every policy this build implements, in id order.
+const std::vector<DecisionPolicy>& all_policies();
+
 /// Tunable constants of the §2.5 selection algorithm, defaulting to the
 /// paper's published values. "These numbers can be tuned easily by sampling
 /// even a small piece of data" — the Calibrator re-derives them.
 struct DecisionParams {
+  /// Selection objective. kBandwidth keeps every default below meaningful;
+  /// the other policies additionally read the weights further down.
+  DecisionPolicy policy = DecisionPolicy::kBandwidth;
   /// Compression threshold: compress at all only when sending a block takes
   /// longer than `alpha` x the time Lempel-Ziv needs to reduce it. The
   /// break-even derivation (see decide()) gives alpha = 1; the paper's 0.83
@@ -34,8 +69,43 @@ struct DecisionParams {
   /// block by Lempel-Ziv").
   std::size_t sample_size = 4 * 1024;
 
+  /// kCpuEfficiency: minimum bytes saved per CPU microsecond before any
+  /// compression beats the null codec. 1 byte/µs = a 1 MB/s reducing-speed
+  /// floor — below that the CPU is better spent elsewhere.
+  double min_saving_per_cpu_us = 1.0;
+
+  /// kEnergyProxy weights, unit-free: cost = energy_cpu_weight x
+  /// cpu_seconds + energy_wire_weight x wire_bytes. The defaults put one
+  /// CPU-second level with ~500 KiB on the wire (a WAN/radio flavour where
+  /// transmit amplifiers dominate); LAN deployments shrink the wire weight.
+  double energy_cpu_weight = 1.0;
+  double energy_wire_weight = 2e-6;
+
   /// Throws ConfigError if any value is non-positive / inconsistent.
   void validate() const;
+};
+
+/// The selector's ladder of candidate methods, weakest to strongest —
+/// fixed and shared by every policy, the circuit breaker, and the
+/// target-rate escalator.
+inline constexpr std::array<MethodId, 4> kDecisionLadder = {
+    MethodId::kNone, MethodId::kHuffman, MethodId::kLempelZiv,
+    MethodId::kBurrowsWheeler};
+
+/// Rung of `method` on kDecisionLadder; kDecisionLadder.size() when the
+/// method is not a selector candidate.
+std::size_t decision_ladder_rung(MethodId method) noexcept;
+
+/// What one candidate method is expected to do to THIS block — the raw
+/// material of the multi-objective scores. Populated from the reducing-
+/// speed monitor's live measurements with sampler-derived fallbacks.
+struct MethodEstimate {
+  /// Expected compressed/original ratio in (0, 1+]; 1 = no reduction.
+  double ratio = 1.0;
+  /// Expected CPU seconds to encode the block; 0 = no measurement yet,
+  /// which every policy treats optimistically (the paper's "assume the
+  /// reducing speed of the first block is infinity" rule generalized).
+  Seconds encode_seconds = 0;
 };
 
 /// The measured state the selector consumes for one block.
@@ -56,6 +126,23 @@ struct SelectionInputs {
   /// Compression ratio (percent of original) the LZ sampler achieved on
   /// this block's 4 KiB prefix.
   double sampled_ratio_percent = 100.0;
+
+  // --- multi-objective extensions (ignored by kBandwidth) --------------
+
+  /// Size of the block being planned, in bytes. The scored policies need
+  /// absolute byte counts (savings, wire cost), not just time ratios.
+  std::size_t block_bytes = 0;
+
+  /// Estimated link rate (bytes/s) — block_bytes / send_seconds, carried
+  /// explicitly so kTargetRate can compute effective payload rates.
+  double bandwidth_Bps = 0;
+
+  /// kTargetRate's floor in original payload bytes per second; 0 = no
+  /// floor (kTargetRate then never compresses — minimum CPU wins).
+  double target_rate_Bps = 0;
+
+  /// Per-candidate expectations, indexed by kDecisionLadder rung.
+  std::array<MethodEstimate, kDecisionLadder.size()> estimates{};
 };
 
 /// The §2.5 algorithm, verbatim in structure:
@@ -73,6 +160,35 @@ struct SelectionInputs {
 /// (B - C)/bw > t_compress; dividing by the bytes removed turns this into
 /// bw < reducing_speed, i.e. send_seconds > lz_reduce_seconds.
 MethodId decide(const SelectionInputs& inputs, const DecisionParams& params);
+
+/// The multi-objective selector: dispatches on params.policy.
+///
+///   kBandwidth      — decide() verbatim (bit-identical to the original
+///                     engine; the golden regression pins this).
+///   kCpuEfficiency  — argmax over the ladder of bytes-saved / CPU-second,
+///                     subject to the min_saving_per_cpu_us floor; kNone
+///                     (zero saving at zero CPU) when nothing clears it.
+///   kEnergyProxy    — argmin of energy_cpu_weight x cpu + energy_wire_
+///                     weight x wire_bytes; kNone costs exactly the wire.
+///   kTargetRate     — among candidates whose effective payload rate
+///                     min(link/ratio, block/cpu) meets target_rate_Bps,
+///                     the one with least CPU; the max-rate candidate when
+///                     none qualifies.
+///
+/// Ties break toward the WEAKER method on every policy (cheaper to encode
+/// and to decode). The null codec is a candidate under every policy — no
+/// objective can ever make a stream unsendable.
+MethodId decide_policy(const SelectionInputs& inputs,
+                       const DecisionParams& params);
+
+/// The scalar desirability the scored policies assign to ladder rung
+/// `rung` (higher is better; decide_policy picks the argmax, ties to the
+/// lower rung). Exposed for the property tests: utility is non-increasing
+/// in a candidate's ratio and in its CPU time for every scored policy.
+/// kBandwidth is rule-based, not scored — asking for its utility throws
+/// ConfigError.
+double policy_utility(const SelectionInputs& inputs,
+                      const DecisionParams& params, std::size_t rung);
 
 // ---------------------------------------------------------------------
 // Figure 1: the paper's qualitative method-comparison table, as data.

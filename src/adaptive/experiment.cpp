@@ -53,16 +53,28 @@ namespace {
 StreamReport drive_stream(ByteView data, const ExperimentConfig& config,
                           Scenario& scenario,
                           std::optional<MethodId> method) {
-  AdaptiveSender sender(scenario.duplex.a(),
-                        wire_cpu_clock(config.adaptive, scenario.clock));
-  if (config.pace <= 0 && !method) return sender.send_all(data);
-  if (config.pace <= 0 && method) return sender.send_all_fixed(data, *method);
+  AdaptiveConfig adaptive = wire_cpu_clock(config.adaptive, scenario.clock);
+  if (!config.context_takeover) {
+    // Same pin a context_takeover=false handshake applies: every block is
+    // planned from a fresh inline sample, never from carried-over state.
+    adaptive.async_sampling = false;
+  }
+  AdaptiveSender sender(scenario.duplex.a(), adaptive);
+  if (config.context_takeover) {
+    if (config.pace <= 0 && !method) return sender.send_all(data);
+    if (config.pace <= 0 && method) {
+      return sender.send_all_fixed(data, *method);
+    }
+  }
 
   StreamReport stream;
-  const std::size_t block_size = config.adaptive.decision.block_size;
+  const std::size_t block_size = adaptive.decision.block_size;
   std::size_t index = 0;
   for (std::size_t off = 0; off < data.size(); off += block_size, ++index) {
-    scenario.clock.advance_to(static_cast<double>(index) * config.pace);
+    if (config.pace > 0) {
+      scenario.clock.advance_to(static_cast<double>(index) * config.pace);
+    }
+    if (!config.context_takeover) sender.reset_adaptation();
     const std::size_t len = std::min(block_size, data.size() - off);
     const std::size_t next_off = off + len;
     const ByteView next =

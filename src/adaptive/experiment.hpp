@@ -29,6 +29,14 @@ struct ExperimentConfig {
   /// Emulated reverse path for acks/control (fast and symmetric is fine;
   /// the paper's links are full duplex).
   netsim::LinkParams reverse_link = netsim::fast_ethernet_link();
+
+  /// When false, the sender's adaptation context (reducing-speed monitor,
+  /// bandwidth estimate, sampler drift) is reset before every block and
+  /// async sampling is pinned off — the per-block-reset streaming variant
+  /// a context_takeover=false handshake implies. Decisions then run every
+  /// block on first-block assumptions; the scenario matrix uses this to
+  /// measure what the carried context is actually worth.
+  bool context_takeover = true;
 };
 
 /// One policy's end-to-end outcome on a scenario.

@@ -12,11 +12,10 @@
 namespace acex::adaptive {
 namespace {
 
-// Escalation ladder, weakest to strongest — shared by the target-rate
-// escalator and the circuit breaker's demotion walk.
-constexpr MethodId kLadder[] = {MethodId::kNone, MethodId::kHuffman,
-                                MethodId::kLempelZiv,
-                                MethodId::kBurrowsWheeler};
+// Escalation ladder, weakest to strongest — the selector's shared
+// kDecisionLadder (decision.hpp), reused by the target-rate escalator and
+// the circuit breaker's demotion walk.
+constexpr const std::array<MethodId, 4>& kLadder = kDecisionLadder;
 
 // ---- observability (DESIGN.md §9) ------------------------------------
 // Instrument handles are resolved once and cached; every record after
@@ -81,6 +80,22 @@ struct ReceiverMetrics {
   obs::Counter& nacks_issued;
   MethodHistograms decode_us;     ///< decode CPU per wire method
 };
+
+/// Per-policy decision counter ("acex.adaptive.decisions" labeled by
+/// policy), cached over the small contiguous policy-id range so the
+/// planning path never hashes a name.
+obs::Counter& decision_counter(DecisionPolicy policy) {
+  static const auto cache = [] {
+    std::array<obs::Counter*, 4> c{};
+    for (const DecisionPolicy p : all_policies()) {
+      c[static_cast<std::size_t>(p)] =
+          &obs::MetricsRegistry::global().counter("acex.adaptive.decisions",
+                                                  "policy", policy_name(p));
+    }
+    return c;
+  }();
+  return *cache[static_cast<std::size_t>(policy)];
+}
 
 ReceiverMetrics& receiver_metrics() {
   auto& r = obs::MetricsRegistry::global();
@@ -362,33 +377,20 @@ std::optional<std::size_t> AdaptiveSender::replay_range(std::uint64_t from,
   return sent;
 }
 
+void AdaptiveSender::reset_adaptation() noexcept {
+  monitor_.reset();
+  bandwidth_.reset();
+  sample_speed_.reset();
+  sample_speed_ref_ = 0;
+}
+
 MethodId AdaptiveSender::apply_target_rate(
     MethodId base, double bandwidth_Bps,
     double sampled_ratio_percent) const noexcept {
   // The shared ladder; the break-even choice is the floor — a target never
   // justifies picking something weaker than what the §2.5 algorithm
   // already considered worthwhile.
-  //
-  // Expected compressed/original ratio per rung: monitored achievements
-  // where available, with the sampler's LZ view and conservative defaults
-  // as fallbacks.
   const double lz_ratio = sampled_ratio_percent / 100.0;
-  const auto expected_ratio = [&](MethodId m) {
-    switch (m) {
-      case MethodId::kNone:
-        return 1.0;
-      case MethodId::kHuffman:
-        return monitor_.ratio_or(MethodId::kHuffman, 0.65);
-      case MethodId::kLempelZiv:
-        return monitor_.ratio_or(MethodId::kLempelZiv, lz_ratio);
-      case MethodId::kBurrowsWheeler:
-        // BW tracks LZ's repetition structure with a modest edge (Fig. 2).
-        return monitor_.ratio_or(MethodId::kBurrowsWheeler, lz_ratio * 0.85);
-      default:
-        return 1.0;
-    }
-  };
-
   std::size_t rung = 0;
   while (rung < std::size(kLadder) && kLadder[rung] != base) ++rung;
   if (rung == std::size(kLadder)) return base;  // not on the ladder
@@ -396,11 +398,77 @@ MethodId AdaptiveSender::apply_target_rate(
   // Effective payload rate = link rate / wire ratio. Climb until it meets
   // the target or the ladder tops out.
   while (rung + 1 < std::size(kLadder) &&
-         bandwidth_Bps / expected_ratio(kLadder[rung]) <
+         bandwidth_Bps / expected_ratio(kLadder[rung], lz_ratio) <
              config_.target_rate_Bps) {
     ++rung;
   }
   return kLadder[rung];
+}
+
+double AdaptiveSender::expected_ratio(MethodId method,
+                                      double lz_ratio) const noexcept {
+  switch (method) {
+    case MethodId::kNone:
+      return 1.0;
+    case MethodId::kHuffman:
+      return monitor_.ratio_or(MethodId::kHuffman, 0.65);
+    case MethodId::kLempelZiv:
+      return monitor_.ratio_or(MethodId::kLempelZiv, lz_ratio);
+    case MethodId::kBurrowsWheeler:
+      // BW tracks LZ's repetition structure with a modest edge (Fig. 2).
+      return monitor_.ratio_or(MethodId::kBurrowsWheeler, lz_ratio * 0.85);
+    default:
+      return 1.0;
+  }
+}
+
+std::array<MethodEstimate, kDecisionLadder.size()>
+AdaptiveSender::estimate_ladder(std::size_t block_size,
+                                double sampled_ratio_percent) const noexcept {
+  const double lz_ratio = sampled_ratio_percent / 100.0;
+  const double block = static_cast<double>(block_size);
+
+  // LZ encode time from the reducing-speed estimate: reducing speed is
+  // bytes REMOVED per second, so t = removed / speed. When the estimate is
+  // unavailable (or the sample says the block is incompressible, removing
+  // nothing), the time stays 0 — "first block is infinity" optimism.
+  const double lz_speed = lz_reducing_speed_estimate(block_size);
+  const double lz_encode =
+      lz_speed > 0 ? block * std::max(0.0, 1.0 - lz_ratio) / lz_speed : 0.0;
+
+  // Fig. 1's static compress-time ratings as throughput relative to LZ:
+  // Huffman is Excellent (a cheap order-0 pass), Burrows-Wheeler Poor
+  // (block-sort dominated). Measured throughput overrides the guess.
+  const auto encode_seconds = [&](MethodId m, double relative_to_lz) {
+    if (monitor_.has_sample(m)) {
+      const double tput = monitor_.throughput_or(m, 0.0);
+      if (tput > 0) return block / tput;
+    }
+    return relative_to_lz > 0 ? lz_encode / relative_to_lz : 0.0;
+  };
+
+  std::array<MethodEstimate, kDecisionLadder.size()> estimates{};
+  for (std::size_t rung = 0; rung < kDecisionLadder.size(); ++rung) {
+    const MethodId m = kDecisionLadder[rung];
+    estimates[rung].ratio = expected_ratio(m, lz_ratio);
+    switch (m) {
+      case MethodId::kNone:
+        estimates[rung].encode_seconds = 0.0;
+        break;
+      case MethodId::kHuffman:
+        estimates[rung].encode_seconds = encode_seconds(m, 2.2);
+        break;
+      case MethodId::kLempelZiv:
+        estimates[rung].encode_seconds = encode_seconds(m, 1.0);
+        break;
+      case MethodId::kBurrowsWheeler:
+        estimates[rung].encode_seconds = encode_seconds(m, 0.12);
+        break;
+      default:
+        break;
+    }
+  }
+  return estimates;
 }
 
 double AdaptiveSender::lz_reducing_speed_estimate(
@@ -479,10 +547,26 @@ BlockPlan AdaptiveSender::plan_from_sample(ByteView block,
       lz_speed > 0 ? static_cast<double>(block.size()) / lz_speed : 0.0;
   inputs.sampled_ratio_percent = sample.ratio_percent;
 
-  MethodId method = decide(inputs, config_.decision);
-  if (config_.target_rate_Bps > 0) {
-    method = apply_target_rate(method, bw, sample.ratio_percent);
+  MethodId method;
+  if (config_.decision.policy == DecisionPolicy::kBandwidth) {
+    // The §2.5 rule, bit-identical to the original engine, composed with
+    // the target-rate escalator exactly as before.
+    method = decide(inputs, config_.decision);
+    if (config_.target_rate_Bps > 0) {
+      method = apply_target_rate(method, bw, sample.ratio_percent);
+    }
+  } else {
+    // Scored policies consume absolute costs: per-rung (ratio, CPU)
+    // expectations plus the link rate and the user's rate floor. The
+    // target-rate escalator does NOT compose here — kTargetRate owns the
+    // floor, the others deliberately ignore it.
+    inputs.block_bytes = block.size();
+    inputs.bandwidth_Bps = bw;
+    inputs.target_rate_Bps = config_.target_rate_Bps;
+    inputs.estimates = estimate_ladder(block.size(), sample.ratio_percent);
+    method = decide_policy(inputs, config_.decision);
   }
+  decision_counter(config_.decision.policy).add(1);
   method = apply_circuit_breaker(method);
   if (config_.method_governor) {
     // Overload governor (session degradation ladder); its choice passes

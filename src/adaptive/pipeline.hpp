@@ -311,6 +311,14 @@ class AdaptiveSender {
   BlockReport finish_block(const BlockPlan& plan, std::size_t original_size,
                            EncodeResult encoded);
 
+  /// Forget every adaptation measurement — reducing-speed monitor,
+  /// bandwidth estimate, sampler-drift EWMAs — while keeping sequence
+  /// numbering, the retransmit ring, and breaker state intact. This is the
+  /// per-block-reset ("no context takeover") streaming mode: each block is
+  /// planned as if it were the first, the way a peer that negotiated
+  /// context_takeover=false must be treated.
+  void reset_adaptation() noexcept;
+
   const ReducingSpeedMonitor& monitor() const noexcept { return monitor_; }
   const netsim::BandwidthEstimator& bandwidth() const noexcept {
     return bandwidth_;
@@ -344,8 +352,24 @@ class AdaptiveSender {
   void note_codec_success(MethodId method) noexcept;
 
   /// Escalate `base` until the user's target payload rate is met (§1).
+  /// Only composed with the kBandwidth policy — the other policies consume
+  /// the target through SelectionInputs instead.
   MethodId apply_target_rate(MethodId base, double bandwidth_Bps,
                              double sampled_ratio_percent) const noexcept;
+
+  /// Expected compressed/original ratio of one ladder method: monitored
+  /// achievement when available, the sampler's LZ view (scaled for BW's
+  /// Fig. 2 edge) and conservative constants otherwise. Shared by the
+  /// target-rate escalator and the multi-objective estimate builder.
+  double expected_ratio(MethodId method, double lz_ratio) const noexcept;
+
+  /// Per-ladder-rung (ratio, CPU) expectations for a block of `block_size`
+  /// bytes — what the scored policies consume. CPU expectations come from
+  /// the monitor's measured throughputs, falling back to the LZ reducing-
+  /// speed estimate scaled by Fig. 1's static relative time ratings;
+  /// unknown stays 0 (optimistic, the first-block-infinity rule).
+  std::array<MethodEstimate, kDecisionLadder.size()> estimate_ladder(
+      std::size_t block_size, double sampled_ratio_percent) const noexcept;
 
   /// Current LZ reducing-speed estimate on the emulated-host scale.
   ///

@@ -134,6 +134,19 @@ void PlannerConfig::validate() const {
   }
 }
 
+double effective_cpu_lambda(const PlannerConfig& config) noexcept {
+  switch (config.decision.policy) {
+    case adaptive::DecisionPolicy::kCpuEfficiency:
+      return config.cpu_lambda * 4.0;
+    case adaptive::DecisionPolicy::kEnergyProxy:
+    case adaptive::DecisionPolicy::kTargetRate:
+      return config.cpu_lambda * 2.0;
+    case adaptive::DecisionPolicy::kBandwidth:
+      break;
+  }
+  return config.cpu_lambda;
+}
+
 double pipeline_cost_weight(const Pipeline& pipeline) {
   double weight = 0.0;
   for (const StageSpec& spec : pipeline.specs()) {
@@ -203,7 +216,7 @@ ColumnChoice PipelinePlanner::choose(
     }
     const double cost = pipeline_cost_weight(option);
     const double score = static_cast<double>(encoded) *
-                         (1.0 + config_.cpu_lambda * cost);
+                         (1.0 + effective_cpu_lambda(config_) * cost);
     if (score < best_score) {
       best_score = score;
       best.pipeline = option;
@@ -246,7 +259,7 @@ ColumnChoice PipelinePlanner::choose_structured(
     }
     const double proxy_score =
         static_cast<double>(proxy->encode(transformed).size()) *
-        (1.0 + config_.cpu_lambda * prefix_cost);
+        (1.0 + effective_cpu_lambda(config_) * prefix_cost);
     if (win_prefix == nullptr || proxy_score < win_score) {
       win_prefix = &prefix;
       win_transformed = std::move(transformed);
@@ -262,7 +275,7 @@ ColumnChoice PipelinePlanner::choose_structured(
     const double cost = pipeline_cost_weight(pipeline);
     const std::size_t encoded = payload + pipeline.header_size();
     const double score = static_cast<double>(encoded) *
-                         (1.0 + config_.cpu_lambda * cost);
+                         (1.0 + effective_cpu_lambda(config_) * cost);
     if (score < best_score) {
       best_score = score;
       best.cost_weight = cost;

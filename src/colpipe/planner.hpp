@@ -45,6 +45,14 @@ struct PlannerConfig {
   void validate() const;
 };
 
+/// The λ the planner actually scores with: `cpu_lambda` scaled by the
+/// decision policy's CPU aversion. kBandwidth keeps λ as configured;
+/// kCpuEfficiency quadruples it (cheap pipelines or nothing), kEnergyProxy
+/// and kTargetRate double it (CPU is a first-class cost, minimum CPU among
+/// qualifiers). Static multipliers, not measurements — planning stays a
+/// pure function of the bytes.
+double effective_cpu_lambda(const PlannerConfig& config) noexcept;
+
 /// The planner's verdict for one column.
 struct ColumnChoice {
   Pipeline pipeline;                    ///< winning composition (may be empty)

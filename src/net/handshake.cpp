@@ -130,11 +130,52 @@ std::vector<MethodId> take_methods(ByteView wire, std::size_t* pos) {
   return methods;
 }
 
-void skip_extension(ByteView wire, std::size_t* pos) {
+// Extension-block TLV field ids (additive v-next fields).
+constexpr std::uint64_t kExtFieldPolicy = 1;
+
+/// Encode the extension block. The default policy (0 = kBandwidth) emits
+/// an EMPTY extension, keeping the default wire byte-identical to
+/// pre-policy builds; anything else rides TLV field 1.
+void put_extension(Bytes& out, std::uint64_t policy_id) {
+  if (policy_id == 0) {
+    put_varint(out, 0);
+    return;
+  }
+  Bytes value;
+  put_varint(value, policy_id);
+  Bytes ext;
+  put_varint(ext, kExtFieldPolicy);
+  put_varint(ext, value.size());
+  ext.insert(ext.end(), value.begin(), value.end());
+  put_varint(out, ext.size());
+  out.insert(out.end(), ext.begin(), ext.end());
+}
+
+/// Walk the extension TLVs, returning the policy id (0 when absent).
+/// Unknown field ids are a newer peer's additions — skipped by length.
+std::uint64_t take_extension(ByteView wire, std::size_t* pos) {
   const std::uint64_t ext_len = take_varint(wire, pos, "extension length");
   if (ext_len > kMaxExtBytes) malformed("extension block too long");
   if (wire.size() - *pos < ext_len) malformed("truncated extension block");
-  *pos += static_cast<std::size_t>(ext_len);  // v-next fields: skipped
+  const ByteView ext = wire.subspan(*pos, static_cast<std::size_t>(ext_len));
+  *pos += static_cast<std::size_t>(ext_len);
+
+  std::uint64_t policy_id = 0;
+  std::size_t epos = 0;
+  while (epos < ext.size()) {
+    const std::uint64_t field = take_varint(ext, &epos, "extension field id");
+    const std::uint64_t len =
+        take_varint(ext, &epos, "extension field length");
+    if (ext.size() - epos < len) malformed("truncated extension field");
+    const ByteView value = ext.subspan(epos, static_cast<std::size_t>(len));
+    epos += static_cast<std::size_t>(len);
+    if (field == kExtFieldPolicy) {
+      std::size_t vpos = 0;
+      policy_id = take_varint(value, &vpos, "policy id");
+      if (vpos != value.size()) malformed("policy field trailing bytes");
+    }
+  }
+  return policy_id;
 }
 
 }  // namespace
@@ -149,6 +190,7 @@ std::string_view handshake_status_name(HandshakeStatus status) noexcept {
     case HandshakeStatus::kOverloaded: return "overloaded";
     case HandshakeStatus::kResumeRejected: return "resume-rejected";
     case HandshakeStatus::kRestartRequired: return "restart-required";
+    case HandshakeStatus::kUnsupportedPolicy: return "unsupported-policy";
   }
   return "unknown";
 }
@@ -168,8 +210,23 @@ NegotiatedParams negotiate(const CompressionOffer& offer,
     throw HandshakeError(HandshakeStatus::kNoCommonMethod,
                          "offer lists no methods");
   }
+  if (!adaptive::known_policy(offer.policy_id)) {
+    throw HandshakeError(HandshakeStatus::kUnsupportedPolicy,
+                         "unknown policy id " +
+                             std::to_string(offer.policy_id));
+  }
+  const auto requested =
+      static_cast<adaptive::DecisionPolicy>(offer.policy_id);
+  if (std::find(policy.policies.begin(), policy.policies.end(), requested) ==
+      policy.policies.end()) {
+    throw HandshakeError(HandshakeStatus::kUnsupportedPolicy,
+                         "policy " +
+                             std::string(adaptive::policy_name(requested)) +
+                             " not allowed by server");
+  }
 
   NegotiatedParams out;
+  out.policy = requested;
 
   const auto policy_allows = [&policy](MethodId m) {
     return m == MethodId::kNone ||
@@ -228,6 +285,7 @@ MethodId governed_method(const std::vector<MethodId>& allowed,
 
 void apply(const NegotiatedParams& params, adaptive::AdaptiveConfig& config) {
   config.decision.block_size = params.block_size;
+  config.decision.policy = params.policy;
   config.expansion_slack_bytes = params.expansion_slack;
   config.target_rate_Bps = static_cast<double>(params.target_rate_Bps);
   if (!params.context_takeover) config.async_sampling = false;
@@ -254,7 +312,7 @@ Bytes offer_encode(const CompressionOffer& offer) {
     put_varint(out, offer.resume_token);
     put_varint(out, offer.resume_from);
   }
-  put_varint(out, 0);  // empty extension block
+  put_extension(out, offer.policy_id);
   append_crc(out);
   return out;
 }
@@ -290,7 +348,9 @@ CompressionOffer offer_decode(ByteView wire) {
     offer.resume_from = take_varint(body, &pos, "resume position");
     if (offer.resume_session == 0) malformed("resume flag with session 0");
   }
-  skip_extension(body, &pos);
+  // The raw id is preserved even when unknown: negotiate() owns the typed
+  // kUnsupportedPolicy reject, mirroring how a server answers it.
+  offer.policy_id = take_extension(body, &pos);
   if (pos != body.size()) malformed("trailing bytes after offer");
   return offer;
 }
@@ -304,7 +364,7 @@ Bytes params_encode(const NegotiatedParams& params) {
   put_varint(out, params.block_size);
   put_varint(out, params.expansion_slack);
   put_varint(out, params.target_rate_Bps);
-  put_varint(out, 0);  // empty extension block
+  put_extension(out, static_cast<std::uint64_t>(params.policy));
   append_crc(out);
   return out;
 }
@@ -326,7 +386,15 @@ NegotiatedParams params_decode(ByteView wire) {
   params.block_size = static_cast<std::uint32_t>(block);
   params.expansion_slack = static_cast<std::uint32_t>(slack);
   params.target_rate_Bps = take_varint(body, &pos, "target rate");
-  skip_extension(body, &pos);
+  // A welcome names the policy the server COMMITTED to run; a client that
+  // cannot even name it must not proceed on guessed semantics.
+  const std::uint64_t policy_id = take_extension(body, &pos);
+  if (!adaptive::known_policy(policy_id)) {
+    throw HandshakeError(HandshakeStatus::kUnsupportedPolicy,
+                         "welcome names unknown policy id " +
+                             std::to_string(policy_id));
+  }
+  params.policy = static_cast<adaptive::DecisionPolicy>(policy_id);
   if (pos != body.size()) malformed("trailing bytes after params");
   return params;
 }

@@ -39,6 +39,7 @@ enum class HandshakeStatus : std::uint8_t {
   kOverloaded = 5,       ///< server overload ladder refusing new sessions
   kResumeRejected = 6,   ///< unknown session or bad resume token
   kRestartRequired = 7,  ///< resume gap unrecoverable — reconnect fresh
+  kUnsupportedPolicy = 8, ///< decision-policy id unknown or not allowed
 };
 
 std::string_view handshake_status_name(HandshakeStatus status) noexcept;
@@ -65,6 +66,12 @@ struct CompressionOffer {
   std::uint32_t expansion_slack = 64;
   bool context_takeover = true;
   std::uint64_t target_rate_Bps = 0;
+  /// Requested decision policy, as a raw wire id (adaptive::DecisionPolicy
+  /// values; 0 = kBandwidth). Kept raw so an unknown id from a newer peer
+  /// survives decoding and gets the typed kUnsupportedPolicy reject from
+  /// negotiate() instead of a silent downgrade. Rides the extension block:
+  /// 0 encodes as an empty extension, byte-identical to the pre-policy wire.
+  std::uint64_t policy_id = 0;
   std::string name;  ///< subscriber label (obs series); server uniquifies
   std::uint64_t resume_session = 0;
   std::uint64_t resume_token = 0;
@@ -88,6 +95,15 @@ struct ServerPolicy {
   bool allow_context_takeover = true;
   /// Cap on a client's requested target rate; 0 = uncapped.
   std::uint64_t max_target_rate_Bps = 0;
+  /// Decision policies this deployment will run for a subscriber. A known
+  /// but disallowed policy is kUnsupportedPolicy, same as an unknown id —
+  /// policies shift CPU cost onto the server, so they are negotiated, not
+  /// granted.
+  std::vector<adaptive::DecisionPolicy> policies = {
+      adaptive::DecisionPolicy::kBandwidth,
+      adaptive::DecisionPolicy::kCpuEfficiency,
+      adaptive::DecisionPolicy::kEnergyProxy,
+      adaptive::DecisionPolicy::kTargetRate};
 };
 
 /// One negotiated parameter set — what both sides hold after a successful
@@ -98,6 +114,8 @@ struct NegotiatedParams {
   std::uint32_t expansion_slack = 64;
   bool context_takeover = true;
   std::uint64_t target_rate_Bps = 0;
+  /// The selection objective the server will run for this subscriber.
+  adaptive::DecisionPolicy policy = adaptive::DecisionPolicy::kBandwidth;
 
   bool operator==(const NegotiatedParams&) const = default;
 };
@@ -110,6 +128,8 @@ struct NegotiatedParams {
 ///   * block size / slack clamped into the policy window; a zero block
 ///     size is kBadParameter.
 ///   * context takeover and target rate: offer ∧ policy.
+///   * decision policy: the offered id verbatim when the policy allows it;
+///     unknown or disallowed ids are kUnsupportedPolicy typed rejects.
 /// Throws HandshakeError; never returns a half-negotiated result.
 NegotiatedParams negotiate(const CompressionOffer& offer,
                            const ServerPolicy& policy);
@@ -137,9 +157,15 @@ MethodId governed_method(const std::vector<MethodId>& allowed,
 //         varint ext_len | ext | crc32 LE of everything before it.
 // Params: same envelope without name/resume (flags bit0 only).
 //
-// Decoding skips unknown method ids (ignored, not fatal) and the extension
-// block (v-next fields), and throws typed HandshakeErrors on truncation,
-// bad magic, CRC mismatch (kMalformed) or major-version skew (kVersionSkew).
+// The extension block is TLV-framed: varint field id, varint length, then
+// `length` value bytes, repeated. Field 1 carries the decision-policy id
+// (varint); a zero/default policy encodes as an EMPTY extension so the
+// default wire stays byte-identical to pre-policy builds. Unknown field
+// ids are skipped by length (a newer peer's additions).
+//
+// Decoding skips unknown method ids (ignored, not fatal) and unknown
+// extension fields, and throws typed HandshakeErrors on truncation, bad
+// magic, CRC mismatch (kMalformed) or major-version skew (kVersionSkew).
 
 Bytes offer_encode(const CompressionOffer& offer);
 CompressionOffer offer_decode(ByteView wire);

@@ -97,7 +97,7 @@ Reject reject_decode(ByteView payload) {
   std::size_t pos = 0;
   Reject reject;
   const std::uint8_t raw = payload[pos++];
-  if (raw > static_cast<std::uint8_t>(HandshakeStatus::kRestartRequired)) {
+  if (raw > static_cast<std::uint8_t>(HandshakeStatus::kUnsupportedPolicy)) {
     malformed("unknown reject status " + std::to_string(raw));
   }
   reject.status = static_cast<HandshakeStatus>(raw);

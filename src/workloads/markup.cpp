@@ -1,0 +1,92 @@
+#include "workloads/markup.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace acex::workloads {
+namespace {
+
+// One tag vocabulary per nesting level, so the same scaffolding recurs at
+// the same depth across records (what real schema-driven XML looks like).
+constexpr std::array kLevel0 = {"purchase-order", "shipment-notice",
+                                "inventory-sync"};
+constexpr std::array kLevel1 = {"header", "line-items", "routing"};
+constexpr std::array kLevel2 = {"item", "party", "leg"};
+constexpr std::array kLevel3 = {"identifier", "quantity", "timestamp"};
+constexpr std::array kCurrencies = {"USD", "EUR", "ILS", "JPY"};
+constexpr std::array kUnits = {"EA", "KG", "CT", "PAL"};
+
+constexpr std::size_t kMaxDepth = 4;
+
+const char* tag_for(std::size_t depth, std::uint64_t pick) {
+  switch (depth) {
+    case 0: return kLevel0[pick % kLevel0.size()];
+    case 1: return kLevel1[pick % kLevel1.size()];
+    case 2: return kLevel2[pick % kLevel2.size()];
+    default: return kLevel3[pick % kLevel3.size()];
+  }
+}
+
+void indent(std::string& out, std::size_t depth) {
+  out.append(2 * (depth + 1), ' ');
+}
+
+}  // namespace
+
+MarkupGenerator::MarkupGenerator(std::uint64_t seed) : rng_(seed) {}
+
+void MarkupGenerator::emit_element(std::string& out, std::size_t depth) {
+  const char* tag = tag_for(depth, rng_.below(64));
+  ++nodes_;
+  indent(out, depth);
+  char open[160];
+  if (depth + 1 >= kMaxDepth || rng_.chance(0.35)) {
+    // Leaf: unique numeric payload keeps the stream out of the
+    // trivially-compressible regime.
+    std::snprintf(open, sizeof open,
+                  "<%s uom=\"%s\" currency=\"%s\">%llu.%02llu</%s>\n", tag,
+                  kUnits[rng_.below(kUnits.size())],
+                  kCurrencies[rng_.below(kCurrencies.size())],
+                  static_cast<unsigned long long>(rng_.below(100000)),
+                  static_cast<unsigned long long>(rng_.below(100)), tag);
+    out += open;
+    return;
+  }
+  std::snprintf(open, sizeof open, "<%s node=\"%llu\" rev=\"%llu\">\n", tag,
+                static_cast<unsigned long long>(nodes_),
+                static_cast<unsigned long long>(rng_.below(8)));
+  out += open;
+  const std::uint64_t children = 1 + rng_.below(3);
+  for (std::uint64_t i = 0; i < children; ++i) {
+    emit_element(out, depth + 1);
+  }
+  indent(out, depth);
+  out += "</";
+  out += tag;
+  out += ">\n";
+}
+
+std::string MarkupGenerator::next_record() {
+  std::string out;
+  out.reserve(1024);
+  emit_element(out, 0);
+  ++records_;
+  return out;
+}
+
+Bytes MarkupGenerator::block(std::size_t bytes) {
+  static constexpr char kOpen[] = "<document-stream version=\"1\">\n";
+  static constexpr char kClose[] = "</document-stream>\n";
+  Bytes out;
+  out.reserve(bytes + 1024);
+  out.insert(out.end(), kOpen, kOpen + sizeof kOpen - 1);
+  while (out.size() + sizeof kClose - 1 < bytes) {
+    const std::string record = next_record();
+    out.insert(out.end(), record.begin(), record.end());
+  }
+  out.insert(out.end(), kClose, kClose + sizeof kClose - 1);
+  out.resize(bytes);
+  return out;
+}
+
+}  // namespace acex::workloads

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace acex::workloads {
+
+/// XML-ish nested-markup record stream — the "data described in XML
+/// format" workload the paper's abstract calls out, pushed further than
+/// the flat transactional rendering: elements nest several levels deep, a
+/// small tag vocabulary recurs at every level, and the leaf text is unique
+/// per record. Tag/attribute scaffolding dominates the byte count, so the
+/// stream is extremely string-repetitive (deep LZ/BW territory, ratio well
+/// under the §2.5 cut) while still carrying enough unique payload that the
+/// null codec never wins by accident.
+class MarkupGenerator {
+ public:
+  explicit MarkupGenerator(std::uint64_t seed = 13);
+
+  /// One top-level record element, nested and newline-terminated.
+  std::string next_record();
+
+  /// Concatenated records wrapped in a stream root, exactly `bytes` long.
+  Bytes block(std::size_t bytes);
+
+  /// Records emitted so far.
+  std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  void emit_element(std::string& out, std::size_t depth);
+
+  Rng rng_;
+  std::uint64_t records_ = 0;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace acex::workloads

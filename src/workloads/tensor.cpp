@@ -1,0 +1,160 @@
+#include "workloads/tensor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace acex::workloads {
+namespace {
+
+/// Decoded magnitudes of the 127 non-NaN positive encodings (0x00..0x7E),
+/// strictly increasing — the search table for round-to-nearest.
+const std::array<float, 127>& e4m3_magnitudes() {
+  static const std::array<float, 127> kTable = [] {
+    std::array<float, 127> t{};
+    for (std::uint8_t b = 0; b < 127; ++b) t[b] = from_e4m3(b);
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+float from_e4m3(std::uint8_t byte) noexcept {
+  const float sign = (byte & 0x80) != 0 ? -1.0f : 1.0f;
+  const int exp = (byte >> 3) & 0xF;
+  const int mant = byte & 0x7;
+  if (exp == 0xF && mant == 0x7) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  if (exp == 0) {
+    // Subnormal: mant/8 x 2^-6.
+    return sign * std::ldexp(static_cast<float>(mant), -9);
+  }
+  return sign * std::ldexp(1.0f + static_cast<float>(mant) / 8.0f, exp - 7);
+}
+
+std::uint8_t to_e4m3(float value) noexcept {
+  if (std::isnan(value)) return 0x7F;
+  const std::uint8_t sign = std::signbit(value) ? 0x80 : 0x00;
+  const float a = std::fabs(value);
+  const auto& mags = e4m3_magnitudes();
+  if (std::isinf(value) || a >= mags.back()) {
+    // Saturating conversion (OCP behaviour): no infinities, anything at or
+    // past the max finite magnitude (448) clamps to its encoding.
+    return sign | 0x7E;
+  }
+  const auto it = std::lower_bound(mags.begin(), mags.end(), a);
+  std::size_t hi = static_cast<std::size_t>(it - mags.begin());
+  if (hi == 0) return sign;  // a <= 0 lands on +/-0
+  const std::size_t lo = hi - 1;
+  const float d_lo = a - mags[lo];
+  const float d_hi = mags[hi] - a;
+  std::size_t pick;
+  if (d_lo < d_hi) {
+    pick = lo;
+  } else if (d_hi < d_lo) {
+    pick = hi;
+  } else {
+    pick = (lo % 2 == 0) ? lo : hi;  // tie: even encoding
+  }
+  return sign | static_cast<std::uint8_t>(pick);
+}
+
+TensorGenerator::TensorGenerator(std::uint64_t seed, std::size_t channels)
+    : rng_(seed), channel_mean_(std::max<std::size_t>(channels, 1), 0.0f) {
+  // Per-channel initial means: a modest spread so channels are
+  // distinguishable but the bulk of mass stays near zero, like trained
+  // weight tensors.
+  for (float& mean : channel_mean_) {
+    mean = 0.5f * static_cast<float>(rng_.gaussian());
+  }
+}
+
+float TensorGenerator::next_value() {
+  const std::size_t ch = static_cast<std::size_t>(steps_) %
+                         channel_mean_.size();
+  if (ch == 0) {
+    // Once per sweep, drift every channel slightly: successive "training
+    // steps" stay correlated, which is what makes per-block-reset visibly
+    // worse than carried context on this stream.
+    for (float& mean : channel_mean_) {
+      mean += 0.02f * static_cast<float>(rng_.gaussian());
+    }
+  }
+  ++steps_;
+  ++values_;
+  return channel_mean_[ch] + 0.25f * static_cast<float>(rng_.gaussian());
+}
+
+Bytes TensorGenerator::e4m3_block(std::size_t values) {
+  Bytes out;
+  out.reserve(values);
+  for (std::size_t i = 0; i < values; ++i) {
+    out.push_back(to_e4m3(next_value()));
+  }
+  return out;
+}
+
+Bytes TensorGenerator::f32_block(std::size_t values) {
+  Bytes out;
+  out.reserve(values * 4);
+  for (std::size_t i = 0; i < values; ++i) {
+    const float v = next_value();
+    std::uint32_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<std::uint8_t>(bits >> shift));
+    }
+  }
+  return out;
+}
+
+const pbio::RecordFormat& TensorGenerator::record_format() {
+  using pbio::FieldType;
+  static const pbio::RecordFormat kFormat(
+      "tensor-summary-v1",
+      {{"step", FieldType::kUInt64},      // monotonic training step
+       {"channel", FieldType::kUInt32},   // cycles over the channel count
+       {"count", FieldType::kUInt32},     // constant per stream
+       {"mean", FieldType::kFloat32},     // smooth random walk
+       {"abs_max", FieldType::kFloat32},  // slowly varying envelope
+       {"scale", FieldType::kFloat32}});  // quantizer scale, near-constant
+  return kFormat;
+}
+
+pbio::Record TensorGenerator::next_record() {
+  const std::size_t ch = static_cast<std::size_t>(steps_) %
+                         channel_mean_.size();
+  constexpr std::uint32_t kGroup = 256;  // elements summarized per record
+  float sum = 0.0f;
+  float abs_max = 0.0f;
+  for (std::uint32_t i = 0; i < kGroup; ++i) {
+    const float v = next_value();
+    sum += v;
+    abs_max = std::max(abs_max, std::fabs(v));
+  }
+  pbio::Record r(record_format());
+  r.set(0, static_cast<std::uint64_t>(steps_));
+  r.set(1, static_cast<std::uint32_t>(ch));
+  r.set(2, kGroup);
+  r.set(3, sum / static_cast<float>(kGroup));
+  r.set(4, abs_max);
+  r.set(5, abs_max > 0 ? 448.0f / abs_max : 1.0f);
+  return r;
+}
+
+Bytes TensorGenerator::pbio_block(std::size_t records) {
+  const pbio::Encoder encoder(record_format());
+  Bytes out;
+  encoder.encode_format(out);
+  for (std::size_t i = 0; i < records; ++i) {
+    encoder.encode_record(next_record(), out);
+  }
+  return out;
+}
+
+}  // namespace acex::workloads

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pbio/pbio.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace acex::workloads {
+
+/// OCP FP8 e4m3 conversion: 1 sign bit, 4 exponent bits (bias 7), 3
+/// mantissa bits. Largest finite magnitude is 448; 0x7F / 0xFF encode NaN
+/// (there are no infinities — out-of-range values saturate). Quantization
+/// is round-to-nearest with ties to the even encoding, so
+/// to_e4m3(from_e4m3(b)) == b for every non-NaN byte — the fixpoint the
+/// generator tests pin.
+std::uint8_t to_e4m3(float value) noexcept;
+float from_e4m3(std::uint8_t byte) noexcept;
+
+/// Synthetic ML-tensor stream (per the Quad Length Codes FP8 line of work,
+/// PAPERS.md): per-channel weight/activation values evolving smoothly over
+/// training steps — a gaussian mixture with slow per-channel drift. The
+/// interesting property for the decision engine is that this data has LOW
+/// ENTROPY but almost NO STRING REPETITIONS: e4m3 blocks concentrate on a
+/// couple hundred byte values (Huffman territory, LZ finds little), while
+/// raw float32 blocks hide the structure in noisy mantissa bytes — the
+/// exact opposite regime from the transactional text streams.
+class TensorGenerator {
+ public:
+  explicit TensorGenerator(std::uint64_t seed = 11, std::size_t channels = 64);
+
+  /// `values` e4m3-quantized tensor elements, one byte each.
+  Bytes e4m3_block(std::size_t values);
+
+  /// `values` float32 tensor elements, little-endian, 4 bytes each.
+  Bytes f32_block(std::size_t values);
+
+  /// Fixed-width per-channel summary records (columnar_shuffle-eligible).
+  static const pbio::RecordFormat& record_format();
+
+  /// One channel-summary record conforming to record_format().
+  pbio::Record next_record();
+
+  /// PBIO stream (format header + `records` packed records).
+  Bytes pbio_block(std::size_t records);
+
+  /// Tensor elements emitted so far (across all renderings).
+  std::uint64_t values_emitted() const noexcept { return values_; }
+
+ private:
+  float next_value();
+
+  Rng rng_;
+  std::vector<float> channel_mean_;  ///< slow per-channel drift
+  std::uint64_t values_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace acex::workloads

@@ -271,6 +271,91 @@ TEST(NetHandshake, ContextTakeoverIsOfferAndPolicy) {
   EXPECT_FALSE(negotiate(offer, policy).context_takeover);
 }
 
+TEST(NetHandshake, PolicyIdRoundTripsOnTheWire) {
+  CompressionOffer offer;
+  offer.policy_id =
+      static_cast<std::uint64_t>(adaptive::DecisionPolicy::kEnergyProxy);
+  EXPECT_EQ(offer_decode(offer_encode(offer)), offer);
+
+  NegotiatedParams params;
+  params.policy = adaptive::DecisionPolicy::kTargetRate;
+  EXPECT_EQ(params_decode(params_encode(params)), params);
+
+  // The default policy (kBandwidth = 0) encodes as an EMPTY extension
+  // block — byte-identical to the pre-policy wire format, so old peers
+  // interoperate without noticing.
+  CompressionOffer default_offer;
+  CompressionOffer explicit_bandwidth;
+  explicit_bandwidth.policy_id = 0;
+  EXPECT_EQ(offer_encode(default_offer), offer_encode(explicit_bandwidth));
+}
+
+TEST(NetHandshake, UnknownPolicyIdIsTypedReject) {
+  // A policy id from a newer build must produce the typed reject, not a
+  // parse error and not a silent downgrade.
+  CompressionOffer offer;
+  offer.policy_id = 99;
+  EXPECT_EQ(offer_decode(offer_encode(offer)).policy_id, 99u)
+      << "unknown ids must survive decode so negotiate() can name them";
+  ServerPolicy policy;
+  try {
+    negotiate(offer, policy);
+    FAIL() << "expected HandshakeError";
+  } catch (const HandshakeError& e) {
+    EXPECT_EQ(e.status(), HandshakeStatus::kUnsupportedPolicy);
+  }
+}
+
+TEST(NetHandshake, ServerPolicyListGatesKnownPolicies) {
+  // A known policy the server chose not to allow is rejected with the same
+  // typed status as an unknown one.
+  CompressionOffer offer;
+  offer.policy_id =
+      static_cast<std::uint64_t>(adaptive::DecisionPolicy::kCpuEfficiency);
+  ServerPolicy policy;
+  policy.policies = {adaptive::DecisionPolicy::kBandwidth};
+  try {
+    negotiate(offer, policy);
+    FAIL() << "expected HandshakeError";
+  } catch (const HandshakeError& e) {
+    EXPECT_EQ(e.status(), HandshakeStatus::kUnsupportedPolicy);
+  }
+  policy.policies.push_back(adaptive::DecisionPolicy::kCpuEfficiency);
+  EXPECT_EQ(negotiate(offer, policy).policy,
+            adaptive::DecisionPolicy::kCpuEfficiency);
+}
+
+TEST(NetHandshake, WelcomeNamingUnknownPolicyIsTyped) {
+  // The server side of the skew: a welcome whose extension names a policy
+  // this build cannot run must throw typed, never half-apply.
+  NegotiatedParams params;
+  params.policy = adaptive::DecisionPolicy::kEnergyProxy;
+  Bytes wire = params_encode(params);
+  // The policy extension is the last thing before the CRC: field id 1,
+  // length 1, value. Corrupt the value byte to an unknown id.
+  ASSERT_GE(wire.size(), 8u);
+  wire[wire.size() - 5] = 77;
+  const std::size_t body = wire.size() - 4;
+  const std::uint32_t crc = crc32(ByteView(wire.data(), body));
+  for (std::size_t i = 0; i < 4; ++i) {
+    wire[body + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  try {
+    params_decode(wire);
+    FAIL() << "expected HandshakeError";
+  } catch (const HandshakeError& e) {
+    EXPECT_EQ(e.status(), HandshakeStatus::kUnsupportedPolicy);
+  }
+}
+
+TEST(NetHandshake, NegotiatedPolicyAppliesToAdaptiveConfig) {
+  NegotiatedParams params;
+  params.policy = adaptive::DecisionPolicy::kCpuEfficiency;
+  adaptive::AdaptiveConfig config;
+  apply(params, config);
+  EXPECT_EQ(config.decision.policy, adaptive::DecisionPolicy::kCpuEfficiency);
+}
+
 TEST(NetHandshake, UnknownMethodIdsIgnoredNotFatal) {
   CompressionOffer offer;
   offer.methods = {MethodId::kHuffman};
@@ -291,22 +376,26 @@ TEST(NetHandshake, UnknownMethodIdsIgnoredNotFatal) {
   EXPECT_EQ(decoded.methods, offer.methods);  // 77 skipped silently
 }
 
-TEST(NetHandshake, VNextExtensionBlockIsSkipped) {
+TEST(NetHandshake, VNextExtensionFieldIsSkipped) {
   CompressionOffer offer;
   Bytes wire = offer_encode(offer);
   // The encoder wrote an empty extension block (varint 0) just before the
-  // CRC. Replace it with a 3-byte opaque extension a v-next peer might
-  // send; a v1 decoder must skip it and still parse cleanly.
+  // CRC. Replace it with a block carrying an unknown TLV field (id 7,
+  // 2 payload bytes) a v-next peer might send; this decoder must skip the
+  // field by its declared length and still parse cleanly — with the
+  // default policy, since no policy field was present.
   Bytes edited(wire.begin(), wire.end() - 5);  // drop "00" ext + CRC
-  edited.push_back(3);
+  edited.push_back(4);     // extension block length
+  edited.push_back(7);     // unknown field id
+  edited.push_back(2);     // field length
   edited.push_back(0xAA);
   edited.push_back(0xBB);
-  edited.push_back(0xCC);
   const std::uint32_t crc = crc32(edited);
   for (std::size_t i = 0; i < 4; ++i) {
     edited.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
   }
   EXPECT_EQ(offer_decode(edited), offer);
+  EXPECT_EQ(offer_decode(edited).policy_id, 0u);
 }
 
 TEST(NetHandshake, VersionSkewIsTyped) {

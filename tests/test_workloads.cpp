@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
 #include "compress/registry.hpp"
+#include "pbio/columnar.hpp"
 #include "pbio/pbio.hpp"
 #include "util/error.hpp"
+#include "workloads/markup.hpp"
 #include "workloads/molecular.hpp"
+#include "workloads/tensor.hpp"
 #include "workloads/transactions.hpp"
 
 namespace acex::workloads {
@@ -155,6 +161,150 @@ TEST(Transactions, XmlCompressesHarderThanText) {
   const Bytes xml = gen.xml_block(256 * 1024);
   EXPECT_LT(ratio(MethodId::kLempelZiv, xml),
             ratio(MethodId::kLempelZiv, text));
+}
+
+// ----------------------------------------------------------------- tensor
+
+TEST(TensorE4m3, QuantizerIsAFixpoint) {
+  // Every representable non-NaN byte must survive a decode/encode
+  // round-trip exactly — otherwise quantized streams mutate on re-quantize.
+  for (int b = 0; b < 256; ++b) {
+    const auto byte = static_cast<std::uint8_t>(b);
+    if ((byte & 0x7F) == 0x7F) continue;  // NaN encodings
+    EXPECT_EQ(to_e4m3(from_e4m3(byte)), byte) << "byte " << b;
+  }
+}
+
+TEST(TensorE4m3, NanAndSaturationEdges) {
+  EXPECT_TRUE(std::isnan(from_e4m3(0x7F)));
+  EXPECT_TRUE(std::isnan(from_e4m3(0xFF)));
+  EXPECT_EQ(to_e4m3(std::nanf("")), 0x7F);
+  EXPECT_EQ(from_e4m3(to_e4m3(1e9f)), 448.0f);    // saturate, not NaN
+  EXPECT_EQ(from_e4m3(to_e4m3(-1e9f)), -448.0f);
+  EXPECT_EQ(from_e4m3(to_e4m3(0.0f)), 0.0f);
+}
+
+TEST(TensorE4m3, RoundsToNearestRepresentable) {
+  // Quantization error must never exceed half the gap to the neighbours.
+  TensorGenerator gen(21);
+  const Bytes block = gen.e4m3_block(4096);
+  for (const std::uint8_t byte : block) {
+    const float value = from_e4m3(byte);
+    ASSERT_FALSE(std::isnan(value));
+    EXPECT_LE(std::fabs(value), 448.0f);
+  }
+}
+
+TEST(Tensor, DeterministicForSeed) {
+  TensorGenerator a(31), b(31);
+  EXPECT_EQ(a.e4m3_block(8192), b.e4m3_block(8192));
+  TensorGenerator c(31), d(31);
+  EXPECT_EQ(c.f32_block(2048), d.f32_block(2048));
+  EXPECT_NE(TensorGenerator(32).e4m3_block(8192),
+            TensorGenerator(33).e4m3_block(8192));
+}
+
+TEST(Tensor, E4m3BlocksConcentrateOnFewByteValues) {
+  // The decision-engine-relevant property: low entropy (few distinct byte
+  // values) without string repetitions — Huffman's regime, not LZ's.
+  TensorGenerator gen(11);
+  const Bytes block = gen.e4m3_block(64 * 1024);
+  const std::set<std::uint8_t> distinct(block.begin(), block.end());
+  EXPECT_LT(distinct.size(), 200u);
+  EXPECT_GT(distinct.size(), 16u);  // not degenerate either
+  const double hu = ratio(MethodId::kHuffman, block);
+  const double lz = ratio(MethodId::kLempelZiv, block);
+  EXPECT_LT(hu, 90.0);   // order-0 structure is there
+  EXPECT_GT(lz, 48.78);  // sits ABOVE the §2.5 cut: LZ finds little
+  EXPECT_LT(hu, lz);     // ...so Huffman is the profitable choice
+}
+
+TEST(Tensor, F32BlocksHideTheStructure) {
+  // Same values as raw float32: mantissa noise defeats every codec —
+  // near-incompressible, the null-codec regime on fast links.
+  TensorGenerator gen(11);
+  const Bytes block = gen.f32_block(32 * 1024);
+  EXPECT_EQ(block.size(), 4u * 32 * 1024);
+  EXPECT_GT(ratio(MethodId::kLempelZiv, block), 80.0);
+}
+
+TEST(Tensor, ValuesEmittedAccumulates) {
+  TensorGenerator gen(41);
+  gen.e4m3_block(100);
+  gen.f32_block(50);
+  EXPECT_EQ(gen.values_emitted(), 150u);
+}
+
+TEST(Tensor, PbioRecordsAreColumnarShuffleCompatible) {
+  // The per-channel summary records must ride the existing PBIO columnar
+  // machinery: fixed layout, shuffle/unshuffle byte-identical, per-field
+  // column slices addressable.
+  ASSERT_TRUE(pbio::is_columnar_eligible(TensorGenerator::record_format()));
+  TensorGenerator gen(51);
+  const Bytes stream = gen.pbio_block(64);
+  const auto records = pbio::decode_stream(stream);
+  ASSERT_EQ(records.size(), 64u);
+  EXPECT_EQ(records[0].format().name(),
+            TensorGenerator::record_format().name());
+
+  const Bytes shuffled = pbio::columnar_shuffle(stream);
+  EXPECT_EQ(pbio::columnar_unshuffle(shuffled), stream);
+  const pbio::ColumnSlices slices = pbio::column_slices(shuffled);
+  EXPECT_EQ(slices.columns.size(),
+            TensorGenerator::record_format().fields().size());
+}
+
+// ----------------------------------------------------------------- markup
+
+TEST(Markup, DeterministicForSeed) {
+  MarkupGenerator a(5), b(5);
+  EXPECT_EQ(a.block(32 * 1024), b.block(32 * 1024));
+  EXPECT_NE(MarkupGenerator(5).block(32 * 1024),
+            MarkupGenerator(6).block(32 * 1024));
+}
+
+TEST(Markup, BlocksHaveExactSizeAndStreamRoot) {
+  MarkupGenerator gen(8);
+  const Bytes block = gen.block(20000);
+  EXPECT_EQ(block.size(), 20000u);
+  const std::string text(block.begin(), block.end());
+  EXPECT_EQ(text.rfind("<document-stream version=\"1\">\n", 0), 0u);
+  EXPECT_GT(gen.records(), 0u);
+}
+
+TEST(Markup, RecordsNestAndBalance) {
+  MarkupGenerator gen(9);
+  bool saw_nested = false;
+  for (int i = 0; i < 50; ++i) {
+    const std::string record = gen.next_record();
+    // Opening tags match closing tags (self-closing leaves count once on
+    // each side because they open AND close on one line).
+    const auto count = [&](const std::string& needle) {
+      std::size_t n = 0;
+      for (std::size_t pos = record.find(needle); pos != std::string::npos;
+           pos = record.find(needle, pos + 1)) {
+        ++n;
+      }
+      return n;
+    };
+    EXPECT_EQ(count("</"), count("<") - count("</"))
+        << "unbalanced record:\n" << record;
+    if (record.find("  <") != std::string::npos) saw_nested = true;
+  }
+  EXPECT_TRUE(saw_nested);
+}
+
+TEST(Markup, DeepLzTerritoryBelowTheCut) {
+  // Scaffolding dominates: extreme string repetition, ratio well under the
+  // §2.5 cut, BW at least in LZ's league — yet unique leaf payloads keep
+  // the null codec honest (nothing compresses to ~zero).
+  MarkupGenerator gen(13);
+  const Bytes block = gen.block(256 * 1024);
+  const double lz = ratio(MethodId::kLempelZiv, block);
+  const double bw = ratio(MethodId::kBurrowsWheeler, block);
+  EXPECT_LT(lz, 48.78 - 10.0);
+  EXPECT_LT(bw, lz + 5.0);
+  EXPECT_GT(bw, 1.0);
 }
 
 }  // namespace

@@ -41,7 +41,9 @@ using namespace acex;
   std::fprintf(stderr,
                "usage: acexctl sub|stat|tail --port N [options]\n"
                "  sub:  --name S --methods a,b,c --block-size N --slack N\n"
-               "        --no-context-takeover --target-rate N\n"
+               "        --no-context-takeover --target-rate N --policy P\n"
+               "        (P: bandwidth|cpu-efficiency|energy-proxy|\n"
+               "            target-rate, or a raw numeric id)\n"
                "        --expect-blocks N --seed S --verify --verify-wire\n"
                "        --kill-after N --resume --timeout-ms MS\n"
                "  tail: --count N --seed S --timeout-ms MS\n");
@@ -64,6 +66,20 @@ std::vector<MethodId> parse_methods(const std::string& csv) {
     start = comma + 1;
   }
   return out;
+}
+
+/// Decision policy by name, or a raw numeric id so skew against a newer
+/// server's policy table stays testable from the CLI.
+std::uint64_t parse_policy(const std::string& text) {
+  for (const adaptive::DecisionPolicy p : adaptive::all_policies()) {
+    if (text == adaptive::policy_name(p)) {
+      return static_cast<std::uint64_t>(p);
+    }
+  }
+  char* end = nullptr;
+  const std::uint64_t raw = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0') usage();
+  return raw;
 }
 
 /// Sink for the private reproduction run: collects the wire frames the
@@ -181,6 +197,8 @@ int main(int argc, char** argv) {
       cfg.offer.context_takeover = false;
     } else if (arg == "--target-rate") {
       cfg.offer.target_rate_Bps = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--policy") {
+      cfg.offer.policy_id = parse_policy(next());
     } else if (arg == "--expect-blocks") {
       expect_blocks = std::atol(next());
     } else if (arg == "--count") {

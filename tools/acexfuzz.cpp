@@ -536,6 +536,15 @@ std::vector<HandshakeTarget> handshake_targets(std::uint64_t seed) {
   fresh.target_rate_Bps = rng.below(1ull << 44);
   targets.push_back({"offer", net::offer_encode(fresh), &offer_fixpoint});
 
+  // Non-default policy id: the extension TLV is on the wire, so the
+  // mutation battery storms the policy field bytes too. Unknown ids are
+  // legal at the CODEC layer (decode keeps them raw for negotiate() to
+  // reject), so the fixpoint must hold for them as well.
+  net::CompressionOffer policy_offer = fresh;
+  policy_offer.policy_id = rng.chance(0.5) ? 1 + rng.below(3) : rng();
+  targets.push_back(
+      {"offer_policy", net::offer_encode(policy_offer), &offer_fixpoint});
+
   net::CompressionOffer resume;
   resume.methods = {MethodId::kLempelZiv, MethodId::kNone};
   resume.context_takeover = false;
@@ -550,6 +559,8 @@ std::vector<HandshakeTarget> handshake_targets(std::uint64_t seed) {
                     MethodId::kNone};
   params.block_size = static_cast<std::uint32_t>(4096 + rng.below(1 << 20));
   params.expansion_slack = static_cast<std::uint32_t>(rng.below(4096));
+  const auto& policies = adaptive::all_policies();
+  params.policy = policies[rng.below(policies.size())];
   targets.push_back({"params", net::params_encode(params), &params_fixpoint});
 
   net::Welcome welcome;
@@ -656,6 +667,8 @@ int run_handshake(const Options& opt) {
           static_cast<std::uint32_t>(rng.below(1ull << 22));
       offer.context_takeover = rng.chance(0.5);
       offer.target_rate_Bps = rng.below(1ull << 50);
+      // Known ids, unknown small ids, and full-garbage u64s in one storm.
+      offer.policy_id = rng.chance(0.6) ? rng.below(8) : rng();
 
       net::ServerPolicy policy;
       policy.methods.clear();
@@ -672,12 +685,25 @@ int run_handshake(const Options& opt) {
           static_cast<std::uint32_t>(rng.below(1 << 16));
       policy.allow_context_takeover = rng.chance(0.5);
       policy.max_target_rate_Bps = rng.below(1ull << 50);
+      if (rng.chance(0.3)) {
+        // Server allows only a random subset of policies.
+        policy.policies.clear();
+        for (const adaptive::DecisionPolicy p : adaptive::all_policies()) {
+          if (rng.chance(0.5)) policy.policies.push_back(p);
+        }
+      }
 
       ++inputs;
       try {
         const net::NegotiatedParams result = net::negotiate(offer, policy);
         if (result.methods.empty()) {
           finding("negotiate", "empty negotiated method list");
+        }
+        if (!adaptive::known_policy(offer.policy_id)) {
+          finding("negotiate", "unknown policy id accepted");
+        } else if (static_cast<std::uint64_t>(result.policy) !=
+                   offer.policy_id) {
+          finding("negotiate", "negotiated policy differs from the offer");
         }
         if (result.block_size < policy.min_block_size ||
             result.block_size > policy.max_block_size) {
