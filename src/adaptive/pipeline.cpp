@@ -129,7 +129,7 @@ EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
   bool degraded = false;
   try {
     const CodecPtr codec = registry.create(method);
-    result.framed = frame_compress_seq(*codec, block, sequence);
+    result.framed = BufferView::own(frame_compress_seq(*codec, block, sequence));
     if (allow_degrade && method != MethodId::kNone &&
         result.framed.size() > block.size() +
                                    frame_overhead_seq(block.size(), sequence) +
@@ -149,7 +149,7 @@ EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
   }
   if (degraded) {
     NullCodec null;
-    result.framed = frame_compress_seq(null, block, sequence);
+    result.framed = BufferView::own(frame_compress_seq(null, block, sequence));
     result.method = MethodId::kNone;
     result.fallback = true;
   }
@@ -173,7 +173,7 @@ PayloadEncode encode_payload(const CodecRegistry& registry, ByteView block,
   bool degraded = false;
   try {
     const CodecPtr codec = registry.create(method);
-    result.payload = codec->compress(block);
+    result.payload = BufferView::own(codec->compress(block));
     if (method != MethodId::kNone &&
         result.payload.size() > block.size() + expansion_slack_bytes) {
       degraded = true;
@@ -183,8 +183,9 @@ PayloadEncode encode_payload(const CodecRegistry& registry, ByteView block,
     result.threw = true;
   }
   if (degraded) {
-    NullCodec null;
-    result.payload = null.compress(block);
+    // The null codec's output IS the block: borrow it instead of copying.
+    // The caller's block outlives the PayloadEncode (struct contract).
+    result.payload = BufferView::borrow(block);
     result.method = MethodId::kNone;
     result.fallback = true;
   }
@@ -304,7 +305,7 @@ BlockReport AdaptiveSender::finish_block(const BlockPlan& plan,
     const obs::ScopedSpan tx(obs::BlockTracer::global(), plan.sequence,
                              obs::Stage::kTransmit);
     try {
-      transport_->send(encoded.framed);
+      transport_->send_buffer(encoded.framed);
     } catch (...) {
       // The wire frame is final even though this delivery failed; keep it
       // replayable so a bounded egress wait (EgressTimeout) stays
@@ -346,10 +347,10 @@ std::size_t AdaptiveSender::retransmit(
     const std::vector<std::uint64_t>& sequences) {
   std::size_t sent = 0;
   for (const std::uint64_t seq : sequences) {
-    if (const Bytes* wire = ring_.replay(seq)) {
+    if (const BufferView* wire = ring_.replay(seq)) {
       const obs::ScopedSpan tx(obs::BlockTracer::global(), seq,
                                obs::Stage::kTransmit);
-      transport_->send(*wire);
+      transport_->send_buffer(*wire);
       ++sent;
       ++degradation_.retransmits;
       sender_metrics().retransmits.add(1);
@@ -368,10 +369,10 @@ std::optional<std::size_t> AdaptiveSender::replay_range(std::uint64_t from,
   }
   std::size_t sent = 0;
   for (std::uint64_t seq = from; seq < to; ++seq) {
-    const Bytes* wire = ring_.peek(seq);
+    const BufferView* wire = ring_.peek(seq);
     const obs::ScopedSpan tx(obs::BlockTracer::global(), seq,
                              obs::Stage::kTransmit);
-    transport_->send(*wire);
+    transport_->send_buffer(*wire);
     ++sent;
   }
   return sent;
@@ -748,7 +749,10 @@ ReceiveReport AdaptiveReceiver::receive_report() {
   MonotonicClock cpu_clock;
   ReceiverMetrics& metrics = receiver_metrics();
   obs::BlockTracer& tracer = obs::BlockTracer::global();
-  while (auto message = transport_->receive()) {
+  // receive_buffer(): the wire bytes may alias transport-owned storage (a
+  // mapped shm slab); the BufferView frame_parse overload then lets decode
+  // read the compressed payload in place — zero copies receiver-side.
+  while (std::optional<BufferView> message = transport_->receive_buffer()) {
     FrameOutcome outcome;
     outcome.wire_size = message->size();
     metrics.frames.add(1);

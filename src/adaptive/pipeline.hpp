@@ -117,7 +117,12 @@ struct BlockPlan {
 /// non-null only when degradation was disallowed and the codec raised —
 /// the caller rethrows it on the thread that owns error handling.
 struct EncodeResult {
-  Bytes framed;
+  /// Ready-for-the-wire frame bytes as a span-with-owner. On the broker's
+  /// shared-encode path every subscriber whose frame is byte-identical
+  /// receives the SAME backing buffer (possibly a shared-memory slab), so
+  /// the egress queues and retransmit rings downstream share it instead of
+  /// copying it per subscriber.
+  BufferView framed;
   MethodId method = MethodId::kNone;  ///< method actually framed
   bool fallback = false;              ///< degraded to the null codec
   bool threw = false;                 ///< fallback cause: throw vs expansion
@@ -153,7 +158,10 @@ EncodeResult encode_block(const CodecRegistry& registry, ByteView block,
 /// envelope around either differs by at most the size-varint width, well
 /// inside the slack).
 struct PayloadEncode {
-  Bytes payload;                      ///< codec output (block itself on fallback)
+  /// Codec output. Owned for real codec output; on the null/fallback path
+  /// it BORROWS the input block (zero-copy), so a PayloadEncode must not
+  /// outlive the block it was encoded from.
+  BufferView payload;
   MethodId method = MethodId::kNone;  ///< method actually encoded
   bool fallback = false;              ///< degraded to the null codec
   bool threw = false;                 ///< fallback cause: throw vs expansion

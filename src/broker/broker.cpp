@@ -43,8 +43,10 @@ BrokerMetrics& broker_metrics() {
 /// queue synchronizes itself. Stats live behind their OWN mutex because a
 /// publish blocked in a full kBlock queue holds sender_mutex for the whole
 /// wait — stats queries (the pump loop's progress check) must not deadlock
-/// against it. The two mutexes are never nested. Held by shared_ptr so an
-/// in-flight publish survives a concurrent unsubscribe.
+/// against it, and the pump itself only ever try-locks it (see
+/// banked_bw_mutex below). sender_mutex and stats_mutex are never nested;
+/// banked_bw_mutex is a leaf that nests only inside sender_mutex. Held by
+/// shared_ptr so an in-flight publish survives a concurrent unsubscribe.
 struct FanoutBroker::Subscriber {
   SubscriberId id = 0;
   SubscriberConfig config;
@@ -62,6 +64,18 @@ struct FanoutBroker::Subscriber {
   mutable std::mutex sender_mutex;
   mutable std::mutex stats_mutex;
   SubscriberStats stats;
+
+  /// Bandwidth samples the pump could not report without blocking. A
+  /// publisher parked in this subscriber's full kBlock egress cv-waits
+  /// *holding* sender_mutex, and it only wakes when the pump pops another
+  /// frame — so the pump must never block on sender_mutex between pops, or
+  /// the pair deadlocks (pump waits for the mutex, publisher waits for the
+  /// pump). Samples that lose the try-lock are banked here and folded into
+  /// the next record_bandwidth that does land. Leaf mutex: taken nowhere
+  /// else, nests only inside sender_mutex.
+  mutable std::mutex banked_bw_mutex;
+  std::size_t banked_bw_bytes = 0;
+  Seconds banked_bw_elapsed = 0.0;
 
   obs::Counter* frames_counter = nullptr;
   obs::Counter* drops_counter = nullptr;
@@ -276,15 +290,28 @@ void FanoutBroker::publish_chunk(ByteView block,
   metrics.cache_hits.add(planned.size() - groups.size());
   metrics.groups.set(static_cast<std::int64_t>(groups.size()));
 
-  // Frame per subscriber (own sequence number over the shared payload)
-  // and finish. The CRC is of the original block — also shared.
+  // Frame per (group, sequence) over the shared payload and finish per
+  // subscriber. Subscribers in one group whose cursors agree (the steady
+  // fan-out case: everyone subscribed before the first publish) produce
+  // byte-identical frames, so ONE buffer — heap block or shm slab via
+  // config_.frame_builder — is built and every such subscriber's egress
+  // and retransmit ring retain views of it. The CRC is of the original
+  // block — also shared.
   const std::uint32_t crc = crc32(block);
+  std::map<std::pair<GroupKey, std::uint64_t>, BufferView> frame_cache;
   std::int64_t depth_sum = 0;
   for (auto& p : planned) {
     const adaptive::PayloadEncode& enc = groups.at(key_of(p));
+    BufferView& cached = frame_cache[{key_of(p), p.plan.sequence}];
+    if (cached.empty()) {
+      cached = config_.frame_builder
+                   ? config_.frame_builder(enc.method, enc.payload, crc,
+                                           p.plan.sequence)
+                   : BufferView::own(frame_build_seq(enc.method, enc.payload,
+                                                     crc, p.plan.sequence));
+    }
     adaptive::EncodeResult encoded;
-    encoded.framed = frame_build_seq(enc.method, enc.payload, crc,
-                                     p.plan.sequence);
+    encoded.framed = cached;  // shares the backing buffer, no copy
     encoded.method = enc.method;
     encoded.fallback = enc.fallback;
     encoded.threw = enc.threw;
@@ -363,7 +390,7 @@ std::size_t FanoutBroker::pump_locked_free(const SubscriberPtr& sub,
     // Parked subscribers have no peer to pump to; their frames wait in
     // the shed-mode egress for resume() to sort out.
     if (sub->parked.load()) break;
-    std::optional<Bytes> frame = sub->queue->try_pop();
+    std::optional<BufferView> frame = sub->queue->try_pop_buffer();
     if (!frame) break;
     transport::Transport* downstream = sub->downstream.load();
     // Time the REAL link transfer on the transport's clock — this is the
@@ -371,7 +398,10 @@ std::size_t FanoutBroker::pump_locked_free(const SubscriberPtr& sub,
     const Clock& clock = downstream->clock();
     const Seconds start = clock.now();
     try {
-      downstream->send(*frame);
+      // Zero-copy handoff: a downstream that can exploit shared ownership
+      // (the shm endpoint shipping a slab descriptor) gets the view; every
+      // other transport sees plain send() bytes via the default.
+      downstream->send_buffer(*frame);
     } catch (const IoError&) {
       sub->mark_disconnected();
       sub->queue->close();
@@ -379,8 +409,28 @@ std::size_t FanoutBroker::pump_locked_free(const SubscriberPtr& sub,
     }
     const Seconds elapsed = clock.now() - start;
     {
-      std::lock_guard<std::mutex> lock(sub->sender_mutex);
-      sub->sender->record_bandwidth(frame->size(), elapsed);
+      // try_to_lock, never lock: a publisher cv-waiting in this
+      // subscriber's full kBlock egress holds sender_mutex across the
+      // wait, and only this loop's next pop can wake it. Blocking here
+      // hands the race a deadlock; bank the sample instead.
+      std::unique_lock<std::mutex> lock(sub->sender_mutex,
+                                        std::try_to_lock);
+      if (lock.owns_lock()) {
+        std::size_t bytes = frame->size();
+        Seconds total = elapsed;
+        {
+          std::lock_guard<std::mutex> banked(sub->banked_bw_mutex);
+          bytes += sub->banked_bw_bytes;
+          total += sub->banked_bw_elapsed;
+          sub->banked_bw_bytes = 0;
+          sub->banked_bw_elapsed = 0.0;
+        }
+        sub->sender->record_bandwidth(bytes, total);
+      } else {
+        std::lock_guard<std::mutex> banked(sub->banked_bw_mutex);
+        sub->banked_bw_bytes += frame->size();
+        sub->banked_bw_elapsed += elapsed;
+      }
     }
     {
       std::lock_guard<std::mutex> lock(sub->stats_mutex);
@@ -480,6 +530,25 @@ std::size_t FanoutBroker::memory_usage_total() const {
     total += sub->queue->bytes();
     std::lock_guard<std::mutex> lock(sub->sender_mutex);
     total += sub->sender->retransmit_ring().bytes();
+  }
+  return total;
+}
+
+std::size_t FanoutBroker::memory_usage_unique() const {
+  std::vector<SubscriberPtr> subs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    subs.reserve(subscribers_.size());
+    for (const auto& [id, sub] : subscribers_) subs.push_back(sub);
+  }
+  // One seen-set threaded through every queue AND every ring: a shared-
+  // encode frame held by all of them still counts once process-wide.
+  std::set<const void*> seen;
+  std::size_t total = 0;
+  for (const auto& sub : subs) {
+    total += sub->queue->bytes_unique(seen);
+    std::lock_guard<std::mutex> lock(sub->sender_mutex);
+    total += sub->sender->retransmit_ring().bytes_unique(seen);
   }
   return total;
 }

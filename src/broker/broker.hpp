@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -89,6 +91,18 @@ struct BrokerConfig {
   /// Shared sampler prefix (the paper's 4 KiB): each published block is
   /// sampled ONCE and the result feeds every subscriber's plan.
   std::size_t sample_prefix = 4 * 1024;
+  /// Frame staging hook. When set, the broker builds each shared frame by
+  /// calling this instead of frame_build_seq + heap copy — the shm
+  /// transport installs shm::slab_frame_builder here so frames materialize
+  /// directly inside refcounted shared-memory slabs and every subscriber's
+  /// egress retains the SAME slab-backed view (descriptor fan-out). The
+  /// returned view must be byte-identical to
+  /// frame_build_seq(method, payload, crc, sequence). Keeps the broker
+  /// shm-agnostic: it never links against acex_shm.
+  std::function<BufferView(MethodId method, ByteView payload,
+                           std::uint32_t original_crc,
+                           std::uint64_t sequence)>
+      frame_builder;
 };
 
 /// Multi-subscriber event distribution with per-subscriber adaptive codecs
@@ -190,8 +204,17 @@ class FanoutBroker {
   /// `id`'s egress + retransmit-ring memory. Throws on unknown ids.
   SubscriberMemory memory_usage(SubscriberId id) const;
 
-  /// Sum of memory_usage over every subscriber, parked or live.
+  /// Sum of memory_usage over every subscriber, parked or live. Counts
+  /// every queued/ringed frame at full size even when subscribers share
+  /// one backing buffer — the historical per-subscriber ledger.
   std::size_t memory_usage_total() const;
+
+  /// Share-aware total: frames that alias one backing buffer (the shared-
+  /// encode fan-out case — N egress queues + N rings holding one slab)
+  /// charge the budget ONCE. This is what the session layer's MemoryBudget
+  /// and the overload ladder consume, so 64 subscribers sharing a slab no
+  /// longer look like 64 copies (DESIGN.md §16).
+  std::size_t memory_usage_unique() const;
 
   /// Attach this broker to a channel: every event submitted to the channel
   /// is published as one block. Returns the channel subscription id for

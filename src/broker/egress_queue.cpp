@@ -16,6 +16,11 @@ void EgressQueue::drop_front_locked() {
 }
 
 void EgressQueue::send(ByteView message) {
+  // The caller's span may die at return: take an owned copy.
+  send_buffer(BufferView::copy(message));
+}
+
+void EgressQueue::send_buffer(const BufferView& message) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) throw IoError("egress queue closed");
 
@@ -57,17 +62,29 @@ void EgressQueue::send(ByteView message) {
     }
   }
 
-  frames_.emplace_back(message.begin(), message.end());
-  bytes_ += frames_.back().size();
+  // Retain the view — sharing the backing buffer with every other holder
+  // (sibling queues, retransmit rings, the shm slab ring).
+  frames_.push_back(message);
+  bytes_ += message.size();
   ++accepted_;
 }
 
 std::optional<Bytes> EgressQueue::receive() { return try_pop(); }
 
+std::optional<BufferView> EgressQueue::receive_buffer() {
+  return try_pop_buffer();
+}
+
 std::optional<Bytes> EgressQueue::try_pop() {
+  std::optional<BufferView> frame = try_pop_buffer();
+  if (!frame) return std::nullopt;
+  return frame->to_bytes();
+}
+
+std::optional<BufferView> EgressQueue::try_pop_buffer() {
   std::unique_lock<std::mutex> lock(mutex_);
   if (frames_.empty()) return std::nullopt;
-  Bytes frame = std::move(frames_.front());
+  BufferView frame = std::move(frames_.front());
   frames_.pop_front();
   bytes_ -= frame.size();
   not_full_.notify_one();
@@ -115,6 +132,17 @@ std::size_t EgressQueue::depth() const {
 std::size_t EgressQueue::bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return bytes_;
+}
+
+std::size_t EgressQueue::bytes_unique(std::set<const void*>& seen) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const BufferView& frame : frames_) {
+    const void* key = frame.owner_key();
+    if (key != nullptr && !seen.insert(key).second) continue;
+    total += frame.size();
+  }
+  return total;
 }
 
 std::uint64_t EgressQueue::drops() const {

@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <set>
 
 #include "transport/transport.hpp"
 #include "util/bytes.hpp"
@@ -70,13 +71,25 @@ class EgressQueue final : public transport::Transport {
   /// Throws EgressTimeout when a bounded kBlock wait expires.
   void send(ByteView message) override;
 
+  /// Zero-copy enqueue: the queue RETAINS the view (sharing its backing
+  /// buffer) instead of copying. This is how one shared-encode frame fans
+  /// out to N subscribers' queues at the cost of one buffer.
+  void send_buffer(const BufferView& message) override;
+
   /// Pop the oldest frame; std::nullopt when empty (or closed and drained).
   std::optional<Bytes> receive() override;
+
+  /// Zero-copy pop: hands back the retained view, owner intact, so the
+  /// pump can forward it downstream without materializing a copy.
+  std::optional<BufferView> receive_buffer() override;
 
   const Clock& clock() const override { return *clock_; }
 
   /// Non-blocking pop for the delivery pump (same as receive()).
   std::optional<Bytes> try_pop();
+
+  /// Non-blocking zero-copy pop (same as receive_buffer()).
+  std::optional<BufferView> try_pop_buffer();
 
   /// Close the queue: wakes any blocked sender with IoError, drops queued
   /// frames, and makes every later send() fail. Idempotent. Called on
@@ -99,9 +112,14 @@ class EgressQueue final : public transport::Transport {
 
   bool closed() const;
   std::size_t depth() const;
-  /// Payload bytes currently queued — the queue's share of the process
-  /// memory budget.
+  /// Payload bytes currently queued, counting every frame at full size
+  /// even when frames share one backing buffer across queues.
   std::size_t bytes() const;
+  /// Share-aware accounting: queued bytes whose backing buffer is not
+  /// already in `seen` (registering each as a side effect). The broker
+  /// threads one set through all queues + rings so a frame shared by N
+  /// subscribers charges the memory budget once (DESIGN.md §16).
+  std::size_t bytes_unique(std::set<const void*>& seen) const;
   std::size_t capacity() const noexcept { return capacity_; }
   SlowConsumerPolicy policy() const noexcept { return policy_; }
   Seconds block_timeout() const noexcept { return block_timeout_; }
@@ -123,7 +141,7 @@ class EgressQueue final : public transport::Transport {
 
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
-  std::deque<Bytes> frames_;
+  std::deque<BufferView> frames_;
   std::size_t bytes_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t accepted_ = 0;

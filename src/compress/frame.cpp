@@ -1,5 +1,7 @@
 #include "compress/frame.hpp"
 
+#include <algorithm>
+
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/varint.hpp"
@@ -70,7 +72,38 @@ Bytes frame_build_seq(MethodId method, ByteView payload,
   return out;
 }
 
-Frame frame_parse(ByteView framed) {
+std::size_t frame_build_seq_into(std::uint8_t* dst, MethodId method,
+                                 ByteView payload, std::uint32_t original_crc,
+                                 std::uint64_t sequence) {
+  // The header is tiny (<= 25 bytes); building it in a scratch vector and
+  // writing payload + trailer straight into `dst` keeps this byte-identical
+  // to frame_build_seq while making only ONE pass over the payload — the
+  // copy into the destination (a shared-memory slab on the shm path).
+  Bytes head;
+  head.reserve(32);
+  head.push_back(kMagic0);
+  head.push_back(kMagic1);
+  head.push_back(kFrameVersionSeq);
+  head.push_back(static_cast<std::uint8_t>(method));
+  put_varint(head, sequence);
+  put_varint(head, payload.size());
+  head.push_back(header_checksum(ByteView(head.data(), head.size()),
+                                 head.size()));
+  std::copy(head.begin(), head.end(), dst);
+  std::copy(payload.begin(), payload.end(), dst + head.size());
+  std::uint8_t* trailer = dst + head.size() + payload.size();
+  for (int i = 0; i < 4; ++i) {
+    trailer[i] = static_cast<std::uint8_t>(original_crc >> (8 * i));
+  }
+  return head.size() + payload.size() + 4;
+}
+
+namespace {
+
+/// Shared validation body of both frame_parse overloads. The returned
+/// frame's payload BORROWS `framed`; each public overload fixes the
+/// lifetime up to its own contract (copy vs shared alias).
+Frame frame_parse_borrowed(ByteView framed) {
   if (framed.size() < kMinFrameV1) throw DecodeError("frame: too short");
   if (framed[0] != kMagic0 || framed[1] != kMagic1) {
     throw DecodeError("frame: bad magic");
@@ -108,13 +141,31 @@ Frame frame_parse(ByteView framed) {
   if (remaining < 4 || remaining - 4 != payload_size) {
     throw DecodeError("frame: size mismatch");
   }
-  const auto payload = framed.subspan(pos, payload_size);
-  frame.payload.assign(payload.begin(), payload.end());
+  frame.payload = BufferView::borrow(framed.subspan(pos, payload_size));
   pos += payload_size;
   frame.crc = 0;
   for (int i = 0; i < 4; ++i) {
     frame.crc |= static_cast<std::uint32_t>(framed[pos + i]) << (8 * i);
   }
+  return frame;
+}
+
+}  // namespace
+
+Frame frame_parse(ByteView framed) {
+  Frame frame = frame_parse_borrowed(framed);
+  // Historical contract: the parsed Frame outlives the wire buffer.
+  frame.payload = BufferView::copy(frame.payload);
+  return frame;
+}
+
+Frame frame_parse(const BufferView& framed) {
+  Frame frame = frame_parse_borrowed(framed.view());
+  // Re-anchor the borrowed payload on the wire buffer's owner so it stays
+  // valid for the Frame's whole lifetime — zero copies.
+  const std::size_t offset =
+      static_cast<std::size_t>(frame.payload.data() - framed.data());
+  frame.payload = framed.subview(offset, frame.payload.size());
   return frame;
 }
 

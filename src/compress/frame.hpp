@@ -4,6 +4,7 @@
 
 #include "compress/codec.hpp"
 #include "compress/registry.hpp"
+#include "util/buffer_view.hpp"
 
 namespace acex {
 
@@ -33,7 +34,12 @@ inline constexpr std::uint8_t kFrameVersionSeq = 2;
 struct Frame {
   std::uint8_t version = kFrameVersion;
   MethodId method = MethodId::kNone;
-  Bytes payload;               ///< codec output (compressed bytes)
+  /// Codec output (compressed bytes). A span-with-owner: frame_parse over
+  /// a plain ByteView copies (the historical contract — the Frame outlives
+  /// its wire buffer), while the BufferView overload aliases the wire
+  /// bytes in place and shares their owner, so a frame mapped out of a
+  /// shared-memory slab is decoded with zero payload copies.
+  BufferView payload;
   std::uint32_t crc = 0;       ///< CRC-32 of the original data
   std::uint64_t sequence = 0;  ///< v2 stream sequence number
   bool has_sequence = false;   ///< true iff the frame was v2
@@ -55,9 +61,28 @@ Bytes frame_compress_seq(Codec& codec, ByteView data, std::uint64_t sequence);
 Bytes frame_build_seq(MethodId method, ByteView payload,
                       std::uint32_t original_crc, std::uint64_t sequence);
 
+/// frame_build_seq written straight into caller storage (byte-identical
+/// output): `dst` must hold frame_overhead_seq(payload.size(), sequence) +
+/// payload.size() bytes. Returns the bytes written. This is the staging
+/// primitive of the shm transport — the frame is materialized directly
+/// inside a shared-memory slab, so the payload is copied exactly once.
+std::size_t frame_build_seq_into(std::uint8_t* dst, MethodId method,
+                                 ByteView payload, std::uint32_t original_crc,
+                                 std::uint64_t sequence);
+
 /// Parse a frame (either version) without decompressing. Throws DecodeError
 /// on malformed or truncated envelopes, including header-checksum failures.
+/// The payload is COPIED out of `framed` (the parsed Frame outlives the
+/// wire buffer) — receivers on the zero-copy path use the BufferView
+/// overload below instead.
 Frame frame_parse(ByteView framed);
+
+/// Zero-copy parse: identical validation, but the returned Frame's payload
+/// ALIASES `framed`'s bytes and shares its owner, so no payload copy is
+/// made and the wire buffer (heap block or mapped slab) stays alive for as
+/// long as the Frame does. This is the receiver hot path: decode reads the
+/// compressed bytes straight out of transport-owned storage.
+Frame frame_parse(const BufferView& framed);
 
 /// Parse, look the codec up in `registry`, decompress, and verify the CRC.
 /// A method id the registry does not know is corrupt wire data, not caller

@@ -96,7 +96,7 @@ std::size_t ChannelSender::pump_control() {
         // still forwarded.
         std::size_t replayed = 0;
         for (const std::uint64_t seq : decode_seqs(*nacks)) {
-          if (const Bytes* wire = ring_.replay(seq)) {
+          if (const BufferView* wire = ring_.replay(seq)) {
             transport_->send(*wire);
             ++retransmits_;
             ++replayed;

@@ -1,0 +1,285 @@
+#include "shm/bus.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/varint.hpp"
+
+namespace acex::shm {
+namespace {
+
+constexpr std::uint8_t kDescMagic0 = 'A';
+constexpr std::uint8_t kDescMagic1 = 'D';
+
+const Clock& fallback_clock() {
+  static MonotonicClock clock;
+  return clock;
+}
+
+obs::Counter& copy_fallback_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("acex.shm.copy_fallbacks");
+  return counter;
+}
+
+obs::Counter& stale_descriptor_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("acex.shm.stale_descriptors");
+  return counter;
+}
+
+}  // namespace
+
+Bytes encode_descriptor(const SlabDescriptor& desc) {
+  Bytes out;
+  out.reserve(24);
+  out.push_back(kDescMagic0);
+  out.push_back(kDescMagic1);
+  put_varint(out, desc.offset);
+  put_varint(out, desc.generation);
+  put_varint(out, desc.length);
+  const std::uint32_t crc = crc32(ByteView(out).subspan(2));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+SlabDescriptor decode_descriptor(ByteView wire) {
+  if (wire.size() < 2 + 3 + 4) throw DecodeError("shm descriptor: too short");
+  if (wire[0] != kDescMagic0 || wire[1] != kDescMagic1) {
+    throw DecodeError("shm descriptor: bad magic");
+  }
+  std::size_t pos = 2;
+  SlabDescriptor desc;
+  desc.offset = get_varint(wire, &pos);
+  const std::uint64_t generation = get_varint(wire, &pos);
+  const std::uint64_t length = get_varint(wire, &pos);
+  if (generation > std::numeric_limits<std::uint32_t>::max() ||
+      length > std::numeric_limits<std::uint32_t>::max()) {
+    throw DecodeError("shm descriptor: field out of range");
+  }
+  desc.generation = static_cast<std::uint32_t>(generation);
+  desc.length = static_cast<std::uint32_t>(length);
+  if (wire.size() - pos != 4) {
+    throw DecodeError("shm descriptor: size mismatch");
+  }
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(wire[pos + i]) << (8 * i);
+  }
+  if (crc32(wire.subspan(2, pos - 2)) != crc) {
+    throw DecodeError("shm descriptor: CRC mismatch");
+  }
+  return desc;
+}
+
+namespace {
+
+ShmSegment make_segment(const ShmBusConfig& config) {
+  const std::size_t size = SlabRing::segment_size(config.ring);
+  if (config.segment_name.empty()) return ShmSegment::anonymous(size);
+  return ShmSegment::create(config.segment_name, size);
+}
+
+}  // namespace
+
+ShmBus::ShmBus(ShmBusConfig config)
+    : config_(std::move(config)),
+      segment_(make_segment(config_)),
+      ring_(segment_, config_.ring) {}
+
+BufferView ShmBus::stage(ByteView bytes) {
+  SlabRing::WriteSlab slab = ring_.acquire(bytes.size());
+  std::copy(bytes.begin(), bytes.end(), slab.data);
+  BufferView view = ring_.publish(slab, bytes.size());
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.staged;
+  stats_.staged_bytes += bytes.size();
+  return view;
+}
+
+std::function<BufferView(MethodId, ByteView, std::uint32_t, std::uint64_t)>
+ShmBus::frame_builder() {
+  return [this](MethodId method, ByteView payload, std::uint32_t original_crc,
+                std::uint64_t sequence) -> BufferView {
+    const std::size_t total =
+        frame_overhead_seq(payload.size(), sequence) + payload.size();
+    if (total > ring_.slab_size()) {
+      // The frame cannot live in a slab; degrade to the heap path the
+      // broker would have used anyway. Everything downstream still works
+      // (send_buffer copies it into... nothing — it stages on send), it
+      // just is not zero-copy. Size slabs above block_size + overhead so
+      // steady state never lands here.
+      note_copy_fallback();
+      return BufferView::own(
+          frame_build_seq(method, payload, original_crc, sequence));
+    }
+    SlabRing::WriteSlab slab = ring_.acquire(total);
+    const std::size_t written = frame_build_seq_into(
+        slab.data, method, payload, original_crc, sequence);
+    BufferView view = ring_.publish(slab, written);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.staged;
+      stats_.staged_bytes += written;
+    }
+    return view;
+  };
+}
+
+std::unique_ptr<ShmEndpoint> ShmBus::endpoint(const Clock* clock) {
+  const Clock* effective = clock;
+  if (effective == nullptr) effective = config_.ring.clock;
+  if (effective == nullptr) effective = &fallback_clock();
+  return std::make_unique<ShmEndpoint>(*this, *effective,
+                                       config_.queue_capacity);
+}
+
+ShmBusStats ShmBus::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void ShmBus::note_copy_fallback() {
+  copy_fallback_counter().add();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.copy_fallbacks;
+}
+
+ShmEndpoint::ShmEndpoint(ShmBus& bus, const Clock& clock,
+                         std::size_t queue_capacity)
+    : bus_(&bus),
+      clock_(&clock),
+      capacity_(queue_capacity == 0 ? 1 : queue_capacity) {}
+
+ShmEndpoint::~ShmEndpoint() {
+  // Give queued-but-never-read descriptors their references back now
+  // instead of making the ring force-reclaim them later.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Bytes& wire : queue_) {
+    try {
+      bus_->ring().drop_ref(decode_descriptor(wire));
+    } catch (const DecodeError&) {
+      // injected garbage carries no reference
+    }
+  }
+  queue_.clear();
+}
+
+void ShmEndpoint::send(ByteView message) {
+  // Not slab-backed by definition: stage one copy, then descriptor-ship.
+  BufferView staged = bus_->stage(message);
+  bus_->note_copy_fallback();
+  const std::optional<SlabDescriptor> desc =
+      bus_->ring().descriptor_of(staged);
+  if (!desc || !bus_->ring().add_ref(*desc)) {
+    // Reclaimed between publish and transfer: the ring is thrashing so
+    // hard a just-written slab did not survive one call. That is a sizing
+    // error, not a recoverable condition.
+    throw IoError("shm: slab reclaimed before its descriptor shipped");
+  }
+  enqueue(encode_descriptor(*desc));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.sent;
+}
+
+void ShmEndpoint::send_buffer(const BufferView& message) {
+  const std::optional<SlabDescriptor> desc =
+      bus_->ring().descriptor_of(message);
+  // Transfer-ref protocol: pin on the receiver's behalf BEFORE the
+  // descriptor travels. A failed add_ref means the slab was force-
+  // reclaimed while queued elsewhere; recover by staging a fresh copy.
+  if (desc && bus_->ring().add_ref(*desc)) {
+    enqueue(encode_descriptor(*desc));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.sent;
+    ++stats_.zero_copy_sends;
+    return;
+  }
+  send(message);
+}
+
+void ShmEndpoint::enqueue(Bytes wire) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (queue_.size() >= capacity_) {
+    // Drop-oldest, exactly the broker ladder's shed rung: the slab
+    // reference the dropped descriptor carried is returned immediately so
+    // a reader that stopped draining cannot pin the ring full.
+    try {
+      bus_->ring().drop_ref(decode_descriptor(queue_.front()));
+    } catch (const DecodeError&) {
+    }
+    queue_.pop_front();
+    ++stats_.queue_drops;
+  }
+  queue_.push_back(std::move(wire));
+}
+
+std::optional<Bytes> ShmEndpoint::receive() {
+  std::optional<BufferView> view = receive_buffer();
+  if (!view) return std::nullopt;
+  return view->to_bytes();
+}
+
+std::optional<BufferView> ShmEndpoint::receive_buffer() {
+  for (;;) {
+    Bytes wire;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queue_.empty()) return std::nullopt;
+      wire = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    SlabDescriptor desc;
+    try {
+      desc = decode_descriptor(wire);
+    } catch (const DecodeError&) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.corrupt_descriptors;
+      continue;
+    }
+    try {
+      BufferView view = bus_->ring().resolve(desc);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.received;
+      return view;
+    } catch (const ShmStaleError&) {
+      // The payload was force-reclaimed in flight: recoverable loss. The
+      // sequence it carried resurfaces as a gap and rides the NACK path,
+      // the same as a dropped egress frame.
+      stale_descriptor_counter().add();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.stale_descriptors;
+      continue;
+    } catch (const ShmError&) {
+      // Geometry that decoded fine but does not fit this ring — an
+      // injected or cross-ring descriptor. Counted, skipped, never
+      // dereferenced.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.corrupt_descriptors;
+      continue;
+    }
+  }
+}
+
+void ShmEndpoint::inject_raw(Bytes descriptor_wire) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(std::move(descriptor_wire));
+}
+
+std::size_t ShmEndpoint::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+ShmEndpointStats ShmEndpoint::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace acex::shm

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "compress/frame.hpp"
+#include "shm/ring.hpp"
+#include "shm/segment.hpp"
+#include "transport/transport.hpp"
+
+namespace acex::shm {
+
+/// Wire form of a SlabDescriptor: magic "AD" | varint offset |
+/// varint generation | varint length | crc32 of the three varints (LE).
+/// ~16 bytes regardless of payload size — this is ALL that travels per
+/// message on the shm path; the payload stays in the segment.
+Bytes encode_descriptor(const SlabDescriptor& desc);
+
+/// Parse + integrity-check a wire descriptor. Throws DecodeError on bad
+/// magic, truncation, or CRC mismatch — a flipped bit in the offset must
+/// never be dereferenced into the arena.
+SlabDescriptor decode_descriptor(ByteView wire);
+
+struct ShmBusConfig {
+  RingConfig ring;
+  /// Name for the POSIX segment; empty = anonymous mapping (in-process
+  /// fan-out, tests). Named segments follow ShmSegment::create semantics.
+  std::string segment_name;
+  /// Descriptor-queue depth per endpoint. On overflow the OLDEST queued
+  /// descriptor is dropped (its slab reference released) — the same rung
+  /// of the slow-consumer ladder the broker's kDropOldest egress uses, so
+  /// a subscriber that stops reading loses recoverable history instead of
+  /// wedging the producer.
+  std::size_t queue_capacity = 256;
+};
+
+/// Ground truth mirrored by obs counters (acexstat --shm cross-checks).
+struct ShmBusStats {
+  std::uint64_t staged = 0;          ///< payloads written into slabs
+  std::uint64_t staged_bytes = 0;    ///< bytes those writes moved — the
+                                     ///< ENTIRE payload memory traffic of
+                                     ///< the shm path (descriptors are
+                                     ///< ~16 bytes each); the fan-out
+                                     ///< bench's bandwidth denominator
+  std::uint64_t copy_fallbacks = 0;  ///< sends that could not ship a
+                                     ///< descriptor without copying first
+};
+
+class ShmEndpoint;
+
+/// One producer-side shared-memory fan-out domain: the segment, the slab
+/// ring inside it, and the per-subscriber descriptor endpoints
+/// (DESIGN.md §16). Must outlive every endpoint it hands out and every
+/// BufferView its ring backs.
+class ShmBus {
+ public:
+  explicit ShmBus(ShmBusConfig config = {});
+
+  ShmBus(const ShmBus&) = delete;
+  ShmBus& operator=(const ShmBus&) = delete;
+
+  SlabRing& ring() noexcept { return ring_; }
+  ShmSegment& segment() noexcept { return segment_; }
+
+  /// Copy arbitrary bytes into a fresh slab and return the slab-backed
+  /// view — the copy-fallback primitive (counted; zero in steady state
+  /// when frames are staged directly by the frame builder).
+  BufferView stage(ByteView bytes);
+
+  /// A FanoutBroker frame builder that materializes each shared frame
+  /// straight into a slab with frame_build_seq_into — byte-identical to
+  /// frame_build_seq, copied exactly once, pinned by the returned view.
+  /// Frames larger than a slab degrade to a heap buffer (counted as a
+  /// copy fallback; size slabs so this never happens in steady state).
+  std::function<BufferView(MethodId, ByteView, std::uint32_t, std::uint64_t)>
+  frame_builder();
+
+  /// Create a subscriber endpoint. `clock` times this endpoint's
+  /// transport contract (null = the ring's clock source).
+  std::unique_ptr<ShmEndpoint> endpoint(const Clock* clock = nullptr);
+
+  ShmBusStats stats() const;
+
+ private:
+  friend class ShmEndpoint;
+  void note_copy_fallback();
+
+  ShmBusConfig config_;
+  ShmSegment segment_;
+  SlabRing ring_;
+
+  mutable std::mutex stats_mutex_;
+  ShmBusStats stats_;
+};
+
+/// Per-endpoint ground truth (acexstat --shm, fuzz assertions).
+struct ShmEndpointStats {
+  std::uint64_t sent = 0;                ///< messages accepted for delivery
+  std::uint64_t zero_copy_sends = 0;     ///< shipped as descriptor only
+  std::uint64_t received = 0;            ///< messages delivered to the app
+  std::uint64_t stale_descriptors = 0;   ///< lost to force-reclaim (typed,
+                                         ///< recovered via NACK)
+  std::uint64_t corrupt_descriptors = 0; ///< failed decode/geometry checks
+  std::uint64_t queue_drops = 0;         ///< overflow drops (ladder rung)
+};
+
+/// The shared-memory Transport: send() stages bytes into a slab and
+/// enqueues a ~16-byte wire descriptor; send_buffer() recognizes views
+/// already backed by this bus's ring and ships the descriptor with ZERO
+/// payload copies; receive_buffer() resolves descriptors back into
+/// slab-backed views the application decodes in place. References travel
+/// WITH descriptors (the sender pins on the receiver's behalf), so a slab
+/// can never be reclaimed between send and resolve except by the bounded-
+/// wait force-reclaim — which resolve detects as ShmStaleError and
+/// receive() skips, counting it, exactly like any other recoverable loss.
+class ShmEndpoint : public transport::Transport {
+ public:
+  ShmEndpoint(ShmBus& bus, const Clock& clock, std::size_t queue_capacity);
+  ~ShmEndpoint() override;
+
+  void send(ByteView message) override;
+  void send_buffer(const BufferView& message) override;
+  std::optional<Bytes> receive() override;
+  std::optional<BufferView> receive_buffer() override;
+  const Clock& clock() const override { return *clock_; }
+
+  /// Push raw bytes straight into the descriptor queue, bypassing the
+  /// send path — the acexfuzz --shm hook for descriptor mutation storms.
+  /// Anything receive() cannot validate is counted and skipped; only
+  /// typed errors may escape.
+  void inject_raw(Bytes descriptor_wire);
+
+  std::size_t depth() const;
+  ShmEndpointStats stats() const;
+
+ private:
+  void enqueue(Bytes wire);
+
+  ShmBus* bus_;
+  const Clock* clock_;
+  std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::deque<Bytes> queue_;  ///< encoded descriptors, FIFO
+  ShmEndpointStats stats_;
+};
+
+}  // namespace acex::shm

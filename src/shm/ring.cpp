@@ -1,0 +1,385 @@
+#include "shm/ring.hpp"
+
+#include <limits>
+#include <memory>
+#include <new>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace acex::shm {
+namespace {
+
+constexpr std::uint32_t kRingMagic = 0x41585348;  // "AXSH"
+constexpr std::uint32_t kRingVersion = 1;
+
+constexpr std::uint64_t pack_state(std::uint32_t generation,
+                                   std::uint32_t refcount) noexcept {
+  return (static_cast<std::uint64_t>(generation) << 32) | refcount;
+}
+constexpr std::uint32_t state_generation(std::uint64_t state) noexcept {
+  return static_cast<std::uint32_t>(state >> 32);
+}
+constexpr std::uint32_t state_refcount(std::uint64_t state) noexcept {
+  return static_cast<std::uint32_t>(state);
+}
+
+const Clock& default_clock() {
+  static MonotonicClock clock;
+  return clock;
+}
+
+struct RingMetrics {
+  obs::Gauge& slabs_in_use;
+  obs::Gauge& occupancy_pct;
+  obs::Histogram& reclaim_wait;
+  obs::Counter& force_reclaims;
+  obs::Counter& stale_releases;
+};
+
+RingMetrics& ring_metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static RingMetrics metrics{
+      reg.gauge("acex.shm.slabs_in_use"),
+      reg.gauge("acex.shm.ring.occupancy_pct"),
+      reg.histogram("acex.shm.reclaim_wait_seconds"),
+      reg.counter("acex.shm.force_reclaims"),
+      reg.counter("acex.shm.stale_releases"),
+  };
+  return metrics;
+}
+
+}  // namespace
+
+/// Segment-resident control block. Everything mutable is an address-free
+/// atomic so the same bytes work from any mapping of the segment.
+struct alignas(64) SlabRing::Header {
+  std::uint32_t magic = kRingMagic;
+  std::uint32_t version = kRingVersion;
+  std::uint32_t slab_count = 0;
+  std::uint32_t slab_size = 0;
+  std::atomic<std::uint64_t> cursor{0};         ///< allocation scan hint
+  std::atomic<std::uint64_t> publish_counter{0};
+  std::atomic<std::uint32_t> in_use{0};
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> reclaim_waits{0};
+  std::atomic<std::uint64_t> force_reclaims{0};
+  std::atomic<std::uint64_t> stale_releases{0};
+};
+
+struct alignas(64) SlabRing::Slab {
+  std::atomic<std::uint64_t> state{pack_state(0, 0)};
+  std::atomic<std::uint32_t> length{0};
+  /// Monotonic publish stamp; the force-reclaim victim is the minimum
+  /// (oldest payload = the one whose loss costs the least, exactly the
+  /// drop-oldest rung of the broker's slow-consumer ladder).
+  std::atomic<std::uint64_t> publish_seq{0};
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "segment-resident atomics must be lock-free");
+
+/// The owner object behind every slab-backed BufferView: destruction
+/// unregisters the view and drops its pin. release() is generation-checked,
+/// so a pin outliving a force-reclaim is harmless by construction.
+struct SlabRing::Pin {
+  SlabRing* ring;
+  std::uint32_t index;
+  std::uint32_t generation;
+};
+
+std::size_t SlabRing::segment_size(const RingConfig& config) noexcept {
+  return sizeof(Header) + config.slab_count * sizeof(Slab) +
+         config.slab_count * config.slab_size;
+}
+
+SlabRing::SlabRing(ShmSegment& segment, const RingConfig& config) {
+  validate(segment.size(), /*attach=*/false, config);
+  auto* base = static_cast<std::uint8_t*>(segment.data());
+  header_ = new (base) Header();
+  header_->slab_count = static_cast<std::uint32_t>(config.slab_count);
+  header_->slab_size = static_cast<std::uint32_t>(config.slab_size);
+  slabs_ = reinterpret_cast<Slab*>(base + sizeof(Header));
+  for (std::size_t i = 0; i < config.slab_count; ++i) new (slabs_ + i) Slab();
+  arena_ = base + sizeof(Header) + config.slab_count * sizeof(Slab);
+  reclaim_wait_ = config.reclaim_wait;
+  clock_ = config.clock != nullptr ? config.clock : &default_clock();
+  publish_gauges();
+}
+
+SlabRing::SlabRing(ShmSegment& segment, const RingConfig& runtime,
+                   bool /*attach*/) {
+  auto* base = static_cast<std::uint8_t*>(segment.data());
+  if (segment.size() < sizeof(Header)) {
+    throw ShmError("truncated segment: smaller than the ring header");
+  }
+  header_ = reinterpret_cast<Header*>(base);
+  RingConfig described = runtime;
+  described.slab_count = header_->slab_count;
+  described.slab_size = header_->slab_size;
+  validate(segment.size(), /*attach=*/true, described);
+  slabs_ = reinterpret_cast<Slab*>(base + sizeof(Header));
+  arena_ = base + sizeof(Header) + described.slab_count * sizeof(Slab);
+  reclaim_wait_ = runtime.reclaim_wait;
+  clock_ = runtime.clock != nullptr ? runtime.clock : &default_clock();
+}
+
+void SlabRing::validate(std::size_t segment_bytes, bool attach,
+                        const RingConfig& config) {
+  if (attach) {
+    if (header_->magic != kRingMagic) {
+      throw ShmError("attach: bad ring magic (not a slab ring segment)");
+    }
+    if (header_->version != kRingVersion) {
+      throw ShmError("attach: ring version " +
+                     std::to_string(header_->version) + " unsupported");
+    }
+  }
+  if (config.slab_count == 0 || config.slab_size == 0) {
+    throw ShmError("ring needs a positive slab count and slab size");
+  }
+  if (config.slab_count > (std::uint64_t{1} << 20) ||
+      config.slab_size > (std::uint64_t{1} << 31)) {
+    throw ShmError("ring geometry implausible (corrupt header?)");
+  }
+  if (segment_bytes < segment_size(config)) {
+    throw ShmError(
+        attach ? "truncated segment: header claims more slabs than mapped"
+               : "segment too small for the configured ring");
+  }
+}
+
+std::uint8_t* SlabRing::slab_data(std::uint32_t index) const noexcept {
+  return arena_ + static_cast<std::size_t>(index) * header_->slab_size;
+}
+
+SlabRing::WriteSlab SlabRing::acquire(std::size_t length) {
+  if (length > header_->slab_size) {
+    throw ShmError("payload of " + std::to_string(length) +
+                   " bytes exceeds the slab size of " +
+                   std::to_string(header_->slab_size));
+  }
+  const std::uint32_t count = header_->slab_count;
+  const Seconds start = clock_->now();
+  bool waited = false;
+  // Spin cap so a non-advancing clock (virtual time in benches) still
+  // reaches the reclaim rung instead of looping forever.
+  int spins_left = 10000;
+  for (;;) {
+    const std::uint64_t hint = header_->cursor.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t idx = static_cast<std::uint32_t>((hint + i) % count);
+      std::uint64_t cur = slabs_[idx].state.load(std::memory_order_acquire);
+      if (state_refcount(cur) != 0) continue;
+      const std::uint32_t gen = state_generation(cur) + 1;
+      if (slabs_[idx].state.compare_exchange_strong(
+              cur, pack_state(gen, 1), std::memory_order_acq_rel)) {
+        header_->cursor.store(idx + 1, std::memory_order_relaxed);
+        header_->in_use.fetch_add(1, std::memory_order_relaxed);
+        header_->acquires.fetch_add(1, std::memory_order_relaxed);
+        if (waited) {
+          header_->reclaim_waits.fetch_add(1, std::memory_order_relaxed);
+          ring_metrics().reclaim_wait.record(clock_->now() - start);
+        }
+        publish_gauges();
+        return {idx, gen, slab_data(idx), header_->slab_size};
+      }
+    }
+    waited = true;
+    if (clock_->now() - start < reclaim_wait_ && --spins_left > 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Bounded wait expired: reclaim the oldest published slab out from
+    // under whoever still pins it. The generation bump is the whole
+    // safety story — stale descriptors fail resolve, stale releases
+    // become no-ops, and a reader mid-copy is caught by the frame CRC.
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t cur = slabs_[i].state.load(std::memory_order_acquire);
+      if (state_refcount(cur) == 0) continue;
+      const std::uint64_t seq =
+          slabs_[i].publish_seq.load(std::memory_order_relaxed);
+      if (seq < oldest) {
+        oldest = seq;
+        victim = i;
+      }
+    }
+    std::uint64_t cur = slabs_[victim].state.load(std::memory_order_acquire);
+    if (state_refcount(cur) == 0) continue;  // freed while we scanned: rescan
+    const std::uint32_t gen = state_generation(cur) + 1;
+    if (!slabs_[victim].state.compare_exchange_strong(
+            cur, pack_state(gen, 1), std::memory_order_acq_rel)) {
+      continue;  // racing release or claim; rescan
+    }
+    // in_use unchanged: the victim was in use and still is, under us.
+    header_->force_reclaims.fetch_add(1, std::memory_order_relaxed);
+    header_->reclaim_waits.fetch_add(1, std::memory_order_relaxed);
+    header_->acquires.fetch_add(1, std::memory_order_relaxed);
+    ring_metrics().force_reclaims.add();
+    ring_metrics().reclaim_wait.record(clock_->now() - start);
+    publish_gauges();
+    return {victim, gen, slab_data(victim), header_->slab_size};
+  }
+}
+
+BufferView SlabRing::publish(const WriteSlab& slab, std::size_t length) {
+  slabs_[slab.index].length.store(static_cast<std::uint32_t>(length),
+                                  std::memory_order_release);
+  slabs_[slab.index].publish_seq.store(
+      header_->publish_counter.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  return make_view(slab.index, slab.generation, length);
+}
+
+void SlabRing::abandon(const WriteSlab& slab) noexcept {
+  release(slab.index, slab.generation);
+}
+
+BufferView SlabRing::make_view(std::uint32_t index, std::uint32_t generation,
+                               std::size_t length) {
+  auto pin = std::shared_ptr<Pin>(new Pin{this, index, generation},
+                                  [](Pin* p) {
+                                    SlabRing* ring = p->ring;
+                                    {
+                                      std::lock_guard<std::mutex> lock(
+                                          ring->pins_mutex_);
+                                      ring->pins_.erase(p);
+                                    }
+                                    ring->release(p->index, p->generation);
+                                    delete p;
+                                  });
+  {
+    std::lock_guard<std::mutex> lock(pins_mutex_);
+    pins_.emplace(pin.get(), std::make_pair(index, generation));
+  }
+  return BufferView(std::shared_ptr<const void>(pin, pin.get()),
+                    ByteView(slab_data(index), length));
+}
+
+void SlabRing::release(std::uint32_t index, std::uint32_t generation) noexcept {
+  std::uint64_t cur = slabs_[index].state.load(std::memory_order_acquire);
+  for (;;) {
+    if (state_generation(cur) != generation || state_refcount(cur) == 0) {
+      // The slab moved on without us (force-reclaim): this pin's slab is
+      // gone and its release must not touch the next tenant's count.
+      header_->stale_releases.fetch_add(1, std::memory_order_relaxed);
+      ring_metrics().stale_releases.add();
+      return;
+    }
+    const std::uint32_t refs = state_refcount(cur) - 1;
+    if (slabs_[index].state.compare_exchange_weak(
+            cur, pack_state(generation, refs), std::memory_order_acq_rel)) {
+      if (refs == 0) {
+        header_->in_use.fetch_sub(1, std::memory_order_relaxed);
+        publish_gauges();
+      }
+      return;
+    }
+  }
+}
+
+std::optional<SlabDescriptor> SlabRing::descriptor_of(
+    const BufferView& view) const {
+  const void* key = view.owner_key();
+  if (key == nullptr) return std::nullopt;
+  std::pair<std::uint32_t, std::uint32_t> info;
+  {
+    std::lock_guard<std::mutex> lock(pins_mutex_);
+    const auto it = pins_.find(key);
+    if (it == pins_.end()) return std::nullopt;
+    info = it->second;
+  }
+  // A subview into the middle of a slab has no descriptor (descriptors
+  // address whole published payloads); let the caller fall back to a copy.
+  if (view.data() != slab_data(info.first)) return std::nullopt;
+  SlabDescriptor desc;
+  desc.offset =
+      static_cast<std::uint64_t>(info.first) * header_->slab_size;
+  desc.generation = info.second;
+  desc.length =
+      static_cast<std::uint32_t>(view.size());  // views cover whole frames
+  return desc;
+}
+
+bool SlabRing::add_ref(const SlabDescriptor& desc) noexcept {
+  const auto index = static_cast<std::uint32_t>(desc.offset /
+                                                header_->slab_size);
+  if (desc.offset % header_->slab_size != 0 || index >= header_->slab_count) {
+    return false;
+  }
+  std::uint64_t cur = slabs_[index].state.load(std::memory_order_acquire);
+  for (;;) {
+    if (state_generation(cur) != desc.generation ||
+        state_refcount(cur) == 0) {
+      return false;  // already reclaimed: sender must copy instead
+    }
+    if (slabs_[index].state.compare_exchange_weak(
+            cur, pack_state(desc.generation, state_refcount(cur) + 1),
+            std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+}
+
+BufferView SlabRing::resolve(const SlabDescriptor& desc) {
+  if (desc.offset % header_->slab_size != 0 ||
+      desc.offset / header_->slab_size >= header_->slab_count) {
+    throw ShmError("descriptor offset outside the slab arena");
+  }
+  if (desc.length == 0 || desc.length > header_->slab_size) {
+    throw ShmError("descriptor length does not fit a slab");
+  }
+  const auto index =
+      static_cast<std::uint32_t>(desc.offset / header_->slab_size);
+  const std::uint64_t cur = slabs_[index].state.load(std::memory_order_acquire);
+  if (state_generation(cur) != desc.generation || state_refcount(cur) == 0) {
+    throw ShmStaleError("stale descriptor: slab generation " +
+                        std::to_string(state_generation(cur)) +
+                        " has moved past " + std::to_string(desc.generation));
+  }
+  const std::uint32_t published =
+      slabs_[index].length.load(std::memory_order_acquire);
+  if (desc.length > published) {
+    throw ShmError("descriptor length exceeds the published payload");
+  }
+  // Adopt the reference add_ref transferred with the descriptor: the view's
+  // pin release IS that reference's drop.
+  return make_view(index, desc.generation, desc.length);
+}
+
+void SlabRing::drop_ref(const SlabDescriptor& desc) noexcept {
+  if (desc.offset % header_->slab_size != 0) return;
+  const auto index =
+      static_cast<std::uint32_t>(desc.offset / header_->slab_size);
+  if (index >= header_->slab_count) return;
+  release(index, desc.generation);
+}
+
+RingStats SlabRing::stats() const {
+  RingStats s;
+  s.slab_count = header_->slab_count;
+  s.slab_size = header_->slab_size;
+  s.slabs_in_use = header_->in_use.load(std::memory_order_relaxed);
+  s.acquires = header_->acquires.load(std::memory_order_relaxed);
+  s.reclaim_waits = header_->reclaim_waits.load(std::memory_order_relaxed);
+  s.force_reclaims = header_->force_reclaims.load(std::memory_order_relaxed);
+  s.stale_releases = header_->stale_releases.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t SlabRing::slab_size() const noexcept { return header_->slab_size; }
+std::size_t SlabRing::slab_count() const noexcept {
+  return header_->slab_count;
+}
+
+void SlabRing::publish_gauges() const noexcept {
+  const std::uint32_t used = header_->in_use.load(std::memory_order_relaxed);
+  auto& metrics = ring_metrics();
+  metrics.slabs_in_use.set(used);
+  metrics.occupancy_pct.set(static_cast<std::int64_t>(
+      100.0 * used / static_cast<double>(header_->slab_count)));
+}
+
+}  // namespace acex::shm

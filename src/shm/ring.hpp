@@ -1,0 +1,176 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "shm/segment.hpp"
+#include "util/buffer_view.hpp"
+#include "util/clock.hpp"
+
+namespace acex::shm {
+
+/// A descriptor resolved against a slab whose generation has moved on: the
+/// payload it pointed at was force-reclaimed and rewritten. Recoverable —
+/// the receiver counts it and lets the NACK path re-request the sequence.
+class ShmStaleError : public ShmError {
+ public:
+  explicit ShmStaleError(const std::string& what) : ShmError(what) {}
+};
+
+/// What travels on the wire instead of the payload: where the framed bytes
+/// live inside the segment's slab arena, how long they are, and which
+/// generation of the slab they belong to. The generation is the integrity
+/// anchor — a reclaimed-and-reused slab fails the generation check instead
+/// of silently yielding someone else's bytes.
+struct SlabDescriptor {
+  std::uint64_t offset = 0;        ///< payload start, arena-relative bytes
+  std::uint32_t length = 0;        ///< framed message length
+  std::uint32_t generation = 0;    ///< slab generation the payload was
+                                   ///< published under
+};
+
+struct RingConfig {
+  std::size_t slab_count = 64;
+  std::size_t slab_size = 64 * 1024;
+  /// Bounded wait for a free slab before force-reclaiming the oldest
+  /// published one (the shm analog of the broker ladder's drop-oldest
+  /// stage): a crashed or wedged subscriber holding pins can delay a
+  /// producer by at most this long, never stall it.
+  Seconds reclaim_wait = 0.05;
+  /// Clock the bounded wait is measured on; null = process monotonic.
+  const Clock* clock = nullptr;
+};
+
+/// Ground truth mirrored into obs by the ring (acexstat --shm cross-checks).
+struct RingStats {
+  std::size_t slab_count = 0;
+  std::size_t slab_size = 0;
+  std::size_t slabs_in_use = 0;        ///< refcount > 0 right now
+  std::uint64_t acquires = 0;          ///< successful slab claims
+  std::uint64_t reclaim_waits = 0;     ///< acquires that had to wait
+  std::uint64_t force_reclaims = 0;    ///< pinned slabs reclaimed on expiry
+  std::uint64_t stale_releases = 0;    ///< releases ignored (gen moved on)
+};
+
+/// Ring of reference-counted payload slabs inside a shared-memory segment
+/// (DESIGN.md §16). One producer stages framed messages into slabs; any
+/// number of consumers map them in place through SlabDescriptors. All
+/// reclamation state lives in the segment itself as lock-free atomics:
+///
+///   slab state = one atomic u64 packing (generation:32 | refcount:32)
+///
+/// Claim:    CAS (g, 0)        -> (g+1, 1)   producer owns the slab
+/// Share:    CAS (g, n>0)      -> (g, n+1)   descriptor handed to a reader
+/// Release:  CAS (g, n>0)      -> (g, n-1)   pin dropped; 0 = reclaimable
+/// Reclaim:  CAS (g, n>0)      -> (g+1, 1)   bounded wait expired: the
+///           generation bump makes every outstanding descriptor stale
+///           (resolve fails typed) and every outstanding release a no-op,
+///           so a crashed subscriber can neither stall the producer nor
+///           corrupt the refcount of the slab's next life. A reader racing
+///           the rewrite sees torn bytes at worst — caught by the frame's
+///           end-to-end CRC like any other wire corruption.
+///
+/// In-process consumers hold pins through BufferView owners: the ring
+/// hands out slab-backed views whose owner releases the pin on
+/// destruction, and recognizes its own views by owner key so a view that
+/// came out of a slab is shipped onward as a descriptor, not bytes.
+class SlabRing {
+ public:
+  /// A claimed, writable slab (refcount 1, held by the producer).
+  struct WriteSlab {
+    std::uint32_t index = 0;
+    std::uint32_t generation = 0;
+    std::uint8_t* data = nullptr;
+    std::size_t capacity = 0;
+  };
+
+  /// Segment bytes needed for `config` (header + slab table + arena).
+  static std::size_t segment_size(const RingConfig& config) noexcept;
+
+  /// Format a fresh ring inside `segment` (producer side). The segment
+  /// must be at least segment_size(config) bytes and must outlive the
+  /// ring AND every BufferView the ring hands out.
+  SlabRing(ShmSegment& segment, const RingConfig& config);
+
+  /// Attach to a ring someone else formatted (consumer side). Validates
+  /// magic, version, and that the segment actually covers the slab table
+  /// and arena the header claims — a truncated segment is rejected here
+  /// with ShmError, never dereferenced. `runtime` supplies the local
+  /// reclaim policy (slab geometry comes from the header).
+  SlabRing(ShmSegment& segment, const RingConfig& runtime, bool attach);
+
+  SlabRing(const SlabRing&) = delete;
+  SlabRing& operator=(const SlabRing&) = delete;
+
+  /// Claim a free slab able to hold `length` bytes, waiting at most
+  /// reclaim_wait before force-reclaiming the oldest published slab.
+  /// Throws ShmError when `length` exceeds the slab size.
+  WriteSlab acquire(std::size_t length);
+
+  /// Publish a filled slab: stamps its length and recency, then wraps it
+  /// in a slab-backed BufferView that adopts the producer's pin (the view
+  /// releases it). The view's bytes ARE the slab — zero copies from here
+  /// to every consumer.
+  BufferView publish(const WriteSlab& slab, std::size_t length);
+
+  /// Abandon a claimed slab without publishing (error unwind).
+  void abandon(const WriteSlab& slab) noexcept;
+
+  /// The descriptor for a slab-backed view THIS ring handed out, or
+  /// nullopt when the view's bytes live anywhere else. This is how the
+  /// transport recognizes "already in shared memory" and ships 16 bytes
+  /// instead of the payload.
+  std::optional<SlabDescriptor> descriptor_of(const BufferView& view) const;
+
+  /// Add one reference for a descriptor about to travel (transfer-ref
+  /// protocol: the sender pins on the receiver's behalf, so the slab can
+  /// never die between send and resolve). False when the slab was already
+  /// force-reclaimed — the caller falls back to copying.
+  bool add_ref(const SlabDescriptor& desc) noexcept;
+
+  /// Turn a received descriptor into a slab-backed view, adopting the
+  /// reference add_ref transferred. Throws ShmStaleError when the slab's
+  /// generation has moved on (force-reclaimed in flight) and ShmError when
+  /// the descriptor's geometry doesn't fit this ring at all.
+  BufferView resolve(const SlabDescriptor& desc);
+
+  /// Drop a transferred reference without materializing a view (used when
+  /// a queued descriptor is dropped before anyone reads it).
+  void drop_ref(const SlabDescriptor& desc) noexcept;
+
+  RingStats stats() const;
+  std::size_t slab_size() const noexcept;
+  std::size_t slab_count() const noexcept;
+
+ private:
+  struct Header;
+  struct Slab;
+  struct Pin;
+
+  void validate(std::size_t segment_bytes, bool attach,
+                const RingConfig& config);
+  BufferView make_view(std::uint32_t index, std::uint32_t generation,
+                       std::size_t length);
+  void release(std::uint32_t index, std::uint32_t generation) noexcept;
+  void publish_gauges() const noexcept;
+  std::uint8_t* slab_data(std::uint32_t index) const noexcept;
+
+  Header* header_ = nullptr;
+  Slab* slabs_ = nullptr;
+  std::uint8_t* arena_ = nullptr;
+  Seconds reclaim_wait_ = 0.05;
+  const Clock* clock_ = nullptr;
+
+  /// Owner-key -> (index, generation) for views this ring handed out; how
+  /// descriptor_of recognizes its own slabs. Process-local by design: a
+  /// view never crosses a process boundary (descriptors do).
+  mutable std::mutex pins_mutex_;
+  std::unordered_map<const void*, std::pair<std::uint32_t, std::uint32_t>>
+      pins_;
+};
+
+}  // namespace acex::shm

@@ -1,0 +1,120 @@
+#include "shm/segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace acex::shm {
+namespace {
+
+std::string errno_text(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+void* map_fd(int fd, std::size_t size) {
+  void* data =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (data == MAP_FAILED) throw ShmError(errno_text("mmap"));
+  return data;
+}
+
+}  // namespace
+
+ShmSegment ShmSegment::create(const std::string& name, std::size_t size) {
+  if (name.empty() || name[0] != '/') {
+    throw ShmError("segment name must start with '/'");
+  }
+  if (size == 0) throw ShmError("segment size must be positive");
+  // A crashed predecessor leaves its name behind; replacing it (rather
+  // than failing EEXIST) is what makes restart robust. O_EXCL after the
+  // unlink still catches two producers racing to create the same name.
+  ::shm_unlink(name.c_str());
+  const int fd =
+      ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) throw ShmError(errno_text("shm_open(create)"));
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const std::string text = errno_text("ftruncate");
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw ShmError(text);
+  }
+  void* data = nullptr;
+  try {
+    data = map_fd(fd, size);
+  } catch (...) {
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    throw;
+  }
+  ::close(fd);  // the mapping keeps the memory alive; the fd is done
+  return ShmSegment(data, size, name, /*owner=*/true);
+}
+
+ShmSegment ShmSegment::attach(const std::string& name) {
+  if (name.empty() || name[0] != '/') {
+    throw ShmError("segment name must start with '/'");
+  }
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0);
+  if (fd < 0) throw ShmError(errno_text("shm_open(attach)"));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const std::string text = errno_text("fstat");
+    ::close(fd);
+    throw ShmError(text);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw ShmError("segment is empty (creator has not sized it)");
+  }
+  void* data = nullptr;
+  try {
+    data = map_fd(fd, size);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return ShmSegment(data, size, name, /*owner=*/false);
+}
+
+ShmSegment ShmSegment::anonymous(std::size_t size) {
+  if (size == 0) throw ShmError("segment size must be positive");
+  void* data = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (data == MAP_FAILED) throw ShmError(errno_text("mmap(anonymous)"));
+  return ShmSegment(data, size, std::string(), /*owner=*/false);
+}
+
+ShmSegment::ShmSegment(ShmSegment&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      name_(std::move(other.name_)),
+      owner_(std::exchange(other.owner_, false)) {}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    this->~ShmSegment();
+    new (this) ShmSegment(std::move(other));
+  }
+  return *this;
+}
+
+ShmSegment::~ShmSegment() {
+  if (owner_) unlink();
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+void ShmSegment::unlink() noexcept {
+  if (!name_.empty()) {
+    ::shm_unlink(name_.c_str());
+    owner_ = false;
+  }
+}
+
+}  // namespace acex::shm

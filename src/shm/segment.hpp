@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace acex::shm {
+
+/// A shared-memory operation failed at the OS boundary (shm_open, mmap,
+/// ftruncate) or a mapped segment failed structural validation on attach.
+class ShmError : public Error {
+ public:
+  explicit ShmError(const std::string& what) : Error("shm: " + what) {}
+};
+
+/// One POSIX shared-memory mapping with a robust create/attach/unlink
+/// lifecycle (DESIGN.md §16).
+///
+/// Three ways in:
+///   create()    — producer side: replaces any stale segment of the same
+///                 name left by a crashed predecessor (shm_unlink first),
+///                 then shm_open(O_CREAT|O_EXCL) + ftruncate + mmap.
+///   attach()    — consumer side: maps an existing segment read-write and
+///                 reports its actual size; callers validate structure on
+///                 top (SlabRing::open rejects truncated segments).
+///   anonymous() — in-process fan-out and tests: a MAP_SHARED|MAP_ANONYMOUS
+///                 mapping with identical semantics and no name to leak.
+///
+/// The mapping lives until the object is destroyed (munmap). The NAME is
+/// removed by unlink(): the creator calls it once every consumer has
+/// attached (or on teardown), after which the memory persists only as long
+/// as mappings do — the standard POSIX pattern that cannot leak segments
+/// past the last process. Destruction of a created segment unlinks
+/// automatically unless release_name() was called.
+class ShmSegment {
+ public:
+  static ShmSegment create(const std::string& name, std::size_t size);
+  static ShmSegment attach(const std::string& name);
+  static ShmSegment anonymous(std::size_t size);
+
+  ShmSegment(ShmSegment&& other) noexcept;
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ~ShmSegment();
+
+  void* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& name() const noexcept { return name_; }
+  /// True when this object created the segment (and owns its name).
+  bool owner() const noexcept { return owner_; }
+
+  /// Remove the segment's name from the filesystem namespace; idempotent,
+  /// never throws. Existing mappings (ours included) stay valid.
+  void unlink() noexcept;
+
+  /// Give up name ownership: the destructor will no longer unlink. Used
+  /// when the name must outlive this process for late attachers.
+  void release_name() noexcept { owner_ = false; }
+
+ private:
+  ShmSegment(void* data, std::size_t size, std::string name, bool owner)
+      : data_(data), size_(size), name_(std::move(name)), owner_(owner) {}
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string name_;
+  bool owner_ = false;
+};
+
+}  // namespace acex::shm

@@ -83,7 +83,7 @@ void RetransmitRing::evict_front() {
   ring_metrics().evictions.add(1);
 }
 
-void RetransmitRing::store(std::uint64_t seq, Bytes wire) {
+void RetransmitRing::store(std::uint64_t seq, BufferView wire) {
   const std::size_t incoming = wire.size();
   slots_.push_back(Slot{seq, std::move(wire), 0});
   bytes_ += incoming;
@@ -96,7 +96,7 @@ void RetransmitRing::store(std::uint64_t seq, Bytes wire) {
   }
 }
 
-const Bytes* RetransmitRing::replay(std::uint64_t seq) {
+const BufferView* RetransmitRing::replay(std::uint64_t seq) {
   for (auto& slot : slots_) {
     if (slot.seq != seq) continue;
     if (slot.retries >= max_retries_) {
@@ -114,7 +114,17 @@ const Bytes* RetransmitRing::replay(std::uint64_t seq) {
   return nullptr;
 }
 
-const Bytes* RetransmitRing::peek(std::uint64_t seq) const {
+std::size_t RetransmitRing::bytes_unique(std::set<const void*>& seen) const {
+  std::size_t total = 0;
+  for (const auto& slot : slots_) {
+    const void* key = slot.wire.owner_key();
+    if (key != nullptr && !seen.insert(key).second) continue;
+    total += slot.wire.size();
+  }
+  return total;
+}
+
+const BufferView* RetransmitRing::peek(std::uint64_t seq) const {
   for (const auto& slot : slots_) {
     if (slot.seq == seq) return &slot.wire;
   }

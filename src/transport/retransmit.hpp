@@ -2,7 +2,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <set>
+#include <utility>
 
+#include "util/buffer_view.hpp"
 #include "util/bytes.hpp"
 
 namespace acex::transport {
@@ -18,7 +21,10 @@ namespace acex::transport {
 ///
 /// Shared by AdaptiveSender (frame replay) and echo::ChannelSender (event
 /// replay); both store fully encoded wire bytes so a replay is a plain
-/// re-send with no re-encoding.
+/// re-send with no re-encoding. Entries are BufferViews: on the fan-out
+/// path sixty-four subscribers' rings all reference ONE shared frame
+/// buffer (or shm slab) instead of sixty-four private copies — a session
+/// resume replays the very bytes the egress shipped, copy-free.
 class RetransmitRing {
  public:
   explicit RetransmitRing(std::size_t capacity = 64, int max_retries = 3,
@@ -36,24 +42,37 @@ class RetransmitRing {
   /// entries while over the frame cap or the byte cap. The entry just
   /// stored is never evicted, even when it alone exceeds `max_bytes`.
   /// Sequences are expected to arrive in increasing order (they are the
-  /// sender's own counter).
-  void store(std::uint64_t seq, Bytes wire);
+  /// sender's own counter). The view's bytes are retained, not copied —
+  /// a shared buffer stays shared.
+  void store(std::uint64_t seq, BufferView wire);
+  void store(std::uint64_t seq, Bytes wire) {
+    store(seq, BufferView::own(std::move(wire)));
+  }
 
   /// The wire bytes for `seq` if still held and its retry budget is not
   /// exhausted; counts one retry. Returns nullptr when the entry was
   /// evicted or already replayed max_retries times.
-  const Bytes* replay(std::uint64_t seq);
+  const BufferView* replay(std::uint64_t seq);
 
   /// The wire bytes for `seq` if still held, with no retry accounting:
   /// a session resume replaying `[last_acked, head]` is not a NACK and
   /// must not eat into the per-sequence retry budget.
-  const Bytes* peek(std::uint64_t seq) const;
+  const BufferView* peek(std::uint64_t seq) const;
 
   std::size_t capacity() const noexcept { return capacity_; }
   int max_retries() const noexcept { return max_retries_; }
   std::size_t size() const noexcept { return slots_.size(); }
   /// Wire bytes currently held. Bounded by max_bytes() when nonzero.
+  /// Counts every slot at full size even when slots share one backing
+  /// buffer — the de-duplicated process-wide view is bytes_unique().
   std::size_t bytes() const noexcept { return bytes_; }
+
+  /// Share-aware byte accounting: sums each slot whose backing buffer is
+  /// not already in `seen` (registering it as a side effect). Threading
+  /// one `seen` set through every ring and egress queue charges a frame
+  /// shared by N subscribers once, not N times — the memory-budget probe's
+  /// view under zero-copy fan-out.
+  std::size_t bytes_unique(std::set<const void*>& seen) const;
   /// Byte cap; 0 means bounded by frame count only.
   std::size_t max_bytes() const noexcept { return max_bytes_; }
 
@@ -65,7 +84,7 @@ class RetransmitRing {
  private:
   struct Slot {
     std::uint64_t seq;
-    Bytes wire;
+    BufferView wire;
     int retries = 0;
   };
 

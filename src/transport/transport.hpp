@@ -1,7 +1,9 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 
+#include "util/buffer_view.hpp"
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
 
@@ -25,9 +27,28 @@ class Transport {
   /// Throws IoError if the connection is gone.
   virtual void send(ByteView message) = 0;
 
+  /// Zero-copy send: like send(), but the message arrives as a
+  /// span-with-owner the transport may RETAIN (queue, ring-buffer, share)
+  /// without copying. The default forwards to send() — byte-for-byte
+  /// identical on the wire — so implementations only override when they
+  /// can exploit the shared ownership: the egress queue keeps the view
+  /// instead of a private copy, and the shm transport recognizes views
+  /// already backed by its own slab ring and ships only a descriptor.
+  virtual void send_buffer(const BufferView& message) { send(message); }
+
   /// Receive the next message, or std::nullopt when the peer closed (or,
   /// for simulated transports, when no message is pending).
   virtual std::optional<Bytes> receive() = 0;
+
+  /// Zero-copy receive: the returned view may alias transport-owned
+  /// storage (a shared-memory slab a subscriber maps in place) kept alive
+  /// by the view's owner handle. The default wraps receive() in an owned
+  /// view, so every transport supports it.
+  virtual std::optional<BufferView> receive_buffer() {
+    std::optional<Bytes> message = receive();
+    if (!message) return std::nullopt;
+    return BufferView::own(std::move(*message));
+  }
 
   /// The clock this transport's timings are measured on. Callers time
   /// their sends against this clock, never against wall time directly, so

@@ -1,0 +1,17 @@
+#include "util/buffer_view.hpp"
+
+namespace acex {
+
+BufferView BufferView::own(Bytes bytes) {
+  // The shared owner is the vector itself; the view aliases its storage.
+  // Order matters: take the data pointer AFTER the move.
+  auto holder = std::make_shared<Bytes>(std::move(bytes));
+  ByteView view(holder->data(), holder->size());
+  return BufferView(std::shared_ptr<const void>(std::move(holder)), view);
+}
+
+BufferView BufferView::copy(ByteView bytes) {
+  return own(Bytes(bytes.begin(), bytes.end()));
+}
+
+}  // namespace acex

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace acex {
+
+/// Span-with-owner: a contiguous read-only byte range plus a shared handle
+/// on whatever keeps those bytes alive — a heap buffer, a mapped
+/// shared-memory slab, or nothing at all (a borrowed view, valid only as
+/// long as the borrowed-from storage).
+///
+/// This is the zero-copy payload currency of the frame path (DESIGN.md
+/// §16): one encoded frame can sit in a single buffer while the egress
+/// queue, the retransmit ring, and sixty-four fan-out subscribers all hold
+/// the SAME bytes through refcounted views, instead of each taking a
+/// private vector<byte> copy. A slab-backed view's owner releases the
+/// slab's refcount when the last view drops, which is what lets a
+/// shared-memory transport reclaim ring slots safely.
+///
+/// Copying a BufferView copies a pointer pair and bumps a shared_ptr —
+/// never the bytes. It converts implicitly to ByteView, so every API that
+/// takes a span accepts it unchanged.
+class BufferView {
+ public:
+  /// Empty view (no bytes, no owner).
+  BufferView() = default;
+
+  /// Alias `view` kept alive by `owner`. `view` must point into storage
+  /// `owner` controls; the bytes stay valid while any copy of this
+  /// BufferView lives.
+  BufferView(std::shared_ptr<const void> owner, ByteView view) noexcept
+      : owner_(std::move(owner)), data_(view.data()), size_(view.size()) {}
+
+  /// Adopt a byte vector: the view owns the (moved-in) storage.
+  static BufferView own(Bytes bytes);
+
+  /// Copy `bytes` into fresh owned storage.
+  static BufferView copy(ByteView bytes);
+
+  /// Borrow `bytes` with NO owner: the caller guarantees the storage
+  /// outlives every copy of the view. The cheapest constructor — used for
+  /// within-call spans where lifetime is lexically obvious.
+  static BufferView borrow(ByteView bytes) noexcept {
+    BufferView v;
+    v.data_ = bytes.data();
+    v.size_ = bytes.size();
+    return v;
+  }
+
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const std::uint8_t* begin() const noexcept { return data_; }
+  const std::uint8_t* end() const noexcept { return data_ + size_; }
+  std::uint8_t operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  ByteView view() const noexcept { return ByteView(data_, size_); }
+  operator ByteView() const noexcept { return view(); }  // NOLINT: drop-in span
+
+  /// Sub-range sharing this view's owner (so the slice keeps the backing
+  /// storage alive on its own). `offset + length` must be within size().
+  BufferView subview(std::size_t offset, std::size_t length) const noexcept {
+    return BufferView(owner_, ByteView(data_ + offset, length));
+  }
+
+  /// Materialize an owned byte vector (always copies).
+  Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  /// True when some owner keeps the bytes alive (owned or slab-backed);
+  /// false for empty and borrowed views.
+  bool has_owner() const noexcept { return owner_ != nullptr; }
+
+  /// Identity of the backing storage, for share-aware memory accounting:
+  /// two views with the same non-null owner_key() hold the same allocation
+  /// and must be charged once, not twice. Borrowed views return nullptr.
+  const void* owner_key() const noexcept { return owner_.get(); }
+
+  /// The owner handle itself — transports that recognize their own backing
+  /// storage (the shm slab fast path) inspect this.
+  const std::shared_ptr<const void>& owner() const noexcept { return owner_; }
+
+  /// Content equality (byte-wise, not identity).
+  friend bool operator==(const BufferView& a, ByteView b) noexcept {
+    return a.size_ == b.size() &&
+           (a.size_ == 0 || std::equal(a.begin(), a.end(), b.begin()));
+  }
+  friend bool operator==(const BufferView& a, const BufferView& b) noexcept {
+    return a == b.view();
+  }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace acex

@@ -44,6 +44,18 @@
 //                                        identical fixpoint, and negotiate()
 //                                        must hold its invariants under
 //                                        random offer x policy pairs
+//   acexfuzz --shm                       shared-memory descriptor battery:
+//                                        mutated/truncated/varint-mangled
+//                                        slab descriptors injected into a
+//                                        live ShmEndpoint (only counted
+//                                        skips, nothing but DecodeError may
+//                                        escape a raw decode), forged
+//                                        SlabDescriptors thrown at
+//                                        resolve/add_ref/drop_ref (only
+//                                        typed ShmError), and a truncated/
+//                                        forged-header segment-attach sweep
+//                                        (every attach must fail typed,
+//                                        before a slab is touched)
 //   acexfuzz --replay FILE               run one corpus entry through the
 //                                        oracle battery (bit-exact output)
 //   acexfuzz --emit FILE                 write the deterministic mutated
@@ -82,6 +94,7 @@
 #include "qa/mutate.hpp"
 #include "qa/oracles.hpp"
 #include "qa/soak.hpp"
+#include "shm/bus.hpp"
 #include "util/crc32.hpp"
 #include "workloads/molecular.hpp"
 #include "workloads/transactions.hpp"
@@ -93,7 +106,7 @@ namespace {
 using namespace acex;
 
 enum class Mode { kNone, kSmoke, kDiff, kColpipe, kSoak, kChaos, kHandshake,
-                  kReplay, kEmit, kMinimize, kCorpus };
+                  kShm, kReplay, kEmit, kMinimize, kCorpus };
 
 struct Options {
   Mode mode = Mode::kNone;
@@ -118,8 +131,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: acexfuzz (--smoke | --diff | --colpipe |"
                " --soak SECONDS | --chaos SECONDS |\n"
-               "                 --handshake | --replay FILE | --emit FILE |"
-               " --minimize FILE | --corpus DIR)\n"
+               "                 --handshake | --shm | --replay FILE |"
+               " --emit FILE | --minimize FILE | --corpus DIR)\n"
                "                [-s SEED] [--iters N] [--seeds ROUNDS]"
                " [--size BYTES]\n"
                "                [-b BLOCK_BYTES] [-n DIFF_BLOCKS]"
@@ -743,6 +756,189 @@ int run_handshake(const Options& opt) {
   return findings == 0 ? 0 : 1;
 }
 
+// -------------------------------------------------- shm descriptor battery
+/// Shared-memory hardening oracle (DESIGN.md §16): a slab descriptor is
+/// the only thing that crosses the wire on the shm path, so a flipped bit
+/// in one must never be dereferenced into the arena — and a segment whose
+/// header lies about its geometry must be rejected before a slab is
+/// touched. Three storms, one seed, zero tolerated escapes.
+int run_shm(const Options& opt) {
+  const int iters = opt.iters > 0 ? opt.iters : qa::fuzz_iterations(120);
+  std::size_t inputs = 0;
+  std::size_t findings = 0;
+  const auto finding = [&](const char* tag, const std::string& detail) {
+    ++findings;
+    std::fprintf(stderr, "acexfuzz: FINDING [shm.%s] %s\n", tag,
+                 detail.c_str());
+  };
+
+  for (std::size_t round = 0; round < opt.seed_rounds; ++round) {
+    const std::uint64_t seed = opt.seed + round;
+    Rng rng(seed ^ 0x51AB51AB51AB51ABull);
+
+    // --- storm 1: descriptor wire mutation through a live endpoint ---
+    shm::ShmBusConfig cfg;
+    cfg.ring.slab_count = 8;
+    cfg.ring.slab_size = 4096;
+    cfg.ring.reclaim_wait = 0;
+    cfg.queue_capacity = 64;
+    shm::ShmBus bus(cfg);
+    const auto ep = bus.endpoint();
+
+    for (int i = 0; i < iters; ++i) {
+      Bytes payload(1 + rng.below(512));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+
+      // The clean path first: a staged payload's descriptor must decode
+      // to a fixpoint and round-trip the payload byte-exact.
+      const BufferView staged = bus.stage(payload);
+      const auto desc = bus.ring().descriptor_of(staged);
+      if (!desc) {
+        finding("descriptor", "staged view has no descriptor");
+        continue;
+      }
+      const Bytes wire = shm::encode_descriptor(*desc);
+      ++inputs;
+      try {
+        const shm::SlabDescriptor back = shm::decode_descriptor(wire);
+        if (back.offset != desc->offset || back.length != desc->length ||
+            back.generation != desc->generation) {
+          finding("fixpoint", "descriptor decode is not a fixpoint");
+        }
+      } catch (const std::exception& e) {
+        finding("fixpoint", std::string("clean descriptor rejected: ") +
+                                e.what());
+      }
+
+      // Mutation battery: bit flips, truncation, varint mangling. A raw
+      // decode may fail ONLY with DecodeError; an injected wire may only
+      // be counted and skipped by the endpoint, never thrown.
+      Bytes evil;
+      switch (rng.below(3)) {
+        case 0:
+          evil = qa::mutate(wire, rng);
+          break;
+        case 1:
+          evil = wire;
+          evil.resize(rng.below(evil.size() + 1));
+          break;
+        default:
+          evil = qa::mutate_varint_at(wire, rng.below(wire.size() + 1), rng);
+          break;
+      }
+      if (evil == wire) evil.push_back(0x00);  // force a real mutation
+      ++inputs;
+      try {
+        (void)shm::decode_descriptor(evil);
+      } catch (const DecodeError&) {
+        // the one sanctioned outcome for garbage
+      } catch (const std::exception& e) {
+        finding("decode", std::string("non-typed escape: ") + e.what());
+      }
+
+      const shm::ShmEndpointStats before = ep->stats();
+      ep->inject_raw(evil);
+      try {
+        while (ep->receive_buffer()) {
+        }
+      } catch (const std::exception& e) {
+        finding("receive", std::string("receive threw on injected wire: ") +
+                               e.what());
+      }
+      const shm::ShmEndpointStats after = ep->stats();
+      if (after.corrupt_descriptors + after.stale_descriptors +
+              after.received ==
+          before.corrupt_descriptors + before.stale_descriptors +
+              before.received) {
+        finding("accounting", "injected wire vanished without being counted");
+      }
+    }
+
+    // --- storm 2: forged SlabDescriptor structs against the ring ---
+    for (int i = 0; i < iters; ++i) {
+      shm::SlabDescriptor forged;
+      forged.offset = rng.chance(0.5) ? rng.below(1ull << 40)
+                                      : rng.below(16) * cfg.ring.slab_size;
+      forged.length = static_cast<std::uint32_t>(rng.below(1ull << 20));
+      forged.generation = static_cast<std::uint32_t>(rng.below(8));
+      ++inputs;
+      try {
+        const BufferView view = bus.ring().resolve(forged);
+        // A lucky forgery that resolves must still stay inside the arena.
+        const auto* base = static_cast<const std::uint8_t*>(
+            bus.segment().data());
+        if (view.data() < base || view.data() + view.size() >
+                                      base + bus.segment().size()) {
+          finding("resolve", "resolved view escapes the segment");
+        }
+      } catch (const shm::ShmError&) {
+        // typed rejection (including ShmStaleError) is the contract
+      } catch (const std::exception& e) {
+        finding("resolve", std::string("non-typed escape: ") + e.what());
+      }
+      (void)bus.ring().add_ref(forged);   // must never crash or throw
+      bus.ring().drop_ref(forged);        // noexcept no-op on garbage
+    }
+
+    // --- storm 3: truncated / forged-header segment attach sweep ---
+    for (int i = 0; i < iters; ++i) {
+      ++inputs;
+      try {
+        switch (rng.below(3)) {
+          case 0: {  // random garbage pretending to be a ring
+            shm::ShmSegment junk =
+                shm::ShmSegment::anonymous(1 + rng.below(8192));
+            auto* bytes = static_cast<std::uint8_t*>(junk.data());
+            for (std::size_t k = 0; k < junk.size(); ++k) {
+              bytes[k] = static_cast<std::uint8_t>(rng.below(256));
+            }
+            shm::SlabRing attached(junk, cfg.ring, /*attach=*/true);
+            finding("attach", "garbage segment attached as a ring");
+            break;
+          }
+          case 1: {  // valid ring, then a header field forged
+            shm::RingConfig small;
+            small.slab_count = 2;
+            small.slab_size = 256;
+            shm::ShmSegment seg = shm::ShmSegment::anonymous(
+                shm::SlabRing::segment_size(small));
+            shm::SlabRing ring(seg, small);
+            auto* header = static_cast<std::uint32_t*>(seg.data());
+            // magic, version, slab_count, or slab_size — all must be
+            // caught by validation, not by a wild slab dereference.
+            header[rng.below(4)] ^= static_cast<std::uint32_t>(
+                1u + rng.below(0xFFFFFFFFull));
+            shm::SlabRing attached(seg, small, /*attach=*/true);
+            // Survivable only if the forgery kept the geometry inside
+            // the mapping (e.g. slab_count shrank): that is legal.
+            if (shm::SlabRing::segment_size(
+                    {attached.slab_count(), attached.slab_size()}) >
+                seg.size()) {
+              finding("attach", "forged header over-claims the mapping");
+            }
+            break;
+          }
+          default: {  // segment physically shorter than the ring header
+            shm::ShmSegment stub =
+                shm::ShmSegment::anonymous(1 + rng.below(63));
+            shm::SlabRing attached(stub, cfg.ring, /*attach=*/true);
+            finding("attach", "sub-header segment attached as a ring");
+            break;
+          }
+        }
+      } catch (const shm::ShmError&) {
+        // typed rejection is the expected outcome for every branch
+      } catch (const std::exception& e) {
+        finding("attach", std::string("non-typed escape: ") + e.what());
+      }
+    }
+  }
+
+  std::printf("shm: %zu inputs, %zu findings (seeds %zu, %d iters)\n",
+              inputs, findings, opt.seed_rounds, iters);
+  return findings == 0 ? 0 : 1;
+}
+
 // ------------------------------------------- replay / emit / minimize / corpus
 /// Deterministic single input for -s SEED: pick an artifact class and
 /// apply one structure-aware mutation. Pure function of the seed.
@@ -845,6 +1041,7 @@ int run(const Options& opt) {
     case Mode::kSoak:     return run_soak_mode(opt);
     case Mode::kChaos:    return run_chaos_mode(opt);
     case Mode::kHandshake: return run_handshake(opt);
+    case Mode::kShm:      return run_shm(opt);
     case Mode::kReplay:   return run_replay(opt);
     case Mode::kEmit:     return run_emit(opt);
     case Mode::kMinimize: return run_minimize(opt);
@@ -888,6 +1085,8 @@ int main(int argc, char** argv) {
         opt.soak_rounds = 24;  // chaos default; --rounds overrides
       } else if (arg == "--handshake") {
         set_mode(Mode::kHandshake);
+      } else if (arg == "--shm") {
+        set_mode(Mode::kShm);
       } else if (arg == "--replay") {
         set_mode(Mode::kReplay);
         opt.path = next();

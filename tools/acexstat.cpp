@@ -6,6 +6,7 @@
 //            [--json PATH] [--prom PATH] [--spans]
 //   acexstat --broker SUBS [-n BLOCKS] [-b BLOCK_KIB] [-s SEED]
 //   acexstat --chaos SESSIONS [-s SEED]
+//   acexstat --shm SUBS [-n BLOCKS] [-b BLOCK_KIB] [-w WORKERS]
 //
 // The run itself doubles as a consistency check: the obs counters mirrored
 // by FaultInjectingTransport must match the injector's own tallies exactly,
@@ -25,6 +26,14 @@
 // frames/drops/fallbacks — is checked against the broker's own ground
 // truth and the receivers' byte-exact recovery. Any mismatch exits 1.
 //
+// --shm SUBS runs the shared-memory fan-out demo instead: SUBS ShmBus
+// endpoints receive the same block stream as descriptor-only messages
+// staged once into refcounted slabs (DESIGN.md §16), verified byte-
+// identical to the frames a plain capture transport would have carried,
+// then a deliberately undersized ring exercises the force-reclaim /
+// stale-descriptor / stale-release ladder. Every `acex.shm.*` series is
+// checked against the ring's and endpoints' own ground truth.
+//
 // --json / --prom write the same snapshot through the JSON-lines or
 // Prometheus exporter ("-" for stdout); --spans dumps the raw span ring.
 
@@ -43,6 +52,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "qa/chaos.hpp"
+#include "shm/bus.hpp"
 #include "transport/fault_transport.hpp"
 #include "transport/sim_transport.hpp"
 #include "util/crc32.hpp"
@@ -59,6 +69,7 @@ struct Options {
   std::uint64_t seed = 17;
   std::size_t broker_subs = 0;  // > 0 switches to the fan-out demo
   std::size_t chaos_sessions = 0;  // > 0 switches to the chaos battery
+  std::size_t shm_subs = 0;  // > 0 switches to the shared-memory demo
   std::string json_path;  // empty = off, "-" = stdout
   std::string prom_path;
   bool dump_spans = false;
@@ -135,7 +146,9 @@ int usage() {
                "[-s SEED] [--json PATH] [--prom PATH] [--spans]\n"
                "       acexstat --broker SUBS [-n BLOCKS] [-b BLOCK_KIB] "
                "[-s SEED]\n"
-               "       acexstat --chaos SESSIONS [-s SEED]\n");
+               "       acexstat --chaos SESSIONS [-s SEED]\n"
+               "       acexstat --shm SUBS [-n BLOCKS] [-b BLOCK_KIB] "
+               "[-w WORKERS]\n");
   return 2;
 }
 
@@ -334,6 +347,204 @@ int run_broker_demo(const Options& opt) {
     return 1;
   }
   std::printf("  obs counters match ground truth on every series\n");
+  return 0;
+}
+
+// ----------------------------------------- shared-memory fan-out demo
+/// Reference sink: what the TCP path would have carried, frame by frame.
+struct ShmDemoCapture final : transport::Transport {
+  void send(ByteView message) override {
+    frames.emplace_back(message.begin(), message.end());
+  }
+  std::optional<Bytes> receive() override { return std::nullopt; }
+  const Clock& clock() const override { return clock_; }
+  std::vector<Bytes> frames;
+
+ private:
+  MonotonicClock clock_;
+};
+
+int run_shm_demo(const Options& opt) {
+  obs::MetricsRegistry::global().reset_values();
+  obs::BlockTracer::global().clear();
+
+  const std::size_t block_size = opt.block_kib * 1024;
+  const Bytes data = make_payload(opt.blocks, block_size, opt.seed);
+  int failures = 0;
+  auto& reg = obs::MetricsRegistry::global();
+
+  // Phase 1: fan out through a well-sized slab ring and verify the
+  // descriptor path carries frames byte-identical to a capture transport.
+  shm::ShmBusConfig bus_cfg;
+  bus_cfg.ring.slab_count = opt.blocks + 16;
+  bus_cfg.ring.slab_size = block_size + 512;
+  bus_cfg.queue_capacity = opt.blocks + 8;
+  shm::RingStats ring_truth;
+  shm::ShmBusStats bus_truth;
+  std::uint64_t stale_descriptors = 0;
+  {
+    const auto fan_out = [&](shm::ShmBus* bus) {
+      broker::BrokerConfig bc;
+      bc.worker_threads = opt.workers;
+      if (bus != nullptr) bc.frame_builder = bus->frame_builder();
+      broker::FanoutBroker broker(bc);
+      std::vector<std::unique_ptr<shm::ShmEndpoint>> eps;
+      std::vector<std::unique_ptr<ShmDemoCapture>> sinks;
+      for (std::size_t i = 0; i < opt.shm_subs; ++i) {
+        broker::SubscriberConfig sc;
+        sc.adaptive.decision.block_size = block_size;
+        sc.adaptive.decision.sample_size =
+            std::min<std::size_t>(1024, block_size);
+        sc.egress_capacity = opt.blocks + 8;
+        if (bus != nullptr) {
+          eps.push_back(bus->endpoint());
+          broker.subscribe(*eps.back(), sc);
+        } else {
+          sinks.push_back(std::make_unique<ShmDemoCapture>());
+          broker.subscribe(*sinks.back(), sc);
+        }
+      }
+      for (std::size_t at = 0; at < data.size(); at += block_size) {
+        broker.publish(
+            ByteView(data.data() + at, std::min(block_size, data.size() - at)));
+      }
+      broker.pump_all();
+
+      if (bus != nullptr) {
+        // Mid-flight, with every frame still pinned by descriptors and
+        // retransmit rings: the gauges must mirror the ring exactly.
+        const shm::RingStats mid = bus->ring().stats();
+        check_eq("shm.slabs_in_use.gauge",
+                 static_cast<std::uint64_t>(
+                     reg.gauge("acex.shm.slabs_in_use").value()),
+                 mid.slabs_in_use, failures);
+        check_eq("shm.occupancy.gauge",
+                 static_cast<std::uint64_t>(
+                     reg.gauge("acex.shm.ring.occupancy_pct").value()),
+                 static_cast<std::uint64_t>(100.0 * mid.slabs_in_use /
+                                            static_cast<double>(mid.slab_count)),
+                 failures);
+      }
+      std::vector<std::vector<Bytes>> out(opt.shm_subs);
+      for (std::size_t i = 0; i < opt.shm_subs; ++i) {
+        if (bus != nullptr) {
+          while (auto frame = eps[i]->receive()) out[i].push_back(*frame);
+          stale_descriptors += eps[i]->stats().stale_descriptors;
+        } else {
+          out[i] = sinks[i]->frames;
+        }
+      }
+      return out;
+    };
+
+    const auto reference = fan_out(nullptr);
+    shm::ShmBus bus(bus_cfg);
+    const auto via_shm = fan_out(&bus);
+    for (std::size_t i = 0; i < opt.shm_subs; ++i) {
+      if (reference[i] != via_shm[i]) {
+        std::fprintf(stderr,
+                     "acexstat: MISMATCH shm subscriber %zu frames differ "
+                     "from the capture path\n", i);
+        ++failures;
+      }
+      check_eq("shm.frames_per_sub", via_shm[i].size(), opt.blocks, failures);
+    }
+    ring_truth = bus.ring().stats();
+    bus_truth = bus.stats();
+    check_eq("shm.copy_fallbacks.phase1", bus_truth.copy_fallbacks, 0,
+             failures);
+    check_eq("shm.staged_frames", bus_truth.staged, opt.blocks, failures);
+  }
+
+  // Phase 2: a deliberately undersized ring (2 slabs, zero reclaim grace)
+  // walks the whole degradation ladder — force-reclaim, stale descriptor,
+  // stale release, corrupt injection — so the failure-path series have
+  // real ground truth to be checked against.
+  shm::ShmBusConfig tiny_cfg;
+  tiny_cfg.ring.slab_count = 2;
+  tiny_cfg.ring.slab_size = 4096;
+  tiny_cfg.ring.reclaim_wait = 0;
+  shm::ShmBus tiny(tiny_cfg);
+  {
+    const auto ep = tiny.endpoint();
+    const Bytes small(64, 0x5A);
+    // A held view outliving its slab: send/receive one, keep the view
+    // pinned while two more sends force-reclaim its slab underneath it.
+    ep->send(small);
+    std::optional<BufferView> held = ep->receive_buffer();
+    if (!held) {
+      std::fprintf(stderr, "acexstat: shm stress receive came up empty\n");
+      return 1;
+    }
+    ep->send(small);
+    ep->send(small);  // ring full: force-reclaims the held view's slab
+    held.reset();     // stale release: the slab moved on without us
+    // A queued descriptor outliving its slab: fill both slabs with queued
+    // sends, then a third send reclaims the oldest while still queued.
+    while (ep->receive_buffer()) {
+    }
+    ep->send(small);
+    ep->send(small);
+    ep->send(small);
+    // Garbage on the wire is counted and skipped, never fatal.
+    ep->inject_raw(Bytes{0xDE, 0xAD, 0xBE, 0xEF});
+    while (ep->receive_buffer()) {
+    }
+    stale_descriptors += ep->stats().stale_descriptors;
+    check_eq("shm.stress.corrupt", ep->stats().corrupt_descriptors, 1,
+             failures);
+    check_eq("shm.stress.stale", ep->stats().stale_descriptors, 1, failures);
+  }
+  const shm::RingStats tiny_truth = tiny.ring().stats();
+  const shm::ShmBusStats tiny_bus = tiny.stats();
+
+  // Every acex.shm.* series must equal the sum of the two rings' own
+  // bookkeeping (the instruments are process-global, the truth is not).
+  check_eq("shm.copy_fallbacks",
+           reg.counter("acex.shm.copy_fallbacks").value(),
+           bus_truth.copy_fallbacks + tiny_bus.copy_fallbacks, failures);
+  check_eq("shm.force_reclaims",
+           reg.counter("acex.shm.force_reclaims").value(),
+           ring_truth.force_reclaims + tiny_truth.force_reclaims, failures);
+  check_eq("shm.stale_releases",
+           reg.counter("acex.shm.stale_releases").value(),
+           ring_truth.stale_releases + tiny_truth.stale_releases, failures);
+  check_eq("shm.stale_descriptors",
+           reg.counter("acex.shm.stale_descriptors").value(),
+           stale_descriptors, failures);
+  check_eq("shm.reclaim_wait.count",
+           reg.histogram("acex.shm.reclaim_wait_seconds").count(),
+           ring_truth.reclaim_waits + tiny_truth.reclaim_waits, failures);
+  check_eq("shm.stress.force_reclaims", tiny_truth.force_reclaims, 2,
+           failures);
+  // Everything was drained and released: the gauges must read empty.
+  check_eq("shm.slabs_in_use.final",
+           static_cast<std::uint64_t>(
+               reg.gauge("acex.shm.slabs_in_use").value()),
+           ring_truth.slabs_in_use + tiny_truth.slabs_in_use, failures);
+
+  std::printf(
+      "acexstat --shm: %zu subscribers x %zu blocks (%zu KiB), %zu workers\n"
+      "  staged %llu frames (%llu bytes) once each, %llu zero-copy "
+      "deliveries, 0 copy fallbacks\n"
+      "  stress ring: %llu force-reclaims, %llu stale releases, %llu stale "
+      "descriptors, all typed and counted\n",
+      opt.shm_subs, opt.blocks, opt.block_kib,
+      opt.workers,
+      static_cast<unsigned long long>(bus_truth.staged),
+      static_cast<unsigned long long>(bus_truth.staged_bytes),
+      static_cast<unsigned long long>(
+          static_cast<std::uint64_t>(opt.shm_subs) * opt.blocks),
+      static_cast<unsigned long long>(tiny_truth.force_reclaims),
+      static_cast<unsigned long long>(tiny_truth.stale_releases),
+      static_cast<unsigned long long>(stale_descriptors));
+  if (failures != 0) {
+    std::fprintf(stderr, "acexstat: %d shm consistency check(s) FAILED\n",
+                 failures);
+    return 1;
+  }
+  std::printf("  shm obs series match ground truth on every series, frames "
+              "byte-identical to the capture path\n");
   return 0;
 }
 
@@ -562,6 +773,9 @@ int main(int argc, char** argv) {
       } else if (arg == "--chaos") {
         opt.chaos_sessions = std::stoul(next());
         if (opt.chaos_sessions == 0) throw ConfigError("--chaos must be > 0");
+      } else if (arg == "--shm") {
+        opt.shm_subs = std::stoul(next());
+        if (opt.shm_subs == 0) throw ConfigError("--shm must be > 0");
       } else if (arg == "-n") {
         opt.blocks = std::stoul(next());
         if (opt.blocks == 0) throw ConfigError("-n must be > 0");
@@ -581,6 +795,7 @@ int main(int argc, char** argv) {
       }
     }
     if (opt.chaos_sessions > 0) return run_chaos_stat(opt);
+    if (opt.shm_subs > 0) return run_shm_demo(opt);
     return opt.broker_subs > 0 ? run_broker_demo(opt) : run(opt);
   } catch (const acex::Error& e) {
     std::fprintf(stderr, "acexstat: %s\n", e.what());
