@@ -71,7 +71,11 @@ SessionManager::SessionManager(const Clock& clock, ManagerConfig config)
   // The budget sees exactly what the broker holds: every subscriber's
   // queued egress frames plus its retransmit ring — live AND parked, which
   // is what makes parked state a first-class citizen of the envelope.
-  budget_.add_probe("broker", [this] { return broker_.memory_usage_total(); });
+  // Share-aware: N queues and rings retaining views of ONE shared-encode
+  // buffer (or shm slab) charge it once, so zero-copy fan-out cannot
+  // falsely trip the overload ladder (DESIGN.md §16).
+  budget_.add_probe("broker",
+                    [this] { return broker_.memory_usage_unique(); });
 }
 
 SessionManager::~SessionManager() = default;

@@ -110,11 +110,12 @@ ShmBus::frame_builder() {
     const std::size_t total =
         frame_overhead_seq(payload.size(), sequence) + payload.size();
     if (total > ring_.slab_size()) {
-      // The frame cannot live in a slab; degrade to the heap path the
-      // broker would have used anyway. Everything downstream still works
-      // (send_buffer copies it into... nothing — it stages on send), it
-      // just is not zero-copy. Size slabs above block_size + overhead so
-      // steady state never lands here.
+      // The frame cannot live in a slab; degrade to the heap buffer the
+      // broker would have built anyway. ShmEndpoint::send_buffer
+      // recognizes oversized views and delivers them out of band (the
+      // shared heap buffer rides the queue itself), so the frame still
+      // arrives — it just is not slab-backed. Size slabs above
+      // block_size + overhead so steady state never lands here.
       note_copy_fallback();
       return BufferView::own(
           frame_build_seq(method, payload, original_crc, sequence));
@@ -161,9 +162,10 @@ ShmEndpoint::~ShmEndpoint() {
   // Give queued-but-never-read descriptors their references back now
   // instead of making the ring force-reclaim them later.
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const Bytes& wire : queue_) {
+  for (const Entry& entry : queue_) {
+    if (entry.wire.empty()) continue;  // oob payloads carry no reference
     try {
-      bus_->ring().drop_ref(decode_descriptor(wire));
+      bus_->ring().drop_ref(decode_descriptor(entry.wire));
     } catch (const DecodeError&) {
       // injected garbage carries no reference
     }
@@ -172,6 +174,14 @@ ShmEndpoint::~ShmEndpoint() {
 }
 
 void ShmEndpoint::send(ByteView message) {
+  if (message.size() > bus_->ring().slab_size()) {
+    // No slab can carry this message, so copy it to the heap and deliver
+    // it out of band — a copy-heavy delivery still beats throwing into
+    // the broker's pump loop (and beats losing the message).
+    bus_->note_copy_fallback();
+    send_oob(BufferView::own(Bytes(message.begin(), message.end())));
+    return;
+  }
   // Not slab-backed by definition: stage one copy, then descriptor-ship.
   BufferView staged = bus_->stage(message);
   bus_->note_copy_fallback();
@@ -183,7 +193,7 @@ void ShmEndpoint::send(ByteView message) {
     // error, not a recoverable condition.
     throw IoError("shm: slab reclaimed before its descriptor shipped");
   }
-  enqueue(encode_descriptor(*desc));
+  enqueue({encode_descriptor(*desc), BufferView()});
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.sent;
 }
@@ -195,29 +205,46 @@ void ShmEndpoint::send_buffer(const BufferView& message) {
   // descriptor travels. A failed add_ref means the slab was force-
   // reclaimed while queued elsewhere; recover by staging a fresh copy.
   if (desc && bus_->ring().add_ref(*desc)) {
-    enqueue(encode_descriptor(*desc));
+    enqueue({encode_descriptor(*desc), BufferView()});
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.sent;
     ++stats_.zero_copy_sends;
     return;
   }
+  if (message.size() > bus_->ring().slab_size()) {
+    // The frame_builder heap fallback (or any other view no slab could
+    // hold): retain the view itself — shared ownership, zero additional
+    // copies — and deliver it out of band.
+    send_oob(message);
+    return;
+  }
   send(message);
 }
 
-void ShmEndpoint::enqueue(Bytes wire) {
+void ShmEndpoint::send_oob(BufferView payload) {
+  enqueue({Bytes(), std::move(payload)});
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.sent;
+  ++stats_.oob_sends;
+}
+
+void ShmEndpoint::enqueue(Entry entry) {
   std::lock_guard<std::mutex> lock(mutex_);
   while (queue_.size() >= capacity_) {
     // Drop-oldest, exactly the broker ladder's shed rung: the slab
     // reference the dropped descriptor carried is returned immediately so
-    // a reader that stopped draining cannot pin the ring full.
-    try {
-      bus_->ring().drop_ref(decode_descriptor(queue_.front()));
-    } catch (const DecodeError&) {
+    // a reader that stopped draining cannot pin the ring full. (Dropped
+    // oob payloads free with their last view; they hold no slab.)
+    if (!queue_.front().wire.empty()) {
+      try {
+        bus_->ring().drop_ref(decode_descriptor(queue_.front().wire));
+      } catch (const DecodeError&) {
+      }
     }
     queue_.pop_front();
     ++stats_.queue_drops;
   }
-  queue_.push_back(std::move(wire));
+  queue_.push_back(std::move(entry));
 }
 
 std::optional<Bytes> ShmEndpoint::receive() {
@@ -228,16 +255,22 @@ std::optional<Bytes> ShmEndpoint::receive() {
 
 std::optional<BufferView> ShmEndpoint::receive_buffer() {
   for (;;) {
-    Bytes wire;
+    Entry entry;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (queue_.empty()) return std::nullopt;
-      wire = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
+    }
+    if (entry.wire.empty() && !entry.oob.empty()) {
+      // Out-of-band heap payload: the queue entry IS the message.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.received;
+      return std::move(entry.oob);
     }
     SlabDescriptor desc;
     try {
-      desc = decode_descriptor(wire);
+      desc = decode_descriptor(entry.wire);
     } catch (const DecodeError&) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.corrupt_descriptors;
@@ -269,7 +302,7 @@ std::optional<BufferView> ShmEndpoint::receive_buffer() {
 
 void ShmEndpoint::inject_raw(Bytes descriptor_wire) {
   std::lock_guard<std::mutex> lock(mutex_);
-  queue_.push_back(std::move(descriptor_wire));
+  queue_.push_back({std::move(descriptor_wire), BufferView()});
 }
 
 std::size_t ShmEndpoint::depth() const {

@@ -102,6 +102,8 @@ class ShmBus {
 struct ShmEndpointStats {
   std::uint64_t sent = 0;                ///< messages accepted for delivery
   std::uint64_t zero_copy_sends = 0;     ///< shipped as descriptor only
+  std::uint64_t oob_sends = 0;           ///< larger than any slab: delivered
+                                         ///< out of band as a heap buffer
   std::uint64_t received = 0;            ///< messages delivered to the app
   std::uint64_t stale_descriptors = 0;   ///< lost to force-reclaim (typed,
                                          ///< recovered via NACK)
@@ -118,6 +120,11 @@ struct ShmEndpointStats {
 /// can never be reclaimed between send and resolve except by the bounded-
 /// wait force-reclaim — which resolve detects as ShmStaleError and
 /// receive() skips, counting it, exactly like any other recoverable loss.
+/// A message larger than any slab (the frame_builder heap fallback, or an
+/// oversized send()) is delivered OUT OF BAND: the queue carries the heap
+/// buffer itself instead of a descriptor. Delivery degrades to one shared
+/// (send_buffer) or one copied (send) heap buffer — it never throws into
+/// the broker's pump thread and never silently drops the message.
 class ShmEndpoint : public transport::Transport {
  public:
   ShmEndpoint(ShmBus& bus, const Clock& clock, std::size_t queue_capacity);
@@ -139,14 +146,23 @@ class ShmEndpoint : public transport::Transport {
   ShmEndpointStats stats() const;
 
  private:
-  void enqueue(Bytes wire);
+  /// One queued message: an encoded descriptor in `wire`, or — when
+  /// `wire` is empty — an out-of-band heap payload in `oob` that no slab
+  /// could hold. Only descriptor entries carry a slab reference.
+  struct Entry {
+    Bytes wire;
+    BufferView oob;
+  };
+
+  void enqueue(Entry entry);
+  void send_oob(BufferView payload);
 
   ShmBus* bus_;
   const Clock* clock_;
   std::size_t capacity_;
 
   mutable std::mutex mutex_;
-  std::deque<Bytes> queue_;  ///< encoded descriptors, FIFO
+  std::deque<Entry> queue_;  ///< FIFO of descriptors / oob payloads
   ShmEndpointStats stats_;
 };
 

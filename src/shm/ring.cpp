@@ -59,7 +59,10 @@ struct alignas(64) SlabRing::Header {
   std::uint32_t slab_count = 0;
   std::uint32_t slab_size = 0;
   std::atomic<std::uint64_t> cursor{0};         ///< allocation scan hint
-  std::atomic<std::uint64_t> publish_counter{0};
+  /// Shared monotonic stamp source for Slab::claim_seq and
+  /// Slab::publish_seq, so "claimed after its last publish" is a total
+  /// order across both events.
+  std::atomic<std::uint64_t> stamp_counter{0};
   std::atomic<std::uint32_t> in_use{0};
   std::atomic<std::uint64_t> acquires{0};
   std::atomic<std::uint64_t> reclaim_waits{0};
@@ -74,6 +77,14 @@ struct alignas(64) SlabRing::Slab {
   /// (oldest payload = the one whose loss costs the least, exactly the
   /// drop-oldest rung of the broker's slow-consumer ladder).
   std::atomic<std::uint64_t> publish_seq{0};
+  /// Stamped from the same counter at claim time. claim_seq > publish_seq
+  /// marks a write in flight (claimed, not yet published): staging runs on
+  /// broker pump threads concurrently with the publisher's frame builder,
+  /// and a slab another thread is actively filling must never be the
+  /// force-reclaim victim — a fresh claim would otherwise carry its
+  /// previous life's stamp (or 0) and look like the oldest slab in the
+  /// ring.
+  std::atomic<std::uint64_t> claim_seq{0};
 };
 
 static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
@@ -153,6 +164,10 @@ std::uint8_t* SlabRing::slab_data(std::uint32_t index) const noexcept {
   return arena_ + static_cast<std::size_t>(index) * header_->slab_size;
 }
 
+std::uint64_t SlabRing::next_stamp() noexcept {
+  return header_->stamp_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 SlabRing::WriteSlab SlabRing::acquire(std::size_t length) {
   if (length > header_->slab_size) {
     throw ShmError("payload of " + std::to_string(length) +
@@ -174,6 +189,7 @@ SlabRing::WriteSlab SlabRing::acquire(std::size_t length) {
       const std::uint32_t gen = state_generation(cur) + 1;
       if (slabs_[idx].state.compare_exchange_strong(
               cur, pack_state(gen, 1), std::memory_order_acq_rel)) {
+        slabs_[idx].claim_seq.store(next_stamp(), std::memory_order_relaxed);
         header_->cursor.store(idx + 1, std::memory_order_relaxed);
         header_->in_use.fetch_add(1, std::memory_order_relaxed);
         header_->acquires.fetch_add(1, std::memory_order_relaxed);
@@ -190,29 +206,57 @@ SlabRing::WriteSlab SlabRing::acquire(std::size_t length) {
       std::this_thread::yield();
       continue;
     }
-    // Bounded wait expired: reclaim the oldest published slab out from
+    // Bounded wait expired: reclaim the oldest PUBLISHED slab out from
     // under whoever still pins it. The generation bump is the whole
     // safety story — stale descriptors fail resolve, stale releases
     // become no-ops, and a reader mid-copy is caught by the frame CRC.
-    std::uint32_t victim = 0;
+    // Slabs whose claim stamp is newer than their publish stamp are
+    // writes in flight on another thread; reclaiming one would rip the
+    // arena out from under an active writer, so they are victims of last
+    // resort — oldest claim first, and only when every in-use slab is
+    // mid-write (the no-stall guarantee outranks that pathology).
+    std::uint32_t victim = count;
+    std::uint64_t victim_state = 0;
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    std::uint32_t in_flight_victim = count;
+    std::uint64_t in_flight_state = 0;
+    std::uint64_t oldest_claim = std::numeric_limits<std::uint64_t>::max();
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint64_t cur = slabs_[i].state.load(std::memory_order_acquire);
       if (state_refcount(cur) == 0) continue;
+      const std::uint64_t claimed =
+          slabs_[i].claim_seq.load(std::memory_order_relaxed);
       const std::uint64_t seq =
           slabs_[i].publish_seq.load(std::memory_order_relaxed);
+      if (claimed > seq) {
+        if (claimed < oldest_claim) {
+          oldest_claim = claimed;
+          in_flight_victim = i;
+          in_flight_state = cur;
+        }
+        continue;
+      }
       if (seq < oldest) {
         oldest = seq;
         victim = i;
+        victim_state = cur;
       }
     }
-    std::uint64_t cur = slabs_[victim].state.load(std::memory_order_acquire);
-    if (state_refcount(cur) == 0) continue;  // freed while we scanned: rescan
+    if (victim == count) {
+      victim = in_flight_victim;
+      victim_state = in_flight_state;
+    }
+    if (victim == count) continue;  // everything freed while we scanned
+    // CAS against the EXACT state observed during the scan: a claim that
+    // landed since bumped the generation (and may not have stamped its
+    // claim_seq yet), so it fails this CAS instead of being victimized.
+    std::uint64_t cur = victim_state;
     const std::uint32_t gen = state_generation(cur) + 1;
     if (!slabs_[victim].state.compare_exchange_strong(
             cur, pack_state(gen, 1), std::memory_order_acq_rel)) {
-      continue;  // racing release or claim; rescan
+      continue;  // racing release, share, or claim; rescan
     }
+    slabs_[victim].claim_seq.store(next_stamp(), std::memory_order_relaxed);
     // in_use unchanged: the victim was in use and still is, under us.
     header_->force_reclaims.fetch_add(1, std::memory_order_relaxed);
     header_->reclaim_waits.fetch_add(1, std::memory_order_relaxed);
@@ -227,9 +271,8 @@ SlabRing::WriteSlab SlabRing::acquire(std::size_t length) {
 BufferView SlabRing::publish(const WriteSlab& slab, std::size_t length) {
   slabs_[slab.index].length.store(static_cast<std::uint32_t>(length),
                                   std::memory_order_release);
-  slabs_[slab.index].publish_seq.store(
-      header_->publish_counter.fetch_add(1, std::memory_order_relaxed) + 1,
-      std::memory_order_relaxed);
+  slabs_[slab.index].publish_seq.store(next_stamp(),
+                                       std::memory_order_relaxed);
   return make_view(slab.index, slab.generation, length);
 }
 

@@ -153,6 +153,7 @@ class SlabRing {
 
   void validate(std::size_t segment_bytes, bool attach,
                 const RingConfig& config);
+  std::uint64_t next_stamp() noexcept;
   BufferView make_view(std::uint32_t index, std::uint32_t generation,
                        std::size_t length);
   void release(std::uint32_t index, std::uint32_t generation) noexcept;

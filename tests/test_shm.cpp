@@ -258,6 +258,40 @@ TEST(SlabRing, ViewOutlivingItsSlabIsRejectedTyped) {
   EXPECT_EQ(after.slabs_in_use, before.slabs_in_use);
 }
 
+TEST(SlabRing, ForceReclaimNeverVictimizesInFlightWrite) {
+  const auto cfg = tiny_ring(2, 256);
+  shm::ShmSegment seg =
+      shm::ShmSegment::anonymous(shm::SlabRing::segment_size(cfg));
+  shm::SlabRing ring(seg, cfg);
+
+  // One writer claims a slab and is still filling it (not yet published) —
+  // the broker-pump-vs-frame-builder concurrency shape. Its slab carries
+  // no publish stamp, which used to make it the preferred reclaim victim.
+  auto writing = ring.acquire(64);
+  // A second writer publishes the other slab; its view pins it.
+  const Bytes payload = pattern(64, 5);
+  auto other = ring.acquire(64);
+  std::memcpy(other.data, payload.data(), payload.size());
+  BufferView published = ring.publish(other, payload.size());
+
+  // Ring full, bounded wait zero: the force-reclaim victim must be the
+  // PUBLISHED slab, never the write in flight.
+  auto third = ring.acquire(64);
+  EXPECT_EQ(ring.stats().force_reclaims, 1u);
+  EXPECT_EQ(third.index, other.index);
+  EXPECT_NE(third.index, writing.index);
+
+  // The in-flight write completes untouched and round-trips.
+  std::memcpy(writing.data, payload.data(), payload.size());
+  BufferView done = ring.publish(writing, payload.size());
+  EXPECT_TRUE(done == ByteView(payload));
+  const auto desc = ring.descriptor_of(done);
+  ASSERT_TRUE(desc.has_value());
+  EXPECT_TRUE(ring.add_ref(*desc));
+  ring.drop_ref(*desc);
+  ring.abandon(third);
+}
+
 // ----------------------------------------------------- descriptor codec
 
 TEST(ShmDescriptor, WireRoundTripAndCorruptionRejected) {
@@ -388,6 +422,52 @@ TEST(ShmEndpoint, OverflowDropsOldestAndReturnsReferences) {
   EXPECT_EQ(*ep->receive(), pattern(32, 4));
 }
 
+TEST(ShmEndpoint, OversizedSendDeliversOutOfBand) {
+  shm::ShmBusConfig cfg;
+  cfg.ring = tiny_ring(4, 256);
+  shm::ShmBus bus(cfg);
+  auto ep = bus.endpoint();
+
+  // Larger than any slab: must still arrive (as a counted copy), never
+  // throw out of the transport contract.
+  const Bytes big = pattern(1000, 7);
+  ep->send(big);
+  EXPECT_EQ(ep->depth(), 1u);
+  EXPECT_EQ(*ep->receive(), big);
+  EXPECT_EQ(ep->stats().oob_sends, 1u);
+  EXPECT_EQ(bus.stats().copy_fallbacks, 1u);
+  // The ring was never touched — nothing staged, nothing pinned.
+  EXPECT_EQ(bus.ring().stats().acquires, 0u);
+  EXPECT_EQ(bus.ring().stats().slabs_in_use, 0u);
+}
+
+TEST(ShmEndpoint, OversizedFrameBuilderViewShipsSharedHeapBuffer) {
+  shm::ShmBusConfig cfg;
+  cfg.ring = tiny_ring(4, 256);
+  shm::ShmBus bus(cfg);
+  auto ep = bus.endpoint();
+
+  // The frame builder's heap fallback for a frame no slab can hold.
+  const Bytes payload = pattern(900, 9);
+  BufferView frame = bus.frame_builder()(MethodId::kNone, payload,
+                                         crc32(payload), 7);
+  EXPECT_EQ(bus.stats().copy_fallbacks, 1u);
+
+  // send_buffer delivers the SAME heap buffer out of band: shared
+  // ownership, zero additional copies, no exception into the pump.
+  ep->send_buffer(frame);
+  EXPECT_EQ(ep->stats().oob_sends, 1u);
+  EXPECT_EQ(ep->stats().zero_copy_sends, 0u);
+
+  std::optional<BufferView> wire = ep->receive_buffer();
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(wire->data(), frame.data());
+  const Frame parsed = frame_parse(*wire);
+  const CodecRegistry registry = CodecRegistry::with_builtins();
+  EXPECT_EQ(frame_decode(parsed, registry), payload);
+  EXPECT_EQ(parsed.sequence, 7u);
+}
+
 // --------------------------------------- shared-frame broker integration
 
 /// Captures every frame the broker pumps downstream — the reference for
@@ -482,6 +562,30 @@ TEST(ShmBroker, SerialParallelAndShmPathsAreByteIdentical) {
   }
   // Steady state never copied a payload: all zero-copy descriptor sends.
   EXPECT_EQ(bus.stats().copy_fallbacks, 0u);
+}
+
+TEST(ShmBroker, OversizedFramesDeliverInsteadOfKillingThePump) {
+  // Incompressible blocks against deliberately tiny slabs: every frame
+  // takes the frame builder's heap fallback, and the broker pump hands
+  // those heap views to ShmEndpoint::send_buffer. This used to throw
+  // ShmError out of the pump loop; it must now deliver out of band,
+  // byte-identical to the heap-broker reference.
+  std::vector<Bytes> blocks;
+  for (int i = 0; i < 3; ++i) {
+    blocks.push_back(testdata::random_bytes(4 * 1024, 50 + i));
+  }
+  const auto reference =
+      run_broker(blocks, 2, 1, broker::BrokerConfig{}, nullptr);
+
+  shm::ShmBusConfig bus_cfg;
+  bus_cfg.ring = tiny_ring(8, 64);
+  shm::ShmBus bus(bus_cfg);
+  broker::BrokerConfig cfg;
+  cfg.frame_builder = bus.frame_builder();
+  const auto via_shm = run_broker(blocks, 2, 1, cfg, &bus);
+
+  EXPECT_EQ(reference, via_shm);
+  EXPECT_GT(bus.stats().copy_fallbacks, 0u);
 }
 
 TEST(ShmBroker, SharedFrameCountsOnceInUniqueMemoryAccounting) {
